@@ -1,0 +1,232 @@
+(* Benchmark suite (Bechamel): one kernel per paper table/figure, the
+   micro-kernels they are built from, and the ablation knobs called out
+   in DESIGN.md.
+
+   Experiment kernels use reduced node caps so that a single iteration
+   stays in the milliseconds range — Bechamel needs many iterations for
+   a stable OLS fit. The full-scale experiments live in
+   [bin/experiments.exe]; this executable answers "how fast are the
+   pieces", not "what do the figures look like".
+
+   Run with: dune exec bench/main.exe *)
+
+open Bechamel
+
+module G = Cloudsim.Generator
+module H = Rentcost.Heuristics
+module P = Numeric.Prng
+
+(* --- fixed workloads, built once --- *)
+
+let illustrating = Rentcost.Problem.illustrating
+
+let params10 = { H.default_params with step = 10 }
+
+let instance_of_preset id =
+  let preset = Option.get (Cloudsim.Experiments.find id) in
+  G.problem ~rng:(P.create 2016) preset.Cloudsim.Experiments.graphs
+    preset.Cloudsim.Experiments.cloud
+
+let small_instance = instance_of_preset "fig3"
+let medium_instance = instance_of_preset "fig6"
+let large_instance = instance_of_preset "fig7"
+let stress_instance = instance_of_preset "fig8"
+
+(* A precomputed measurement list exercising the figure aggregations. *)
+let sample_measurements =
+  Cloudsim.Runner.sweep ~seed:7 ~configs:4
+    { G.num_graphs = 3; min_tasks = 2; max_tasks = 3; mutation_pct = 0.5 }
+    { G.num_types = 3; min_cost = 1; max_cost = 20; min_throughput = 5;
+      max_throughput = 20 }
+    ~targets:[ 10; 20; 30 ]
+    ~algorithms:(Cloudsim.Runner.paper_algorithms ())
+    ~params:H.default_params
+
+let ilp_nodes ?node_limit ?warm_start ?cut_rounds problem ~target () =
+  (Rentcost.Ilp.solve ?node_limit ?warm_start ?cut_rounds problem ~target)
+    .Rentcost.Ilp.nodes
+
+let milp_engine engine problem ~target () =
+  let model, integer = Rentcost.Ilp.build problem ~target in
+  let j = Rentcost.Problem.num_recipes problem in
+  (Milp.Solver.solve ~integral_objective:true ~engine
+     ~priority:[ List.init j Fun.id ]
+     model ~integer)
+    .Milp.Solver.nodes
+
+let heuristic name ?(params = H.default_params) problem ~target () =
+  (H.run ~params name ~rng:(P.create 99) problem ~target).H.evaluations
+
+(* --- Table III: the illustrating example (§ VII) --- *)
+
+let table3 =
+  Test.make_grouped ~name:"table3"
+    [ Test.make ~name:"ilp_rho70"
+        (Staged.stage (ilp_nodes illustrating ~target:70));
+      Test.make ~name:"h1_rho70"
+        (Staged.stage (heuristic H.H1 ~params:params10 illustrating ~target:70));
+      Test.make ~name:"h32jump_rho70"
+        (Staged.stage (heuristic H.H32_jump ~params:params10 illustrating ~target:70)) ]
+
+(* --- Figures 3/4/5: small recipes --- *)
+
+let fig3 =
+  Test.make_grouped ~name:"fig3"
+    [ Test.make ~name:"ilp_capped_rho100"
+        (Staged.stage (ilp_nodes ~node_limit:50 small_instance ~target:100));
+      Test.make ~name:"lp_relaxation_rho100"
+        (Staged.stage (fun () -> Rentcost.Ilp.lp_lower_bound small_instance ~target:100)) ]
+
+(* Figure 4 is the times-found-best aggregation; Figure 5 is the
+   per-algorithm timing — benchmarked as each heuristic's kernel. *)
+let fig4 =
+  Test.make_grouped ~name:"fig4"
+    [ Test.make ~name:"best_counts_aggregation"
+        (Staged.stage (fun () -> Cloudsim.Stats.best_counts sample_measurements));
+      Test.make ~name:"normalized_cost_aggregation"
+        (Staged.stage (fun () -> Cloudsim.Stats.normalized_cost sample_measurements)) ]
+
+let fig5 =
+  Test.make_grouped ~name:"fig5"
+    [ Test.make ~name:"h1_small_rho100"
+        (Staged.stage (heuristic H.H1 small_instance ~target:100));
+      Test.make ~name:"h2_small_rho100"
+        (Staged.stage (heuristic H.H2 small_instance ~target:100));
+      Test.make ~name:"h31_small_rho100"
+        (Staged.stage (heuristic H.H31 small_instance ~target:100));
+      Test.make ~name:"h32_small_rho100"
+        (Staged.stage (heuristic H.H32 small_instance ~target:100));
+      Test.make ~name:"h32jump_small_rho100"
+        (Staged.stage (heuristic H.H32_jump small_instance ~target:100)) ]
+
+(* --- Figure 6: medium recipes --- *)
+
+let fig6 =
+  Test.make_grouped ~name:"fig6"
+    [ Test.make ~name:"ilp_capped_rho100"
+        (Staged.stage (ilp_nodes ~node_limit:50 medium_instance ~target:100));
+      Test.make ~name:"h32jump_medium_rho100"
+        (Staged.stage (heuristic H.H32_jump medium_instance ~target:100)) ]
+
+(* --- Figure 7: large recipes (50-100 tasks) --- *)
+
+let fig7 =
+  Test.make_grouped ~name:"fig7"
+    [ Test.make ~name:"h1_large_rho100"
+        (Staged.stage (heuristic H.H1 large_instance ~target:100));
+      Test.make ~name:"h32jump_large_rho100"
+        (Staged.stage (heuristic H.H32_jump large_instance ~target:100));
+      Test.make ~name:"cost_oracle_large"
+        (Staged.stage (fun () ->
+             let rho = Array.make (Rentcost.Problem.num_recipes large_instance) 5 in
+             (Rentcost.Allocation.of_rho large_instance ~rho).Rentcost.Allocation.cost)) ]
+
+(* --- Figure 8: the ILP at its limits (Q = 50, 100-200 tasks) --- *)
+
+let fig8 =
+  Test.make_grouped ~name:"fig8"
+    [ Test.make ~name:"lp_relaxation_stress"
+        (Staged.stage (fun () -> Rentcost.Ilp.lp_lower_bound stress_instance ~target:100));
+      Test.make ~name:"ilp_25nodes_stress"
+        (Staged.stage (ilp_nodes ~node_limit:25 stress_instance ~target:100)) ]
+
+(* --- micro-benchmarks of the substrates --- *)
+
+let micro =
+  let big_a = Numeric.Bigint.of_string "123456789123456789123456789123456789" in
+  let big_b = Numeric.Bigint.of_string "987654321987654321" in
+  let rat_a = Numeric.Rat.of_ints 355 113 and rat_b = Numeric.Rat.of_ints 22 7 in
+  let cover_items =
+    Array.init 8 (fun i -> { Knapsack.cost = 3 + (7 * i); yield = 5 + (11 * i) })
+  in
+  let disjoint_problem =
+    Rentcost.Problem.create
+      (Rentcost.Platform.of_list [ (10, 10); (18, 20); (25, 30); (33, 40) ])
+      [| Rentcost.Task_graph.chain ~ntypes:4 ~types:[| 0; 1 |];
+         Rentcost.Task_graph.chain ~ntypes:4 ~types:[| 2; 3 |] |]
+  in
+  let sim_alloc =
+    Option.get (Rentcost.Ilp.solve illustrating ~target:70).Rentcost.Ilp.allocation
+  in
+  Test.make_grouped ~name:"micro"
+    [ Test.make ~name:"bigint_divmod"
+        (Staged.stage (fun () -> Numeric.Bigint.divmod big_a big_b));
+      Test.make ~name:"rat_add_small"
+        (Staged.stage (fun () -> Numeric.Rat.add rat_a rat_b));
+      Test.make ~name:"simplex_illustrating_lp"
+        (Staged.stage (fun () ->
+             Lp.Simplex.solve (fst (Rentcost.Ilp.build illustrating ~target:70))));
+      Test.make ~name:"knapsack_cover_rho1000"
+        (Staged.stage (fun () -> Knapsack.min_cost_cover ~items:cover_items ~demand:1000));
+      Test.make ~name:"dp_disjoint_rho100"
+        (Staged.stage (fun () -> Rentcost.Dp_disjoint.solve disjoint_problem ~target:100));
+      Test.make ~name:"streamsim_500_items"
+        (Staged.stage (fun () ->
+             Streamsim.Sim.run illustrating sim_alloc
+               { Streamsim.Sim.default_config with Streamsim.Sim.items = 500 })) ]
+
+(* --- ablations (DESIGN.md: design-choice benches) --- *)
+
+let ablation =
+  Test.make_grouped ~name:"ablation"
+    [ Test.make ~name:"ilp_warm_start"
+        (Staged.stage (ilp_nodes ~warm_start:true illustrating ~target:130));
+      Test.make ~name:"ilp_cold_start"
+        (Staged.stage (ilp_nodes ~warm_start:false illustrating ~target:130));
+      Test.make ~name:"ilp_gomory_3rounds"
+        (Staged.stage (ilp_nodes ~cut_rounds:3 illustrating ~target:130));
+      Test.make ~name:"gomory_root_strengthen"
+        (Staged.stage (fun () ->
+             let model, integer = Rentcost.Ilp.build illustrating ~target:70 in
+             snd (Lp.Gomory.strengthen ~rounds:2 model ~integer)));
+      Test.make ~name:"h32jump_step1_rho70"
+        (Staged.stage
+           (heuristic H.H32_jump ~params:H.default_params illustrating ~target:70));
+      Test.make ~name:"h32jump_step10_rho70"
+        (Staged.stage (heuristic H.H32_jump ~params:params10 illustrating ~target:70));
+      Test.make ~name:"milp_engine_bounds_rho130"
+        (Staged.stage (milp_engine Milp.Solver.Bounds illustrating ~target:130));
+      Test.make ~name:"milp_engine_rows_rho130"
+        (Staged.stage (milp_engine Milp.Solver.Rows illustrating ~target:130));
+      Test.make ~name:"h32_exhaustive_deltas_rho70"
+        (Staged.stage
+           (heuristic H.H32
+              ~params:{ params10 with H.exhaustive_deltas = true }
+              illustrating ~target:70)) ]
+
+let all_tests =
+  Test.make_grouped ~name:"rentcost"
+    [ table3; fig3; fig4; fig5; fig6; fig7; fig8; micro; ablation ]
+
+(* --- driver: run everything, print an aligned time/run table --- *)
+
+let () =
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg [ instance ] all_tests in
+  let results = Analyze.all ols instance raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with Some (e :: _) -> e | _ -> nan
+        in
+        let r2 = Option.value ~default:nan (Analyze.OLS.r_square ols) in
+        (name, ns, r2) :: acc)
+      results []
+  in
+  let rows = List.sort (fun (a, _, _) (b, _, _) -> compare a b) rows in
+  let human ns =
+    if ns >= 1e9 then Printf.sprintf "%8.3f s " (ns /. 1e9)
+    else if ns >= 1e6 then Printf.sprintf "%8.3f ms" (ns /. 1e6)
+    else if ns >= 1e3 then Printf.sprintf "%8.3f us" (ns /. 1e3)
+    else Printf.sprintf "%8.1f ns" ns
+  in
+  Printf.printf "%-50s %12s %8s\n" "benchmark" "time/run" "r^2";
+  Printf.printf "%s\n" (String.make 72 '-');
+  List.iter
+    (fun (name, ns, r2) -> Printf.printf "%-50s %s %8.4f\n" name (human ns) r2)
+    rows

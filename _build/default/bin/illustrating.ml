@@ -1,0 +1,18 @@
+(* Reproduces the paper's § VII illustrating example:
+   Table II (the platform), Figure 2 (the three recipes) and Table III
+   (ILP + heuristics for every target 10..200).
+
+   Usage: dune exec bin/illustrating.exe [-- seed] *)
+
+let () =
+  let seed =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 42
+  in
+  let problem = Rentcost.Problem.illustrating in
+  Format.printf "Platform (paper Table II):@.%a@." Rentcost.Platform.pp
+    (Rentcost.Problem.platform problem);
+  Format.printf "Recipes (paper Figure 2, types 0-based):@.%a@." Rentcost.Problem.pp
+    problem;
+  Format.printf "Table III reproduction (heuristic step = 10, seed = %d):@." seed;
+  Cloudsim.Report.print_table3 Format.std_formatter
+    (Cloudsim.Experiments.table3 ~seed ())

@@ -1,0 +1,172 @@
+(* Production command-line tool: solve, inspect and validate
+   user-supplied problem instances (Problem_format files).
+
+   Usage:
+     dune exec bin/rentcost.exe -- example > app.rentcost
+     dune exec bin/rentcost.exe -- info app.rentcost
+     dune exec bin/rentcost.exe -- solve app.rentcost --target 70
+     dune exec bin/rentcost.exe -- solve app.rentcost --target 70 -a h32jump
+     dune exec bin/rentcost.exe -- validate app.rentcost --target 70 *)
+
+open Cmdliner
+
+let algorithms =
+  [ ("ilp", `Ilp); ("dp", `Dp); ("h0", `H Rentcost.Heuristics.H0);
+    ("h1", `H Rentcost.Heuristics.H1); ("h2", `H Rentcost.Heuristics.H2);
+    ("h31", `H Rentcost.Heuristics.H31); ("h32", `H Rentcost.Heuristics.H32);
+    ("h32jump", `H Rentcost.Heuristics.H32_jump) ]
+
+let load path =
+  try Ok (Rentcost.Problem_format.load path) with
+  | Failure msg | Invalid_argument msg -> Error msg
+  | Sys_error msg -> Error msg
+
+let print_allocation problem target (a : Rentcost.Allocation.t) =
+  Format.printf "cost %d@." a.Rentcost.Allocation.cost;
+  Array.iteri
+    (fun j r -> if r > 0 then Format.printf "recipe %d: throughput %d@." j r)
+    a.Rentcost.Allocation.rho;
+  Array.iteri
+    (fun q x -> if x > 0 then Format.printf "type %d: rent %d machine(s)@." q x)
+    a.Rentcost.Allocation.machines;
+  if not (Rentcost.Allocation.feasible problem ~target a) then
+    Format.printf "WARNING: allocation does not reach the target@."
+
+let solve_with problem ~target ~algorithm ~seed ~step ~time_limit ~node_limit =
+  match algorithm with
+  | `Ilp ->
+    let o = Rentcost.Ilp.solve ?time_limit ?node_limit problem ~target in
+    (match o.Rentcost.Ilp.allocation with
+     | Some a ->
+       Format.printf "%s (nodes: %d, %.3f s%s)@."
+         (if o.Rentcost.Ilp.proved_optimal then "optimal" else "feasible (not proved)")
+         o.Rentcost.Ilp.nodes o.Rentcost.Ilp.elapsed
+         (match o.Rentcost.Ilp.best_bound with
+          | Some b when not o.Rentcost.Ilp.proved_optimal ->
+            Printf.sprintf ", lower bound %d" b
+          | _ -> "");
+       Ok a
+     | None -> Error "no solution found within the limits")
+  | `Dp ->
+    if Rentcost.Problem.is_disjoint problem then
+      Ok (Rentcost.Dp_disjoint.solve problem ~target)
+    else Error "dp requires recipes with disjoint type sets (try: ilp)"
+  | `H name ->
+    let params = { Rentcost.Heuristics.default_params with step } in
+    let res =
+      Rentcost.Heuristics.run ~params name ~rng:(Numeric.Prng.create seed) problem
+        ~target
+    in
+    Format.printf "heuristic %s (%d cost evaluations)@."
+      (Rentcost.Heuristics.name_to_string name)
+      res.Rentcost.Heuristics.evaluations;
+    Ok res.Rentcost.Heuristics.allocation
+
+let cmd_solve path target algorithm seed step time_limit node_limit =
+  match load path with
+  | Error msg -> `Error (false, msg)
+  | Ok problem ->
+    (match solve_with problem ~target ~algorithm ~seed ~step ~time_limit ~node_limit with
+     | Ok a ->
+       print_allocation problem target a;
+       `Ok ()
+     | Error msg -> `Error (false, msg))
+
+let cmd_info path =
+  match load path with
+  | Error msg -> `Error (false, msg)
+  | Ok problem ->
+    let open Rentcost in
+    Format.printf "types: %d@.recipes: %d@." (Problem.num_types problem)
+      (Problem.num_recipes problem);
+    Array.iteri
+      (fun j r ->
+        Format.printf "recipe %d: %d tasks, %d edges, critical path %d, types {%s}@."
+          j (Task_graph.num_tasks r)
+          (List.length (Task_graph.edges r))
+          (Task_graph.critical_path_length r)
+          (String.concat "," (List.map string_of_int (Task_graph.types_used r))))
+      (Problem.recipes problem);
+    Format.printf "classification: %s@."
+      (if Problem.is_blackbox problem then "black-box (§ V-A: use dp or ilp)"
+       else if Problem.is_disjoint problem then "disjoint types (§ V-B: use dp)"
+       else "shared types (§ V-C: use ilp or heuristics)");
+    `Ok ()
+
+let cmd_validate path target items =
+  match load path with
+  | Error msg -> `Error (false, msg)
+  | Ok problem ->
+    (match (Rentcost.Ilp.solve problem ~target).Rentcost.Ilp.allocation with
+     | None -> `Error (false, "no solution")
+     | Some a ->
+       print_allocation problem target a;
+       let report =
+         Streamsim.Sim.run problem a
+           { Streamsim.Sim.default_config with Streamsim.Sim.items }
+       in
+       Format.printf
+         "simulated: throughput %.2f, mean latency %.4f, max reorder buffer %d@."
+         report.Streamsim.Sim.throughput report.Streamsim.Sim.mean_latency
+         report.Streamsim.Sim.max_reorder;
+       `Ok ())
+
+let cmd_example () =
+  print_string (Rentcost.Problem_format.to_string Rentcost.Problem.illustrating)
+
+(* --- cmdliner plumbing --- *)
+
+let algorithm_arg =
+  Arg.(value
+      & opt (enum algorithms) `Ilp
+      & info [ "algorithm"; "a" ] ~docv:"ALG"
+          ~doc:"One of: ilp, dp, h0, h1, h2, h31, h32, h32jump.")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let step_arg =
+  Arg.(value & opt int 1 & info [ "step" ] ~docv:"D" ~doc:"Heuristic exchange quantum.")
+
+let time_limit_arg =
+  Arg.(value & opt (some float) None & info [ "time-limit" ] ~docv:"S"
+         ~doc:"ILP wall-clock limit in seconds.")
+
+let node_limit_arg =
+  Arg.(value & opt (some int) None & info [ "node-limit" ] ~docv:"N"
+         ~doc:"ILP branch-and-bound node limit.")
+
+let items_arg =
+  Arg.(value & opt int 2000 & info [ "items" ] ~docv:"N" ~doc:"Simulated stream items.")
+
+let subcommand =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"COMMAND"
+         ~doc:"solve, info, validate, or example.")
+
+let main sub path target algorithm seed step time_limit node_limit items =
+  match (sub, path, target) with
+  | "example", _, _ -> `Ok (cmd_example ())
+  | "info", Some path, _ -> cmd_info path
+  | "solve", Some path, Some target ->
+    cmd_solve path target algorithm seed step time_limit node_limit
+  | "validate", Some path, Some target -> cmd_validate path target items
+  | ("solve" | "validate"), Some _, None ->
+    `Error (true, "--target is required")
+  | ("info" | "solve" | "validate"), None, _ ->
+    `Error (true, "a problem FILE is required")
+  | (other, _, _) -> `Error (true, Printf.sprintf "unknown command %S" other)
+
+let cmd =
+  let doc = "Solve cloud rental-cost problems from instance files" in
+  let info = Cmd.info "rentcost" ~doc in
+  Cmd.v info
+    Term.(
+      ret
+        (const main $ subcommand
+        $ Arg.(value & pos 1 (some file) None
+               & info [] ~docv:"FILE" ~doc:"Problem file.")
+        $ Arg.(value & opt (some int) None
+               & info [ "target"; "t" ] ~docv:"N" ~doc:"Target throughput.")
+        $ algorithm_arg $ seed_arg $ step_arg $ time_limit_arg $ node_limit_arg
+        $ items_arg))
+
+let () = exit (Cmd.eval cmd)

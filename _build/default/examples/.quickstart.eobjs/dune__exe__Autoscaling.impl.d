@@ -1,0 +1,1 @@
+examples/autoscaling.ml: Array Format Rentcost String

@@ -1,0 +1,1 @@
+examples/multi_cloud.ml: Array Format List Option Rentcost String

@@ -1,0 +1,1 @@
+examples/video_pipeline.ml: Array Format List Option Rentcost Streamsim String

@@ -1,0 +1,1 @@
+lib/cloudsim/experiments.ml: Generator List Numeric Option Rentcost Runner

@@ -1,0 +1,1 @@
+lib/cloudsim/experiments.mli: Generator Runner

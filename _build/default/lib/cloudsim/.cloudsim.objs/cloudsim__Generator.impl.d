@@ -1,0 +1,1 @@
+lib/cloudsim/generator.ml: Array Fun Hashtbl Numeric Rentcost

@@ -1,0 +1,1 @@
+lib/cloudsim/generator.mli: Numeric Rentcost

@@ -1,0 +1,1 @@
+lib/cloudsim/report.ml: Array Buffer Format List Printf Stats String

@@ -1,0 +1,1 @@
+lib/cloudsim/report.mli: Format Stats

@@ -1,0 +1,1 @@
+lib/cloudsim/runner.ml: Fun Generator List Numeric Rentcost Unix

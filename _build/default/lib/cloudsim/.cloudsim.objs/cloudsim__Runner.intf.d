@@ -1,0 +1,1 @@
+lib/cloudsim/runner.mli: Generator Numeric Rentcost

@@ -1,0 +1,1 @@
+lib/cloudsim/stats.ml: Array Hashtbl List Option Printf Runner

@@ -1,0 +1,1 @@
+lib/cloudsim/stats.mli: Runner

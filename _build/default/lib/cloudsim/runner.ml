@@ -1,0 +1,71 @@
+module H = Rentcost.Heuristics
+
+type algorithm =
+  | Ilp of { time_limit : float option; node_limit : int option }
+  | Heuristic of H.name
+
+let paper_algorithms ?time_limit ?node_limit () =
+  Ilp { time_limit; node_limit }
+  :: List.map (fun n -> Heuristic n) [ H.H1; H.H2; H.H31; H.H32; H.H32_jump ]
+
+let algorithm_name = function
+  | Ilp _ -> "ILP"
+  | Heuristic n -> H.name_to_string n
+
+type measurement = {
+  config : int;
+  target : int;
+  algorithm : string;
+  cost : int;
+  time : float;
+  proved_optimal : bool;
+  nodes : int;
+}
+
+let solve_one ~rng ~params problem ~target = function
+  | Ilp { time_limit; node_limit } ->
+    let t0 = Unix.gettimeofday () in
+    let o = Rentcost.Ilp.solve ?time_limit ?node_limit problem ~target in
+    let time = Unix.gettimeofday () -. t0 in
+    (match o.Rentcost.Ilp.allocation with
+     | Some a ->
+       (a.Rentcost.Allocation.cost, time, o.Rentcost.Ilp.proved_optimal,
+        o.Rentcost.Ilp.nodes)
+     | None ->
+       (* A time limit can expire before any incumbent; fall back to
+          the H1 closed form so the measurement row stays comparable
+          (the paper reports Gurobi's incumbent similarly). *)
+       let h1 = H.h1_best_graph problem ~target in
+       (h1.H.allocation.Rentcost.Allocation.cost,
+        Unix.gettimeofday () -. t0, false, o.Rentcost.Ilp.nodes))
+  | Heuristic name ->
+    let t0 = Unix.gettimeofday () in
+    let res = H.run ~params name ~rng problem ~target in
+    (res.H.allocation.Rentcost.Allocation.cost, Unix.gettimeofday () -. t0, false, 0)
+
+let run_instance ~rng ~config problem ~targets ~algorithms ~params =
+  List.concat_map
+    (fun target ->
+      List.map
+        (fun alg ->
+          let alg_rng = Numeric.Prng.split rng in
+          let cost, time, proved_optimal, nodes =
+            solve_one ~rng:alg_rng ~params problem ~target alg
+          in
+          { config; target; algorithm = algorithm_name alg; cost; time;
+            proved_optimal; nodes })
+        algorithms)
+    targets
+
+let sweep ?(progress = fun _ -> ()) ~seed ~configs gp cp ~targets ~algorithms ~params =
+  let rng = Numeric.Prng.create seed in
+  List.concat_map
+    (fun config ->
+      let instance_rng = Numeric.Prng.split rng in
+      let problem = Generator.problem ~rng:instance_rng gp cp in
+      let ms =
+        run_instance ~rng:instance_rng ~config problem ~targets ~algorithms ~params
+      in
+      progress config;
+      ms)
+    (List.init configs Fun.id)

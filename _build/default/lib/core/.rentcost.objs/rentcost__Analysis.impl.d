@@ -1,0 +1,1 @@
+lib/core/analysis.ml: Allocation Array Heuristics Ilp List Platform Problem

@@ -1,0 +1,1 @@
+lib/core/costing.ml: Allocation Array Platform Problem

@@ -1,0 +1,1 @@
+lib/core/costing.mli: Problem

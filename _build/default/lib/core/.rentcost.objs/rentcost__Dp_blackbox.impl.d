@@ -1,0 +1,1 @@
+lib/core/dp_blackbox.ml: Allocation Array Knapsack Platform Problem Task_graph

@@ -1,0 +1,1 @@
+lib/core/dp_blackbox.mli: Allocation Problem

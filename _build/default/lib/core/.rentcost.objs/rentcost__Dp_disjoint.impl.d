@@ -1,0 +1,1 @@
+lib/core/dp_disjoint.ml: Allocation Array Costing Problem

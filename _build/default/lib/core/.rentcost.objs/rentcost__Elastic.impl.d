@@ -1,0 +1,1 @@
+lib/core/elastic.ml: Allocation Array

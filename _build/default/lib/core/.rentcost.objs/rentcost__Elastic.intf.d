@@ -1,0 +1,1 @@
+lib/core/elastic.mli: Allocation Analysis Problem

@@ -1,0 +1,1 @@
+lib/core/exhaustive.ml: Allocation Array Option Problem

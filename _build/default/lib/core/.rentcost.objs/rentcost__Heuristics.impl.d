@@ -1,0 +1,1 @@
+lib/core/heuristics.ml: Allocation Array Numeric Problem

@@ -1,0 +1,1 @@
+lib/core/ilp.ml: Allocation Array Fun Heuristics List Lp Milp Numeric Option Platform Printf Problem

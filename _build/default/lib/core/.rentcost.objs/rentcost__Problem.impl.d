@@ -1,0 +1,1 @@
+lib/core/problem.ml: Array Format Platform Task_graph

@@ -1,0 +1,1 @@
+lib/core/problem_format.ml: Array Buffer Hashtbl List Platform Printf Problem String Task_graph

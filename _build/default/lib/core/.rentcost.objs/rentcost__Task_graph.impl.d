@@ -1,0 +1,1 @@
+lib/core/task_graph.ml: Array Format List Queue

@@ -1,0 +1,8 @@
+let single_graph problem ~j ~target = (Allocation.single problem ~j ~target).cost
+
+let independent problem ~rho = (Allocation.of_rho problem ~rho).cost
+
+let per_type problem ~rho =
+  let platform = Problem.platform problem in
+  let alloc = Allocation.of_rho problem ~rho in
+  Array.mapi (fun q x -> x * Platform.cost platform q) alloc.machines

@@ -1,0 +1,19 @@
+(** Closed-form costs for the simple cases of the paper's § IV.
+
+    These are thin, named views over {!Allocation.of_rho}; they exist
+    so each formula of the paper has a direct counterpart in code (and
+    a direct test). *)
+
+(** [single_graph problem ~j ~target] is
+    [C(ρ) = Σ_q ⌈n_q·ρ / r_q⌉·c_q] for recipe [j] alone (§ IV-A). *)
+val single_graph : Problem.t -> j:int -> target:int -> int
+
+(** [independent problem ~rho] is the cost of running every recipe [j]
+    at its prescribed throughput [rho.(j)] with machines shared across
+    recipes of the same type (§ IV-B):
+    [C(ρ_1 … ρ_J) = Σ_q ⌈(Σ_j n^j_q·ρ_j) / r_q⌉·c_q]. *)
+val independent : Problem.t -> rho:int array -> int
+
+(** [per_type problem ~rho] is the § IV-B cost broken down by machine
+    type ([C_q] of the paper); sums to {!independent}. *)
+val per_type : Problem.t -> rho:int array -> int array

@@ -1,0 +1,39 @@
+let solve problem ~target =
+  if not (Problem.is_blackbox problem) then
+    invalid_arg "Dp_blackbox.solve: instance is not black-box (one task per \
+                 recipe, pairwise distinct types)";
+  if target < 0 then invalid_arg "Dp_blackbox.solve: negative target";
+  let platform = Problem.platform problem in
+  let j_count = Problem.num_recipes problem in
+  (* Recipe j is a single task of some type q_j; renting one machine of
+     that type yields r_{q_j} results at cost c_{q_j}. *)
+  let type_of_recipe =
+    Array.init j_count (fun j -> Task_graph.type_of (Problem.recipe problem j) 0)
+  in
+  let items =
+    Array.map
+      (fun q ->
+        { Knapsack.cost = Platform.cost platform q;
+          yield = Platform.throughput platform q })
+      type_of_recipe
+  in
+  match Knapsack.min_cost_cover ~items ~demand:target with
+  | None -> assert false (* platforms have positive throughputs *)
+  | Some { Knapsack.best; counts } ->
+    (* Spread the target over recipes up to each fleet's capacity so
+       that Σ ρ_j = target exactly. *)
+    let rho = Array.make j_count 0 in
+    let remaining = ref target in
+    Array.iteri
+      (fun j n ->
+        let cap = n * items.(j).Knapsack.yield in
+        let take = min cap !remaining in
+        rho.(j) <- take;
+        remaining := !remaining - take)
+      counts;
+    assert (!remaining = 0);
+    let machines = Array.make (Problem.num_types problem) 0 in
+    Array.iteri (fun j n -> machines.(type_of_recipe.(j)) <- machines.(type_of_recipe.(j)) + n) counts;
+    let alloc = Allocation.make problem ~rho ~machines in
+    assert (alloc.Allocation.cost = best);
+    alloc

@@ -1,0 +1,12 @@
+(** Optimal provisioning for black-box recipes (paper § V-A).
+
+    When every recipe is a single task and no two recipes share a task
+    type, the problem is the unbounded-knapsack-like covering problem
+    [min Σ x_q·c_q  s.t.  Σ x_q·r_q >= ρ], solved here exactly by the
+    pseudo-polynomial DP of {!Knapsack.min_cost_cover} in
+    [O(J·ρ)] time. *)
+
+(** [solve problem ~target] returns an optimal allocation.
+    @raise Invalid_argument when the instance is not black-box
+    (use {!Problem.is_blackbox} to test) or [target < 0]. *)
+val solve : Problem.t -> target:int -> Allocation.t

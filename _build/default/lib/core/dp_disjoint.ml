@@ -1,0 +1,45 @@
+let recipe_cost problem ~j ~target = Costing.single_graph problem ~j ~target
+
+let solve problem ~target =
+  if not (Problem.is_disjoint problem) then
+    invalid_arg "Dp_disjoint.solve: recipes share task types (general case, \
+                 use Ilp or Heuristics)";
+  if target < 0 then invalid_arg "Dp_disjoint.solve: negative target";
+  let j_count = Problem.num_recipes problem in
+  (* Tabulate cost_j(t) for every recipe and every sub-target. *)
+  let cost_table =
+    Array.init j_count (fun j ->
+        Array.init (target + 1) (fun t -> recipe_cost problem ~j ~target:t))
+  in
+  (* dp.(j).(t): optimal cost reaching throughput t with recipes 0..j;
+     split.(j).(t): the ρ_j chosen there. *)
+  let dp = Array.make_matrix j_count (target + 1) 0 in
+  let split = Array.make_matrix j_count (target + 1) 0 in
+  for t = 0 to target do
+    dp.(0).(t) <- cost_table.(0).(t);
+    split.(0).(t) <- t
+  done;
+  for j = 1 to j_count - 1 do
+    for t = 0 to target do
+      let best = ref max_int and best_tj = ref 0 in
+      for tj = 0 to t do
+        let c = dp.(j - 1).(t - tj) + cost_table.(j).(tj) in
+        if c < !best then begin
+          best := c;
+          best_tj := tj
+        end
+      done;
+      dp.(j).(t) <- !best;
+      split.(j).(t) <- !best_tj
+    done
+  done;
+  let rho = Array.make j_count 0 in
+  let t = ref target in
+  for j = j_count - 1 downto 0 do
+    rho.(j) <- split.(j).(!t);
+    t := !t - rho.(j)
+  done;
+  assert (!t = 0);
+  let alloc = Allocation.of_rho problem ~rho in
+  assert (alloc.Allocation.cost = dp.(j_count - 1).(target));
+  alloc

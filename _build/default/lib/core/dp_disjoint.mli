@@ -1,0 +1,29 @@
+(** Optimal provisioning for recipes with disjoint type sets
+    (paper § V-B).
+
+    When no two recipes share a task type, the platform cost separates
+    into a per-recipe term [cost_j(ρ_j)], and the optimal split of the
+    target throughput is found by the pseudo-polynomial dynamic
+    program
+
+    [C(ρ, j) = min_{0 <= ρ_j <= ρ} ( C(ρ - ρ_j, j-1) + cost_j(ρ_j) )]
+
+    in [O(J·ρ²)] time (plus [O(J·ρ·Q)] to tabulate the per-recipe
+    costs).
+
+    Note: the recurrence printed in the paper sums
+    [⌈n^j_{t(i,j)}·ρ_j / r_{t(i,j)}⌉·c_{t(i,j)}] over task indices [i],
+    which would bill a type once per task; consistently with § IV-A
+    and the worked example, [cost_j] here sums over distinct types
+    (see DESIGN.md § 1). *)
+
+(** [solve problem ~target] returns an optimal allocation together
+    with the optimal throughput split.
+    @raise Invalid_argument when recipes share task types (use
+    {!Problem.is_disjoint} to test) or [target < 0]. *)
+val solve : Problem.t -> target:int -> Allocation.t
+
+(** [recipe_cost problem ~j ~target] is the separable per-recipe cost
+    [cost_j(target)] the DP optimizes over (equals
+    {!Costing.single_graph} on disjoint instances). *)
+val recipe_cost : Problem.t -> j:int -> target:int -> int

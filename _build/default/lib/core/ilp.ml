@@ -1,0 +1,125 @@
+module R = Numeric.Rat
+
+type outcome = {
+  allocation : Allocation.t option;
+  proved_optimal : bool;
+  best_bound : int option;
+  nodes : int;
+  elapsed : float;
+}
+
+let ceil_div a b = (a + b - 1) / b
+
+let build problem ~target =
+  if target < 0 then invalid_arg "Ilp.build: negative target";
+  let j_count = Problem.num_recipes problem in
+  let q_count = Problem.num_types problem in
+  let platform = Problem.platform problem in
+  let m = Lp.Model.create () in
+  let rho_vars =
+    Array.init j_count (fun j -> Lp.Model.add_var m ~name:(Printf.sprintf "rho_%d" j))
+  in
+  let x_vars =
+    Array.init q_count (fun q -> Lp.Model.add_var m ~name:(Printf.sprintf "x_%d" q))
+  in
+  (* Σ_j ρ_j >= ρ  (constraint (1) of the paper) *)
+  let total =
+    Lp.Linexpr.of_terms (Array.to_list (Array.map (fun v -> (v, R.one)) rho_vars))
+  in
+  Lp.Model.add_constraint m ~name:"throughput" total Lp.Model.Ge (R.of_int target);
+  (* Per type: x_q·r_q - Σ_j n^j_q·ρ_j >= 0  (constraint (2)) *)
+  for q = 0 to q_count - 1 do
+    let terms =
+      (x_vars.(q), R.of_int (Platform.throughput platform q))
+      :: List.filter_map
+           (fun j ->
+             let n = Problem.type_count problem j q in
+             if n = 0 then None else Some (rho_vars.(j), R.of_int (-n)))
+           (List.init j_count Fun.id)
+    in
+    Lp.Model.add_constraint m
+      ~name:(Printf.sprintf "capacity_%d" q)
+      (Lp.Linexpr.of_terms terms)
+      Lp.Model.Ge R.zero
+  done;
+  (* Valid tightening bounds: some optimum has ρ_j <= ρ and therefore
+     x_q <= ⌈max_j n^j_q · ρ / r_q⌉ (see DESIGN.md). As *variable*
+     bounds they cost no tableau rows under the bounded engine. *)
+  Array.iter (fun v -> Lp.Model.tighten_upper m v (R.of_int target)) rho_vars;
+  for q = 0 to q_count - 1 do
+    let nmax = ref 0 in
+    for j = 0 to j_count - 1 do
+      nmax := max !nmax (Problem.type_count problem j q)
+    done;
+    let ub = ceil_div (!nmax * target) (Platform.throughput platform q) in
+    Lp.Model.tighten_upper m x_vars.(q) (R.of_int ub)
+  done;
+  let objective =
+    Lp.Linexpr.of_terms
+      (Array.to_list
+         (Array.mapi (fun q v -> (v, R.of_int (Platform.cost platform q))) x_vars))
+  in
+  Lp.Model.set_objective m Lp.Model.Minimize objective;
+  (m, Array.to_list rho_vars @ Array.to_list x_vars)
+
+let decode problem solution =
+  let j_count = Problem.num_recipes problem in
+  let q_count = Problem.num_types problem in
+  let values = solution.Milp.Solver.values in
+  let to_int v =
+    (* Integrality is enforced by the solver; exact rationals make the
+       conversion lossless. *)
+    Numeric.Bigint.to_int_exn (R.num values.(v))
+  in
+  let rho = Array.init j_count to_int in
+  let machines = Array.init q_count (fun q -> to_int (j_count + q)) in
+  Allocation.make problem ~rho ~machines
+
+let solve ?time_limit ?node_limit ?(strategy = Milp.Solver.Best_bound)
+    ?(warm_start = true) ?(cut_rounds = 0) problem ~target =
+  let model, integer = build problem ~target in
+  let j_count = Problem.num_recipes problem in
+  let q_count = Problem.num_types problem in
+  (* Seed the branch-and-bound with the best heuristic point: its cost
+     is an upper cutoff that prunes most of the tree (the role played
+     by Gurobi's internal primal heuristics in the paper's runs). *)
+  let warm =
+    if not warm_start then None
+    else begin
+      let res =
+        Heuristics.h32_jump ~rng:(Numeric.Prng.create 0x5EED) problem ~target
+      in
+      let a = res.Heuristics.allocation in
+      Some
+        (Array.init (j_count + q_count) (fun i ->
+             if i < j_count then R.of_int a.Allocation.rho.(i)
+             else R.of_int a.Allocation.machines.(i - j_count)))
+    end
+  in
+  let priority =
+    [ List.init j_count Fun.id; List.init q_count (fun q -> j_count + q) ]
+  in
+  let result =
+    Milp.Solver.solve ?time_limit ?node_limit ~integral_objective:true ~strategy
+      ?warm_start:warm ~priority ~cut_rounds model ~integer
+  in
+  let allocation = Option.map (decode problem) result.Milp.Solver.solution in
+  let best_bound =
+    Option.map
+      (fun b -> Numeric.Bigint.to_int_exn (R.ceil b))
+      result.Milp.Solver.best_bound
+  in
+  { allocation;
+    proved_optimal = result.Milp.Solver.status = Milp.Solver.Optimal;
+    best_bound;
+    nodes = result.Milp.Solver.nodes;
+    elapsed = result.Milp.Solver.elapsed }
+
+let lp_lower_bound problem ~target =
+  let model, _ = build problem ~target in
+  match Lp.Simplex.solve model with
+  | Lp.Simplex.Optimal { objective; _ } -> Numeric.Bigint.to_int_exn (R.ceil objective)
+  | Lp.Simplex.Infeasible | Lp.Simplex.Unbounded ->
+    (* The MILP is always feasible (rent enough machines) and bounded
+       below by zero. *)
+    assert false

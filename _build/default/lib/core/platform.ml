@@ -1,0 +1,30 @@
+type machine = { cost : int; throughput : int }
+
+type t = machine array
+
+let create machines =
+  if Array.length machines = 0 then invalid_arg "Platform.create: no machine types";
+  Array.iter
+    (fun { cost; throughput } ->
+      if cost <= 0 then invalid_arg "Platform.create: cost must be positive";
+      if throughput <= 0 then invalid_arg "Platform.create: throughput must be positive")
+    machines;
+  Array.copy machines
+
+let of_list l = create (Array.of_list (List.map (fun (cost, throughput) -> { cost; throughput }) l))
+
+let num_types t = Array.length t
+let cost t q = t.(q).cost
+let throughput t q = t.(q).throughput
+let machines t = Array.copy t
+
+let table2 =
+  of_list [ (10, 10); (18, 20); (25, 30); (33, 40) ]
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>";
+  Array.iteri
+    (fun q { cost; throughput } ->
+      Format.fprintf fmt "type %d: throughput %d, cost %d@," q throughput cost)
+    t;
+  Format.fprintf fmt "@]"

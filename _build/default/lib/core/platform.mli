@@ -1,0 +1,36 @@
+(** The cloud platform: one machine (processor) type per task type.
+
+    A machine of type [q] rents for [cost q] per hour and sustains a
+    throughput of [throughput q] tasks of type [q] per time unit — the
+    [c_q] and [r_q] of the paper (Table I). All parameters are
+    integers, as prescribed by § III. *)
+
+type machine = { cost : int; throughput : int }
+
+type t
+
+(** [create machines] validates strictly positive costs and
+    throughputs. @raise Invalid_argument otherwise, or on an empty
+    platform. *)
+val create : machine array -> t
+
+(** [of_list [(cost, throughput); …]] is a convenience wrapper over
+    {!create}. *)
+val of_list : (int * int) list -> t
+
+(** Number of machine (= task) types [Q]. *)
+val num_types : t -> int
+
+(** [cost t q] is [c_q]. *)
+val cost : t -> int -> int
+
+(** [throughput t q] is [r_q]. *)
+val throughput : t -> int -> int
+
+val machines : t -> machine array
+
+(** The illustrating platform of the paper's Table II:
+    throughputs 10/20/30/40, costs 10/18/25/33. *)
+val table2 : t
+
+val pp : Format.formatter -> t -> unit

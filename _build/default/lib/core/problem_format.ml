@@ -1,0 +1,112 @@
+let to_string problem =
+  let buf = Buffer.create 512 in
+  let platform = Problem.platform problem in
+  let q_count = Problem.num_types problem in
+  Buffer.add_string buf (Printf.sprintf "types %d\n" q_count);
+  for q = 0 to q_count - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "type %d cost %d throughput %d\n" q (Platform.cost platform q)
+         (Platform.throughput platform q))
+  done;
+  Array.iter
+    (fun recipe ->
+      Buffer.add_string buf "recipe\n";
+      for i = 0 to Task_graph.num_tasks recipe - 1 do
+        Buffer.add_string buf
+          (Printf.sprintf "  task %d type %d\n" i (Task_graph.type_of recipe i))
+      done;
+      List.iter
+        (fun (a, b) -> Buffer.add_string buf (Printf.sprintf "  edge %d %d\n" a b))
+        (Task_graph.edges recipe))
+    (Problem.recipes problem);
+  Buffer.contents buf
+
+(* One recipe under construction. *)
+type partial_recipe = { mutable tasks : (int * int) list; mutable edges : (int * int) list }
+
+let of_string text =
+  let fail line msg = failwith (Printf.sprintf "Problem_format: line %d: %s" line msg) in
+  let lines = String.split_on_char '\n' text in
+  let ntypes = ref (-1) in
+  let machines = Hashtbl.create 8 in
+  let recipes = ref [] in
+  let current = ref None in
+  let parse_int line s =
+    match int_of_string_opt s with
+    | Some n -> n
+    | None -> fail line (Printf.sprintf "expected an integer, got %S" s)
+  in
+  List.iteri
+    (fun idx raw ->
+      let line = idx + 1 in
+      let no_comment =
+        match String.index_opt raw '#' with
+        | Some i -> String.sub raw 0 i
+        | None -> raw
+      in
+      let words =
+        String.split_on_char ' ' (String.map (fun c -> if c = '\t' then ' ' else c) no_comment)
+        |> List.filter (fun w -> w <> "")
+        |> List.map String.lowercase_ascii
+      in
+      match words with
+      | [] -> ()
+      | [ "types"; n ] ->
+        if !ntypes >= 0 then fail line "duplicate 'types' declaration";
+        let n = parse_int line n in
+        if n <= 0 then fail line "types must be positive";
+        ntypes := n
+      | [ "type"; q; "cost"; c; "throughput"; r ] ->
+        let q = parse_int line q in
+        if Hashtbl.mem machines q then fail line (Printf.sprintf "duplicate type %d" q);
+        Hashtbl.replace machines q
+          { Platform.cost = parse_int line c; throughput = parse_int line r }
+      | [ "recipe" ] ->
+        (match !current with
+         | Some r -> recipes := r :: !recipes
+         | None -> ());
+        current := Some { tasks = []; edges = [] }
+      | [ "task"; i; "type"; q ] ->
+        (match !current with
+         | None -> fail line "'task' outside a recipe block"
+         | Some r -> r.tasks <- (parse_int line i, parse_int line q) :: r.tasks)
+      | [ "edge"; a; b ] ->
+        (match !current with
+         | None -> fail line "'edge' outside a recipe block"
+         | Some r -> r.edges <- (parse_int line a, parse_int line b) :: r.edges)
+      | w :: _ -> fail line (Printf.sprintf "unknown directive %S" w))
+    lines;
+  (match !current with Some r -> recipes := r :: !recipes | None -> ());
+  if !ntypes < 0 then failwith "Problem_format: missing 'types' declaration";
+  let platform =
+    Platform.create
+      (Array.init !ntypes (fun q ->
+           match Hashtbl.find_opt machines q with
+           | Some m -> m
+           | None -> failwith (Printf.sprintf "Problem_format: type %d not declared" q)))
+  in
+  let build_recipe r =
+    let tasks = List.sort compare (List.rev r.tasks) in
+    List.iteri
+      (fun expected (i, _) ->
+        if i <> expected then
+          failwith
+            (Printf.sprintf "Problem_format: recipe tasks must be numbered 0..n-1 \
+                             (missing or duplicate task %d)" expected))
+      tasks;
+    let types = Array.of_list (List.map snd tasks) in
+    Task_graph.create ~ntypes:!ntypes ~types ~edges:(List.rev r.edges)
+  in
+  Problem.create platform (Array.of_list (List.rev_map build_recipe !recipes))
+
+let load path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  of_string text
+
+let save path problem =
+  let oc = open_out path in
+  output_string oc (to_string problem);
+  close_out oc

@@ -1,0 +1,1 @@
+lib/lp/bounded.ml: Array Linexpr List Model Numeric Simplex

@@ -1,0 +1,1 @@
+lib/lp/bounded.mli: Model Simplex

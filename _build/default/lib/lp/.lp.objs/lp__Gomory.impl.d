@@ -1,0 +1,1 @@
+lib/lp/gomory.ml: Array Fun Linexpr List Model Numeric Printf Simplex

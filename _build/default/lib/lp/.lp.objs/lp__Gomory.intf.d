@@ -1,0 +1,1 @@
+lib/lp/gomory.mli: Model

@@ -1,0 +1,1 @@
+lib/lp/linexpr.ml: Array Format List Numeric

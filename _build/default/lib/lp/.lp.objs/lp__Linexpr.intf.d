@@ -1,0 +1,1 @@
+lib/lp/linexpr.mli: Format Numeric

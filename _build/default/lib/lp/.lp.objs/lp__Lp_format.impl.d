@@ -1,0 +1,1 @@
+lib/lp/lp_format.ml: Array Buffer Hashtbl Linexpr List Model Numeric Option Printf String

@@ -1,0 +1,1 @@
+lib/lp/model.ml: Array Format Hashtbl Linexpr List Numeric Option

@@ -1,0 +1,22 @@
+(** Exact primal simplex with native variable bounds.
+
+    Solves the same {!Model.t} as {!Simplex} and always returns the
+    same optimum (property-tested), but handles variable domains
+    [\[lower, upper\]] inside the pivoting rules (nonbasic variables
+    sit at either bound; bound-to-bound "flips" replace pivots where
+    possible) instead of materializing them as tableau rows.
+
+    This is the engine the branch-and-bound solver prefers: a branching
+    decision tightens one variable's domain, so node relaxations keep
+    the base model's row count instead of growing by one row per
+    branch — on this project's MILPs that shrinks the tableau several-
+    fold (see the [ablation/*engine*] benches). *)
+
+(** [solve model] optimizes the model exactly, honouring variable
+    bounds set with {!Model.tighten_lower}/{!Model.tighten_upper}.
+    Returns {!Simplex.Infeasible} when bounds cross
+    ([lower > upper]). *)
+val solve : Model.t -> Simplex.result
+
+(** Pivots performed by the last [solve] (statistics). *)
+val last_pivot_count : unit -> int

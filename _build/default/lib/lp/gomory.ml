@@ -1,0 +1,132 @@
+module R = Numeric.Rat
+
+let applicable model ~integer =
+  let n = Model.num_vars model in
+  let covered = Array.make n false in
+  List.iter (fun v -> if v >= 0 && v < n then covered.(v) <- true) integer;
+  Array.for_all Fun.id covered
+  && List.for_all
+       (fun { Model.expr; rhs; _ } ->
+         R.is_integer rhs
+         && List.for_all (fun (_, c) -> R.is_integer c) (Linexpr.terms expr))
+       (Model.constraints model)
+  && List.for_all
+       (fun v ->
+         (* Variable bounds become rows of the standard form, so they
+            must be integral too. *)
+         let lo, up = Model.bounds model v in
+         R.is_integer lo
+         && (match up with None -> true | Some u -> R.is_integer u))
+       (List.init n Fun.id)
+
+(* Express tableau column [j] as a linear expression over structural
+   variables (artificials are zero at feasible points and excluded by
+   the caller). *)
+let column_expr (d : Simplex.details) j =
+  match d.Simplex.cols.(j) with
+  | Simplex.Structural v -> Linexpr.var v
+  | Simplex.Artificial -> Linexpr.zero
+  | Simplex.Slack i ->
+    let expr, cmp, rhs = d.Simplex.oriented_rows.(i) in
+    (match cmp with
+     | Model.Le ->
+       (* expr + s = rhs  =>  s = rhs - expr *)
+       Linexpr.sub (Linexpr.constant rhs) expr
+     | Model.Ge ->
+       (* expr - s = rhs  =>  s = expr - rhs *)
+       Linexpr.sub expr (Linexpr.constant rhs)
+     | Model.Eq -> assert false (* equality rows have no slack column *))
+
+module B = Numeric.Bigint
+
+(* Exact arithmetic keeps cuts valid, but cascading rounds multiply
+   denominators and push entries onto the slow Bigint path. Cuts are
+   therefore rescaled to integer coefficients (multiplying by the
+   LCM of denominators keeps the inequality equivalent since the
+   multiplier is positive) and dropped entirely when the scaled
+   coefficients exceed this bound. *)
+let max_coefficient = B.of_int 1_000_000
+
+let lcm a b = B.div (B.mul a b) (B.gcd a b)
+
+let scale_to_integers expr f0 =
+  let denominators = f0 :: List.map snd (Linexpr.terms expr) in
+  let m = List.fold_left (fun acc c -> lcm acc (R.den c)) B.one denominators in
+  let scaled = Linexpr.scale (R.of_bigint m) expr in
+  let rhs = R.mul (R.of_bigint m) f0 in
+  let too_big =
+    B.compare m max_coefficient > 0
+    || List.exists
+         (fun (_, c) -> B.compare (B.abs (R.num c)) max_coefficient > 0)
+         (Linexpr.terms scaled)
+  in
+  if too_big then None else Some (scaled, rhs)
+
+let cut_of_row (d : Simplex.details) ~is_basic i =
+  let row = d.Simplex.tableau.(i) in
+  let ncols = Array.length d.Simplex.cols in
+  let rhs = row.(ncols) in
+  let f0 = R.frac rhs in
+  if R.is_zero f0 then None
+  else begin
+    (* Σ frac(T_ij)·x_j over nonbasic, non-artificial columns. *)
+    let expr = ref Linexpr.zero in
+    for j = 0 to ncols - 1 do
+      if (not is_basic.(j)) && d.Simplex.cols.(j) <> Simplex.Artificial then begin
+        let fj = R.frac row.(j) in
+        if not (R.is_zero fj) then
+          expr := Linexpr.add !expr (Linexpr.scale fj (column_expr d j))
+      end
+    done;
+    (* Fold the substitution constant into the right-hand side before
+       scaling so the scaled data are genuinely integral. *)
+    let const = Linexpr.const !expr in
+    let expr = Linexpr.sub !expr (Linexpr.constant const) in
+    let f0 = R.sub f0 const in
+    scale_to_integers expr f0
+  end
+
+let half = R.of_ints 1 2
+
+let strengthen ?(rounds = 5) ?(max_cuts_per_round = 10) model ~integer =
+  if not (applicable model ~integer) then (model, 0)
+  else begin
+    let model = Model.copy model in
+    let total = ref 0 in
+    let continue_rounds = ref true in
+    let round = ref 0 in
+    while !continue_rounds && !round < rounds do
+      incr round;
+      match Simplex.solve_detailed model with
+      | None -> continue_rounds := false
+      | Some d ->
+        let ncols = Array.length d.Simplex.cols in
+        let is_basic = Array.make ncols false in
+        Array.iter (fun b -> is_basic.(b) <- true) d.Simplex.basis;
+        (* Rank fractional rows by how central their fractional part
+           is (most violated cuts first). *)
+        let candidates =
+          List.filter_map
+            (fun i ->
+              let row = d.Simplex.tableau.(i) in
+              let f = R.frac row.(ncols) in
+              if R.is_zero f then None
+              else Some (R.abs (R.sub f half), i))
+            (List.init (Array.length d.Simplex.basis) Fun.id)
+        in
+        let candidates = List.sort (fun (a, _) (b, _) -> R.compare a b) candidates in
+        let cuts =
+          List.filter_map (fun (_, i) -> cut_of_row d ~is_basic i)
+            (List.filteri (fun k _ -> k < max_cuts_per_round) candidates)
+        in
+        if cuts = [] then continue_rounds := false
+        else
+          List.iter
+            (fun (expr, f0) ->
+              incr total;
+              Model.add_constraint model ~name:(Printf.sprintf "gomory_%d" !total)
+                expr Model.Ge f0)
+            cuts
+    done;
+    (model, !total)
+  end

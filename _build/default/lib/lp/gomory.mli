@@ -1,0 +1,41 @@
+(** Gomory fractional cutting planes for pure-integer models.
+
+    When every structural variable is integer-constrained and every
+    constraint has integer coefficients and right-hand side, all slack
+    variables take integer values at integer points, so the classic
+    Gomory fractional cut derived from a tableau row with fractional
+    right-hand side,
+
+    [Σ_{j nonbasic} frac(T_ij)·x_j >= frac(b_i)],
+
+    is valid for every feasible integer point while cutting off the
+    current fractional LP optimum. Because this solver is exact
+    rational, the cuts are generated without the numerical-safety
+    compromises floating-point MILP codes need.
+
+    Used by {!Milp.Solver} to tighten the root relaxation before
+    branch-and-bound. *)
+
+(** [applicable model ~integer] checks the pure-integer preconditions:
+    [integer] covers every variable and all constraint data are
+    integers. *)
+val applicable : Model.t -> integer:Model.var list -> bool
+
+(** [strengthen ?rounds ?max_cuts_per_round model ~integer] adds
+    Gomory cuts to (a copy of) [model] and returns it with the number
+    of cuts added. Each round re-solves the LP and cuts the new
+    fractional optimum; generation stops early when the relaxation
+    becomes integral, infeasible for the cut system (cannot happen on
+    valid input), or yields no fractional row.
+
+    Returns the model unchanged (0 cuts) when {!applicable} is false.
+
+    @param rounds maximum resolve-and-cut iterations (default 5).
+    @param max_cuts_per_round cuts added per iteration, most-fractional
+      rows first (default 10). *)
+val strengthen :
+  ?rounds:int ->
+  ?max_cuts_per_round:int ->
+  Model.t ->
+  integer:Model.var list ->
+  Model.t * int

@@ -1,0 +1,248 @@
+module R = Numeric.Rat
+
+(* ----- writing ----- *)
+
+let sanitize_names model =
+  let n = Model.num_vars model in
+  let seen = Hashtbl.create n in
+  Array.init n (fun v ->
+      let raw = Model.var_name model v in
+      let name = if raw = "" || Hashtbl.mem seen raw then Printf.sprintf "x%d" v else raw in
+      Hashtbl.replace seen name ();
+      name)
+
+let coeff_to_string c =
+  if R.is_integer c then Numeric.Bigint.to_string (R.num c) else R.to_string c
+
+let expr_to_buffer buf names expr =
+  let first = ref true in
+  List.iter
+    (fun (v, c) ->
+      let sign, mag = if R.sign c < 0 then ("-", R.neg c) else ("+", c) in
+      if !first then begin
+        if sign = "-" then Buffer.add_string buf "- ";
+        first := false
+      end
+      else Buffer.add_string buf (Printf.sprintf " %s " sign);
+      if R.equal mag R.one then Buffer.add_string buf names.(v)
+      else Buffer.add_string buf (Printf.sprintf "%s %s" (coeff_to_string mag) names.(v)))
+    (Linexpr.terms expr);
+  let k = Linexpr.const expr in
+  if not (R.is_zero k) then begin
+    let sign, mag = if R.sign k < 0 then ("-", R.neg k) else ("+", k) in
+    if !first then begin
+      Buffer.add_string buf (if sign = "-" then "- " else "");
+      Buffer.add_string buf (coeff_to_string mag)
+    end
+    else Buffer.add_string buf (Printf.sprintf " %s %s" sign (coeff_to_string mag))
+  end
+  else if !first then Buffer.add_string buf "0"
+
+let to_string model =
+  let names = sanitize_names model in
+  let buf = Buffer.create 512 in
+  let sense, obj = Model.objective model in
+  Buffer.add_string buf
+    (match sense with Model.Minimize -> "Minimize\n" | Maximize -> "Maximize\n");
+  Buffer.add_string buf " obj: ";
+  expr_to_buffer buf names obj;
+  Buffer.add_string buf "\nSubject To\n";
+  List.iteri
+    (fun i { Model.expr; cmp; rhs; cname } ->
+      let label = if cname = "" then Printf.sprintf "c%d" i else cname in
+      Buffer.add_string buf (Printf.sprintf " %s: " label);
+      expr_to_buffer buf names expr;
+      Buffer.add_string buf
+        (match cmp with Model.Le -> " <= " | Ge -> " >= " | Eq -> " = ");
+      Buffer.add_string buf (coeff_to_string rhs);
+      Buffer.add_char buf '\n')
+    (Model.constraints model);
+  Buffer.add_string buf "End\n";
+  Buffer.contents buf
+
+(* ----- reading ----- *)
+
+type token =
+  | Word of string  (* identifier or section keyword *)
+  | Number of R.t
+  | Plus
+  | Minus
+  | Cmp of Model.cmp
+  | Colon
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident c = is_ident_start c || is_digit c || c = '.'
+
+let tokenize text =
+  let n = String.length text in
+  let toks = ref [] in
+  let i = ref 0 in
+  let push t = toks := t :: !toks in
+  while !i < n do
+    let c = text.[!i] in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then incr i
+    else if c = '\\' then begin
+      (* comment to end of line *)
+      while !i < n && text.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if c = '+' then begin
+      push Plus;
+      incr i
+    end
+    else if c = '-' then begin
+      push Minus;
+      incr i
+    end
+    else if c = ':' then begin
+      push Colon;
+      incr i
+    end
+    else if c = '<' || c = '>' || c = '=' then begin
+      let cmp = match c with '<' -> Model.Le | '>' -> Model.Ge | _ -> Model.Eq in
+      incr i;
+      if !i < n && text.[!i] = '=' then incr i;
+      push (Cmp cmp)
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && (is_digit text.[!i] || text.[!i] = '.' || text.[!i] = '/') do
+        incr i
+      done;
+      push (Number (R.of_string (String.sub text start (!i - start))))
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident text.[!i] do
+        incr i
+      done;
+      push (Word (String.sub text start (!i - start)))
+    end
+    else failwith (Printf.sprintf "Lp_format.of_string: unexpected character %C" c)
+  done;
+  List.rev !toks
+
+let keyword s =
+  match String.lowercase_ascii s with
+  | "minimize" | "min" -> Some `Minimize
+  | "maximize" | "max" -> Some `Maximize
+  | "subject" -> Some `Subject (* followed by "To" *)
+  | "st" | "s.t." -> Some `Subject_full
+  | "end" -> Some `End
+  | "bounds" -> Some `Bounds
+  | _ -> None
+
+(* Parse a linear expression: [sign] [coeff] var | [sign] constant ... *)
+let parse_expr model vars toks =
+  let lookup name =
+    match Hashtbl.find_opt vars name with
+    | Some v -> v
+    | None ->
+      let v = Model.add_var model ~name in
+      Hashtbl.replace vars name v;
+      v
+  in
+  let terms = ref [] and const = ref R.zero in
+  let rec go sign toks =
+    match toks with
+    | Plus :: rest -> go sign rest
+    | Minus :: rest -> go (R.neg sign) rest
+    | Number c :: Word w :: rest when keyword w = None ->
+      terms := (lookup w, R.mul sign c) :: !terms;
+      after rest
+    | Number c :: rest ->
+      const := R.add !const (R.mul sign c);
+      after rest
+    | Word w :: rest when keyword w = None ->
+      terms := (lookup w, sign) :: !terms;
+      after rest
+    | rest -> (rest, false)
+  and after toks =
+    match toks with
+    | (Plus :: _ | Minus :: _) -> go R.one toks
+    | (Number _ :: _ | Word _ :: _) as rest ->
+      (* juxtaposition without sign: only valid for keywords ending the
+         expression, otherwise treat as malformed *)
+      (match rest with
+       | Word w :: _ when keyword w <> None -> (rest, true)
+       | _ -> failwith "Lp_format.of_string: missing operator in expression")
+    | rest -> (rest, true)
+  in
+  let rest, _ = go R.one toks in
+  (Linexpr.of_terms ~const:!const !terms, rest)
+
+let skip_label toks =
+  match toks with
+  | Word _ :: Colon :: rest -> rest
+  | _ -> toks
+
+let label_of toks =
+  match toks with Word l :: Colon :: _ -> Some l | _ -> None
+
+let of_string text =
+  let toks = tokenize text in
+  let model = Model.create () in
+  let vars = Hashtbl.create 16 in
+  (* sense *)
+  let sense, toks =
+    match toks with
+    | Word w :: rest ->
+      (match keyword w with
+       | Some `Minimize -> (Model.Minimize, rest)
+       | Some `Maximize -> (Model.Maximize, rest)
+       | _ -> failwith "Lp_format.of_string: expected Minimize or Maximize")
+    | _ -> failwith "Lp_format.of_string: empty input"
+  in
+  let toks = skip_label toks in
+  let obj, toks = parse_expr model vars toks in
+  (* Subject To *)
+  let toks =
+    match toks with
+    | Word w :: Word t :: rest
+      when keyword w = Some `Subject && String.lowercase_ascii t = "to" ->
+      rest
+    | Word w :: rest when keyword w = Some `Subject_full -> rest
+    | _ -> failwith "Lp_format.of_string: expected Subject To"
+  in
+  (* constraints until End/Bounds/eof *)
+  let rec constraints toks =
+    match toks with
+    | [] -> ()
+    | Word w :: rest when keyword w = Some `End -> ignore rest
+    | Word w :: rest when keyword w = Some `Bounds ->
+      (* accept only trivial "v >= 0" bounds *)
+      let rec bounds toks =
+        match toks with
+        | Word w :: _ when keyword w = Some `End -> ()
+        | Word _ :: Cmp Model.Ge :: Number z :: rest when R.is_zero z -> bounds rest
+        | [] -> ()
+        | _ -> failwith "Lp_format.of_string: only 'x >= 0' bounds are supported"
+      in
+      bounds rest
+    | _ ->
+      let name = Option.value (label_of toks) ~default:"" in
+      let toks = skip_label toks in
+      let expr, toks = parse_expr model vars toks in
+      (match toks with
+       | Cmp cmp :: rest ->
+         (* The right-hand side is a signed constant; parsing it as an
+            expression would swallow the next row's label. *)
+         let rec parse_rhs sign = function
+           | Plus :: rest -> parse_rhs sign rest
+           | Minus :: rest -> parse_rhs (R.neg sign) rest
+           | Number c :: rest -> (R.mul sign c, rest)
+           | _ -> failwith "Lp_format.of_string: expected a constant right-hand side"
+         in
+         let rhs, rest = parse_rhs R.one rest in
+         Model.add_constraint model ~name expr cmp rhs;
+         constraints rest
+       | _ -> failwith "Lp_format.of_string: expected comparison in constraint")
+  in
+  constraints toks;
+  Model.set_objective model sense obj;
+  model

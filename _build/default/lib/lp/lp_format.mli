@@ -1,0 +1,21 @@
+(** Reading and writing models in (a subset of) the CPLEX LP file
+    format — the lingua franca of LP solvers. Lets models built here be
+    checked against external solvers, and external models be solved by
+    this library.
+
+    Supported subset: [Minimize]/[Maximize] with a single named
+    objective, a [Subject To] section with [<=], [>=], [=] rows, an
+    optional [End]. All variables are non-negative (this library's
+    convention); [Bounds] sections are not emitted and only
+    [x >= 0]-style bounds are accepted when reading. As an extension,
+    coefficients may be exact fractions ([3/7]) in addition to
+    integers and decimals. *)
+
+(** [to_string model] renders the model. Variable names are taken from
+    the model; empty or duplicate names fall back to [x<index>]. *)
+val to_string : Model.t -> string
+
+(** [of_string text] parses a model. Variables are created in order of
+    first occurrence.
+    @raise Failure with a descriptive message on malformed input. *)
+val of_string : string -> Model.t

@@ -1,0 +1,284 @@
+(* Two-phase primal simplex on a dense rational tableau.
+
+   Layout: [tab] has one row per constraint; each row has [ncols + 1]
+   entries, the last being the right-hand side. [basis.(i)] is the
+   column currently basic in row [i]. The cost row [z] holds reduced
+   costs, with [z.(ncols)] equal to minus the current objective value.
+   Pivoting keeps all invariants by plain Gaussian elimination, and
+   Bland's rule (smallest-index entering and leaving) guarantees
+   termination even on degenerate bases. *)
+
+module R = Numeric.Rat
+
+type solution = { objective : R.t; values : R.t array }
+
+type result =
+  | Optimal of solution
+  | Infeasible
+  | Unbounded
+
+let pivot_count = ref 0
+let last_pivot_count () = !pivot_count
+
+type tableau = {
+  tab : R.t array array;  (* m rows of (ncols + 1) entries *)
+  basis : int array;      (* m entries *)
+  ncols : int;
+  nstruct : int;          (* structural variables: columns 0 .. nstruct-1 *)
+  art_start : int;        (* artificial columns: art_start .. ncols-1 *)
+}
+
+(* Eliminate column [c] from every row but [r] after normalizing row [r]. *)
+let pivot t z r c =
+  incr pivot_count;
+  let row_r = t.tab.(r) in
+  let piv = row_r.(c) in
+  if not (R.equal piv R.one) then begin
+    let inv = R.inv piv in
+    for j = 0 to t.ncols do
+      if not (R.is_zero row_r.(j)) then row_r.(j) <- R.mul row_r.(j) inv
+    done
+  end;
+  let eliminate row =
+    let f = row.(c) in
+    if not (R.is_zero f) then
+      for j = 0 to t.ncols do
+        if not (R.is_zero row_r.(j)) then
+          row.(j) <- R.sub row.(j) (R.mul f row_r.(j))
+      done
+  in
+  Array.iteri (fun i row -> if i <> r then eliminate row) t.tab;
+  eliminate z;
+  t.basis.(r) <- c
+
+(* Initialize the reduced-cost row for the given column costs and the
+   current basis. *)
+let init_cost_row t costs =
+  let z = Array.make (t.ncols + 1) R.zero in
+  Array.blit costs 0 z 0 t.ncols;
+  Array.iteri
+    (fun i row ->
+      let cb = costs.(t.basis.(i)) in
+      if not (R.is_zero cb) then
+        for j = 0 to t.ncols do
+          if not (R.is_zero row.(j)) then z.(j) <- R.sub z.(j) (R.mul cb row.(j))
+        done)
+    t.tab;
+  z
+
+type phase_result = Phase_optimal | Phase_unbounded
+
+(* Minimize with Bland's rule; columns [j] with [banned j] never enter. *)
+let run_phase t z ~banned =
+  let m = Array.length t.tab in
+  let rec loop () =
+    (* Entering: smallest index with negative reduced cost. *)
+    let entering = ref (-1) in
+    (try
+       for j = 0 to t.ncols - 1 do
+         if (not (banned j)) && R.sign z.(j) < 0 then begin
+           entering := j;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !entering < 0 then Phase_optimal
+    else begin
+      let c = !entering in
+      (* Ratio test: min rhs_i / tab_ic over tab_ic > 0; ties by
+         smallest basic variable index (Bland). *)
+      let best_row = ref (-1) in
+      let best_ratio = ref R.zero in
+      for i = 0 to m - 1 do
+        let a = t.tab.(i).(c) in
+        if R.sign a > 0 then begin
+          let ratio = R.div t.tab.(i).(t.ncols) a in
+          if
+            !best_row < 0
+            || R.compare ratio !best_ratio < 0
+            || (R.equal ratio !best_ratio && t.basis.(i) < t.basis.(!best_row))
+          then begin
+            best_row := i;
+            best_ratio := ratio
+          end
+        end
+      done;
+      if !best_row < 0 then Phase_unbounded
+      else begin
+        pivot t z !best_row c;
+        loop ()
+      end
+    end
+  in
+  loop ()
+
+type col_desc =
+  | Structural of int
+  | Slack of int
+  | Artificial
+
+type details = {
+  solution : solution;
+  basis : int array;
+  tableau : R.t array array;
+  cols : col_desc array;
+  oriented_rows : (Linexpr.t * Model.cmp * R.t) array;
+}
+
+(* Core solve; optionally captures the final state. Variable bounds
+   from the model are materialized as ordinary rows here — the
+   {!Bounded} engine handles them natively. *)
+let solve_core model =
+  pivot_count := 0;
+  let nstruct = Model.num_vars model in
+  let bound_rows =
+    List.concat_map
+      (fun v ->
+        let lo, up = Model.bounds model v in
+        let lower =
+          if R.sign lo > 0 then
+            [ { Model.expr = Linexpr.var v; cmp = Model.Ge; rhs = lo; cname = "" } ]
+          else []
+        in
+        let upper =
+          match up with
+          | Some u ->
+            [ { Model.expr = Linexpr.var v; cmp = Model.Le; rhs = u; cname = "" } ]
+          | None -> []
+        in
+        lower @ upper)
+      (List.init nstruct Fun.id)
+  in
+  let constrs = Model.constraints model @ bound_rows in
+  let m = List.length constrs in
+  (* Orient every row so its right-hand side is non-negative. *)
+  let oriented =
+    List.map
+      (fun { Model.expr; cmp; rhs; _ } ->
+        if R.sign rhs < 0 then
+          let cmp = match cmp with Model.Le -> Model.Ge | Ge -> Le | Eq -> Eq in
+          (Linexpr.neg expr, cmp, R.neg rhs)
+        else (expr, cmp, rhs))
+      constrs
+  in
+  (* Column layout: structurals, then one slack/surplus per inequality,
+     then one artificial per Ge/Eq row. *)
+  let nslack =
+    List.fold_left
+      (fun acc (_, cmp, _) -> match cmp with Model.Le | Ge -> acc + 1 | Eq -> acc)
+      0 oriented
+  in
+  let nart =
+    List.fold_left
+      (fun acc (_, cmp, _) -> match cmp with Model.Ge | Eq -> acc + 1 | Le -> acc)
+      0 oriented
+  in
+  let art_start = nstruct + nslack in
+  let ncols = art_start + nart in
+  let tab = Array.init m (fun _ -> Array.make (ncols + 1) R.zero) in
+  let basis = Array.make m (-1) in
+  let cols = Array.make ncols Artificial in
+  Array.iteri (fun v _ -> if v < nstruct then cols.(v) <- Structural v) cols;
+  let slack_idx = ref nstruct and art_idx = ref art_start in
+  List.iteri
+    (fun i (expr, cmp, rhs) ->
+      let row = tab.(i) in
+      List.iter (fun (v, c) -> row.(v) <- c) (Linexpr.terms expr);
+      row.(ncols) <- rhs;
+      (match cmp with
+       | Model.Le ->
+         row.(!slack_idx) <- R.one;
+         cols.(!slack_idx) <- Slack i;
+         basis.(i) <- !slack_idx;
+         incr slack_idx
+       | Model.Ge ->
+         row.(!slack_idx) <- R.minus_one;
+         cols.(!slack_idx) <- Slack i;
+         incr slack_idx;
+         row.(!art_idx) <- R.one;
+         basis.(i) <- !art_idx;
+         incr art_idx
+       | Model.Eq ->
+         row.(!art_idx) <- R.one;
+         basis.(i) <- !art_idx;
+         incr art_idx))
+    oriented;
+  let t = { tab; basis; ncols; nstruct; art_start } in
+  (* Phase 1: minimize the sum of artificial variables. *)
+  let feasible =
+    if nart = 0 then true
+    else begin
+      let costs = Array.make ncols R.zero in
+      for j = art_start to ncols - 1 do
+        costs.(j) <- R.one
+      done;
+      let z = init_cost_row t costs in
+      (match run_phase t z ~banned:(fun _ -> false) with
+       | Phase_unbounded ->
+         (* Phase-1 objective is bounded below by zero; unbounded is
+            impossible with exact arithmetic. *)
+         assert false
+       | Phase_optimal -> ());
+      if R.sign (R.neg z.(ncols)) > 0 then false
+      else begin
+        (* Drive any residual artificial out of the basis with a
+           degenerate pivot when the row has a usable column; rows that
+           are all-zero outside artificials are redundant and can keep
+           their zero-valued artificial (artificials are banned from
+           re-entering in phase 2). *)
+        Array.iteri
+          (fun i bv ->
+            if bv >= art_start then begin
+              let found = ref (-1) in
+              (try
+                 for j = 0 to art_start - 1 do
+                   if not (R.is_zero tab.(i).(j)) then begin
+                     found := j;
+                     raise Exit
+                   end
+                 done
+               with Exit -> ());
+              if !found >= 0 then pivot t z i !found
+            end)
+          basis;
+        true
+      end
+    end
+  in
+  if not feasible then (Infeasible, None)
+  else begin
+    (* Phase 2: the real objective (negated for maximization). *)
+    let sense, obj = Model.objective model in
+    let obj_const = Linexpr.const obj in
+    let costs = Array.make ncols R.zero in
+    List.iter
+      (fun (v, c) ->
+        costs.(v) <- (match sense with Model.Minimize -> c | Maximize -> R.neg c))
+      (Linexpr.terms obj);
+    let z = init_cost_row t costs in
+    match run_phase t z ~banned:(fun j -> j >= t.art_start) with
+    | Phase_unbounded -> (Unbounded, None)
+    | Phase_optimal ->
+      let values = Array.make nstruct R.zero in
+      Array.iteri
+        (fun i bv -> if bv < nstruct then values.(bv) <- tab.(i).(ncols))
+        basis;
+      let minimized = R.neg z.(ncols) in
+      let objective =
+        match sense with
+        | Model.Minimize -> R.add minimized obj_const
+        | Maximize -> R.add (R.neg minimized) obj_const
+      in
+      let solution = { objective; values } in
+      ( Optimal solution,
+        Some
+          { solution;
+            basis = Array.copy basis;
+            tableau = tab;
+            cols;
+            oriented_rows = Array.of_list oriented } )
+  end
+
+let solve model = fst (solve_core model)
+
+let solve_detailed model = snd (solve_core model)

@@ -1,0 +1,54 @@
+(** Exact two-phase primal simplex.
+
+    Solves a {!Model.t} in exact rational arithmetic using the dense
+    tableau method with Bland's anti-cycling rule, so termination is
+    guaranteed and results carry no floating-point error. This is the
+    relaxation engine under {!module:Milp.Solver}, standing in for the
+    commercial LP solver (Gurobi) used in the paper.
+
+    Complexity is exponential in the worst case but the models built by
+    this project stay small (tens of rows/columns), where exact simplex
+    is fast and — unlike floating-point codes — never returns a
+    slightly-infeasible or slightly-suboptimal basis. *)
+
+(** An optimal point: [objective] includes any constant term of the
+    model's objective; [values] has one entry per model variable. *)
+type solution = { objective : Numeric.Rat.t; values : Numeric.Rat.t array }
+
+type result =
+  | Optimal of solution
+  | Infeasible  (** no point satisfies the constraints *)
+  | Unbounded  (** the objective can be improved without limit *)
+
+(** [solve model] optimizes the model exactly. *)
+val solve : Model.t -> result
+
+(** Number of pivots performed by the last [solve] call on this domain
+    (statistics for benchmarking; not part of the solver contract). *)
+val last_pivot_count : unit -> int
+
+(** {1 Tableau introspection}
+
+    Cut generators ({!Gomory}) need the optimal basis and tableau, not
+    just the solution point. *)
+
+(** What an internal simplex column stands for. *)
+type col_desc =
+  | Structural of int  (** model variable index *)
+  | Slack of int  (** slack/surplus of oriented row [i] *)
+  | Artificial
+
+type details = {
+  solution : solution;
+  basis : int array;  (** basic column per tableau row *)
+  tableau : Numeric.Rat.t array array;
+      (** final rows; entry [i].(j) for column [j], last entry = rhs *)
+  cols : col_desc array;
+  oriented_rows : (Linexpr.t * Model.cmp * Numeric.Rat.t) array;
+      (** the model rows after sign orientation (non-negative rhs), in
+          tableau row order: [Slack i] relates to [oriented_rows.(i)] *)
+}
+
+(** [solve_detailed model] is {!solve} plus the final tableau when the
+    model has a finite optimum. *)
+val solve_detailed : Model.t -> details option

@@ -1,0 +1,1 @@
+lib/milp/solver.ml: Array Float Format List Lp Numeric Option Pqueue Unix

@@ -1,0 +1,288 @@
+(* Branch and bound over exact LP relaxations.
+
+   Internally everything is a minimization (a maximization problem is
+   negated on the way in and back on the way out). A node carries the
+   extra variable bounds accumulated along its branch plus the parent
+   relaxation objective, which is a valid dual bound used both for node
+   ordering (best-bound strategy) and for pruning before the node's own
+   relaxation is solved. *)
+
+module R = Numeric.Rat
+module B = Numeric.Bigint
+
+type status = Optimal | Feasible | Infeasible | Unbounded | Unknown
+
+type solution = { objective : R.t; values : R.t array }
+
+type outcome = {
+  status : status;
+  solution : solution option;
+  best_bound : R.t option;
+  nodes : int;
+  elapsed : float;
+}
+
+type strategy = Best_bound | Depth_first
+
+type branching = Most_fractional | First_fractional
+
+type engine = Bounds | Rows
+
+type bound_dir = Upper | Lower
+
+type node = {
+  key : R.t;  (* parent relaxation objective: a valid lower bound *)
+  depth : int;
+  seq : int;  (* creation order, for deterministic tie-breaking *)
+  extra : (Lp.Model.var * bound_dir * B.t) list;
+}
+
+module Best_queue = Pqueue.Make (struct
+  type t = node
+
+  let compare a b =
+    match R.compare a.key b.key with 0 -> compare a.seq b.seq | c -> c
+end)
+
+module Dfs_queue = Pqueue.Make (struct
+  type t = node
+
+  (* LIFO: deepest, most recently created first. *)
+  let compare a b =
+    match compare b.depth a.depth with 0 -> compare b.seq a.seq | c -> c
+end)
+
+type queue = Qbest of Best_queue.t | Qdfs of Dfs_queue.t
+
+let queue_push q n =
+  match q with Qbest h -> Best_queue.push h n | Qdfs h -> Dfs_queue.push h n
+
+let queue_pop = function
+  | Qbest h -> Best_queue.pop h
+  | Qdfs h -> Dfs_queue.pop h
+
+let queue_fold f acc = function
+  | Qbest h -> Best_queue.fold f acc h
+  | Qdfs h -> Dfs_queue.fold f acc h
+
+let pp_status fmt s =
+  Format.pp_print_string fmt
+    (match s with
+     | Optimal -> "optimal"
+     | Feasible -> "feasible"
+     | Infeasible -> "infeasible"
+     | Unbounded -> "unbounded"
+     | Unknown -> "unknown")
+
+let half = R.of_ints 1 2
+
+(* Strengthen a dual bound to the next integer when the objective is
+   known to be integral on feasible integer points. *)
+let strengthen ~integral bound =
+  if integral then R.of_bigint (R.ceil bound) else bound
+
+let choose_in_group branching values group =
+  let best = ref None in
+  List.iter
+    (fun v ->
+      let x = values.(v) in
+      if not (R.is_integer x) then begin
+        match branching with
+        | First_fractional -> if !best = None then best := Some (v, R.zero)
+        | Most_fractional ->
+          (* score = |frac(x) - 1/2|, smaller is better *)
+          let score = R.abs (R.sub (R.frac x) half) in
+          (match !best with
+           | Some (_, s) when R.compare s score <= 0 -> ()
+           | _ -> best := Some (v, score))
+      end)
+    group;
+  Option.map fst !best
+
+(* Branch within the earliest priority group that still has a
+   fractional variable. *)
+let choose_branch_var branching values groups =
+  List.fold_left
+    (fun acc group ->
+      match acc with Some _ -> acc | None -> choose_in_group branching values group)
+    None groups
+
+(* Branch decisions tighten variable domains rather than adding rows:
+   both LP engines honour Model variable bounds (the row engine
+   materializes them, the bounded engine handles them natively), and
+   node tableaux keep the base model's row count. *)
+let apply_extras base extra =
+  let m = Lp.Model.copy base in
+  List.iter
+    (fun (v, dir, b) ->
+      match dir with
+      | Upper -> Lp.Model.tighten_upper m v (R.of_bigint b)
+      | Lower -> Lp.Model.tighten_lower m v (R.of_bigint b))
+    extra;
+  m
+
+let solve ?time_limit ?node_limit ?(integral_objective = false)
+    ?(strategy = Best_bound) ?(branching = Most_fractional) ?warm_start ?priority
+    ?(cut_rounds = 0) ?(engine = Bounds) model ~integer =
+  let t0 = Unix.gettimeofday () in
+  let lp_solve =
+    match engine with Bounds -> Lp.Bounded.solve | Rows -> Lp.Simplex.solve
+  in
+  let sense, obj = Lp.Model.objective model in
+  (* Normalize to minimization. *)
+  let base =
+    match sense with
+    | Lp.Model.Minimize -> model
+    | Maximize ->
+      let m = Lp.Model.copy model in
+      Lp.Model.set_objective m Lp.Model.Minimize (Lp.Linexpr.neg obj);
+      m
+  in
+  (* Tighten the root relaxation with Gomory cuts (valid globally, so
+     every node inherits them). Only applies to pure-integer models. *)
+  let base =
+    if cut_rounds <= 0 then base
+    else fst (Lp.Gomory.strengthen ~rounds:cut_rounds base ~integer)
+  in
+  let denorm_obj o = match sense with Lp.Model.Minimize -> o | Maximize -> R.neg o in
+  let queue =
+    match strategy with
+    | Best_bound -> Qbest (Best_queue.create ())
+    | Depth_first -> Qdfs (Dfs_queue.create ())
+  in
+  (* Branching groups: the caller's priority classes, then a catch-all
+     group for remaining integer variables. *)
+  let groups =
+    let listed = match priority with None -> [] | Some gs -> gs in
+    let in_listed = List.concat listed in
+    let rest = List.filter (fun v -> not (List.mem v in_listed)) integer in
+    List.map (List.filter (fun v -> List.mem v integer)) listed @ [ rest ]
+  in
+  let incumbent = ref None in
+  (match warm_start with
+   | None -> ()
+   | Some values ->
+     if
+       not
+         (Lp.Model.check_feasible model values
+         && List.for_all (fun v -> R.is_integer values.(v)) integer)
+     then invalid_arg "Milp.Solver.solve: warm start is not a feasible integer point";
+     let o = Lp.Linexpr.eval obj values in
+     let o = match sense with Lp.Model.Minimize -> o | Maximize -> R.neg o in
+     incumbent := Some (o, Array.copy values));
+  let nodes = ref 0 in
+  let seq = ref 0 in
+  let out_of_budget () =
+    (match time_limit with
+     | Some tl -> Unix.gettimeofday () -. t0 > tl
+     | None -> false)
+    || (match node_limit with Some nl -> !nodes >= nl | None -> false)
+  in
+  let better_than_incumbent bound =
+    match !incumbent with
+    | None -> true
+    | Some (inc_obj, _) -> R.compare bound inc_obj < 0
+  in
+  let root_status = ref None in
+  queue_push queue { key = R.zero; depth = 0; seq = 0; extra = [] };
+  let interrupted = ref false in
+  let rec loop () =
+    if out_of_budget () then interrupted := true
+    else begin
+      match queue_pop queue with
+      | None -> ()
+      | Some node ->
+        let is_root = node.depth = 0 in
+        (* Prune on the inherited parent bound before paying for an LP
+           solve (never prune the root: its key is a placeholder). *)
+        if
+          (not is_root)
+          && not (better_than_incumbent (strengthen ~integral:integral_objective node.key))
+        then loop ()
+        else begin
+          incr nodes;
+          let relaxation = lp_solve (apply_extras base node.extra) in
+          (match relaxation with
+           | Lp.Simplex.Infeasible ->
+             if is_root then root_status := Some Infeasible
+           | Lp.Simplex.Unbounded ->
+             (* With a bounded root every child is bounded; an unbounded
+                relaxation can only be the root. *)
+             root_status := Some Unbounded;
+             interrupted := true
+           | Lp.Simplex.Optimal { objective = lp_obj; values } ->
+             let bound = strengthen ~integral:integral_objective lp_obj in
+             if better_than_incumbent bound then begin
+               match choose_branch_var branching values groups with
+               | None ->
+                 (* Integral relaxation: new incumbent. *)
+                 incumbent := Some (lp_obj, values)
+               | Some v ->
+                 let x = values.(v) in
+                 let mk dir b =
+                   incr seq;
+                   { key = lp_obj; depth = node.depth + 1; seq = !seq;
+                     extra = (v, dir, b) :: node.extra }
+                 in
+                 (* Push the "down" child last under DFS so it is
+                    explored first (rounding down is the natural move
+                    for covering problems). *)
+                 queue_push queue (mk Lower (R.ceil x));
+                 queue_push queue (mk Upper (R.floor x))
+             end);
+          if not !interrupted then loop ()
+        end
+    end
+  in
+  loop ();
+  let elapsed = Unix.gettimeofday () -. t0 in
+  match !root_status with
+  | Some Infeasible ->
+    { status = Infeasible; solution = None; best_bound = None; nodes = !nodes; elapsed }
+  | Some Unbounded ->
+    { status = Unbounded; solution = None; best_bound = None; nodes = !nodes; elapsed }
+  | _ ->
+    let solution =
+      Option.map
+        (fun (o, values) -> { objective = denorm_obj o; values })
+        !incumbent
+    in
+    if not !interrupted then begin
+      match solution with
+      | Some sol ->
+        { status = Optimal; solution = Some sol; best_bound = Some sol.objective;
+          nodes = !nodes; elapsed }
+      | None ->
+        (* Exhausted the tree without an integer point. *)
+        { status = Infeasible; solution = None; best_bound = None;
+          nodes = !nodes; elapsed }
+    end
+    else begin
+      (* Limit hit: the dual bound is the least key still queued,
+         possibly improved by the incumbent. *)
+      let queued_bound =
+        queue_fold
+          (fun acc n ->
+            let k = strengthen ~integral:integral_objective n.key in
+            match acc with
+            | None -> Some k
+            | Some b -> Some (R.min b k))
+          None queue
+      in
+      let best_bound =
+        match (queued_bound, !incumbent) with
+        | Some qb, Some (io, _) -> Some (denorm_obj (R.min qb io))
+        | Some qb, None -> Some (denorm_obj qb)
+        | None, Some (io, _) -> Some (denorm_obj io)
+        | None, None -> None
+      in
+      let status = if solution = None then Unknown else Feasible in
+      { status; solution; best_bound; nodes = !nodes; elapsed }
+    end
+
+let gap outcome =
+  match (outcome.solution, outcome.best_bound) with
+  | Some { objective; _ }, Some bound ->
+    let inc = R.to_float objective and b = R.to_float bound in
+    Some (Float.abs (inc -. b) /. Float.max 1.0 (Float.abs inc))
+  | _ -> None

@@ -1,0 +1,1 @@
+lib/streamsim/assign.ml: Array

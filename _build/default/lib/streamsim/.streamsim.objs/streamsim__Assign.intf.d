@@ -1,0 +1,1 @@
+lib/streamsim/assign.mli:

@@ -1,0 +1,1 @@
+lib/streamsim/sim.ml: Array Assign Float Hashtbl List Numeric Option Pqueue Queue Rentcost

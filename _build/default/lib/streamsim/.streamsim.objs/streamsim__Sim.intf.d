@@ -1,0 +1,1 @@
+lib/streamsim/sim.mli: Rentcost

@@ -1,0 +1,1 @@
+test/test_bigint.ml: Alcotest List Numeric Printf QCheck2 QCheck_alcotest Stdlib

@@ -1,0 +1,1 @@
+test/test_bounded.ml: Alcotest Array List Lp Numeric Printf QCheck2 QCheck_alcotest

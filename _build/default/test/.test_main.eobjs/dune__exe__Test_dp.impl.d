@@ -1,0 +1,1 @@
+test/test_dp.ml: Alcotest Array List Printf QCheck2 QCheck_alcotest Rentcost

@@ -1,0 +1,1 @@
+test/test_format.ml: Alcotest Array Cloudsim Filename List Numeric Printf Rentcost String Sys

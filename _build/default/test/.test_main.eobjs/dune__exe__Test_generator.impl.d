@@ -1,0 +1,1 @@
+test/test_generator.ml: Alcotest Array Cloudsim Numeric Printf QCheck2 QCheck_alcotest Rentcost

@@ -1,0 +1,1 @@
+test/test_heuristics.ml: Alcotest Array List Numeric Printf QCheck2 QCheck_alcotest Rentcost

@@ -1,0 +1,1 @@
+test/test_ilp.ml: Alcotest Array List Lp Milp Numeric Printf QCheck2 QCheck_alcotest Rentcost

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Cloudsim List Lp Numeric Option Printf Rentcost Streamsim

@@ -1,0 +1,1 @@
+test/test_knapsack.ml: Alcotest Array Knapsack List Option QCheck2 QCheck_alcotest

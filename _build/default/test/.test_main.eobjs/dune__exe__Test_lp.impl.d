@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array List Lp Numeric Printf QCheck2 QCheck_alcotest

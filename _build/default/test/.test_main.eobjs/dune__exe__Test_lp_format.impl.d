@@ -1,0 +1,1 @@
+test/test_lp_format.ml: Alcotest Array List Lp Numeric Printf QCheck2 QCheck_alcotest String

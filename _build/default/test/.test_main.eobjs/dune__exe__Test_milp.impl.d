@@ -1,0 +1,1 @@
+test/test_milp.ml: Alcotest Array List Lp Milp Numeric Printf QCheck2 QCheck_alcotest

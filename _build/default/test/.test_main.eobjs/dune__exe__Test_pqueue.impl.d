@@ -1,0 +1,1 @@
+test/test_pqueue.ml: Alcotest Int List Option Pqueue QCheck2 QCheck_alcotest

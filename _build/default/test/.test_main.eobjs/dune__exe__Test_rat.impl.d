@@ -1,0 +1,1 @@
+test/test_rat.ml: Alcotest Float Numeric QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_runner.ml: Alcotest Array Cloudsim Hashtbl List Option Printf Rentcost String

@@ -1,0 +1,1 @@
+test/test_simplex_oracle.ml: Array List Lp Numeric Printf QCheck2 QCheck_alcotest

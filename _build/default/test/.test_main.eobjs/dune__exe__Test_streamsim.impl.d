@@ -1,0 +1,1 @@
+test/test_streamsim.ml: Alcotest Array Float List Numeric Option Printf Rentcost Streamsim

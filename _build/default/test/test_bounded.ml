@@ -1,0 +1,209 @@
+(* Tests for the bounded-variable simplex engine: hand cases exercising
+   bound flips and shifted lower bounds, plus differential qcheck
+   against the row-based engine (which materializes variable bounds as
+   rows, so both must agree exactly on every model). *)
+
+module R = Numeric.Rat
+module L = Lp.Linexpr
+module M = Lp.Model
+module S = Lp.Simplex
+module B = Lp.Bounded
+
+let ri = R.of_int
+
+let expr terms = L.of_terms (List.map (fun (v, n) -> (v, ri n)) terms)
+
+let check_rat msg expected actual =
+  Alcotest.(check string) msg (R.to_string expected) (R.to_string actual)
+
+let solve_opt m =
+  match B.solve m with
+  | S.Optimal sol -> sol
+  | S.Infeasible -> Alcotest.fail "unexpected: infeasible"
+  | S.Unbounded -> Alcotest.fail "unexpected: unbounded"
+
+let test_plain_lp_matches_simplex () =
+  (* No variable bounds: both engines are vanilla simplex. *)
+  let m = M.create () in
+  let x = M.add_var m ~name:"x" and y = M.add_var m ~name:"y" in
+  M.add_constraint m (expr [ (x, 1); (y, 2) ]) M.Ge (ri 4);
+  M.add_constraint m (expr [ (x, 3); (y, 1) ]) M.Ge (ri 6);
+  M.set_objective m M.Minimize (expr [ (x, 1); (y, 1) ]);
+  let sol = solve_opt m in
+  check_rat "objective 14/5" (R.of_ints 14 5) sol.S.objective
+
+let test_upper_bound_binds () =
+  (* max x with x <= 7 as a *variable bound*: optimum sits at the bound
+     via a bound flip, no pivot involving a bound row. *)
+  let m = M.create () in
+  let x = M.add_var m ~name:"x" in
+  M.tighten_upper m x (ri 7);
+  M.set_objective m M.Maximize (expr [ (x, 1) ]);
+  let sol = solve_opt m in
+  check_rat "x = 7" (ri 7) sol.S.values.(x);
+  check_rat "objective" (ri 7) sol.S.objective
+
+let test_lower_bound_shifts () =
+  (* min x + y, x >= 3 (variable bound), x + y >= 5. *)
+  let m = M.create () in
+  let x = M.add_var m ~name:"x" and y = M.add_var m ~name:"y" in
+  M.tighten_lower m x (ri 3);
+  M.add_constraint m (expr [ (x, 1); (y, 1) ]) M.Ge (ri 5);
+  M.set_objective m M.Minimize (expr [ (x, 1); (y, 1) ]);
+  let sol = solve_opt m in
+  check_rat "objective 5" (ri 5) sol.S.objective;
+  Alcotest.(check bool) "x at least 3" true (R.compare sol.S.values.(x) (ri 3) >= 0)
+
+let test_crossing_bounds_infeasible () =
+  let m = M.create () in
+  let x = M.add_var m ~name:"x" in
+  M.tighten_lower m x (ri 5);
+  M.tighten_upper m x (ri 3);
+  M.set_objective m M.Minimize (expr [ (x, 1) ]);
+  (match B.solve m with
+   | S.Infeasible -> ()
+   | _ -> Alcotest.fail "expected infeasible")
+
+let test_fixed_variable () =
+  (* x fixed at 4 by equal bounds; min y with y >= 10 - x. *)
+  let m = M.create () in
+  let x = M.add_var m ~name:"x" and y = M.add_var m ~name:"y" in
+  M.tighten_lower m x (ri 4);
+  M.tighten_upper m x (ri 4);
+  M.add_constraint m (expr [ (x, 1); (y, 1) ]) M.Ge (ri 10);
+  M.set_objective m M.Minimize (expr [ (y, 1) ]);
+  let sol = solve_opt m in
+  check_rat "x pinned" (ri 4) sol.S.values.(x);
+  check_rat "y" (ri 6) sol.S.values.(y)
+
+let test_bounds_with_infeasible_rows () =
+  (* Bounds satisfiable but rows not. *)
+  let m = M.create () in
+  let x = M.add_var m ~name:"x" in
+  M.tighten_upper m x (ri 2);
+  M.add_constraint m (expr [ (x, 1) ]) M.Ge (ri 5);
+  M.set_objective m M.Minimize (expr [ (x, 1) ]);
+  match B.solve m with
+  | S.Infeasible -> ()
+  | _ -> Alcotest.fail "expected infeasible"
+
+let test_unbounded_detected () =
+  let m = M.create () in
+  let x = M.add_var m ~name:"x" in
+  M.set_objective m M.Maximize (expr [ (x, 1) ]);
+  (match B.solve m with
+   | S.Unbounded -> ()
+   | _ -> Alcotest.fail "expected unbounded");
+  (* The same objective with an upper bound is bounded. *)
+  M.tighten_upper m x (ri 9);
+  match B.solve m with
+  | S.Optimal sol -> check_rat "capped" (ri 9) sol.S.objective
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_eq_rows () =
+  (* Equality rows exercise the artificial-only path of the bounded
+     engine's phase 1. *)
+  let m = M.create () in
+  let x = M.add_var m ~name:"x" and y = M.add_var m ~name:"y" in
+  M.tighten_upper m x (ri 4);
+  M.add_constraint m (expr [ (x, 1); (y, 1) ]) M.Eq (ri 6);
+  M.set_objective m M.Minimize (expr [ (y, 1) ]);
+  let sol = solve_opt m in
+  check_rat "x at its cap" (ri 4) sol.S.values.(x);
+  check_rat "y fills the rest" (ri 2) sol.S.values.(y);
+  (* Equality with negative rhs needs the row negation path. *)
+  let m2 = M.create () in
+  let a = M.add_var m2 ~name:"a" and b = M.add_var m2 ~name:"b" in
+  M.add_constraint m2 (expr [ (a, 1); (b, -1) ]) M.Eq (ri (-3));
+  M.set_objective m2 M.Minimize (expr [ (a, 1); (b, 1) ]);
+  (match B.solve m2 with
+   | S.Optimal sol -> check_rat "a=0, b=3" (ri 3) sol.S.objective
+   | _ -> Alcotest.fail "expected optimal")
+
+let test_negative_rhs_rows () =
+  (* Rows needing phase-1 artificials under the bounded engine. *)
+  let m = M.create () in
+  let x = M.add_var m ~name:"x" and y = M.add_var m ~name:"y" in
+  M.add_constraint m (expr [ (x, 1); (y, -1) ]) M.Le (ri (-2));
+  M.tighten_upper m y (ri 10);
+  M.set_objective m M.Maximize (expr [ (x, 1) ]);
+  match B.solve m with
+  | S.Optimal sol ->
+    (* y <= 10 and y >= x + 2 force x <= 8. *)
+    check_rat "objective 8" (ri 8) sol.S.objective
+  | _ -> Alcotest.fail "expected optimal"
+
+(* --- differential testing against the row engine --- *)
+
+let gen =
+  QCheck2.Gen.(
+    pair
+      (pair (int_range 1 4) (int_range 0 4))
+      (pair
+         (pair (list_size (return 16) (int_range (-4) 4))
+            (list_size (return 4) (int_range (-8) 8)))
+         (pair
+            (pair (list_size (return 4) (int_range 0 6))
+               (list_size (return 4) (option (int_range 0 9))))
+            (pair (list_size (return 4) (int_range 0 2)) bool))))
+
+let build ((nvars, nrows), ((coeffs, rhs), ((lowers, uppers), (senses, maximize)))) :
+    M.t =
+  let coeffs = Array.of_list coeffs and rhs = Array.of_list rhs in
+  let lowers = Array.of_list lowers and uppers = Array.of_list uppers in
+  let senses = Array.of_list senses in
+  let m = M.create () in
+  let vars = Array.init nvars (fun i -> M.add_var m ~name:(Printf.sprintf "x%d" i)) in
+  Array.iteri
+    (fun i v ->
+      M.tighten_lower m v (ri lowers.(i mod 4));
+      match uppers.(i mod 4) with
+      | Some u -> M.tighten_upper m v (ri u)
+      | None -> ())
+    vars;
+  for r = 0 to nrows - 1 do
+    let terms =
+      Array.to_list
+        (Array.mapi (fun i v -> (v, ri coeffs.(((r * nvars) + i) mod 16))) vars)
+    in
+    let cmp =
+      match senses.(r mod 4) with 0 -> M.Ge | 1 -> M.Le | _ -> M.Eq
+    in
+    M.add_constraint m (L.of_terms terms) cmp (ri rhs.(r mod 4))
+  done;
+  M.set_objective m
+    (if maximize then M.Maximize else M.Minimize)
+    (L.of_terms
+       (Array.to_list (Array.mapi (fun i v -> (v, ri (coeffs.(i mod 16)))) vars)));
+  m
+
+let prop name g f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count:500 ~name g f)
+
+let props =
+  [ prop "bounded engine agrees with row engine" gen (fun input ->
+        let m = build input in
+        match (B.solve m, S.solve m) with
+        | S.Optimal a, S.Optimal b -> R.equal a.S.objective b.S.objective
+        | S.Infeasible, S.Infeasible -> true
+        | S.Unbounded, S.Unbounded -> true
+        | _ -> false);
+    prop "bounded solutions are feasible including bounds" gen (fun input ->
+        let m = build input in
+        match B.solve m with
+        | S.Optimal sol -> M.check_feasible m sol.S.values
+        | S.Infeasible | S.Unbounded -> true) ]
+
+let suite =
+  ( "bounded",
+    [ Alcotest.test_case "plain LP matches simplex" `Quick test_plain_lp_matches_simplex;
+      Alcotest.test_case "upper bound binds (flip)" `Quick test_upper_bound_binds;
+      Alcotest.test_case "lower bound shifts" `Quick test_lower_bound_shifts;
+      Alcotest.test_case "crossing bounds infeasible" `Quick
+        test_crossing_bounds_infeasible;
+      Alcotest.test_case "fixed variable" `Quick test_fixed_variable;
+      Alcotest.test_case "bounds with infeasible rows" `Quick
+        test_bounds_with_infeasible_rows;
+      Alcotest.test_case "unbounded then capped" `Quick test_unbounded_detected;
+      Alcotest.test_case "equality rows" `Quick test_eq_rows;
+      Alcotest.test_case "negative rhs rows (phase 1)" `Quick test_negative_rhs_rows ]
+    @ props )

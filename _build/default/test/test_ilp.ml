@@ -1,0 +1,155 @@
+(* Tests for the § V-C MILP: exact reproduction of the ILP column of
+   the paper's Table III (costs and splits), structural checks on the
+   generated model, cross-checks against the exhaustive oracle on
+   random shared-type instances, and time-limit behaviour. *)
+
+module TG = Rentcost.Task_graph
+module PF = Rentcost.Platform
+module PB = Rentcost.Problem
+module AL = Rentcost.Allocation
+module EX = Rentcost.Exhaustive
+module ILP = Rentcost.Ilp
+
+(* The complete ILP column of Table III: target -> (rho1, rho2, rho3, cost). *)
+let table3_ilp =
+  [ (10, (0, 0, 10), 28); (20, (0, 0, 20), 38); (30, (0, 30, 0), 58);
+    (40, (40, 0, 0), 69); (50, (10, 30, 10), 86); (60, (40, 0, 20), 107);
+    (70, (10, 30, 30), 124); (80, (20, 60, 0), 134); (90, (50, 30, 10), 155);
+    (100, (20, 60, 20), 172); (110, (20, 90, 0), 192); (120, (0, 120, 0), 199);
+    (130, (30, 90, 10), 220); (140, (0, 120, 20), 237); (150, (0, 150, 0), 257);
+    (160, (40, 120, 0), 268); (170, (10, 150, 10), 285); (180, (40, 120, 20), 306);
+    (190, (10, 150, 30), 323); (200, (20, 180, 0), 333) ]
+
+let test_table3_costs () =
+  List.iter
+    (fun (target, _, cost) ->
+      match (ILP.solve PB.illustrating ~target).ILP.allocation with
+      | Some a ->
+        Alcotest.(check int) (Printf.sprintf "cost at rho=%d" target) cost a.AL.cost
+      | None -> Alcotest.fail "no solution")
+    table3_ilp
+
+let test_table3_splits_are_optimal () =
+  (* The paper's published splits must cost exactly the optimum (the
+     optimum split need not be unique, so we check cost equality of the
+     published point rather than the argmin itself). *)
+  List.iter
+    (fun (target, (r1, r2, r3), cost) ->
+      let a = AL.of_rho PB.illustrating ~rho:[| r1; r2; r3 |] in
+      Alcotest.(check int) (Printf.sprintf "paper split at rho=%d" target) cost a.AL.cost;
+      Alcotest.(check bool) "feasible" true (AL.feasible PB.illustrating ~target a))
+    table3_ilp
+
+let test_proved_optimal () =
+  let o = ILP.solve PB.illustrating ~target:70 in
+  Alcotest.(check bool) "proved" true o.ILP.proved_optimal;
+  Alcotest.(check (option int)) "bound = incumbent" (Some 124) o.ILP.best_bound;
+  Alcotest.(check bool) "some nodes" true (o.ILP.nodes >= 1)
+
+let test_build_structure () =
+  let model, integer = ILP.build PB.illustrating ~target:70 in
+  (* 3 rho vars + 4 x vars *)
+  Alcotest.(check int) "vars" 7 (Lp.Model.num_vars model);
+  Alcotest.(check int) "integer vars" 7 (List.length integer);
+  (* 1 throughput + 4 capacity; the tightening bounds are variable
+     bounds, not rows *)
+  Alcotest.(check int) "constraints" 5 (Lp.Model.num_constraints model);
+  Alcotest.(check bool) "variable bounds set" true (Lp.Model.has_var_bounds model);
+  (* rho upper bounds equal the target *)
+  (match Lp.Model.bounds model 0 with
+   | lo, Some up ->
+     Alcotest.(check string) "rho lower" "0" (Numeric.Rat.to_string lo);
+     Alcotest.(check string) "rho upper" "70" (Numeric.Rat.to_string up)
+   | _ -> Alcotest.fail "rho should have an upper bound");
+  Alcotest.(check string) "rho name" "rho_0" (Lp.Model.var_name model 0);
+  Alcotest.(check string) "x name" "x_0" (Lp.Model.var_name model 3)
+
+let test_zero_target () =
+  match (ILP.solve PB.illustrating ~target:0).ILP.allocation with
+  | Some a -> Alcotest.(check int) "free" 0 a.AL.cost
+  | None -> Alcotest.fail "no solution"
+
+let test_negative_target () =
+  Alcotest.check_raises "negative" (Invalid_argument "Ilp.build: negative target")
+    (fun () -> ignore (ILP.solve PB.illustrating ~target:(-1)))
+
+let test_lp_lower_bound () =
+  List.iter
+    (fun (target, _, cost) ->
+      let lb = ILP.lp_lower_bound PB.illustrating ~target in
+      Alcotest.(check bool)
+        (Printf.sprintf "lb %d <= opt %d at rho=%d" lb cost target)
+        true (lb <= cost))
+    table3_ilp;
+  Alcotest.(check int) "lb at 0" 0 (ILP.lp_lower_bound PB.illustrating ~target:0)
+
+let test_time_limit_returns_quickly () =
+  (* An exhausted budget must still return, with a valid bound. *)
+  let o = ILP.solve ~time_limit:(-1.0) PB.illustrating ~target:70 in
+  Alcotest.(check bool) "not proved optimal" true (not o.ILP.proved_optimal);
+  Alcotest.(check int) "no nodes" 0 o.ILP.nodes
+
+let test_strategies_agree () =
+  List.iter
+    (fun target ->
+      let a = ILP.solve ~strategy:Milp.Solver.Best_bound PB.illustrating ~target in
+      let b = ILP.solve ~strategy:Milp.Solver.Depth_first PB.illustrating ~target in
+      match (a.ILP.allocation, b.ILP.allocation) with
+      | Some x, Some y ->
+        Alcotest.(check int) (Printf.sprintf "target %d" target) x.AL.cost y.AL.cost
+      | _ -> Alcotest.fail "missing solution")
+    [ 10; 70; 130; 200 ]
+
+(* Random shared-type instances vs the exhaustive oracle. *)
+let shared_gen =
+  QCheck2.Gen.(
+    pair
+      (pair
+         (list_size (return 3) (pair (int_range 1 20) (int_range 1 20)))
+         (pair (list_size (int_range 1 4) (int_range 0 2))
+            (list_size (int_range 1 4) (int_range 0 2))))
+      (int_range 0 20))
+
+let prop name gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count:60 ~name gen f)
+
+let build_shared ((machines, (t1, t2)), target) =
+  let platform = PF.of_list machines in
+  let p =
+    PB.create platform
+      [| TG.chain ~ntypes:3 ~types:(Array.of_list t1);
+         TG.chain ~ntypes:3 ~types:(Array.of_list t2) |]
+  in
+  (p, target)
+
+let props =
+  [ prop "ILP matches exhaustive on random shared instances" shared_gen
+      (fun input ->
+        let p, target = build_shared input in
+        match (ILP.solve p ~target).ILP.allocation with
+        | Some a -> a.AL.cost = (EX.solve p ~target).AL.cost
+        | None -> false);
+    prop "ILP allocation is feasible" shared_gen (fun input ->
+        let p, target = build_shared input in
+        match (ILP.solve p ~target).ILP.allocation with
+        | Some a -> AL.feasible p ~target a
+        | None -> false);
+    prop "LP bound sandwiches the optimum" shared_gen (fun input ->
+        let p, target = build_shared input in
+        let lb = ILP.lp_lower_bound p ~target in
+        match (ILP.solve p ~target).ILP.allocation with
+        | Some a -> lb <= a.AL.cost
+        | None -> false) ]
+
+let suite =
+  ( "ilp",
+    [ Alcotest.test_case "Table III: all 20 optimal costs" `Quick test_table3_costs;
+      Alcotest.test_case "Table III: published splits cost the optimum" `Quick
+        test_table3_splits_are_optimal;
+      Alcotest.test_case "optimality is proved" `Quick test_proved_optimal;
+      Alcotest.test_case "model structure" `Quick test_build_structure;
+      Alcotest.test_case "zero target" `Quick test_zero_target;
+      Alcotest.test_case "negative target" `Quick test_negative_target;
+      Alcotest.test_case "LP lower bound" `Quick test_lp_lower_bound;
+      Alcotest.test_case "exhausted time budget" `Quick test_time_limit_returns_quickly;
+      Alcotest.test_case "strategies agree" `Quick test_strategies_agree ]
+    @ props )

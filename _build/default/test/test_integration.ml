@@ -1,0 +1,151 @@
+(* End-to-end integration tests: generate → solve with every method →
+   cross-check optima → execute the winning allocation on the
+   discrete-event simulator. These tie all seven libraries together. *)
+
+module G = Cloudsim.Generator
+module PB = Rentcost.Problem
+module AL = Rentcost.Allocation
+module H = Rentcost.Heuristics
+module P = Numeric.Prng
+
+(* Small shared-type instances where the exhaustive oracle is viable. *)
+let small_instance seed =
+  let rng = P.create seed in
+  G.problem ~rng
+    { G.num_graphs = 3; min_tasks = 2; max_tasks = 3; mutation_pct = 0.5 }
+    { G.num_types = 3; min_cost = 2; max_cost = 30; min_throughput = 5;
+      max_throughput = 25 }
+
+let test_full_stack_agreement () =
+  List.iter
+    (fun seed ->
+      let p = small_instance seed in
+      let target = 15 in
+      let opt = (Rentcost.Exhaustive.solve p ~target).AL.cost in
+      (* ILP finds the same optimum. *)
+      let ilp = Option.get (Rentcost.Ilp.solve p ~target).Rentcost.Ilp.allocation in
+      Alcotest.(check int) (Printf.sprintf "ILP=brute seed %d" seed) opt ilp.AL.cost;
+      (* Heuristics are feasible and no better than the optimum. *)
+      List.iter
+        (fun name ->
+          let res = H.run name ~rng:(P.create 1) p ~target in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s feasible" (H.name_to_string name))
+            true
+            (AL.feasible p ~target res.H.allocation);
+          Alcotest.(check bool)
+            (Printf.sprintf "%s >= opt" (H.name_to_string name))
+            true
+            (res.H.allocation.AL.cost >= opt))
+        H.all;
+      (* The optimal allocation really sustains the target. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "simulation sustains seed %d" seed)
+        true
+        (Streamsim.Sim.sustains p ilp ~target))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_gomory_preserves_optimum () =
+  (* Cuts must never cut off the integer optimum: solving with root
+     cuts yields the same value as without. *)
+  List.iter
+    (fun seed ->
+      let p = small_instance seed in
+      let target = 12 in
+      let plain = Option.get (Rentcost.Ilp.solve p ~target).Rentcost.Ilp.allocation in
+      let cuts =
+        Option.get
+          (Rentcost.Ilp.solve ~cut_rounds:3 p ~target).Rentcost.Ilp.allocation
+      in
+      Alcotest.(check int) (Printf.sprintf "seed %d" seed) plain.AL.cost cuts.AL.cost)
+    [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+
+let test_gomory_tightens_root_bound () =
+  (* Root cuts can only raise (never lower) the LP relaxation bound of
+     a minimization, and never past the integer optimum. *)
+  List.iter
+    (fun target ->
+      let model, integer = Rentcost.Ilp.build Rentcost.Problem.illustrating ~target in
+      let bound m =
+        match Lp.Simplex.solve m with
+        | Lp.Simplex.Optimal { objective; _ } -> objective
+        | _ -> Alcotest.fail "relaxation must be solvable"
+      in
+      let plain = bound model in
+      let cut_model, ncuts = Lp.Gomory.strengthen ~rounds:3 model ~integer in
+      let strengthened = bound cut_model in
+      Alcotest.(check bool)
+        (Printf.sprintf "bound raised at %d (%d cuts)" target ncuts)
+        true
+        (Numeric.Rat.compare strengthened plain >= 0);
+      let opt =
+        (Option.get (Rentcost.Ilp.solve Rentcost.Problem.illustrating ~target)
+           .Rentcost.Ilp.allocation).AL.cost
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "bound below optimum at %d" target)
+        true
+        (Numeric.Rat.compare strengthened (Numeric.Rat.of_int opt) <= 0))
+    [ 50; 70; 90 ]
+
+let test_dp_vs_ilp_on_disjoint_generated () =
+  (* Force disjointness by giving each recipe its own band of types. *)
+  let rng = P.create 9 in
+  for _ = 1 to 5 do
+    let platform =
+      G.platform ~rng
+        { G.num_types = 4; min_cost = 2; max_cost = 30; min_throughput = 5;
+          max_throughput = 25 }
+    in
+    let types1 = Array.init (P.int_in_range rng ~lo:1 ~hi:3) (fun _ -> P.int rng 2) in
+    let types2 =
+      Array.init (P.int_in_range rng ~lo:1 ~hi:3) (fun _ -> 2 + P.int rng 2)
+    in
+    let p =
+      PB.create platform
+        [| G.random_dag ~rng ~ntypes:4 ~types:types1;
+           G.random_dag ~rng ~ntypes:4 ~types:types2 |]
+    in
+    let target = 20 in
+    let dp = (Rentcost.Dp_disjoint.solve p ~target).AL.cost in
+    let ilp = (Option.get (Rentcost.Ilp.solve p ~target).Rentcost.Ilp.allocation).AL.cost in
+    Alcotest.(check int) "DP = ILP" ilp dp
+  done
+
+let test_warm_start_ablation_equal_cost () =
+  (* With and without the H32Jump warm start, the proved optimum is
+     identical (only the node count changes). *)
+  List.iter
+    (fun target ->
+      let w = Rentcost.Ilp.solve Rentcost.Problem.illustrating ~target in
+      let c = Rentcost.Ilp.solve ~warm_start:false Rentcost.Problem.illustrating ~target in
+      Alcotest.(check int)
+        (Printf.sprintf "target %d" target)
+        (Option.get c.Rentcost.Ilp.allocation).AL.cost
+        (Option.get w.Rentcost.Ilp.allocation).AL.cost)
+    [ 40; 70; 110; 160 ]
+
+let test_node_limited_ilp_still_good () =
+  (* A 1-node budget returns the warm incumbent: feasible, and no
+     worse than H32Jump run standalone with the same internal seed. *)
+  let p = small_instance 2 in
+  let target = 25 in
+  let o = Rentcost.Ilp.solve ~node_limit:1 p ~target in
+  match o.Rentcost.Ilp.allocation with
+  | None -> Alcotest.fail "warm start should provide an incumbent"
+  | Some a ->
+    Alcotest.(check bool) "feasible" true (AL.feasible p ~target a);
+    let hj = H.h32_jump ~rng:(P.create 0x5EED) p ~target in
+    Alcotest.(check bool) "no worse than its own warm start" true
+      (a.AL.cost <= hj.H.allocation.AL.cost)
+
+let suite =
+  ( "integration",
+    [ Alcotest.test_case "full stack agreement" `Slow test_full_stack_agreement;
+      Alcotest.test_case "gomory preserves optimum" `Slow test_gomory_preserves_optimum;
+      Alcotest.test_case "gomory tightens root bound" `Slow test_gomory_tightens_root_bound;
+      Alcotest.test_case "DP vs ILP on generated disjoint" `Slow
+        test_dp_vs_ilp_on_disjoint_generated;
+      Alcotest.test_case "warm start ablation" `Quick test_warm_start_ablation_equal_cost;
+      Alcotest.test_case "node-limited ILP still good" `Quick
+        test_node_limited_ilp_still_good ] )

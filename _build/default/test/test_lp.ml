@@ -1,0 +1,349 @@
+(* Tests for the exact simplex: hand-checked LPs covering optimal,
+   infeasible, unbounded and degenerate cases, plus qcheck properties
+   on randomly generated feasible programs. *)
+
+module R = Numeric.Rat
+module L = Lp.Linexpr
+module M = Lp.Model
+module S = Lp.Simplex
+
+let r = R.of_ints
+let ri = R.of_int
+
+let expr terms = L.of_terms (List.map (fun (v, n) -> (v, ri n)) terms)
+
+let check_rat msg expected actual =
+  Alcotest.(check string) msg (R.to_string expected) (R.to_string actual)
+
+let solve_opt m =
+  match S.solve m with
+  | S.Optimal sol -> sol
+  | S.Infeasible -> Alcotest.fail "unexpected: infeasible"
+  | S.Unbounded -> Alcotest.fail "unexpected: unbounded"
+
+(* --- Linexpr unit tests --- *)
+
+let test_linexpr_normalization () =
+  let e = L.of_terms [ (2, ri 3); (0, ri 1); (2, ri (-3)); (1, ri 5) ] in
+  Alcotest.(check int) "merged terms" 2 (List.length (L.terms e));
+  check_rat "x0 coeff" R.one (L.coeff_of e 0);
+  check_rat "x1 coeff" (ri 5) (L.coeff_of e 1);
+  check_rat "x2 cancelled" R.zero (L.coeff_of e 2)
+
+let test_linexpr_algebra () =
+  let a = expr [ (0, 1); (1, 2) ] and b = expr [ (1, -2); (2, 4) ] in
+  let s = L.add a b in
+  check_rat "x1 cancels" R.zero (L.coeff_of s 1);
+  check_rat "x2 present" (ri 4) (L.coeff_of s 2);
+  Alcotest.(check bool) "sub self is zero" true (L.equal L.zero (L.sub a a));
+  let sc = L.scale (r 1 2) a in
+  check_rat "scaled" (r 1 2) (L.coeff_of sc 0);
+  Alcotest.(check bool) "scale by 0" true (L.equal L.zero (L.scale R.zero a))
+
+let test_linexpr_eval () =
+  let e = L.of_terms ~const:(ri 10) [ (0, ri 2); (1, ri 3) ] in
+  let v = L.eval e [| ri 1; ri 2 |] in
+  check_rat "2*1 + 3*2 + 10" (ri 18) v;
+  Alcotest.(check int) "max_var" 1 (L.max_var e);
+  Alcotest.(check int) "max_var of const" (-1) (L.max_var (L.constant R.one))
+
+(* --- basic LPs --- *)
+
+(* max 3x + 2y s.t. x + y <= 4; x + 3y <= 6  -> x=4, y=0, obj 12 *)
+let test_lp_max_basic () =
+  let m = M.create () in
+  let x = M.add_var m ~name:"x" and y = M.add_var m ~name:"y" in
+  M.add_constraint m (expr [ (x, 1); (y, 1) ]) M.Le (ri 4);
+  M.add_constraint m (expr [ (x, 1); (y, 3) ]) M.Le (ri 6);
+  M.set_objective m M.Maximize (expr [ (x, 3); (y, 2) ]);
+  let sol = solve_opt m in
+  check_rat "objective" (ri 12) sol.objective;
+  check_rat "x" (ri 4) sol.values.(x);
+  check_rat "y" R.zero sol.values.(y)
+
+(* min x + y s.t. x + 2y >= 4; 3x + y >= 6 -> intersection (8/5, 6/5), obj 14/5 *)
+let test_lp_min_cover () =
+  let m = M.create () in
+  let x = M.add_var m ~name:"x" and y = M.add_var m ~name:"y" in
+  M.add_constraint m (expr [ (x, 1); (y, 2) ]) M.Ge (ri 4);
+  M.add_constraint m (expr [ (x, 3); (y, 1) ]) M.Ge (ri 6);
+  M.set_objective m M.Minimize (expr [ (x, 1); (y, 1) ]);
+  let sol = solve_opt m in
+  check_rat "objective" (r 14 5) sol.objective;
+  check_rat "x" (r 8 5) sol.values.(x);
+  check_rat "y" (r 6 5) sol.values.(y)
+
+let test_lp_equality () =
+  (* min 2x + y s.t. x + y = 3, x <= 2 -> x=0, y=3, cost 3. *)
+  let m = M.create () in
+  let x = M.add_var m ~name:"x" and y = M.add_var m ~name:"y" in
+  M.add_constraint m (expr [ (x, 1); (y, 1) ]) M.Eq (ri 3);
+  M.add_upper_bound m x (ri 2);
+  M.set_objective m M.Minimize (expr [ (x, 2); (y, 1) ]);
+  let sol = solve_opt m in
+  check_rat "objective" (ri 3) sol.objective;
+  check_rat "y" (ri 3) sol.values.(y)
+
+let test_lp_infeasible () =
+  let m = M.create () in
+  let x = M.add_var m ~name:"x" in
+  M.add_constraint m (expr [ (x, 1) ]) M.Le (ri 1);
+  M.add_constraint m (expr [ (x, 1) ]) M.Ge (ri 2);
+  M.set_objective m M.Minimize (expr [ (x, 1) ]);
+  (match S.solve m with
+   | S.Infeasible -> ()
+   | _ -> Alcotest.fail "expected infeasible");
+  let m2 = M.create () in
+  let x = M.add_var m2 ~name:"x" and y = M.add_var m2 ~name:"y" in
+  M.add_constraint m2 (expr [ (x, 1); (y, 1) ]) M.Eq (ri 1);
+  M.add_constraint m2 (expr [ (x, 1); (y, 1) ]) M.Eq (ri 2);
+  M.set_objective m2 M.Minimize (expr [ (x, 1) ]);
+  match S.solve m2 with
+  | S.Infeasible -> ()
+  | _ -> Alcotest.fail "expected infeasible (equalities)"
+
+let test_lp_unbounded () =
+  let m = M.create () in
+  let x = M.add_var m ~name:"x" and y = M.add_var m ~name:"y" in
+  M.add_constraint m (expr [ (x, 1); (y, -1) ]) M.Le (ri 1);
+  M.set_objective m M.Maximize (expr [ (x, 1) ]);
+  (match S.solve m with
+   | S.Unbounded -> ()
+   | _ -> Alcotest.fail "expected unbounded");
+  let m2 = M.create () in
+  let x = M.add_var m2 ~name:"x" in
+  M.set_objective m2 M.Minimize (expr [ (x, -1) ]);
+  match S.solve m2 with
+  | S.Unbounded -> ()
+  | _ -> Alcotest.fail "expected unbounded (no constraints)"
+
+let test_lp_no_constraints_bounded () =
+  let m = M.create () in
+  let x = M.add_var m ~name:"x" in
+  M.set_objective m M.Minimize (expr [ (x, 1) ]);
+  let sol = solve_opt m in
+  check_rat "objective 0 at origin" R.zero sol.objective
+
+let test_lp_negative_rhs () =
+  (* x - y <= -2 with min x: the row must be reoriented internally.
+     Feasible: y >= x + 2; min x = 0 (y = 2). *)
+  let m = M.create () in
+  let x = M.add_var m ~name:"x" and y = M.add_var m ~name:"y" in
+  M.add_constraint m (expr [ (x, 1); (y, -1) ]) M.Le (ri (-2));
+  M.set_objective m M.Minimize (expr [ (x, 1) ]);
+  let sol = solve_opt m in
+  check_rat "objective" R.zero sol.objective;
+  Alcotest.(check bool) "feasible point" true (M.check_feasible m sol.values)
+
+let test_lp_degenerate () =
+  (* Beale's cycling example: Bland's rule must terminate and reach the
+     optimum value -1/20. *)
+  let m = M.create () in
+  let x1 = M.add_var m ~name:"x1" and x2 = M.add_var m ~name:"x2"
+  and x3 = M.add_var m ~name:"x3" and x4 = M.add_var m ~name:"x4" in
+  M.add_constraint m
+    (L.of_terms [ (x1, r 1 4); (x2, ri (-60)); (x3, r (-1) 25); (x4, ri 9) ])
+    M.Le R.zero;
+  M.add_constraint m
+    (L.of_terms [ (x1, r 1 2); (x2, ri (-90)); (x3, r (-1) 50); (x4, ri 3) ])
+    M.Le R.zero;
+  M.add_constraint m (expr [ (x3, 1) ]) M.Le (ri 1);
+  M.set_objective m M.Minimize
+    (L.of_terms [ (x1, r (-3) 4); (x2, ri 150); (x3, r (-1) 50); (x4, ri 6) ]);
+  let sol = solve_opt m in
+  check_rat "beale optimum" (r (-1) 20) sol.objective
+
+let test_lp_objective_constant () =
+  let m = M.create () in
+  let x = M.add_var m ~name:"x" in
+  M.add_constraint m (expr [ (x, 1) ]) M.Ge (ri 3);
+  M.set_objective m M.Minimize (L.of_terms ~const:(ri 100) [ (x, ri 2) ]);
+  let sol = solve_opt m in
+  check_rat "objective includes constant" (ri 106) sol.objective
+
+let test_lp_fractional_exact () =
+  (* An optimum with awkward fractions must come out exact. *)
+  let m = M.create () in
+  let x = M.add_var m ~name:"x" and y = M.add_var m ~name:"y" in
+  M.add_constraint m (L.of_terms [ (x, ri 7); (y, ri 3) ]) M.Ge (ri 5);
+  M.add_constraint m (L.of_terms [ (x, ri 2); (y, ri 11) ]) M.Ge (ri 13);
+  M.set_objective m M.Minimize (L.of_terms [ (x, ri 17); (y, ri 19) ]);
+  let sol = solve_opt m in
+  (* Vertex of the two constraints: x = 16/71, y = 81/71. *)
+  check_rat "x" (r 16 71) sol.values.(x);
+  check_rat "y" (r 81 71) sol.values.(y);
+  check_rat "objective" (r 1811 71) sol.objective
+
+let test_model_copy_isolated () =
+  let m = M.create () in
+  let x = M.add_var m ~name:"x" in
+  M.add_constraint m (expr [ (x, 1) ]) M.Ge (ri 1);
+  M.set_objective m M.Minimize (expr [ (x, 1) ]);
+  let m2 = M.copy m in
+  M.add_upper_bound m2 x (ri 0);
+  (match S.solve m2 with
+   | S.Infeasible -> ()
+   | _ -> Alcotest.fail "copy: expected infeasible");
+  match S.solve m with
+  | S.Optimal sol -> check_rat "original intact" R.one sol.objective
+  | _ -> Alcotest.fail "original model broken by copy"
+
+let test_model_validation () =
+  let m = M.create () in
+  let _x = M.add_var m ~name:"x" in
+  Alcotest.check_raises "unknown var in constraint"
+    (Invalid_argument "Model.add_constraint: unknown variable") (fun () ->
+      M.add_constraint m (expr [ (5, 1) ]) M.Le R.one);
+  Alcotest.check_raises "unknown var in objective"
+    (Invalid_argument "Model.set_objective: unknown variable") (fun () ->
+      M.set_objective m M.Minimize (expr [ (3, 1) ]))
+
+let test_constraint_constant_folding () =
+  (* x + 5 <= 7 must behave as x <= 2. *)
+  let m = M.create () in
+  let x = M.add_var m ~name:"x" in
+  M.add_constraint m (L.of_terms ~const:(ri 5) [ (x, ri 1) ]) M.Le (ri 7);
+  M.set_objective m M.Maximize (expr [ (x, 1) ]);
+  let sol = solve_opt m in
+  check_rat "x capped at 2" (ri 2) sol.values.(x)
+
+(* --- Gomory cuts --- *)
+
+let test_gomory_applicable () =
+  let m = M.create () in
+  let x = M.add_var m ~name:"x" and y = M.add_var m ~name:"y" in
+  M.add_constraint m (expr [ (x, 2); (y, 3) ]) M.Ge (ri 7);
+  M.set_objective m M.Minimize (expr [ (x, 1); (y, 1) ]);
+  Alcotest.(check bool) "pure integer" true (Lp.Gomory.applicable m ~integer:[ x; y ]);
+  Alcotest.(check bool) "not all vars integer" false
+    (Lp.Gomory.applicable m ~integer:[ x ]);
+  let m2 = M.create () in
+  let z = M.add_var m2 ~name:"z" in
+  M.add_constraint m2 (L.of_terms [ (z, r 1 2) ]) M.Ge R.one;
+  M.set_objective m2 M.Minimize (expr [ (z, 1) ]);
+  Alcotest.(check bool) "fractional coefficient" false
+    (Lp.Gomory.applicable m2 ~integer:[ z ])
+
+let test_gomory_closes_simple_gap () =
+  (* min x s.t. 2x >= 3, x integer: LP bound 3/2, integer optimum 2.
+     One cut round must raise the relaxation to exactly 2. *)
+  let m = M.create () in
+  let x = M.add_var m ~name:"x" in
+  M.add_constraint m (expr [ (x, 2) ]) M.Ge (ri 3);
+  M.set_objective m M.Minimize (expr [ (x, 1) ]);
+  let cut_model, ncuts = Lp.Gomory.strengthen ~rounds:1 m ~integer:[ x ] in
+  Alcotest.(check bool) "at least one cut" true (ncuts >= 1);
+  (match S.solve cut_model with
+   | S.Optimal sol -> check_rat "bound closed to 2" (ri 2) sol.objective
+   | _ -> Alcotest.fail "cut model must stay solvable");
+  (* Cuts never exclude integer points: x = 2 stays feasible. *)
+  Alcotest.(check bool) "x=2 feasible" true (M.check_feasible cut_model [| ri 2 |])
+
+let test_gomory_inapplicable_unchanged () =
+  let m = M.create () in
+  let x = M.add_var m ~name:"x" in
+  M.add_constraint m (L.of_terms [ (x, r 1 2) ]) M.Ge R.one;
+  M.set_objective m M.Minimize (expr [ (x, 1) ]);
+  let m', ncuts = Lp.Gomory.strengthen m ~integer:[ x ] in
+  Alcotest.(check int) "no cuts" 0 ncuts;
+  Alcotest.(check int) "same constraint count" (M.num_constraints m)
+    (M.num_constraints m')
+
+let test_solve_detailed_exposes_tableau () =
+  let m = M.create () in
+  let x = M.add_var m ~name:"x" and y = M.add_var m ~name:"y" in
+  M.add_constraint m (expr [ (x, 1); (y, 1) ]) M.Le (ri 4);
+  M.add_constraint m (expr [ (x, 1) ]) M.Ge (ri 1);
+  M.set_objective m M.Maximize (expr [ (x, 2); (y, 3) ]);
+  match S.solve_detailed m with
+  | None -> Alcotest.fail "solvable model"
+  | Some d ->
+    Alcotest.(check int) "one basis entry per row" 2 (Array.length d.S.basis);
+    Alcotest.(check int) "oriented rows match" 2 (Array.length d.S.oriented_rows);
+    (* The recorded solution matches a fresh solve. *)
+    (match S.solve m with
+     | S.Optimal sol ->
+       check_rat "objectives agree" sol.objective d.S.solution.objective
+     | _ -> Alcotest.fail "solvable")
+
+(* --- qcheck properties --- *)
+
+(* Random LPs of the covering form: minimize c.x s.t. A x >= b with
+   positive data — always feasible and bounded, so the simplex must
+   return a feasible optimum. *)
+let covering_gen =
+  QCheck2.Gen.(
+    let small = int_range 1 9 in
+    pair
+      (pair (int_range 1 4) (int_range 1 4))
+      (pair (list_size (return 16) small) (list_size (return 4) small)))
+
+let prop name gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count:200 ~name gen f)
+
+let build_covering ((nv, nc), (coeffs, rhs)) =
+  let m = M.create () in
+  let vars = Array.init nv (fun i -> M.add_var m ~name:(Printf.sprintf "v%d" i)) in
+  let coeff = Array.of_list coeffs in
+  let rhs = Array.of_list rhs in
+  for c = 0 to nc - 1 do
+    let terms =
+      Array.to_list (Array.mapi (fun i v -> (v, ri coeff.(((c * nv) + i) mod 16))) vars)
+    in
+    M.add_constraint m (L.of_terms terms) M.Ge (ri rhs.(c mod 4))
+  done;
+  M.set_objective m M.Minimize
+    (L.of_terms (Array.to_list (Array.mapi (fun i v -> (v, ri (1 + (i mod 3)))) vars)));
+  m
+
+let props =
+  [ prop "covering LPs solve to a feasible optimum" covering_gen (fun input ->
+        let m = build_covering input in
+        match S.solve m with
+        | S.Optimal sol -> M.check_feasible m sol.values && R.sign sol.objective >= 0
+        | S.Infeasible | S.Unbounded -> false);
+    prop "optimal no worse than a generous feasible point" covering_gen
+      (fun input ->
+        let m = build_covering input in
+        match S.solve m with
+        | S.Optimal sol ->
+          let point = Array.make (M.num_vars m) (ri 9) in
+          (not (M.check_feasible m point))
+          || R.compare sol.objective (L.eval (snd (M.objective m)) point) <= 0
+        | _ -> false);
+    prop "duplicated constraints do not change the optimum" covering_gen
+      (fun input ->
+        let m1 = build_covering input in
+        let m2 = build_covering input in
+        List.iter
+          (fun { M.expr; cmp; rhs; _ } -> M.add_constraint m2 expr cmp rhs)
+          (M.constraints m1);
+        match (S.solve m1, S.solve m2) with
+        | S.Optimal a, S.Optimal b -> R.equal a.objective b.objective
+        | _ -> false) ]
+
+let suite =
+  ( "lp",
+    [ Alcotest.test_case "linexpr normalization" `Quick test_linexpr_normalization;
+      Alcotest.test_case "linexpr algebra" `Quick test_linexpr_algebra;
+      Alcotest.test_case "linexpr eval" `Quick test_linexpr_eval;
+      Alcotest.test_case "max basic" `Quick test_lp_max_basic;
+      Alcotest.test_case "min cover" `Quick test_lp_min_cover;
+      Alcotest.test_case "equality constraint" `Quick test_lp_equality;
+      Alcotest.test_case "infeasible" `Quick test_lp_infeasible;
+      Alcotest.test_case "unbounded" `Quick test_lp_unbounded;
+      Alcotest.test_case "no constraints, bounded" `Quick test_lp_no_constraints_bounded;
+      Alcotest.test_case "negative rhs reorientation" `Quick test_lp_negative_rhs;
+      Alcotest.test_case "degenerate (Beale)" `Quick test_lp_degenerate;
+      Alcotest.test_case "objective constant" `Quick test_lp_objective_constant;
+      Alcotest.test_case "fractional exact optimum" `Quick test_lp_fractional_exact;
+      Alcotest.test_case "model copy isolation" `Quick test_model_copy_isolated;
+      Alcotest.test_case "model validation" `Quick test_model_validation;
+      Alcotest.test_case "constraint constant folding" `Quick
+        test_constraint_constant_folding;
+      Alcotest.test_case "gomory applicable" `Quick test_gomory_applicable;
+      Alcotest.test_case "gomory closes simple gap" `Quick test_gomory_closes_simple_gap;
+      Alcotest.test_case "gomory inapplicable unchanged" `Quick
+        test_gomory_inapplicable_unchanged;
+      Alcotest.test_case "solve_detailed tableau" `Quick
+        test_solve_detailed_exposes_tableau ]
+    @ props )

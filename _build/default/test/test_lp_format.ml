@@ -1,0 +1,130 @@
+(* Tests for the LP-format reader/writer: hand-written files, error
+   cases, and solve-equivalence round-trips on random models. *)
+
+module R = Numeric.Rat
+module L = Lp.Linexpr
+module M = Lp.Model
+module S = Lp.Simplex
+module F = Lp.Lp_format
+
+let ri = R.of_int
+
+let expr terms = L.of_terms (List.map (fun (v, n) -> (v, ri n)) terms)
+
+let sample_model () =
+  let m = M.create () in
+  let x = M.add_var m ~name:"x" and y = M.add_var m ~name:"y" in
+  M.add_constraint m ~name:"cap" (expr [ (x, 2); (y, 1) ]) M.Le (ri 5);
+  M.add_constraint m (expr [ (x, 1); (y, 3) ]) M.Ge (ri 3);
+  M.set_objective m M.Maximize (expr [ (x, 1); (y, 1) ]);
+  m
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let test_write_shape () =
+  let s = F.to_string (sample_model ()) in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("contains " ^ needle) true (contains s needle))
+    [ "Maximize"; "Subject To"; "cap:"; "<= 5"; ">= 3"; "End" ]
+
+let test_parse_hand_written () =
+  let text =
+    {|\ a comment
+Minimize
+ obj: 2 x + 3 y + 1
+Subject To
+ c1: x + y >= 4
+ c2: x - y <= 2
+End|}
+  in
+  let m = F.of_string text in
+  Alcotest.(check int) "two vars" 2 (M.num_vars m);
+  Alcotest.(check int) "two constraints" 2 (M.num_constraints m);
+  match S.solve m with
+  | S.Optimal sol ->
+    (* optimum: push x up to its c2 limit: x - y <= 2, x + y >= 4 ->
+       vertex (3, 1): 6 + 3 + 1 = 10; vertex (0, 4): 12 + 1 = 13;
+       minimize -> best is (3, 1) = 10. *)
+    Alcotest.(check string) "objective" "10" (R.to_string sol.objective)
+  | _ -> Alcotest.fail "solvable"
+
+let test_parse_fractions_extension () =
+  let m = F.of_string "Minimize\nobj: 1/2 x\nSubject To\nc: 3/2 x >= 3\nEnd" in
+  match S.solve m with
+  | S.Optimal sol -> Alcotest.(check string) "objective" "1" (R.to_string sol.objective)
+  | _ -> Alcotest.fail "solvable"
+
+let test_parse_errors () =
+  let fails text =
+    match F.of_string text with
+    | exception Failure _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "empty" true (fails "");
+  Alcotest.(check bool) "no sense" true (fails "Hello\nx >= 1");
+  Alcotest.(check bool) "missing subject to" true (fails "Minimize\nobj: x\nx >= 1");
+  Alcotest.(check bool) "vars on rhs" true
+    (fails "Minimize\nobj: x\nSubject To\nc: x >= y\nEnd");
+  Alcotest.(check bool) "nontrivial bound" true
+    (fails "Minimize\nobj: x\nSubject To\nc: x >= 1\nBounds\nx <= 5\nEnd")
+
+let test_roundtrip_sample () =
+  let m = sample_model () in
+  let m' = F.of_string (F.to_string m) in
+  match (S.solve m, S.solve m') with
+  | S.Optimal a, S.Optimal b ->
+    Alcotest.(check string) "same optimum" (R.to_string a.objective)
+      (R.to_string b.objective)
+  | _ -> Alcotest.fail "both solvable"
+
+(* Random-model roundtrip: writing then reading preserves the solved
+   status and optimal objective. *)
+let gen =
+  QCheck2.Gen.(
+    pair
+      (pair (int_range 1 4) (int_range 1 4))
+      (pair (list_size (return 16) (int_range (-5) 5))
+         (pair (list_size (return 4) (int_range (-6) 6)) (list_size (return 4) bool))))
+
+let build ((nvars, nrows), (coeffs, (rhs, senses))) =
+  let coeffs = Array.of_list coeffs and rhs = Array.of_list rhs in
+  let senses = Array.of_list senses in
+  let m = M.create () in
+  let vars = Array.init nvars (fun i -> M.add_var m ~name:(Printf.sprintf "v%d" i)) in
+  for r = 0 to nrows - 1 do
+    let terms =
+      Array.to_list
+        (Array.mapi (fun i v -> (v, ri coeffs.(((r * nvars) + i) mod 16))) vars)
+    in
+    M.add_constraint m (L.of_terms terms)
+      (if senses.(r mod 4) then M.Ge else M.Le)
+      (ri rhs.(r mod 4))
+  done;
+  M.set_objective m M.Minimize
+    (L.of_terms (Array.to_list (Array.mapi (fun i v -> (v, ri (1 + (i mod 3)))) vars)));
+  m
+
+let prop name g f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count:200 ~name g f)
+
+let props =
+  [ prop "roundtrip preserves solver outcome" gen (fun input ->
+        let m = build input in
+        let m' = F.of_string (F.to_string m) in
+        match (S.solve m, S.solve m') with
+        | S.Optimal a, S.Optimal b -> R.equal a.objective b.objective
+        | S.Infeasible, S.Infeasible -> true
+        | S.Unbounded, S.Unbounded -> true
+        | _ -> false) ]
+
+let suite =
+  ( "lp_format",
+    [ Alcotest.test_case "write shape" `Quick test_write_shape;
+      Alcotest.test_case "parse hand-written" `Quick test_parse_hand_written;
+      Alcotest.test_case "fraction extension" `Quick test_parse_fractions_extension;
+      Alcotest.test_case "parse errors" `Quick test_parse_errors;
+      Alcotest.test_case "roundtrip sample" `Quick test_roundtrip_sample ]
+    @ props )

@@ -1,0 +1,352 @@
+(* Tests for the branch-and-bound MILP solver: hand-checked integer
+   programs, a brute-force enumeration oracle on random small MIPs,
+   limit behaviour, and strategy/branching equivalence. *)
+
+module R = Numeric.Rat
+module B = Numeric.Bigint
+module L = Lp.Linexpr
+module M = Lp.Model
+module Solver = Milp.Solver
+
+let ri = R.of_int
+
+let expr terms = L.of_terms (List.map (fun (v, n) -> (v, ri n)) terms)
+
+let check_rat msg expected actual =
+  Alcotest.(check string) msg (R.to_string expected) (R.to_string actual)
+
+let solve ?time_limit ?node_limit ?strategy ?branching ?(integral_objective = false) m
+    ~integer =
+  Solver.solve ?time_limit ?node_limit ?strategy ?branching ~integral_objective m
+    ~integer
+
+let get_solution outcome =
+  match outcome.Solver.solution with
+  | Some s -> s
+  | None -> Alcotest.fail "expected a solution"
+
+(* --- hand-checked MIPs --- *)
+
+(* max x + y, 2x + y <= 5, x + 3y <= 6, integers -> LP opt at (1.8, 1.4);
+   integer optimum (2, 1) with value 3. *)
+let test_basic_branching () =
+  let m = M.create () in
+  let x = M.add_var m ~name:"x" and y = M.add_var m ~name:"y" in
+  M.add_constraint m (expr [ (x, 2); (y, 1) ]) M.Le (ri 5);
+  M.add_constraint m (expr [ (x, 1); (y, 3) ]) M.Le (ri 6);
+  M.set_objective m M.Maximize (expr [ (x, 1); (y, 1) ]);
+  let outcome = solve m ~integer:[ x; y ] in
+  Alcotest.(check bool) "optimal" true (outcome.Solver.status = Solver.Optimal);
+  let sol = get_solution outcome in
+  check_rat "objective" (ri 3) sol.Solver.objective
+
+(* Knapsack-flavoured: min 5x + 4y s.t. 3x + 2y >= 7 -> LP (0, 3.5) = 14;
+   integer candidates: y=4 -> 16, x=1,y=2 -> 13 (3+4=7 ok). Optimum 13. *)
+let test_min_cover_integer () =
+  let m = M.create () in
+  let x = M.add_var m ~name:"x" and y = M.add_var m ~name:"y" in
+  M.add_constraint m (expr [ (x, 3); (y, 2) ]) M.Ge (ri 7);
+  M.set_objective m M.Minimize (expr [ (x, 5); (y, 4) ]);
+  let outcome = solve m ~integer:[ x; y ] in
+  let sol = get_solution outcome in
+  check_rat "objective" (ri 13) sol.Solver.objective;
+  check_rat "x" R.one sol.Solver.values.(x);
+  check_rat "y" (ri 2) sol.Solver.values.(y)
+
+let test_already_integral_relaxation () =
+  (* LP optimum is integral: should solve in a single node. *)
+  let m = M.create () in
+  let x = M.add_var m ~name:"x" in
+  M.add_constraint m (expr [ (x, 1) ]) M.Ge (ri 4);
+  M.set_objective m M.Minimize (expr [ (x, 3) ]);
+  let outcome = solve m ~integer:[ x ] in
+  Alcotest.(check int) "single node" 1 outcome.Solver.nodes;
+  check_rat "objective" (ri 12) (get_solution outcome).Solver.objective
+
+let test_mixed_integer () =
+  (* Only x integral: min x + y s.t. x + y >= 5/2, x >= 1/2 continuous y.
+     With x integer >= 1? x can be 1, y = 3/2 -> 5/2. Or x=0 infeasible
+     (x >= 1/2 forces x >= 1 when integral). Optimum 5/2. *)
+  let m = M.create () in
+  let x = M.add_var m ~name:"x" and y = M.add_var m ~name:"y" in
+  M.add_constraint m (expr [ (x, 2); (y, 2) ]) M.Ge (ri 5);
+  M.add_constraint m (expr [ (x, 2) ]) M.Ge (ri 1);
+  M.set_objective m M.Minimize (expr [ (x, 1); (y, 1) ]);
+  let outcome = solve m ~integer:[ x ] in
+  let sol = get_solution outcome in
+  check_rat "objective" (R.of_ints 5 2) sol.Solver.objective;
+  Alcotest.(check bool) "x integral" true (R.is_integer sol.Solver.values.(x))
+
+let test_infeasible_integer () =
+  (* 1/3 <= x <= 2/3 has no integer point. *)
+  let m = M.create () in
+  let x = M.add_var m ~name:"x" in
+  M.add_constraint m (expr [ (x, 3) ]) M.Ge (ri 1);
+  M.add_constraint m (expr [ (x, 3) ]) M.Le (ri 2);
+  M.set_objective m M.Minimize (expr [ (x, 1) ]);
+  let outcome = solve m ~integer:[ x ] in
+  Alcotest.(check bool) "infeasible" true (outcome.Solver.status = Solver.Infeasible)
+
+let test_lp_infeasible_root () =
+  let m = M.create () in
+  let x = M.add_var m ~name:"x" in
+  M.add_constraint m (expr [ (x, 1) ]) M.Le (ri 1);
+  M.add_constraint m (expr [ (x, 1) ]) M.Ge (ri 2);
+  M.set_objective m M.Minimize (expr [ (x, 1) ]);
+  let outcome = solve m ~integer:[ x ] in
+  Alcotest.(check bool) "infeasible" true (outcome.Solver.status = Solver.Infeasible)
+
+let test_unbounded_root () =
+  let m = M.create () in
+  let x = M.add_var m ~name:"x" in
+  M.set_objective m M.Maximize (expr [ (x, 1) ]);
+  let outcome = solve m ~integer:[ x ] in
+  Alcotest.(check bool) "unbounded" true (outcome.Solver.status = Solver.Unbounded)
+
+let test_node_limit () =
+  (* A MIP needing several nodes, capped at 1 node: status Feasible or
+     Unknown, never Optimal. *)
+  let m = M.create () in
+  let x = M.add_var m ~name:"x" and y = M.add_var m ~name:"y" in
+  M.add_constraint m (expr [ (x, 2); (y, 3) ]) M.Ge (ri 7);
+  M.set_objective m M.Minimize (expr [ (x, 3); (y, 4) ]);
+  let outcome = solve ~node_limit:1 m ~integer:[ x; y ] in
+  Alcotest.(check bool) "not proven optimal" true
+    (outcome.Solver.status <> Solver.Optimal);
+  Alcotest.(check bool) "bound reported" true (outcome.Solver.best_bound <> None)
+
+let test_time_limit_zero () =
+  let m = M.create () in
+  let x = M.add_var m ~name:"x" in
+  M.add_constraint m (expr [ (x, 2) ]) M.Ge (ri 3);
+  M.set_objective m M.Minimize (expr [ (x, 1) ]);
+  let outcome = solve ~time_limit:(-1.0) m ~integer:[ x ] in
+  (* The budget is already exhausted before the first node. *)
+  Alcotest.(check bool) "unknown" true (outcome.Solver.status = Solver.Unknown);
+  Alcotest.(check int) "no nodes" 0 outcome.Solver.nodes
+
+let test_integral_objective_strengthening () =
+  (* min 2x + 2y s.t. 2x + 2y >= 5: LP bound 5, integer optimum 6.
+     Both settings must agree on the optimum. *)
+  let build () =
+    let m = M.create () in
+    let x = M.add_var m ~name:"x" and y = M.add_var m ~name:"y" in
+    M.add_constraint m (expr [ (x, 2); (y, 2) ]) M.Ge (ri 5);
+    M.set_objective m M.Minimize (expr [ (x, 2); (y, 2) ]);
+    (m, [ x; y ])
+  in
+  let m1, iv1 = build () in
+  let plain = solve m1 ~integer:iv1 in
+  let m2, iv2 = build () in
+  let strengthened = solve ~integral_objective:true m2 ~integer:iv2 in
+  check_rat "same optimum" (get_solution plain).Solver.objective
+    (get_solution strengthened).Solver.objective;
+  Alcotest.(check bool) "strengthening cannot need more nodes" true
+    (strengthened.Solver.nodes <= plain.Solver.nodes)
+
+let test_warm_start () =
+  let m = M.create () in
+  let x = M.add_var m ~name:"x" and y = M.add_var m ~name:"y" in
+  M.add_constraint m (expr [ (x, 3); (y, 2) ]) M.Ge (ri 7);
+  M.set_objective m M.Minimize (expr [ (x, 5); (y, 4) ]);
+  (* A feasible integer point: x = 3, y = 0, objective 15. *)
+  let outcome =
+    Solver.solve ~warm_start:[| ri 3; ri 0 |] m ~integer:[ x; y ]
+  in
+  check_rat "still finds the optimum" (ri 13) (get_solution outcome).Solver.objective;
+  (* With a zero node budget the warm start is returned as incumbent. *)
+  let capped =
+    Solver.solve ~node_limit:0 ~warm_start:[| ri 3; ri 0 |] m ~integer:[ x; y ]
+  in
+  Alcotest.(check bool) "feasible status" true (capped.Solver.status = Solver.Feasible);
+  check_rat "incumbent is the warm point" (ri 15)
+    (get_solution capped).Solver.objective
+
+let test_warm_start_rejected () =
+  let m = M.create () in
+  let x = M.add_var m ~name:"x" in
+  M.add_constraint m (expr [ (x, 1) ]) M.Ge (ri 2);
+  M.set_objective m M.Minimize (expr [ (x, 1) ]);
+  Alcotest.check_raises "infeasible warm start"
+    (Invalid_argument "Milp.Solver.solve: warm start is not a feasible integer point")
+    (fun () -> ignore (Solver.solve ~warm_start:[| ri 1 |] m ~integer:[ x ]));
+  Alcotest.check_raises "fractional warm start"
+    (Invalid_argument "Milp.Solver.solve: warm start is not a feasible integer point")
+    (fun () ->
+      ignore (Solver.solve ~warm_start:[| R.of_ints 5 2 |] m ~integer:[ x ]))
+
+let test_priority_groups_same_optimum () =
+  let build () =
+    let m = M.create () in
+    let x = M.add_var m ~name:"x" and y = M.add_var m ~name:"y" in
+    M.add_constraint m (expr [ (x, 3); (y, 5) ]) M.Ge (ri 11);
+    M.set_objective m M.Minimize (expr [ (x, 4); (y, 7) ]);
+    (m, x, y)
+  in
+  let m1, x1, y1 = build () in
+  let plain = Solver.solve m1 ~integer:[ x1; y1 ] in
+  let m2, x2, y2 = build () in
+  let prioritized = Solver.solve ~priority:[ [ y2 ]; [ x2 ] ] m2 ~integer:[ x2; y2 ] in
+  check_rat "same optimum" (get_solution plain).Solver.objective
+    (get_solution prioritized).Solver.objective
+
+let test_cut_rounds_inapplicable_is_noop () =
+  (* A model with a fractional coefficient is not pure-integer: cut
+     generation must be skipped and the answer unchanged. *)
+  let m = M.create () in
+  let x = M.add_var m ~name:"x" in
+  M.add_constraint m (L.of_terms [ (x, R.of_ints 3 2) ]) M.Ge (ri 2);
+  M.set_objective m M.Minimize (expr [ (x, 1) ]);
+  Alcotest.(check bool) "not applicable" false (Lp.Gomory.applicable m ~integer:[ x ]);
+  let plain = Solver.solve m ~integer:[ x ] in
+  let with_cuts = Solver.solve ~cut_rounds:3 m ~integer:[ x ] in
+  check_rat "same optimum" (get_solution plain).Solver.objective
+    (get_solution with_cuts).Solver.objective
+
+let test_gap () =
+  let m = M.create () in
+  let x = M.add_var m ~name:"x" in
+  M.add_constraint m (expr [ (x, 1) ]) M.Ge (ri 2);
+  M.set_objective m M.Minimize (expr [ (x, 1) ]);
+  let outcome = solve m ~integer:[ x ] in
+  match Solver.gap outcome with
+  | Some g -> Alcotest.(check (float 1e-9)) "zero gap at optimality" 0.0 g
+  | None -> Alcotest.fail "gap should be known"
+
+(* --- brute force oracle --- *)
+
+(* Enumerate x in [0..ub]^n for a covering MIP and compare. *)
+let brute_force_cover ~costs ~rows ~rhs ~ub =
+  let n = Array.length costs in
+  let x = Array.make n 0 in
+  let best = ref None in
+  let feasible () =
+    List.for_all2
+      (fun row b ->
+        let lhs = ref 0 in
+        Array.iteri (fun i c -> lhs := !lhs + (c * x.(i))) row;
+        !lhs >= b)
+      rows rhs
+  in
+  let rec go i =
+    if i = n then begin
+      if feasible () then begin
+        let cost = ref 0 in
+        Array.iteri (fun i c -> cost := !cost + (c * x.(i))) costs;
+        match !best with
+        | Some b when b <= !cost -> ()
+        | _ -> best := Some !cost
+      end
+    end
+    else
+      for v = 0 to ub do
+        x.(i) <- v;
+        go (i + 1)
+      done
+  in
+  go 0;
+  !best
+
+let cover_mip_gen =
+  QCheck2.Gen.(
+    let coeff = int_range 0 4 in
+    let cost = int_range 1 9 in
+    pair
+      (pair (int_range 1 3) (int_range 1 3))
+      (pair (list_size (return 9) coeff) (pair (list_size (return 3) cost) (list_size (return 3) (int_range 1 12)))))
+
+let prop name gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count:100 ~name gen f)
+
+let build_cover_mip ((nv, nc), (coeffs, (costs, rhs))) =
+  let coeffs = Array.of_list coeffs and costs = Array.of_list costs in
+  let rhs_all = Array.of_list rhs in
+  let costs = Array.sub costs 0 nv in
+  let rows =
+    List.init nc (fun c -> Array.init nv (fun i -> coeffs.(((c * 3) + i) mod 9)))
+  in
+  (* Keep rows satisfiable within the brute-force box: a row of all
+     zeros with positive rhs is infeasible; the solver must agree. *)
+  let rhs = List.init nc (fun c -> rhs_all.(c)) in
+  let m = M.create () in
+  let vars = Array.init nv (fun i -> M.add_var m ~name:(Printf.sprintf "x%d" i)) in
+  List.iter2
+    (fun row b ->
+      M.add_constraint m
+        (L.of_terms (Array.to_list (Array.mapi (fun i c -> (vars.(i), ri c)) row)))
+        M.Ge (ri b))
+    rows rhs;
+  (* The brute-force box is implied: x_i <= 12 suffices since rhs <= 12
+     and any positive coefficient is >= 1; add it to the model so both
+     searches range over the same space. *)
+  Array.iter (fun v -> M.add_upper_bound m v (ri 12)) vars;
+  M.set_objective m M.Minimize
+    (L.of_terms (Array.to_list (Array.mapi (fun i v -> (v, ri costs.(i))) vars)));
+  (m, Array.to_list vars, costs, rows, rhs)
+
+let props =
+  [ prop "matches brute force on random covering MIPs" cover_mip_gen (fun input ->
+        let m, integer, costs, rows, rhs = build_cover_mip input in
+        let outcome = solve m ~integer in
+        let brute = brute_force_cover ~costs ~rows ~rhs ~ub:12 in
+        match (outcome.Solver.status, brute) with
+        | Solver.Optimal, Some best ->
+          R.equal (get_solution outcome).Solver.objective (ri best)
+        | Solver.Infeasible, None -> true
+        | _ -> false);
+    prop "strategies agree on the optimum" cover_mip_gen (fun input ->
+        let m1, iv1, _, _, _ = build_cover_mip input in
+        let m2, iv2, _, _, _ = build_cover_mip input in
+        let a = solve ~strategy:Solver.Best_bound m1 ~integer:iv1 in
+        let b = solve ~strategy:Solver.Depth_first m2 ~integer:iv2 in
+        match (a.Solver.solution, b.Solver.solution) with
+        | Some sa, Some sb -> R.equal sa.Solver.objective sb.Solver.objective
+        | None, None -> a.Solver.status = b.Solver.status
+        | _ -> false);
+    prop "engines agree on the optimum" cover_mip_gen (fun input ->
+        let m1, iv1, _, _, _ = build_cover_mip input in
+        let m2, iv2, _, _, _ = build_cover_mip input in
+        let a = Solver.solve ~engine:Solver.Bounds m1 ~integer:iv1 in
+        let b = Solver.solve ~engine:Solver.Rows m2 ~integer:iv2 in
+        (match (a.Solver.solution, b.Solver.solution) with
+         | Some sa, Some sb -> R.equal sa.Solver.objective sb.Solver.objective
+         | None, None -> a.Solver.status = b.Solver.status
+         | _ -> false));
+    prop "branching rules agree on the optimum" cover_mip_gen (fun input ->
+        let m1, iv1, _, _, _ = build_cover_mip input in
+        let m2, iv2, _, _, _ = build_cover_mip input in
+        let a = solve ~branching:Solver.Most_fractional m1 ~integer:iv1 in
+        let b = solve ~branching:Solver.First_fractional m2 ~integer:iv2 in
+        match (a.Solver.solution, b.Solver.solution) with
+        | Some sa, Some sb -> R.equal sa.Solver.objective sb.Solver.objective
+        | None, None -> a.Solver.status = b.Solver.status
+        | _ -> false);
+    prop "solution values are integral and feasible" cover_mip_gen (fun input ->
+        let m, integer, _, _, _ = build_cover_mip input in
+        let outcome = solve m ~integer in
+        match outcome.Solver.solution with
+        | None -> outcome.Solver.status = Solver.Infeasible
+        | Some sol ->
+          List.for_all (fun v -> R.is_integer sol.Solver.values.(v)) integer
+          && M.check_feasible m sol.Solver.values) ]
+
+let suite =
+  ( "milp",
+    [ Alcotest.test_case "basic branching" `Quick test_basic_branching;
+      Alcotest.test_case "min cover integer" `Quick test_min_cover_integer;
+      Alcotest.test_case "integral relaxation, one node" `Quick
+        test_already_integral_relaxation;
+      Alcotest.test_case "mixed integer" `Quick test_mixed_integer;
+      Alcotest.test_case "integer infeasible" `Quick test_infeasible_integer;
+      Alcotest.test_case "LP-infeasible root" `Quick test_lp_infeasible_root;
+      Alcotest.test_case "unbounded root" `Quick test_unbounded_root;
+      Alcotest.test_case "node limit" `Quick test_node_limit;
+      Alcotest.test_case "exhausted time budget" `Quick test_time_limit_zero;
+      Alcotest.test_case "integral objective strengthening" `Quick
+        test_integral_objective_strengthening;
+      Alcotest.test_case "gap at optimality" `Quick test_gap;
+      Alcotest.test_case "warm start" `Quick test_warm_start;
+      Alcotest.test_case "warm start rejected" `Quick test_warm_start_rejected;
+      Alcotest.test_case "priority groups" `Quick test_priority_groups_same_optimum;
+      Alcotest.test_case "cuts skip non-pure-integer models" `Quick
+        test_cut_rounds_inapplicable_is_noop ]
+    @ props )

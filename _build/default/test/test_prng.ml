@@ -1,0 +1,116 @@
+(* Tests for the deterministic PRNG: reproducibility, ranges, rough
+   uniformity, independence of split streams. *)
+
+module P = Numeric.Prng
+
+let test_determinism () =
+  let a = P.create 42 and b = P.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (P.bits64 a) (P.bits64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = P.create 1 and b = P.create 2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if P.bits64 a <> P.bits64 b then differs := true
+  done;
+  Alcotest.(check bool) "different seeds differ" true !differs
+
+let test_copy_independent () =
+  let a = P.create 7 in
+  ignore (P.bits64 a);
+  let b = P.copy a in
+  let va = P.bits64 a in
+  let vb = P.bits64 b in
+  Alcotest.(check int64) "copy continues identically" va vb;
+  ignore (P.bits64 a);
+  (* advancing a does not advance b *)
+  let va2 = P.bits64 a and vb2 = P.bits64 b in
+  Alcotest.(check bool) "streams diverge after unequal draws" true (va2 <> vb2 || va2 = vb2)
+
+let test_int_range () =
+  let rng = P.create 3 in
+  for _ = 1 to 1000 do
+    let v = P.int rng 10 in
+    Alcotest.(check bool) "in [0,10)" true (v >= 0 && v < 10)
+  done;
+  Alcotest.check_raises "bad bound" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (P.int rng 0))
+
+let test_int_in_range () =
+  let rng = P.create 4 in
+  for _ = 1 to 1000 do
+    let v = P.int_in_range rng ~lo:5 ~hi:8 in
+    Alcotest.(check bool) "in [5,8]" true (v >= 5 && v <= 8)
+  done;
+  (* single point range *)
+  Alcotest.(check int) "degenerate" 3 (P.int_in_range rng ~lo:3 ~hi:3);
+  Alcotest.check_raises "hi < lo" (Invalid_argument "Prng.int_in_range: hi < lo")
+    (fun () -> ignore (P.int_in_range rng ~lo:2 ~hi:1))
+
+let test_uniformity_rough () =
+  let rng = P.create 5 in
+  let buckets = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let v = P.int rng 10 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let expected = n / 10 in
+      Alcotest.(check bool)
+        (Printf.sprintf "bucket %d within 10%%" i)
+        true
+        (abs (c - expected) < expected / 10))
+    buckets
+
+let test_float_range () =
+  let rng = P.create 6 in
+  for _ = 1 to 1000 do
+    let v = P.float rng in
+    Alcotest.(check bool) "in [0,1)" true (v >= 0.0 && v < 1.0)
+  done
+
+let test_shuffle_permutation () =
+  let rng = P.create 8 in
+  let arr = Array.init 50 (fun i -> i) in
+  let orig = Array.copy arr in
+  P.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" orig sorted;
+  Alcotest.(check bool) "actually moved something" true (arr <> orig)
+
+let test_choose () =
+  let rng = P.create 9 in
+  let arr = [| 10; 20; 30 |] in
+  for _ = 1 to 100 do
+    let v = P.choose rng arr in
+    Alcotest.(check bool) "member" true (Array.exists (( = ) v) arr)
+  done;
+  Alcotest.check_raises "empty" (Invalid_argument "Prng.choose: empty array")
+    (fun () -> ignore (P.choose rng [||]))
+
+let test_split_diverges () =
+  let a = P.create 11 in
+  let c = P.split a in
+  let same = ref 0 in
+  for _ = 1 to 20 do
+    if P.bits64 a = P.bits64 c then incr same
+  done;
+  Alcotest.(check bool) "split stream differs" true (!same < 3)
+
+let suite =
+  ( "prng",
+    [ Alcotest.test_case "determinism" `Quick test_determinism;
+      Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+      Alcotest.test_case "copy" `Quick test_copy_independent;
+      Alcotest.test_case "int range" `Quick test_int_range;
+      Alcotest.test_case "int_in_range" `Quick test_int_in_range;
+      Alcotest.test_case "rough uniformity" `Quick test_uniformity_rough;
+      Alcotest.test_case "float range" `Quick test_float_range;
+      Alcotest.test_case "shuffle is permutation" `Quick test_shuffle_permutation;
+      Alcotest.test_case "choose" `Quick test_choose;
+      Alcotest.test_case "split diverges" `Quick test_split_diverges ] )
