@@ -15,6 +15,7 @@ open Bechamel
 module G = Cloudsim.Generator
 module H = Rentcost.Heuristics
 module P = Numeric.Prng
+module S = Rentcost.Solver
 
 (* --- fixed workloads, built once --- *)
 
@@ -42,9 +43,23 @@ let sample_measurements =
     ~algorithms:(Cloudsim.Runner.paper_algorithms ())
     ~params:H.default_params
 
-let ilp_nodes ?node_limit ?warm_start ?cut_rounds problem ~target () =
-  (Rentcost.Ilp.solve ?node_limit ?warm_start ?cut_rounds problem ~target)
-    .Rentcost.Ilp.nodes
+(* Experiment kernels go through the unified [Solver] front door, as
+   the drivers do; only the ablation group below reaches into
+   [Ilp.solve] for knobs (warm start, cuts) the solver does not
+   expose. *)
+
+let solver_nodes ?node_limit spec problem ~target () =
+  let budget =
+    match node_limit with Some n -> Rentcost.Budget.nodes n
+    | None -> Rentcost.Budget.unlimited
+  in
+  (S.solve ~budget ~spec problem ~target).S.telemetry.S.nodes
+
+let ilp_nodes ?node_limit problem ~target =
+  solver_nodes ?node_limit S.Exact_ilp problem ~target
+
+let ilp_ablation_nodes ?warm_start ?cut_rounds problem ~target () =
+  (Rentcost.Ilp.solve ?warm_start ?cut_rounds problem ~target).Rentcost.Ilp.nodes
 
 let milp_engine engine problem ~target () =
   let model, integer = Rentcost.Ilp.build problem ~target in
@@ -55,7 +70,8 @@ let milp_engine engine problem ~target () =
     .Milp.Solver.nodes
 
 let heuristic name ?(params = H.default_params) problem ~target () =
-  (H.run ~params name ~rng:(P.create 99) problem ~target).H.evaluations
+  (S.solve ~rng:(P.create 99) ~params ~spec:(S.Heuristic name) problem ~target)
+    .S.telemetry.S.evaluations
 
 (* --- Table III: the illustrating example (§ VII) --- *)
 
@@ -170,11 +186,11 @@ let micro =
 let ablation =
   Test.make_grouped ~name:"ablation"
     [ Test.make ~name:"ilp_warm_start"
-        (Staged.stage (ilp_nodes ~warm_start:true illustrating ~target:130));
+        (Staged.stage (ilp_ablation_nodes ~warm_start:true illustrating ~target:130));
       Test.make ~name:"ilp_cold_start"
-        (Staged.stage (ilp_nodes ~warm_start:false illustrating ~target:130));
+        (Staged.stage (ilp_ablation_nodes ~warm_start:false illustrating ~target:130));
       Test.make ~name:"ilp_gomory_3rounds"
-        (Staged.stage (ilp_nodes ~cut_rounds:3 illustrating ~target:130));
+        (Staged.stage (ilp_ablation_nodes ~cut_rounds:3 illustrating ~target:130));
       Test.make ~name:"gomory_root_strengthen"
         (Staged.stage (fun () ->
              let model, integer = Rentcost.Ilp.build illustrating ~target:70 in
@@ -194,9 +210,38 @@ let ablation =
               ~params:{ params10 with H.exhaustive_deltas = true }
               illustrating ~target:70)) ]
 
+(* --- the unified Solver front door: Auto routing per § V class --- *)
+
+let solver_group =
+  let platform =
+    Rentcost.Platform.of_list [ (10, 10); (18, 20); (25, 30); (33, 40) ]
+  in
+  let blackbox_problem =
+    Rentcost.Problem.create platform
+      (Array.init 4 (fun q ->
+           Rentcost.Task_graph.chain ~ntypes:4 ~types:[| q |]))
+  in
+  let disjoint_problem =
+    Rentcost.Problem.create platform
+      [| Rentcost.Task_graph.chain ~ntypes:4 ~types:[| 0; 1 |];
+         Rentcost.Task_graph.chain ~ntypes:4 ~types:[| 2; 3 |] |]
+  in
+  Test.make_grouped ~name:"solver"
+    [ Test.make ~name:"auto_blackbox_rho100"
+        (Staged.stage (solver_nodes S.Auto blackbox_problem ~target:100));
+      Test.make ~name:"auto_disjoint_rho100"
+        (Staged.stage (solver_nodes S.Auto disjoint_problem ~target:100));
+      Test.make ~name:"auto_shared_capped_rho70"
+        (Staged.stage (solver_nodes ~node_limit:25 S.Auto illustrating ~target:70));
+      Test.make ~name:"budget_fallback_rho70"
+        (Staged.stage (fun () ->
+             (S.solve ~budget:(Rentcost.Budget.nodes 0) ~spec:S.Exact_ilp
+                illustrating ~target:70)
+               .S.telemetry.S.evaluations)) ]
+
 let all_tests =
   Test.make_grouped ~name:"rentcost"
-    [ table3; fig3; fig4; fig5; fig6; fig7; fig8; micro; ablation ]
+    [ table3; fig3; fig4; fig5; fig6; fig7; fig8; micro; ablation; solver_group ]
 
 (* --- driver: run everything, print an aligned time/run table --- *)
 

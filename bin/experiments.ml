@@ -43,6 +43,10 @@ let run_preset preset ~configs ~seed ~time_limit ~csv ~quiet =
      Cloudsim.Report.print_series Format.std_formatter
        ~title:(preset.Cloudsim.Experiments.id ^ " companion: cost overhead vs ILP")
        (Cloudsim.Stats.mean_gap_vs_reference ms ~reference:"ILP")
+   | "fig5" ->
+     Cloudsim.Report.print_series Format.std_formatter
+       ~title:"fig5 companion: cost-oracle evaluations (machine-independent effort)"
+       (Cloudsim.Stats.mean_evaluations ms)
    | "fig8" ->
      Cloudsim.Report.print_series Format.std_formatter
        ~title:"fig8 companion: fraction of ILP runs proved optimal"
@@ -75,12 +79,15 @@ let cmd_table3 seed =
 
 let cmd_validate targets items =
   let problem = Rentcost.Problem.illustrating in
-  Format.printf "Validating ILP allocations by discrete-event execution@.";
+  Format.printf "Validating exact allocations by discrete-event execution@.";
   Format.printf "%8s %8s %10s %12s %12s@." "target" "cost" "measured" "max_reorder"
     "mean_latency";
   List.iter
     (fun target ->
-      match (Rentcost.Ilp.solve problem ~target).Rentcost.Ilp.allocation with
+      match
+        (Rentcost.Solver.solve ~spec:Rentcost.Solver.Auto problem ~target)
+          .Rentcost.Solver.allocation
+      with
       | None -> Format.printf "%8d (no allocation)@." target
       | Some alloc ->
         let report =

@@ -6,15 +6,27 @@
      dune exec bin/rentcost.exe -- info app.rentcost
      dune exec bin/rentcost.exe -- solve app.rentcost --target 70
      dune exec bin/rentcost.exe -- solve app.rentcost --target 70 -a h32jump
-     dune exec bin/rentcost.exe -- validate app.rentcost --target 70 *)
+     dune exec bin/rentcost.exe -- solve app.rentcost --target 70 --time-limit 5
+     dune exec bin/rentcost.exe -- validate app.rentcost --target 70
+
+   Every solve goes through the unified [Rentcost.Solver] engine; the
+   default algorithm "auto" routes on problem structure (§ V-A/V-B
+   DPs, § V-C ILP) and degrades to the best heuristic incumbent when
+   a --time-limit / --node-limit / --max-evals budget expires. *)
 
 open Cmdliner
 
+module S = Rentcost.Solver
+
 let algorithms =
-  [ ("ilp", `Ilp); ("dp", `Dp); ("h0", `H Rentcost.Heuristics.H0);
-    ("h1", `H Rentcost.Heuristics.H1); ("h2", `H Rentcost.Heuristics.H2);
-    ("h31", `H Rentcost.Heuristics.H31); ("h32", `H Rentcost.Heuristics.H32);
-    ("h32jump", `H Rentcost.Heuristics.H32_jump) ]
+  [ ("auto", S.Auto); ("ilp", S.Exact_ilp); ("dp", S.Dp_disjoint);
+    ("dp-blackbox", S.Dp_blackbox); ("exhaustive", S.Exhaustive);
+    ("h0", S.Heuristic Rentcost.Heuristics.H0);
+    ("h1", S.Heuristic Rentcost.Heuristics.H1);
+    ("h2", S.Heuristic Rentcost.Heuristics.H2);
+    ("h31", S.Heuristic Rentcost.Heuristics.H31);
+    ("h32", S.Heuristic Rentcost.Heuristics.H32);
+    ("h32jump", S.Heuristic Rentcost.Heuristics.H32_jump) ]
 
 let load path =
   try Ok (Rentcost.Problem_format.load path) with
@@ -32,41 +44,31 @@ let print_allocation problem target (a : Rentcost.Allocation.t) =
   if not (Rentcost.Allocation.feasible problem ~target a) then
     Format.printf "WARNING: allocation does not reach the target@."
 
-let solve_with problem ~target ~algorithm ~seed ~step ~time_limit ~node_limit =
-  match algorithm with
-  | `Ilp ->
-    let o = Rentcost.Ilp.solve ?time_limit ?node_limit problem ~target in
-    (match o.Rentcost.Ilp.allocation with
-     | Some a ->
-       Format.printf "%s (nodes: %d, %.3f s%s)@."
-         (if o.Rentcost.Ilp.proved_optimal then "optimal" else "feasible (not proved)")
-         o.Rentcost.Ilp.nodes o.Rentcost.Ilp.elapsed
-         (match o.Rentcost.Ilp.best_bound with
-          | Some b when not o.Rentcost.Ilp.proved_optimal ->
-            Printf.sprintf ", lower bound %d" b
-          | _ -> "");
-       Ok a
-     | None -> Error "no solution found within the limits")
-  | `Dp ->
-    if Rentcost.Problem.is_disjoint problem then
-      Ok (Rentcost.Dp_disjoint.solve problem ~target)
-    else Error "dp requires recipes with disjoint type sets (try: ilp)"
-  | `H name ->
-    let params = { Rentcost.Heuristics.default_params with step } in
-    let res =
-      Rentcost.Heuristics.run ~params name ~rng:(Numeric.Prng.create seed) problem
-        ~target
-    in
-    Format.printf "heuristic %s (%d cost evaluations)@."
-      (Rentcost.Heuristics.name_to_string name)
-      res.Rentcost.Heuristics.evaluations;
-    Ok res.Rentcost.Heuristics.allocation
+let print_telemetry status (t : S.telemetry) =
+  Format.printf "%s via %s (%.3f s" (S.status_to_string status)
+    (S.spec_to_string t.S.engine) t.S.wall_time;
+  if t.S.nodes > 0 then Format.printf ", %d nodes" t.S.nodes;
+  if t.S.pivots > 0 then Format.printf ", %d pivots" t.S.pivots;
+  if t.S.evaluations > 0 then Format.printf ", %d evaluations" t.S.evaluations;
+  Format.printf ")@."
 
-let cmd_solve path target algorithm seed step time_limit node_limit =
+let solve_with problem ~target ~spec ~seed ~step ~budget =
+  let params = { Rentcost.Heuristics.default_params with step } in
+  match
+    S.solve ~budget ~rng:(Numeric.Prng.create seed) ~params ~spec problem ~target
+  with
+  | exception Invalid_argument msg -> Error msg
+  | o ->
+    print_telemetry o.S.status o.S.telemetry;
+    (match o.S.allocation with
+     | Some a -> Ok a
+     | None -> Error "no allocation meets the target")
+
+let cmd_solve path target spec seed step budget =
   match load path with
   | Error msg -> `Error (false, msg)
   | Ok problem ->
-    (match solve_with problem ~target ~algorithm ~seed ~step ~time_limit ~node_limit with
+    (match solve_with problem ~target ~spec ~seed ~step ~budget with
      | Ok a ->
        print_allocation problem target a;
        `Ok ()
@@ -87,19 +89,21 @@ let cmd_info path =
           (Task_graph.critical_path_length r)
           (String.concat "," (List.map string_of_int (Task_graph.types_used r))))
       (Problem.recipes problem);
-    Format.printf "classification: %s@."
-      (if Problem.is_blackbox problem then "black-box (§ V-A: use dp or ilp)"
-       else if Problem.is_disjoint problem then "disjoint types (§ V-B: use dp)"
-       else "shared types (§ V-C: use ilp or heuristics)");
+    Format.printf "classification: %s (auto engine: %s)@."
+      (if Problem.is_blackbox problem then "black-box (§ V-A)"
+       else if Problem.is_disjoint problem then "disjoint types (§ V-B)"
+       else "shared types (§ V-C)")
+      (S.spec_to_string (S.auto_spec problem));
     `Ok ()
 
-let cmd_validate path target items =
+let cmd_validate path target items budget =
   match load path with
   | Error msg -> `Error (false, msg)
   | Ok problem ->
-    (match (Rentcost.Ilp.solve problem ~target).Rentcost.Ilp.allocation with
-     | None -> `Error (false, "no solution")
-     | Some a ->
+    (match S.solve ~budget ~spec:S.Auto problem ~target with
+     | { S.allocation = None; _ } -> `Error (false, "no solution")
+     | { S.allocation = Some a; status; telemetry } ->
+       print_telemetry status telemetry;
        print_allocation problem target a;
        let report =
          Streamsim.Sim.run problem a
@@ -118,9 +122,11 @@ let cmd_example () =
 
 let algorithm_arg =
   Arg.(value
-      & opt (enum algorithms) `Ilp
+      & opt (enum algorithms) S.Auto
       & info [ "algorithm"; "a" ] ~docv:"ALG"
-          ~doc:"One of: ilp, dp, h0, h1, h2, h31, h32, h32jump.")
+          ~doc:
+            "One of: auto, ilp, dp, dp-blackbox, exhaustive, h0, h1, h2, h31, \
+             h32, h32jump.")
 
 let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
 
@@ -129,11 +135,15 @@ let step_arg =
 
 let time_limit_arg =
   Arg.(value & opt (some float) None & info [ "time-limit" ] ~docv:"S"
-         ~doc:"ILP wall-clock limit in seconds.")
+         ~doc:"Wall-clock budget in seconds.")
 
 let node_limit_arg =
   Arg.(value & opt (some int) None & info [ "node-limit" ] ~docv:"N"
-         ~doc:"ILP branch-and-bound node limit.")
+         ~doc:"Branch-and-bound node budget (deterministic).")
+
+let max_evals_arg =
+  Arg.(value & opt (some int) None & info [ "max-evals" ] ~docv:"N"
+         ~doc:"Cost-oracle evaluation budget for heuristics (deterministic).")
 
 let items_arg =
   Arg.(value & opt int 2000 & info [ "items" ] ~docv:"N" ~doc:"Simulated stream items.")
@@ -142,13 +152,16 @@ let subcommand =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"COMMAND"
          ~doc:"solve, info, validate, or example.")
 
-let main sub path target algorithm seed step time_limit node_limit items =
+let main sub path target spec seed step time_limit node_limit max_evals items =
+  let budget =
+    { Rentcost.Budget.deadline = time_limit; node_cap = node_limit;
+      eval_cap = max_evals }
+  in
   match (sub, path, target) with
   | "example", _, _ -> `Ok (cmd_example ())
   | "info", Some path, _ -> cmd_info path
-  | "solve", Some path, Some target ->
-    cmd_solve path target algorithm seed step time_limit node_limit
-  | "validate", Some path, Some target -> cmd_validate path target items
+  | "solve", Some path, Some target -> cmd_solve path target spec seed step budget
+  | "validate", Some path, Some target -> cmd_validate path target items budget
   | ("solve" | "validate"), Some _, None ->
     `Error (true, "--target is required")
   | ("info" | "solve" | "validate"), None, _ ->
@@ -167,6 +180,6 @@ let cmd =
         $ Arg.(value & opt (some int) None
                & info [ "target"; "t" ] ~docv:"N" ~doc:"Target throughput.")
         $ algorithm_arg $ seed_arg $ step_arg $ time_limit_arg $ node_limit_arg
-        $ items_arg))
+        $ max_evals_arg $ items_arg))
 
 let () = exit (Cmd.eval cmd)

@@ -1,4 +1,5 @@
 module H = Rentcost.Heuristics
+module S = Rentcost.Solver
 
 type algorithm =
   | Ilp of { time_limit : float option; node_limit : int option }
@@ -12,36 +13,38 @@ let algorithm_name = function
   | Ilp _ -> "ILP"
   | Heuristic n -> H.name_to_string n
 
+let algorithm_spec = function
+  | Ilp _ -> S.Exact_ilp
+  | Heuristic n -> S.Heuristic n
+
+let algorithm_budget = function
+  | Ilp { time_limit; node_limit } ->
+    { Rentcost.Budget.deadline = time_limit; node_cap = node_limit; eval_cap = None }
+  | Heuristic _ -> Rentcost.Budget.unlimited
+
 type measurement = {
   config : int;
   target : int;
   algorithm : string;
   cost : int;
-  time : float;
   proved_optimal : bool;
-  nodes : int;
+  telemetry : S.telemetry;
 }
 
-let solve_one ~rng ~params problem ~target = function
-  | Ilp { time_limit; node_limit } ->
-    let t0 = Unix.gettimeofday () in
-    let o = Rentcost.Ilp.solve ?time_limit ?node_limit problem ~target in
-    let time = Unix.gettimeofday () -. t0 in
-    (match o.Rentcost.Ilp.allocation with
-     | Some a ->
-       (a.Rentcost.Allocation.cost, time, o.Rentcost.Ilp.proved_optimal,
-        o.Rentcost.Ilp.nodes)
-     | None ->
-       (* A time limit can expire before any incumbent; fall back to
-          the H1 closed form so the measurement row stays comparable
-          (the paper reports Gurobi's incumbent similarly). *)
-       let h1 = H.h1_best_graph problem ~target in
-       (h1.H.allocation.Rentcost.Allocation.cost,
-        Unix.gettimeofday () -. t0, false, o.Rentcost.Ilp.nodes))
-  | Heuristic name ->
-    let t0 = Unix.gettimeofday () in
-    let res = H.run ~params name ~rng problem ~target in
-    (res.H.allocation.Rentcost.Allocation.cost, Unix.gettimeofday () -. t0, false, 0)
+let solve_one ~rng ~params problem ~target alg =
+  (* All timing, node/evaluation accounting and ILP-timeout fallback
+     live in [Solver.solve]; the runner only labels rows. *)
+  let o =
+    S.solve ~budget:(algorithm_budget alg) ~rng ~params
+      ~spec:(algorithm_spec alg) problem ~target
+  in
+  match o.S.allocation with
+  | Some a ->
+    (a.Rentcost.Allocation.cost, o.S.status = S.Optimal, o.S.telemetry)
+  | None ->
+    (* Unreachable for target >= 0: the rental problem always has a
+       feasible point and the solver degrades rather than giving up. *)
+    assert false
 
 let run_instance ~rng ~config problem ~targets ~algorithms ~params =
   List.concat_map
@@ -49,11 +52,11 @@ let run_instance ~rng ~config problem ~targets ~algorithms ~params =
       List.map
         (fun alg ->
           let alg_rng = Numeric.Prng.split rng in
-          let cost, time, proved_optimal, nodes =
+          let cost, proved_optimal, telemetry =
             solve_one ~rng:alg_rng ~params problem ~target alg
           in
-          { config; target; algorithm = algorithm_name alg; cost; time;
-            proved_optimal; nodes })
+          { config; target; algorithm = algorithm_name alg; cost;
+            proved_optimal; telemetry })
         algorithms)
     targets
 

@@ -1,7 +1,13 @@
 (** Experiment driver: runs a set of algorithms over generated
     configurations and a sweep of target throughputs, recording cost
-    and wall-clock time per solve — the OCaml counterpart of the
-    paper's Python "cloud renting simulator" (§ VIII-A). *)
+    and per-solve telemetry — the OCaml counterpart of the paper's
+    Python "cloud renting simulator" (§ VIII-A).
+
+    Every solve goes through {!Rentcost.Solver.solve}, so rows carry
+    the engine's own telemetry (wall time, pivots, nodes, oracle
+    evaluations) rather than runner-side stopwatch readings, and an
+    ILP whose budget expires degrades to its incumbent instead of
+    failing the row. *)
 
 (** An algorithm entry: the exact ILP (optionally capped, as in the
     paper's Figure 8) or one of the § VI heuristics. A [node_limit]
@@ -19,15 +25,22 @@ val paper_algorithms :
 
 val algorithm_name : algorithm -> string
 
+(** The {!Rentcost.Solver.spec} an entry runs under. *)
+val algorithm_spec : algorithm -> Rentcost.Solver.spec
+
+(** The {!Rentcost.Budget.t} an entry is capped with. *)
+val algorithm_budget : algorithm -> Rentcost.Budget.t
+
 (** One solve outcome. *)
 type measurement = {
   config : int;  (** configuration (instance) index *)
   target : int;  (** target throughput ρ *)
   algorithm : string;
   cost : int;
-  time : float;  (** wall-clock seconds *)
   proved_optimal : bool;  (** true for ILP runs that proved optimality *)
-  nodes : int;  (** branch-and-bound nodes (0 for heuristics) *)
+  telemetry : Rentcost.Solver.telemetry;
+      (** engine-reported effort: wall time, simplex pivots,
+          branch-and-bound nodes, cost-oracle evaluations *)
 }
 
 (** [run_instance ~rng ~config problem ~targets ~algorithms ~params]

@@ -104,7 +104,10 @@ let mean_times ms =
     (fun ~tbl ~configs ~algorithms:_ ~target ~alg ->
       mean
         (List.filter_map
-           (fun config -> Option.map (fun m -> m.Runner.time) (lookup tbl config target alg))
+           (fun config ->
+             Option.map
+               (fun m -> m.Runner.telemetry.Rentcost.Solver.wall_time)
+               (lookup tbl config target alg))
            configs))
 
 let mean_nodes ms =
@@ -113,7 +116,20 @@ let mean_nodes ms =
       mean
         (List.filter_map
            (fun config ->
-             Option.map (fun m -> float_of_int m.Runner.nodes) (lookup tbl config target alg))
+             Option.map
+               (fun m -> float_of_int m.Runner.telemetry.Rentcost.Solver.nodes)
+               (lookup tbl config target alg))
+           configs))
+
+let mean_evaluations ms =
+  aggregate ~ylabel:"mean cost-oracle evaluations" ms
+    (fun ~tbl ~configs ~algorithms:_ ~target ~alg ->
+      mean
+        (List.filter_map
+           (fun config ->
+             Option.map
+               (fun m -> float_of_int m.Runner.telemetry.Rentcost.Solver.evaluations)
+               (lookup tbl config target alg))
            configs))
 
 let mean_gap_vs_reference ms ~reference =

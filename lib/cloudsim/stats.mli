@@ -40,6 +40,12 @@ val mean_gap_vs_reference : Runner.measurement list -> reference:string -> serie
     Figures 5/8. *)
 val mean_nodes : Runner.measurement list -> series
 
+(** [mean_evaluations ms] is, per target, the mean cost-oracle
+    evaluation count per algorithm — the machine-independent effort
+    measure of the heuristic columns (the ILP column counts its warm
+    start and any fallback stage). *)
+val mean_evaluations : Runner.measurement list -> series
+
 (** [optimality_rate ms] is, per target, the fraction of
     configurations whose ILP run proved optimality — the paper's
     Figure 8 commentary (time-limit hits). Algorithms other than the

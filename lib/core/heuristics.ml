@@ -29,22 +29,56 @@ let default_params =
   { step = 1; iterations = 500; patience = 100; jumps = 50; jump_size = 4;
     exhaustive_deltas = false }
 
-type result = { allocation : Allocation.t; evaluations : int }
+type result = { allocation : Allocation.t; evaluations : int; exhausted : bool }
 
 let check_params p =
   if p.step <= 0 then invalid_arg "Heuristics: step must be positive";
   if p.iterations < 0 || p.patience < 0 || p.jumps < 0 || p.jump_size < 0 then
     invalid_arg "Heuristics: negative iteration parameter"
 
-(* A counting cost oracle shared by one heuristic run. *)
-type oracle = { problem : Problem.t; mutable evals : int }
+let evals_counter = Telemetry.counter Telemetry.heuristic_evals
+
+(* A counting cost oracle shared by one heuristic run; also the
+   enforcement point for evaluation/deadline budgets ([stopped] is
+   checked at move boundaries, so a run always ends on a complete,
+   feasible incumbent). *)
+type oracle = {
+  problem : Problem.t;
+  mutable evals : int;
+  eval_cap : int option;
+  deadline_at : float option;  (* absolute Unix time *)
+  mutable exhausted : bool;
+}
+
+let make_oracle problem (budget : Budget.t) =
+  { problem; evals = 0; eval_cap = budget.Budget.eval_cap;
+    deadline_at =
+      Option.map (fun d -> Unix.gettimeofday () +. d) budget.Budget.deadline;
+    exhausted = false }
+
+(* Sticky out-of-budget test: once tripped, stays tripped. *)
+let stopped oracle =
+  oracle.exhausted
+  || ((match oracle.eval_cap with
+       | Some cap -> oracle.evals >= cap
+       | None -> false)
+      || (match oracle.deadline_at with
+          | Some t -> Unix.gettimeofday () >= t
+          | None -> false))
+     && begin
+       oracle.exhausted <- true;
+       true
+     end
 
 let cost oracle rho =
   oracle.evals <- oracle.evals + 1;
+  Telemetry.bump evals_counter;
   (Allocation.of_rho oracle.problem ~rho).Allocation.cost
 
 let finish oracle rho =
-  { allocation = Allocation.of_rho oracle.problem ~rho; evaluations = oracle.evals }
+  { allocation = Allocation.of_rho oracle.problem ~rho;
+    evaluations = oracle.evals;
+    exhausted = oracle.exhausted }
 
 let check_target target = if target < 0 then invalid_arg "Heuristics: negative target"
 
@@ -74,9 +108,9 @@ let random_composition rng j_count target =
   rho.(j_count - 1) <- target - !prev;
   rho
 
-let h0_random ?params:_ ~rng problem ~target =
+let h0_random ?params:_ ?(budget = Budget.unlimited) ~rng problem ~target =
   check_target target;
-  let oracle = { problem; evals = 0 } in
+  let oracle = make_oracle problem budget in
   let j_count = Problem.num_recipes problem in
   let rho =
     if j_count = 1 then [| target |] else random_composition rng j_count target
@@ -85,6 +119,9 @@ let h0_random ?params:_ ~rng problem ~target =
 
 (* ----- H1: best single graph ----- *)
 
+(* H1 always runs to completion regardless of budget: its J
+   evaluations are the feasibility floor every budgeted run can
+   afford, and every other heuristic starts from its vector. *)
 let h1_vector oracle target =
   let j_count = Problem.num_recipes oracle.problem in
   let best_j = ref 0 and best_cost = ref max_int in
@@ -101,9 +138,9 @@ let h1_vector oracle target =
   rho.(!best_j) <- target;
   (rho, !best_cost)
 
-let h1_best_graph problem ~target =
+let h1_best_graph ?(budget = Budget.unlimited) problem ~target =
   check_target target;
-  let oracle = { problem; evals = 0 } in
+  let oracle = make_oracle problem budget in
   let rho, _ = h1_vector oracle target in
   finish oracle rho
 
@@ -115,16 +152,19 @@ let random_pair rng j_count =
   let j2 = (j1 + 1 + P.int rng (j_count - 1)) mod j_count in
   (j1, j2)
 
-let h2_random_walk ?(params = default_params) ~rng problem ~target =
+let h2_random_walk ?(params = default_params) ?(budget = Budget.unlimited) ~rng
+    problem ~target =
   check_params params;
   check_target target;
-  let oracle = { problem; evals = 0 } in
+  let oracle = make_oracle problem budget in
   let j_count = Problem.num_recipes problem in
   let current, current_cost = h1_vector oracle target in
   if j_count = 1 then finish oracle current
   else begin
     let best = Array.copy current and best_cost = ref current_cost in
-    for _ = 1 to params.iterations do
+    let i = ref 0 in
+    while !i < params.iterations && not (stopped oracle) do
+      incr i;
       let j1, j2 = random_pair rng j_count in
       ignore (move current j1 j2 params.step);
       let c = cost oracle current in
@@ -140,17 +180,19 @@ let h2_random_walk ?(params = default_params) ~rng problem ~target =
 
 (* ----- H31: stochastic descent ----- *)
 
-let h31_stochastic_descent ?(params = default_params) ~rng problem ~target =
+let h31_stochastic_descent ?(params = default_params) ?(budget = Budget.unlimited)
+    ~rng problem ~target =
   check_params params;
   check_target target;
-  let oracle = { problem; evals = 0 } in
+  let oracle = make_oracle problem budget in
   let j_count = Problem.num_recipes problem in
   let current, c0 = h1_vector oracle target in
   if j_count = 1 then finish oracle current
   else begin
     let current_cost = ref c0 in
     let stale = ref 0 and i = ref 0 in
-    while !i < params.iterations && !stale < params.patience do
+    while !i < params.iterations && !stale < params.patience && not (stopped oracle)
+    do
       incr i;
       let j1, j2 = random_pair rng j_count in
       let moved = move current j1 j2 params.step in
@@ -190,12 +232,12 @@ let steepest_step oracle params rho current_cost =
     end
   in
   for j1 = 0 to j_count - 1 do
-    if rho.(j1) > 0 then
+    if rho.(j1) > 0 && not (stopped oracle) then
       for j2 = 0 to j_count - 1 do
         if j1 <> j2 then
           if params.exhaustive_deltas then begin
             let delta = ref params.step in
-            while !delta < rho.(j1) do
+            while !delta < rho.(j1) && not (stopped oracle) do
               try_move j1 j2 !delta;
               delta := !delta + params.step
             done;
@@ -213,31 +255,35 @@ let steepest_step oracle params rho current_cost =
 
 let descend oracle params rho cost0 =
   let current_cost = ref cost0 in
-  while steepest_step oracle params rho current_cost do
+  while (not (stopped oracle)) && steepest_step oracle params rho current_cost do
     ()
   done;
   !current_cost
 
-let h32_steepest ?(params = default_params) problem ~target =
+let h32_steepest ?(params = default_params) ?(budget = Budget.unlimited) problem
+    ~target =
   check_params params;
   check_target target;
-  let oracle = { problem; evals = 0 } in
+  let oracle = make_oracle problem budget in
   let rho, c0 = h1_vector oracle target in
   ignore (descend oracle params rho c0);
   finish oracle rho
 
 (* ----- H32Jump: steepest gradient with random restarts nearby ----- *)
 
-let h32_jump ?(params = default_params) ~rng problem ~target =
+let h32_jump ?(params = default_params) ?(budget = Budget.unlimited) ~rng problem
+    ~target =
   check_params params;
   check_target target;
-  let oracle = { problem; evals = 0 } in
+  let oracle = make_oracle problem budget in
   let j_count = Problem.num_recipes problem in
   let current, c0 = h1_vector oracle target in
   let current_cost = ref (descend oracle params current c0) in
   let best = Array.copy current and best_cost = ref !current_cost in
-  if j_count > 1 then
-    for _ = 1 to params.jumps do
+  if j_count > 1 then begin
+    let jump = ref 0 in
+    while !jump < params.jumps && not (stopped oracle) do
+      incr jump;
       (* Perturb: accept a burst of random exchanges unconditionally,
          then descend to the nearby local minimum. *)
       for _ = 1 to params.jump_size do
@@ -249,14 +295,21 @@ let h32_jump ?(params = default_params) ~rng problem ~target =
         best_cost := !current_cost;
         Array.blit current 0 best 0 j_count
       end
-    done;
+    done
+  end;
   finish oracle best
 
-let run ?(params = default_params) name ~rng problem ~target =
+(* A fixed fallback seed so [run] stays usable — and reproducible —
+   when the caller has no PRNG at hand (deterministic heuristics never
+   touch it). *)
+let default_seed = 0x5EED
+
+let run ?(params = default_params) ?budget ?rng name problem ~target =
+  let rng = match rng with Some r -> r | None -> P.create default_seed in
   match name with
-  | H0 -> h0_random ~params ~rng problem ~target
-  | H1 -> h1_best_graph problem ~target
-  | H2 -> h2_random_walk ~params ~rng problem ~target
-  | H31 -> h31_stochastic_descent ~params ~rng problem ~target
-  | H32 -> h32_steepest ~params problem ~target
-  | H32_jump -> h32_jump ~params ~rng problem ~target
+  | H0 -> h0_random ~params ?budget ~rng problem ~target
+  | H1 -> h1_best_graph ?budget problem ~target
+  | H2 -> h2_random_walk ~params ?budget ~rng problem ~target
+  | H31 -> h31_stochastic_descent ~params ?budget ~rng problem ~target
+  | H32 -> h32_steepest ~params ?budget problem ~target
+  | H32_jump -> h32_jump ~params ?budget ~rng problem ~target

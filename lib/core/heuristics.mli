@@ -10,7 +10,19 @@
 
     Stochastic heuristics (H0, H2, H31, H32Jump) draw randomness
     exclusively from the supplied {!Numeric.Prng.t}, so runs are
-    reproducible from a seed. *)
+    reproducible from a seed.
+
+    Every heuristic accepts a {!Budget.t} and honours its [eval_cap]
+    and [deadline] axes, checked between moves: a run that exhausts its
+    budget stops early and returns its best incumbent with
+    [exhausted = true]. H1 is the floor — its [J] evaluations always
+    complete, so every budgeted run returns a feasible allocation.
+
+    Note: this module is the low-level per-heuristic interface. New
+    code should prefer {!Solver.solve} (with
+    [~spec:(Heuristic name)] or [~spec:Auto]), which adds engine
+    dispatch, uniform budget semantics across exact and heuristic
+    engines, and per-solve telemetry. *)
 
 type name = H0 | H1 | H2 | H31 | H32 | H32_jump
 
@@ -42,45 +54,77 @@ val default_params : params
 type result = {
   allocation : Allocation.t;
   evaluations : int;  (** cost-oracle calls, a machine-independent effort measure *)
+  exhausted : bool;
+      (** true when the run was cut short by its {!Budget.t}; the
+          allocation is still the best incumbent found *)
 }
 
 (** [h0_random] draws a uniformly random composition of the target
     over the recipes (§ VI-a). *)
 val h0_random :
-  ?params:params -> rng:Numeric.Prng.t -> Problem.t -> target:int -> result
+  ?params:params ->
+  ?budget:Budget.t ->
+  rng:Numeric.Prng.t ->
+  Problem.t ->
+  target:int ->
+  result
 
 (** [h1_best_graph] routes the whole target through the single
     cheapest recipe (§ VI-b); complexity [O(J·Q)]. Deterministic. *)
-val h1_best_graph : Problem.t -> target:int -> result
+val h1_best_graph : ?budget:Budget.t -> Problem.t -> target:int -> result
 
 (** [h2_random_walk] starts from H1 and repeatedly applies random
     exchanges, always adopting the move and remembering the best
     solution seen (§ VI-c). *)
 val h2_random_walk :
-  ?params:params -> rng:Numeric.Prng.t -> Problem.t -> target:int -> result
+  ?params:params ->
+  ?budget:Budget.t ->
+  rng:Numeric.Prng.t ->
+  Problem.t ->
+  target:int ->
+  result
 
 (** [h31_stochastic_descent] is H2 but a move is kept only when it
     improves the incumbent (§ VI-d). *)
 val h31_stochastic_descent :
-  ?params:params -> rng:Numeric.Prng.t -> Problem.t -> target:int -> result
+  ?params:params ->
+  ?budget:Budget.t ->
+  rng:Numeric.Prng.t ->
+  Problem.t ->
+  target:int ->
+  result
 
 (** [h32_steepest] repeatedly applies the best exchange over all
     ordered recipe pairs until none improves — a steepest-gradient
     descent to a local minimum (§ VI-e). Deterministic. *)
-val h32_steepest : ?params:params -> Problem.t -> target:int -> result
+val h32_steepest :
+  ?params:params -> ?budget:Budget.t -> Problem.t -> target:int -> result
 
 (** [h32_jump] escapes H32 local minima by applying a burst of random
     exchanges and descending again, keeping the best local minimum
     found (§ VI-e). *)
 val h32_jump :
-  ?params:params -> rng:Numeric.Prng.t -> Problem.t -> target:int -> result
+  ?params:params ->
+  ?budget:Budget.t ->
+  rng:Numeric.Prng.t ->
+  Problem.t ->
+  target:int ->
+  result
 
-(** [run name] dispatches to the heuristic; deterministic heuristics
-    ignore [rng]. *)
+(** [run name] dispatches to the heuristic. [rng] is only drawn from
+    by the stochastic heuristics (H0, H2, H31, H32Jump) and may be
+    omitted even for them, in which case a fixed-seed PRNG makes the
+    run deterministic; deterministic H1/H32 never touch it.
+
+    @deprecated as an application entry point — prefer
+    {!Solver.solve} [~spec:(Heuristic name)], which wraps this
+    dispatch with budget fallback semantics and telemetry. [run]
+    remains the stable low-level hook the solver itself uses. *)
 val run :
   ?params:params ->
+  ?budget:Budget.t ->
+  ?rng:Numeric.Prng.t ->
   name ->
-  rng:Numeric.Prng.t ->
   Problem.t ->
   target:int ->
   result

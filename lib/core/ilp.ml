@@ -3,6 +3,7 @@ module R = Numeric.Rat
 type outcome = {
   allocation : Allocation.t option;
   proved_optimal : bool;
+  status : Milp.Solver.status;
   best_bound : int option;
   nodes : int;
   elapsed : float;
@@ -77,17 +78,27 @@ let decode problem solution =
 
 let solve ?time_limit ?node_limit ?(strategy = Milp.Solver.Best_bound)
     ?(warm_start = true) ?(cut_rounds = 0) problem ~target =
+  let t0 = Unix.gettimeofday () in
   let model, integer = build problem ~target in
   let j_count = Problem.num_recipes problem in
   let q_count = Problem.num_types problem in
   (* Seed the branch-and-bound with the best heuristic point: its cost
      is an upper cutoff that prunes most of the tree (the role played
-     by Gurobi's internal primal heuristics in the paper's runs). *)
+     by Gurobi's internal primal heuristics in the paper's runs). The
+     warm start shares this solve's deadline, so a capped run cannot
+     overshoot it warming up; whatever it produces — at worst the H1
+     floor — still seeds the search. *)
   let warm =
     if not warm_start then None
     else begin
+      let budget =
+        match time_limit with
+        | Some d -> Budget.deadline (Float.max 0.0 d)
+        | None -> Budget.unlimited
+      in
       let res =
-        Heuristics.h32_jump ~rng:(Numeric.Prng.create 0x5EED) problem ~target
+        Heuristics.h32_jump ~budget ~rng:(Numeric.Prng.create 0x5EED) problem
+          ~target
       in
       let a = res.Heuristics.allocation in
       Some
@@ -98,6 +109,12 @@ let solve ?time_limit ?node_limit ?(strategy = Milp.Solver.Best_bound)
   in
   let priority =
     [ List.init j_count Fun.id; List.init q_count (fun q -> j_count + q) ]
+  in
+  (* Charge warm-up time against the wall-clock budget. *)
+  let time_limit =
+    Option.map
+      (fun d -> Float.max 0.0 (d -. (Unix.gettimeofday () -. t0)))
+      time_limit
   in
   let result =
     Milp.Solver.solve ?time_limit ?node_limit ~integral_objective:true ~strategy
@@ -111,9 +128,10 @@ let solve ?time_limit ?node_limit ?(strategy = Milp.Solver.Best_bound)
   in
   { allocation;
     proved_optimal = result.Milp.Solver.status = Milp.Solver.Optimal;
+    status = result.Milp.Solver.status;
     best_bound;
     nodes = result.Milp.Solver.nodes;
-    elapsed = result.Milp.Solver.elapsed }
+    elapsed = Unix.gettimeofday () -. t0 }
 
 let lp_lower_bound problem ~target =
   let model, _ = build problem ~target in

@@ -14,7 +14,10 @@
 
 type outcome = {
   allocation : Allocation.t option;  (** best integer solution found *)
-  proved_optimal : bool;
+  proved_optimal : bool;  (** [status = Optimal], kept for convenience *)
+  status : Milp.Solver.status;
+      (** the branch-and-bound verdict, distinguishing a limit hit
+          with an incumbent ([Feasible]) from one without ([Unknown]) *)
   best_bound : int option;
       (** proven lower bound on the optimal cost (rounded up) *)
   nodes : int;  (** branch-and-bound nodes *)

@@ -1,0 +1,123 @@
+type spec =
+  | Exact_ilp
+  | Dp_blackbox
+  | Dp_disjoint
+  | Exhaustive
+  | Heuristic of Heuristics.name
+  | Auto
+
+let spec_to_string = function
+  | Exact_ilp -> "ilp"
+  | Dp_blackbox -> "dp-blackbox"
+  | Dp_disjoint -> "dp-disjoint"
+  | Exhaustive -> "exhaustive"
+  | Heuristic n -> String.lowercase_ascii (Heuristics.name_to_string n)
+  | Auto -> "auto"
+
+let spec_of_string s =
+  match String.lowercase_ascii s with
+  | "auto" -> Some Auto
+  | "ilp" -> Some Exact_ilp
+  | "dp-blackbox" -> Some Dp_blackbox
+  | "dp" | "dp-disjoint" -> Some Dp_disjoint
+  | "exhaustive" -> Some Exhaustive
+  | "h0" -> Some (Heuristic Heuristics.H0)
+  | "h1" -> Some (Heuristic Heuristics.H1)
+  | "h2" -> Some (Heuristic Heuristics.H2)
+  | "h31" -> Some (Heuristic Heuristics.H31)
+  | "h32" -> Some (Heuristic Heuristics.H32)
+  | "h32jump" -> Some (Heuristic Heuristics.H32_jump)
+  | _ -> None
+
+type status = Optimal | Feasible | Budget_exhausted | Infeasible
+
+let status_to_string = function
+  | Optimal -> "optimal"
+  | Feasible -> "feasible"
+  | Budget_exhausted -> "budget-exhausted"
+  | Infeasible -> "infeasible"
+
+type telemetry = {
+  engine : spec;
+  wall_time : float;
+  evaluations : int;
+  pivots : int;
+  nodes : int;
+}
+
+type outcome = {
+  status : status;
+  allocation : Allocation.t option;
+  telemetry : telemetry;
+}
+
+let auto_spec problem =
+  if Problem.is_blackbox problem then Dp_blackbox
+  else if Problem.is_disjoint problem then Dp_disjoint
+  else Exact_ilp
+
+(* When the ILP exhausts its budget with no incumbent at all, degrade
+   to the best heuristic reachable in whatever budget remains. H32Jump
+   under an already-expired budget collapses to the H1 floor, which
+   always completes, so this stage cannot come back empty. *)
+let heuristic_fallback ~budget ~rng ~params ~t0 problem ~target =
+  let budget = Budget.remaining budget ~elapsed:(Unix.gettimeofday () -. t0) in
+  (Heuristics.run ~params ~budget ?rng Heuristics.H32_jump problem ~target)
+    .Heuristics.allocation
+
+let run_engine ~budget ~rng ~params ~t0 engine problem ~target =
+  match engine with
+  | Auto -> assert false (* resolved by [solve] *)
+  | Dp_blackbox -> (Optimal, Some (Dp_blackbox.solve problem ~target))
+  | Dp_disjoint -> (Optimal, Some (Dp_disjoint.solve problem ~target))
+  | Exhaustive -> (Optimal, Some (Exhaustive.solve problem ~target))
+  | Exact_ilp ->
+    let o =
+      Ilp.solve ?time_limit:budget.Budget.deadline
+        ?node_limit:budget.Budget.node_cap problem ~target
+    in
+    (match (o.Ilp.status, o.Ilp.allocation) with
+     | Milp.Solver.Optimal, (Some _ as a) -> (Optimal, a)
+     | Milp.Solver.Feasible, (Some _ as a) -> (Budget_exhausted, a)
+     | Milp.Solver.Infeasible, _ -> (Infeasible, None)
+     | (Milp.Solver.Unknown | Milp.Solver.Unbounded), _ | _, None ->
+       (* Budget expired before any integer point (the rental MILP is
+          never unbounded): degrade to a heuristic incumbent. *)
+       ( Budget_exhausted,
+         Some (heuristic_fallback ~budget ~rng ~params ~t0 problem ~target) ))
+  | Heuristic name ->
+    let r = Heuristics.run ~params ~budget ?rng name problem ~target in
+    ( (if r.Heuristics.exhausted then Budget_exhausted else Feasible),
+      Some r.Heuristics.allocation )
+
+let solve ?(budget = Budget.unlimited) ?rng ?(params = Heuristics.default_params)
+    ~spec problem ~target =
+  if target < 0 then invalid_arg "Solver.solve: negative target";
+  let t0 = Unix.gettimeofday () in
+  let evals0 = Telemetry.value Telemetry.heuristic_evals in
+  let pivots0 = Telemetry.value Telemetry.lp_pivots in
+  let nodes0 = Telemetry.value Telemetry.milp_nodes in
+  let engine = match spec with Auto -> auto_spec problem | s -> s in
+  let status, allocation = run_engine ~budget ~rng ~params ~t0 engine problem ~target in
+  let telemetry =
+    { engine;
+      wall_time = Unix.gettimeofday () -. t0;
+      evaluations = Telemetry.value Telemetry.heuristic_evals - evals0;
+      pivots = Telemetry.value Telemetry.lp_pivots - pivots0;
+      nodes = Telemetry.value Telemetry.milp_nodes - nodes0 }
+  in
+  { status; allocation; telemetry }
+
+let pp_outcome fmt o =
+  Format.fprintf fmt "@[<v>%s via %s in %.3f s" (status_to_string o.status)
+    (spec_to_string o.telemetry.engine)
+    o.telemetry.wall_time;
+  if o.telemetry.nodes > 0 then Format.fprintf fmt ", %d nodes" o.telemetry.nodes;
+  if o.telemetry.pivots > 0 then
+    Format.fprintf fmt ", %d pivots" o.telemetry.pivots;
+  if o.telemetry.evaluations > 0 then
+    Format.fprintf fmt ", %d evaluations" o.telemetry.evaluations;
+  (match o.allocation with
+   | Some a -> Format.fprintf fmt "@,%a" Allocation.pp a
+   | None -> Format.fprintf fmt "@,(no allocation)");
+  Format.fprintf fmt "@]"

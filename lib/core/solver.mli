@@ -1,0 +1,101 @@
+(** The unified front door to every solution method of the paper.
+
+    The five engines — the § V-A unbounded-knapsack DP, the § V-B
+    disjoint-types DP, the § V-C exact ILP, the § VI heuristics and
+    the brute-force test oracle — historically had unrelated entry
+    points, result records and budget knobs, so every driver
+    reimplemented timing, fallback and plumbing. [Solver.solve] is the
+    single engine-agnostic call: pick an engine (or let [Auto] route
+    on problem structure), cap the solve with a {!Budget.t}, and get
+    back one {!outcome} carrying a uniform {!status}, the best
+    allocation found, and per-solve {!telemetry}.
+
+    Budget semantics: a solve never raises or returns empty-handed
+    because a budget expired. Exact engines return their best
+    incumbent under [Budget_exhausted]; if the ILP runs out before
+    finding any integer point, the solver degrades to the best
+    heuristic incumbent reachable within whatever budget remains
+    (at worst the H1 closed form, which always completes). The two
+    DPs and the exhaustive oracle are not interruptible and ignore
+    budgets — they either finish or should not have been chosen.
+
+    Telemetry is measured as deltas of the global {!Telemetry}
+    counters around the solve, so nested or concurrent measurement at
+    outer layers stays correct. *)
+
+(** Which engine to run. [Auto] routes on the § V structure
+    predicates: black-box instances ({!Problem.is_blackbox}) to the
+    § V-A knapsack DP, disjoint-types instances
+    ({!Problem.is_disjoint}) to the § V-B DP, and general shared-types
+    instances to the § V-C ILP (H32Jump warm-started). *)
+type spec =
+  | Exact_ilp  (** § V-C branch and bound over exact LP relaxations *)
+  | Dp_blackbox  (** § V-A pseudo-polynomial knapsack DP *)
+  | Dp_disjoint  (** § V-B per-recipe split DP *)
+  | Exhaustive  (** brute-force split enumeration (test oracle) *)
+  | Heuristic of Heuristics.name  (** one of the § VI heuristics *)
+  | Auto  (** structure-directed routing, see above *)
+
+val spec_to_string : spec -> string
+
+(** [spec_of_string s] parses the [spec_to_string] forms plus the CLI
+    spellings ("auto", "ilp", "dp-blackbox", "dp", "exhaustive", "h0"
+    … "h32jump"). *)
+val spec_of_string : string -> spec option
+
+(** Uniform verdict across engines. *)
+type status =
+  | Optimal  (** allocation proven cost-minimal *)
+  | Feasible
+      (** valid allocation without an optimality proof (heuristic
+          engines that ran to completion) *)
+  | Budget_exhausted
+      (** the {!Budget.t} expired; the allocation is the best
+          incumbent found before it did *)
+  | Infeasible  (** no allocation meets the target (never for [target >= 0]) *)
+
+val status_to_string : status -> string
+
+(** Per-solve effort accounting, measured for exactly this solve. *)
+type telemetry = {
+  engine : spec;
+      (** the engine that actually ran — the [Auto] routing decision;
+          never [Auto] itself *)
+  wall_time : float;  (** seconds, fallback stages included *)
+  evaluations : int;  (** cost-oracle evaluations (heuristic effort) *)
+  pivots : int;  (** exact simplex pivots, both engines *)
+  nodes : int;  (** branch-and-bound nodes *)
+}
+
+type outcome = {
+  status : status;
+  allocation : Allocation.t option;
+      (** [None] only when [status = Infeasible] *)
+  telemetry : telemetry;
+}
+
+(** The engine [Auto] picks for this problem (routing only — no
+    solve). *)
+val auto_spec : Problem.t -> spec
+
+(** [solve ~spec problem ~target] runs the selected engine.
+
+    @param budget caps the solve (default {!Budget.unlimited}); see
+      the budget semantics above.
+    @param rng drives the stochastic heuristics; omitted, a fixed-seed
+      PRNG keeps runs deterministic. Exact engines ignore it.
+    @param params heuristic tuning (default
+      {!Heuristics.default_params}); exact engines ignore it.
+    @raise Invalid_argument when [target < 0], or when a DP engine is
+      forced (not via [Auto]) on a problem whose structure it does not
+      support. *)
+val solve :
+  ?budget:Budget.t ->
+  ?rng:Numeric.Prng.t ->
+  ?params:Heuristics.params ->
+  spec:spec ->
+  Problem.t ->
+  target:int ->
+  outcome
+
+val pp_outcome : Format.formatter -> outcome -> unit

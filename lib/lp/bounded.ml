@@ -27,6 +27,8 @@ module R = Numeric.Rat
 let pivot_count = ref 0
 let last_pivot_count () = !pivot_count
 
+let pivots_counter = Telemetry.counter Telemetry.lp_pivots
+
 type loc = Basic of int | Lower | Upper
 
 type tableau = {
@@ -56,6 +58,7 @@ let basic_values t =
 
 let pivot t z r c =
   incr pivot_count;
+  Telemetry.bump pivots_counter;
   let row_r = t.tab.(r) in
   let piv = row_r.(c) in
   if not (R.equal piv R.one) then begin

@@ -20,6 +20,8 @@ type result =
 let pivot_count = ref 0
 let last_pivot_count () = !pivot_count
 
+let pivots_counter = Telemetry.counter Telemetry.lp_pivots
+
 type tableau = {
   tab : R.t array array;  (* m rows of (ncols + 1) entries *)
   basis : int array;      (* m entries *)
@@ -31,6 +33,7 @@ type tableau = {
 (* Eliminate column [c] from every row but [r] after normalizing row [r]. *)
 let pivot t z r c =
   incr pivot_count;
+  Telemetry.bump pivots_counter;
   let row_r = t.tab.(r) in
   let piv = row_r.(c) in
   if not (R.equal piv R.one) then begin

@@ -12,6 +12,9 @@ module B = Numeric.Bigint
 
 type status = Optimal | Feasible | Infeasible | Unbounded | Unknown
 
+let nodes_counter = Telemetry.counter Telemetry.milp_nodes
+let incumbents_counter = Telemetry.counter Telemetry.milp_incumbents
+
 type solution = { objective : R.t; values : R.t array }
 
 type outcome = {
@@ -169,6 +172,7 @@ let solve ?time_limit ?node_limit ?(integral_objective = false)
      then invalid_arg "Milp.Solver.solve: warm start is not a feasible integer point";
      let o = Lp.Linexpr.eval obj values in
      let o = match sense with Lp.Model.Minimize -> o | Maximize -> R.neg o in
+     Telemetry.bump incumbents_counter;
      incumbent := Some (o, Array.copy values));
   let nodes = ref 0 in
   let seq = ref 0 in
@@ -201,6 +205,7 @@ let solve ?time_limit ?node_limit ?(integral_objective = false)
         then loop ()
         else begin
           incr nodes;
+          Telemetry.bump nodes_counter;
           let relaxation = lp_solve (apply_extras base node.extra) in
           (match relaxation with
            | Lp.Simplex.Infeasible ->
@@ -216,6 +221,7 @@ let solve ?time_limit ?node_limit ?(integral_objective = false)
                match choose_branch_var branching values groups with
                | None ->
                  (* Integral relaxation: new incumbent. *)
+                 Telemetry.bump incumbents_counter;
                  incumbent := Some (lp_obj, values)
                | Some v ->
                  let x = values.(v) in

@@ -1,0 +1,35 @@
+type counter = { mutable value : int }
+
+let enabled_flag = ref true
+
+let registry : (string, counter) Hashtbl.t = Hashtbl.create 16
+
+let counter name =
+  match Hashtbl.find_opt registry name with
+  | Some c -> c
+  | None ->
+    let c = { value = 0 } in
+    Hashtbl.add registry name c;
+    c
+
+let bump c = if !enabled_flag then c.value <- c.value + 1
+
+let add c n = if !enabled_flag then c.value <- c.value + n
+
+let read c = c.value
+
+let value name =
+  match Hashtbl.find_opt registry name with Some c -> c.value | None -> 0
+
+let all () =
+  List.sort compare
+    (Hashtbl.fold (fun name c acc -> (name, c.value) :: acc) registry [])
+
+let enabled () = !enabled_flag
+
+let set_enabled b = enabled_flag := b
+
+let lp_pivots = "lp.pivots"
+let milp_nodes = "milp.nodes"
+let milp_incumbents = "milp.incumbents"
+let heuristic_evals = "heuristics.evaluations"

@@ -1,0 +1,69 @@
+(** Lightweight cross-layer performance counters.
+
+    The solver stack spans several libraries (the simplex engines in
+    [lp], branch and bound in [milp], the heuristics in [rentcost]),
+    and a single user-facing solve may drive any combination of them.
+    Rather than thread effort statistics through every return type,
+    each layer bumps a named global counter at its unit of work
+    (simplex pivot, branch-and-bound node, cost-oracle evaluation) and
+    an observer — typically [Rentcost.Solver] — reads counter deltas
+    around a solve.
+
+    Counters are monotone: they are never reset, only read, so nested
+    or interleaved observers cannot corrupt each other — each computes
+    its own before/after difference.
+
+    Counting is on by default (one predictable branch and an integer
+    add per event). {!set_enabled}[ false] freezes every counter,
+    making instrumented code paths effectively zero-cost for purists
+    benchmarking the raw kernels. *)
+
+type counter
+
+(** [counter name] finds or creates the counter registered under
+    [name]. Calls with equal names return the same counter, which is
+    how independent libraries share one counter without depending on
+    each other. *)
+val counter : string -> counter
+
+(** [bump c] adds 1 to [c] (no-op when counting is disabled). *)
+val bump : counter -> unit
+
+(** [add c n] adds [n] to [c] (no-op when counting is disabled). *)
+val add : counter -> int -> unit
+
+(** Current value of a counter (monotone since program start). *)
+val read : counter -> int
+
+(** [value name] is [read (counter name)] — 0 for never-bumped
+    names. *)
+val value : string -> int
+
+(** All registered counters with their current values, sorted by
+    name. *)
+val all : unit -> (string * int) list
+
+val enabled : unit -> bool
+
+(** Globally enable or disable counting. Disabling does not clear
+    accumulated values. *)
+val set_enabled : bool -> unit
+
+(** {1 Well-known counter names}
+
+    The names used by this project's instrumented layers, collected
+    here so observers do not scatter string literals. *)
+
+(** Simplex pivots, across both the row-based and bounded-variable
+    engines ({!Lp.Simplex}, {!Lp.Bounded}). *)
+val lp_pivots : string
+
+(** Branch-and-bound nodes evaluated by {!Milp.Solver}. *)
+val milp_nodes : string
+
+(** Incumbent improvements (warm starts included) in
+    {!Milp.Solver}. *)
+val milp_incumbents : string
+
+(** Cost-oracle evaluations by {!Rentcost.Heuristics}. *)
+val heuristic_evals : string

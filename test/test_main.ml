@@ -20,6 +20,7 @@ let () =
       Test_streamsim.suite;
       Test_generator.suite;
       Test_runner.suite;
+      Test_solver.suite;
       Test_integration.suite;
       Test_analysis.suite;
       Test_format.suite ]

@@ -24,8 +24,31 @@ let test_sweep_shape () =
   List.iter
     (fun m ->
       Alcotest.(check bool) "cost non-negative" true (m.R.cost >= 0);
-      Alcotest.(check bool) "time non-negative" true (m.R.time >= 0.0))
+      Alcotest.(check bool) "time non-negative" true
+        (m.R.telemetry.Rentcost.Solver.wall_time >= 0.0))
     ms
+
+let test_sweep_telemetry () =
+  (* Rows carry the solving engine's own telemetry: heuristic rows
+     count oracle evaluations (H1 does J of them, never 0), ILP rows
+     count branch-and-bound nodes — no more hand-rolled stopwatches or
+     hard-coded zeros. *)
+  let open Rentcost.Solver in
+  List.iter
+    (fun m ->
+      let t = m.R.telemetry in
+      if m.R.algorithm = "ILP" then begin
+        Alcotest.(check bool) "ILP engine" true (t.engine = Exact_ilp);
+        Alcotest.(check bool) "ILP explored nodes" true (t.nodes >= 1);
+        Alcotest.(check bool) "ILP pivoted" true (t.pivots >= 1)
+      end
+      else begin
+        Alcotest.(check bool) "heuristic engine" true
+          (match t.engine with Heuristic _ -> true | _ -> false);
+        Alcotest.(check bool) "heuristic evaluated" true (t.evaluations >= 1);
+        Alcotest.(check int) "heuristic has no nodes" 0 t.nodes
+      end)
+    (run_tiny ())
 
 let test_sweep_deterministic_costs () =
   let costs ms = List.map (fun m -> (m.R.config, m.R.target, m.R.algorithm, m.R.cost)) ms in
@@ -147,6 +170,7 @@ let test_table3_experiment () =
 let suite =
   ( "runner",
     [ Alcotest.test_case "sweep shape" `Quick test_sweep_shape;
+      Alcotest.test_case "sweep telemetry" `Quick test_sweep_telemetry;
       Alcotest.test_case "deterministic costs" `Quick test_sweep_deterministic_costs;
       Alcotest.test_case "ILP never worse" `Quick test_ilp_never_worse;
       Alcotest.test_case "normalized cost series" `Quick test_normalized_cost_series;

@@ -1,0 +1,246 @@
+(* Tests for the unified Solver engine: Auto routing on the § V
+   structure classes, agreement of every engine with the exhaustive
+   oracle, budget-degradation semantics, and telemetry accounting. *)
+
+module S = Rentcost.Solver
+module B = Rentcost.Budget
+module H = Rentcost.Heuristics
+
+let platform = Rentcost.Platform.of_list [ (10, 10); (18, 20); (25, 30); (33, 40) ]
+
+let chain types = Rentcost.Task_graph.chain ~ntypes:4 ~types
+
+(* § V-A: every recipe a single task, all types distinct. *)
+let blackbox_problem =
+  Rentcost.Problem.create platform (Array.init 4 (fun q -> chain [| q |]))
+
+(* § V-B: multi-task recipes over pairwise-disjoint type sets. *)
+let disjoint_problem =
+  Rentcost.Problem.create platform [| chain [| 0; 1 |]; chain [| 2; 3 |] |]
+
+(* § V-C: the paper's illustrating instance (recipes share types). *)
+let shared_problem = Rentcost.Problem.illustrating
+
+let solve_cost ?budget ~spec problem ~target =
+  match (S.solve ?budget ~spec problem ~target).S.allocation with
+  | Some a -> a.Rentcost.Allocation.cost
+  | None -> Alcotest.fail "solver returned no allocation"
+
+(* --- Auto dispatch --- *)
+
+let check_route problem expected name =
+  let o = S.solve ~spec:S.Auto problem ~target:20 in
+  Alcotest.(check string) name
+    (S.spec_to_string expected)
+    (S.spec_to_string o.S.telemetry.S.engine);
+  Alcotest.(check bool) (name ^ " optimal") true (o.S.status = S.Optimal)
+
+let test_auto_routes_blackbox () =
+  check_route blackbox_problem S.Dp_blackbox "blackbox -> knapsack DP"
+
+let test_auto_routes_disjoint () =
+  check_route disjoint_problem S.Dp_disjoint "disjoint -> split DP"
+
+let test_auto_routes_shared () =
+  check_route shared_problem S.Exact_ilp "shared types -> ILP"
+
+let test_auto_spec_pure () =
+  Alcotest.(check bool) "blackbox spec" true
+    (S.auto_spec blackbox_problem = S.Dp_blackbox);
+  Alcotest.(check bool) "disjoint spec" true
+    (S.auto_spec disjoint_problem = S.Dp_disjoint);
+  Alcotest.(check bool) "shared spec" true
+    (S.auto_spec shared_problem = S.Exact_ilp)
+
+(* --- every exact engine agrees with the exhaustive oracle --- *)
+
+let test_engines_agree () =
+  List.iter
+    (fun (problem, engines, label) ->
+      List.iter
+        (fun target ->
+          let reference = solve_cost ~spec:S.Exhaustive problem ~target in
+          List.iter
+            (fun spec ->
+              Alcotest.(check int)
+                (Printf.sprintf "%s %s at rho=%d" label (S.spec_to_string spec)
+                   target)
+                reference
+                (solve_cost ~spec problem ~target))
+            engines)
+        [ 0; 1; 7; 15 ])
+    [ (blackbox_problem, [ S.Auto; S.Dp_blackbox; S.Dp_disjoint; S.Exact_ilp ],
+       "blackbox");
+      (disjoint_problem, [ S.Auto; S.Dp_disjoint; S.Exact_ilp ], "disjoint");
+      (shared_problem, [ S.Auto; S.Exact_ilp ], "shared") ]
+
+let test_heuristics_bounded_by_optimum () =
+  List.iter
+    (fun name ->
+      let target = 15 in
+      let optimal = solve_cost ~spec:S.Exhaustive shared_problem ~target in
+      let o =
+        S.solve ~rng:(Numeric.Prng.create 7) ~spec:(S.Heuristic name)
+          shared_problem ~target
+      in
+      Alcotest.(check bool)
+        (H.name_to_string name ^ " feasible status")
+        true (o.S.status = S.Feasible);
+      match o.S.allocation with
+      | None -> Alcotest.fail "heuristic returned no allocation"
+      | Some a ->
+        Alcotest.(check bool)
+          (H.name_to_string name ^ " >= optimal")
+          true
+          (a.Rentcost.Allocation.cost >= optimal
+          && Rentcost.Allocation.feasible shared_problem ~target a))
+    H.all
+
+(* --- engine preconditions --- *)
+
+let test_forced_dp_raises_on_shared () =
+  (* Forcing a structure-specific DP on an unsupported instance is a
+     programmer error, not a budget condition: it raises. *)
+  Alcotest.(check bool) "dp-disjoint on shared types raises" true
+    (match S.solve ~spec:S.Dp_disjoint shared_problem ~target:10 with
+     | _ -> false
+     | exception Invalid_argument _ -> true)
+
+let test_negative_target_raises () =
+  Alcotest.check_raises "negative target"
+    (Invalid_argument "Solver.solve: negative target") (fun () ->
+      ignore (S.solve ~spec:S.Auto shared_problem ~target:(-1)))
+
+(* --- budget degradation --- *)
+
+let test_zero_deadline_degrades () =
+  (* A deadline of zero is already expired when the ILP starts: the
+     solve must still return a feasible incumbent, flagged as
+     budget-exhausted, not raise or return nothing. *)
+  let target = 70 in
+  let o =
+    S.solve ~budget:(B.deadline 0.0) ~spec:S.Auto shared_problem ~target
+  in
+  Alcotest.(check bool) "status" true (o.S.status = S.Budget_exhausted);
+  (match o.S.allocation with
+   | None -> Alcotest.fail "no incumbent under expired budget"
+   | Some a ->
+     Alcotest.(check bool) "incumbent feasible" true
+       (Rentcost.Allocation.feasible shared_problem ~target a));
+  Alcotest.(check bool) "wall time measured" true (o.S.telemetry.S.wall_time > 0.0);
+  Alcotest.(check bool) "fallback evaluated" true (o.S.telemetry.S.evaluations > 0)
+
+let test_node_budget_degrades () =
+  (* A zero node cap stops branch and bound before any node: the warm
+     start incumbent (H32Jump) is returned as budget-exhausted. *)
+  let target = 70 in
+  let o =
+    S.solve ~budget:(B.nodes 0) ~spec:S.Exact_ilp shared_problem ~target
+  in
+  Alcotest.(check bool) "status" true (o.S.status = S.Budget_exhausted);
+  (match o.S.allocation with
+   | None -> Alcotest.fail "no incumbent under zero node cap"
+   | Some a ->
+     Alcotest.(check bool) "incumbent feasible" true
+       (Rentcost.Allocation.feasible shared_problem ~target a))
+
+let test_eval_budget_on_heuristic () =
+  (* H32Jump under a tight evaluation cap stops at a move boundary,
+     still returning a feasible incumbent. *)
+  let target = 70 in
+  let unbounded =
+    S.solve ~rng:(Numeric.Prng.create 3) ~spec:(S.Heuristic H.H32_jump)
+      shared_problem ~target
+  in
+  let capped =
+    S.solve
+      ~budget:(B.evals 10)
+      ~rng:(Numeric.Prng.create 3)
+      ~spec:(S.Heuristic H.H32_jump) shared_problem ~target
+  in
+  Alcotest.(check bool) "unbounded runs to completion" true
+    (unbounded.S.status = S.Feasible);
+  Alcotest.(check bool) "capped flags exhaustion" true
+    (capped.S.status = S.Budget_exhausted);
+  Alcotest.(check bool) "capped spent less" true
+    (capped.S.telemetry.S.evaluations < unbounded.S.telemetry.S.evaluations);
+  match capped.S.allocation with
+  | None -> Alcotest.fail "no incumbent under eval cap"
+  | Some a ->
+    Alcotest.(check bool) "incumbent feasible" true
+      (Rentcost.Allocation.feasible shared_problem ~target a)
+
+(* --- telemetry accounting --- *)
+
+let test_telemetry_ilp () =
+  let o = S.solve ~spec:S.Exact_ilp shared_problem ~target:70 in
+  let t = o.S.telemetry in
+  Alcotest.(check bool) "optimal" true (o.S.status = S.Optimal);
+  Alcotest.(check bool) "nonzero wall time" true (t.S.wall_time > 0.0);
+  Alcotest.(check bool) "nonzero nodes" true (t.S.nodes > 0);
+  Alcotest.(check bool) "nonzero pivots" true (t.S.pivots > 0);
+  (* The default warm start runs H32Jump, so evaluations register
+     too. *)
+  Alcotest.(check bool) "warm start evaluations" true (t.S.evaluations > 0)
+
+let test_telemetry_heuristic () =
+  let o = S.solve ~spec:(S.Heuristic H.H1) shared_problem ~target:70 in
+  let t = o.S.telemetry in
+  (* H1 probes each of the 3 recipes exactly once. *)
+  Alcotest.(check int) "H1 evaluations" 3 t.S.evaluations;
+  Alcotest.(check int) "no nodes" 0 t.S.nodes;
+  Alcotest.(check int) "no pivots" 0 t.S.pivots
+
+let test_telemetry_dp () =
+  let o = S.solve ~spec:S.Auto disjoint_problem ~target:25 in
+  let t = o.S.telemetry in
+  Alcotest.(check bool) "dp engine" true (t.S.engine = S.Dp_disjoint);
+  Alcotest.(check int) "no nodes" 0 t.S.nodes;
+  Alcotest.(check int) "no evaluations" 0 t.S.evaluations
+
+let test_telemetry_isolated_per_solve () =
+  (* Telemetry is a delta around each solve, not a cumulative global:
+     two identical solves report identical (deterministic) counts. *)
+  let t1 = (S.solve ~spec:S.Exact_ilp shared_problem ~target:40).S.telemetry in
+  let t2 = (S.solve ~spec:S.Exact_ilp shared_problem ~target:40).S.telemetry in
+  Alcotest.(check int) "same nodes" t1.S.nodes t2.S.nodes;
+  Alcotest.(check int) "same pivots" t1.S.pivots t2.S.pivots;
+  Alcotest.(check int) "same evaluations" t1.S.evaluations t2.S.evaluations
+
+(* --- spec parsing --- *)
+
+let test_spec_strings () =
+  List.iter
+    (fun spec ->
+      Alcotest.(check bool)
+        (S.spec_to_string spec ^ " round-trips")
+        true
+        (S.spec_of_string (S.spec_to_string spec) = Some spec))
+    [ S.Auto; S.Exact_ilp; S.Dp_blackbox; S.Dp_disjoint; S.Exhaustive;
+      S.Heuristic H.H0; S.Heuristic H.H1; S.Heuristic H.H2; S.Heuristic H.H31;
+      S.Heuristic H.H32; S.Heuristic H.H32_jump ];
+  Alcotest.(check bool) "dp alias" true (S.spec_of_string "dp" = Some S.Dp_disjoint);
+  Alcotest.(check bool) "junk rejected" true (S.spec_of_string "gurobi" = None)
+
+let suite =
+  ( "solver",
+    [ Alcotest.test_case "auto routes blackbox" `Quick test_auto_routes_blackbox;
+      Alcotest.test_case "auto routes disjoint" `Quick test_auto_routes_disjoint;
+      Alcotest.test_case "auto routes shared" `Quick test_auto_routes_shared;
+      Alcotest.test_case "auto_spec pure" `Quick test_auto_spec_pure;
+      Alcotest.test_case "engines agree with oracle" `Quick test_engines_agree;
+      Alcotest.test_case "heuristics bounded by optimum" `Quick
+        test_heuristics_bounded_by_optimum;
+      Alcotest.test_case "forced dp raises on shared" `Quick
+        test_forced_dp_raises_on_shared;
+      Alcotest.test_case "negative target raises" `Quick test_negative_target_raises;
+      Alcotest.test_case "zero deadline degrades" `Quick test_zero_deadline_degrades;
+      Alcotest.test_case "node budget degrades" `Quick test_node_budget_degrades;
+      Alcotest.test_case "eval budget on heuristic" `Quick
+        test_eval_budget_on_heuristic;
+      Alcotest.test_case "telemetry ilp" `Quick test_telemetry_ilp;
+      Alcotest.test_case "telemetry heuristic" `Quick test_telemetry_heuristic;
+      Alcotest.test_case "telemetry dp" `Quick test_telemetry_dp;
+      Alcotest.test_case "telemetry isolated per solve" `Quick
+        test_telemetry_isolated_per_solve;
+      Alcotest.test_case "spec strings" `Quick test_spec_strings ] )
