@@ -8,55 +8,77 @@
    [bin/experiments.exe]; this executable answers "how fast are the
    pieces", not "what do the figures look like".
 
-   Run with: dune exec bench/main.exe *)
+   Run with: dune exec bench/main.exe
+   Every run also writes BENCH_solver.json — a machine-readable
+   per-engine record (wall time, evaluations, pivots, nodes, cost) plus
+   the incremental-vs-scratch oracle throughput, for tracking across
+   commits without parsing the OLS table.
+
+   `dune exec bench/main.exe -- --smoke` skips the OLS fits: it runs a
+   fast engine-agreement check (every exact engine must report the same
+   optimal cost; the incremental oracle must match scratch repricing),
+   writes the JSON, and exits non-zero on any disagreement — cheap
+   enough for CI. *)
 
 open Bechamel
 
 module G = Cloudsim.Generator
 module H = Rentcost.Heuristics
+module I = Rentcost.Instance
 module P = Numeric.Prng
 module S = Rentcost.Solver
 
-(* --- fixed workloads, built once --- *)
+(* --- fixed workloads --- *)
 
 let illustrating = Rentcost.Problem.illustrating
 
 let params10 = { H.default_params with step = 10 }
 
+(* The generated workloads are expensive to build; everything below is
+   lazy so that --smoke (and any future kernel filter) pays only for
+   what it touches. The compiled instance carries its problem
+   ([Instance.problem]), so one lazy cell serves both views. *)
+
 let instance_of_preset id =
-  let preset = Option.get (Cloudsim.Experiments.find id) in
-  G.problem ~rng:(P.create 2016) preset.Cloudsim.Experiments.graphs
-    preset.Cloudsim.Experiments.cloud
+  lazy
+    (let preset = Option.get (Cloudsim.Experiments.find id) in
+     I.compile
+       (G.problem ~rng:(P.create 2016) preset.Cloudsim.Experiments.graphs
+          preset.Cloudsim.Experiments.cloud))
 
 let small_instance = instance_of_preset "fig3"
 let medium_instance = instance_of_preset "fig6"
 let large_instance = instance_of_preset "fig7"
 let stress_instance = instance_of_preset "fig8"
+let illustrating_instance = lazy (I.compile illustrating)
+
+let problem_of inst = I.problem (Lazy.force inst)
 
 (* A precomputed measurement list exercising the figure aggregations. *)
 let sample_measurements =
-  Cloudsim.Runner.sweep ~seed:7 ~configs:4
-    { G.num_graphs = 3; min_tasks = 2; max_tasks = 3; mutation_pct = 0.5 }
-    { G.num_types = 3; min_cost = 1; max_cost = 20; min_throughput = 5;
-      max_throughput = 20 }
-    ~targets:[ 10; 20; 30 ]
-    ~algorithms:(Cloudsim.Runner.paper_algorithms ())
-    ~params:H.default_params
+  lazy
+    (Cloudsim.Runner.sweep ~seed:7 ~configs:4
+       { G.num_graphs = 3; min_tasks = 2; max_tasks = 3; mutation_pct = 0.5 }
+       { G.num_types = 3; min_cost = 1; max_cost = 20; min_throughput = 5;
+         max_throughput = 20 }
+       ~targets:[ 10; 20; 30 ]
+       ~algorithms:(Cloudsim.Runner.paper_algorithms ())
+       ~params:H.default_params)
 
-(* Experiment kernels go through the unified [Solver] front door, as
-   the drivers do; only the ablation group below reaches into
-   [Ilp.solve] for knobs (warm start, cuts) the solver does not
-   expose. *)
+(* Experiment kernels go through the unified [Solver] front door over
+   pre-compiled instances, as the drivers do; only the ablation group
+   below reaches into [Ilp.solve] for knobs (warm start, cuts) the
+   solver does not expose. *)
 
-let solver_nodes ?node_limit spec problem ~target () =
+let solver_nodes ?node_limit spec inst ~target () =
   let budget =
     match node_limit with Some n -> Rentcost.Budget.nodes n
     | None -> Rentcost.Budget.unlimited
   in
-  (S.solve ~budget ~spec problem ~target).S.telemetry.S.nodes
+  (S.solve_on ~budget ~spec (Lazy.force inst) ~target).S.telemetry.S.nodes
 
-let ilp_nodes ?node_limit problem ~target =
-  solver_nodes ?node_limit S.Exact_ilp problem ~target
+let ilp_nodes ?node_limit inst ~target =
+  solver_nodes ?node_limit S.Exact_ilp inst ~target
 
 let ilp_ablation_nodes ?warm_start ?cut_rounds problem ~target () =
   (Rentcost.Ilp.solve ?warm_start ?cut_rounds problem ~target).Rentcost.Ilp.nodes
@@ -69,8 +91,9 @@ let milp_engine engine problem ~target () =
      model ~integer)
     .Milp.Solver.nodes
 
-let heuristic name ?(params = H.default_params) problem ~target () =
-  (S.solve ~rng:(P.create 99) ~params ~spec:(S.Heuristic name) problem ~target)
+let heuristic name ?(params = H.default_params) inst ~target () =
+  (S.solve_on ~rng:(P.create 99) ~params ~spec:(S.Heuristic name)
+     (Lazy.force inst) ~target)
     .S.telemetry.S.evaluations
 
 (* --- Table III: the illustrating example (§ VII) --- *)
@@ -78,11 +101,13 @@ let heuristic name ?(params = H.default_params) problem ~target () =
 let table3 =
   Test.make_grouped ~name:"table3"
     [ Test.make ~name:"ilp_rho70"
-        (Staged.stage (ilp_nodes illustrating ~target:70));
+        (Staged.stage (ilp_nodes illustrating_instance ~target:70));
       Test.make ~name:"h1_rho70"
-        (Staged.stage (heuristic H.H1 ~params:params10 illustrating ~target:70));
+        (Staged.stage
+           (heuristic H.H1 ~params:params10 illustrating_instance ~target:70));
       Test.make ~name:"h32jump_rho70"
-        (Staged.stage (heuristic H.H32_jump ~params:params10 illustrating ~target:70)) ]
+        (Staged.stage
+           (heuristic H.H32_jump ~params:params10 illustrating_instance ~target:70)) ]
 
 (* --- Figures 3/4/5: small recipes --- *)
 
@@ -91,16 +116,19 @@ let fig3 =
     [ Test.make ~name:"ilp_capped_rho100"
         (Staged.stage (ilp_nodes ~node_limit:50 small_instance ~target:100));
       Test.make ~name:"lp_relaxation_rho100"
-        (Staged.stage (fun () -> Rentcost.Ilp.lp_lower_bound small_instance ~target:100)) ]
+        (Staged.stage (fun () ->
+             Rentcost.Ilp.lp_lower_bound (problem_of small_instance) ~target:100)) ]
 
 (* Figure 4 is the times-found-best aggregation; Figure 5 is the
    per-algorithm timing — benchmarked as each heuristic's kernel. *)
 let fig4 =
   Test.make_grouped ~name:"fig4"
     [ Test.make ~name:"best_counts_aggregation"
-        (Staged.stage (fun () -> Cloudsim.Stats.best_counts sample_measurements));
+        (Staged.stage (fun () ->
+             Cloudsim.Stats.best_counts (Lazy.force sample_measurements)));
       Test.make ~name:"normalized_cost_aggregation"
-        (Staged.stage (fun () -> Cloudsim.Stats.normalized_cost sample_measurements)) ]
+        (Staged.stage (fun () ->
+             Cloudsim.Stats.normalized_cost (Lazy.force sample_measurements))) ]
 
 let fig5 =
   Test.make_grouped ~name:"fig5"
@@ -126,23 +154,43 @@ let fig6 =
 
 (* --- Figure 7: large recipes (50-100 tasks) --- *)
 
+(* A long-lived oracle at the point the scratch kernel prices, so the
+   two kernels below measure the same question — "price a neighbour of
+   rho = (5,…,5)" — the way the heuristics now ask it (one delta) vs
+   the way they used to (full [Allocation.of_rho]). *)
+let large_oracle =
+  lazy
+    (let inst = Lazy.force large_instance in
+     let o = I.Oracle.create inst in
+     I.Oracle.reset o ~rho:(Array.make (I.num_recipes inst) 5);
+     o)
+
 let fig7 =
   Test.make_grouped ~name:"fig7"
     [ Test.make ~name:"h1_large_rho100"
         (Staged.stage (heuristic H.H1 large_instance ~target:100));
       Test.make ~name:"h32jump_large_rho100"
         (Staged.stage (heuristic H.H32_jump large_instance ~target:100));
-      Test.make ~name:"cost_oracle_large"
+      Test.make ~name:"cost_scratch_large"
         (Staged.stage (fun () ->
-             let rho = Array.make (Rentcost.Problem.num_recipes large_instance) 5 in
-             (Rentcost.Allocation.of_rho large_instance ~rho).Rentcost.Allocation.cost)) ]
+             let problem = problem_of large_instance in
+             let rho = Array.make (Rentcost.Problem.num_recipes problem) 5 in
+             (Rentcost.Allocation.of_rho problem ~rho).Rentcost.Allocation.cost));
+      Test.make ~name:"cost_oracle_delta_large"
+        (Staged.stage (fun () ->
+             let o = Lazy.force large_oracle in
+             I.Oracle.apply o ~j:0 ~drho:1;
+             let c = I.Oracle.cost o in
+             I.Oracle.undo o;
+             c)) ]
 
 (* --- Figure 8: the ILP at its limits (Q = 50, 100-200 tasks) --- *)
 
 let fig8 =
   Test.make_grouped ~name:"fig8"
     [ Test.make ~name:"lp_relaxation_stress"
-        (Staged.stage (fun () -> Rentcost.Ilp.lp_lower_bound stress_instance ~target:100));
+        (Staged.stage (fun () ->
+             Rentcost.Ilp.lp_lower_bound (problem_of stress_instance) ~target:100));
       Test.make ~name:"ilp_25nodes_stress"
         (Staged.stage (ilp_nodes ~node_limit:25 stress_instance ~target:100)) ]
 
@@ -162,7 +210,9 @@ let micro =
          Rentcost.Task_graph.chain ~ntypes:4 ~types:[| 2; 3 |] |]
   in
   let sim_alloc =
-    Option.get (Rentcost.Ilp.solve illustrating ~target:70).Rentcost.Ilp.allocation
+    lazy
+      (Option.get
+         (Rentcost.Ilp.solve illustrating ~target:70).Rentcost.Ilp.allocation)
   in
   Test.make_grouped ~name:"micro"
     [ Test.make ~name:"bigint_divmod"
@@ -172,13 +222,15 @@ let micro =
       Test.make ~name:"simplex_illustrating_lp"
         (Staged.stage (fun () ->
              Lp.Simplex.solve (fst (Rentcost.Ilp.build illustrating ~target:70))));
+      Test.make ~name:"instance_compile_illustrating"
+        (Staged.stage (fun () -> I.compile illustrating));
       Test.make ~name:"knapsack_cover_rho1000"
         (Staged.stage (fun () -> Knapsack.min_cost_cover ~items:cover_items ~demand:1000));
       Test.make ~name:"dp_disjoint_rho100"
         (Staged.stage (fun () -> Rentcost.Dp_disjoint.solve disjoint_problem ~target:100));
       Test.make ~name:"streamsim_500_items"
         (Staged.stage (fun () ->
-             Streamsim.Sim.run illustrating sim_alloc
+             Streamsim.Sim.run illustrating (Lazy.force sim_alloc)
                { Streamsim.Sim.default_config with Streamsim.Sim.items = 500 })) ]
 
 (* --- ablations (DESIGN.md: design-choice benches) --- *)
@@ -197,9 +249,11 @@ let ablation =
              snd (Lp.Gomory.strengthen ~rounds:2 model ~integer)));
       Test.make ~name:"h32jump_step1_rho70"
         (Staged.stage
-           (heuristic H.H32_jump ~params:H.default_params illustrating ~target:70));
+           (heuristic H.H32_jump ~params:H.default_params illustrating_instance
+              ~target:70));
       Test.make ~name:"h32jump_step10_rho70"
-        (Staged.stage (heuristic H.H32_jump ~params:params10 illustrating ~target:70));
+        (Staged.stage
+           (heuristic H.H32_jump ~params:params10 illustrating_instance ~target:70));
       Test.make ~name:"milp_engine_bounds_rho130"
         (Staged.stage (milp_engine Milp.Solver.Bounds illustrating ~target:130));
       Test.make ~name:"milp_engine_rows_rho130"
@@ -208,70 +262,257 @@ let ablation =
         (Staged.stage
            (heuristic H.H32
               ~params:{ params10 with H.exhaustive_deltas = true }
-              illustrating ~target:70)) ]
+              illustrating_instance ~target:70)) ]
 
 (* --- the unified Solver front door: Auto routing per § V class --- *)
 
+let platform4 =
+  Rentcost.Platform.of_list [ (10, 10); (18, 20); (25, 30); (33, 40) ]
+
+let blackbox_instance =
+  lazy
+    (I.compile
+       (Rentcost.Problem.create platform4
+          (Array.init 4 (fun q ->
+               Rentcost.Task_graph.chain ~ntypes:4 ~types:[| q |]))))
+
+let disjoint_instance =
+  lazy
+    (I.compile
+       (Rentcost.Problem.create platform4
+          [| Rentcost.Task_graph.chain ~ntypes:4 ~types:[| 0; 1 |];
+             Rentcost.Task_graph.chain ~ntypes:4 ~types:[| 2; 3 |] |]))
+
 let solver_group =
-  let platform =
-    Rentcost.Platform.of_list [ (10, 10); (18, 20); (25, 30); (33, 40) ]
-  in
-  let blackbox_problem =
-    Rentcost.Problem.create platform
-      (Array.init 4 (fun q ->
-           Rentcost.Task_graph.chain ~ntypes:4 ~types:[| q |]))
-  in
-  let disjoint_problem =
-    Rentcost.Problem.create platform
-      [| Rentcost.Task_graph.chain ~ntypes:4 ~types:[| 0; 1 |];
-         Rentcost.Task_graph.chain ~ntypes:4 ~types:[| 2; 3 |] |]
-  in
   Test.make_grouped ~name:"solver"
     [ Test.make ~name:"auto_blackbox_rho100"
-        (Staged.stage (solver_nodes S.Auto blackbox_problem ~target:100));
+        (Staged.stage (solver_nodes S.Auto blackbox_instance ~target:100));
       Test.make ~name:"auto_disjoint_rho100"
-        (Staged.stage (solver_nodes S.Auto disjoint_problem ~target:100));
+        (Staged.stage (solver_nodes S.Auto disjoint_instance ~target:100));
       Test.make ~name:"auto_shared_capped_rho70"
-        (Staged.stage (solver_nodes ~node_limit:25 S.Auto illustrating ~target:70));
+        (Staged.stage
+           (solver_nodes ~node_limit:25 S.Auto illustrating_instance ~target:70));
       Test.make ~name:"budget_fallback_rho70"
         (Staged.stage (fun () ->
-             (S.solve ~budget:(Rentcost.Budget.nodes 0) ~spec:S.Exact_ilp
-                illustrating ~target:70)
+             (S.solve_on ~budget:(Rentcost.Budget.nodes 0) ~spec:S.Exact_ilp
+                (Lazy.force illustrating_instance) ~target:70)
                .S.telemetry.S.evaluations)) ]
 
 let all_tests =
   Test.make_grouped ~name:"rentcost"
     [ table3; fig3; fig4; fig5; fig6; fig7; fig8; micro; ablation; solver_group ]
 
+(* --- BENCH_solver.json: machine-readable per-engine record --- *)
+
+type engine_row = {
+  row_name : string;
+  row_cost : int;
+  row_status : S.status;
+  row_telemetry : S.telemetry;
+}
+
+let solve_row name spec inst ~target =
+  let o =
+    S.solve_on ~rng:(P.create 99) ~params:params10 ~spec (Lazy.force inst)
+      ~target
+  in
+  let cost =
+    match o.S.allocation with
+    | Some a -> a.Rentcost.Allocation.cost
+    | None -> -1
+  in
+  { row_name = name; row_cost = cost; row_status = o.S.status;
+    row_telemetry = o.S.telemetry }
+
+let engine_rows () =
+  [ solve_row "ilp_illustrating_rho70" S.Exact_ilp illustrating_instance
+      ~target:70;
+    solve_row "exhaustive_illustrating_rho70" S.Exhaustive illustrating_instance
+      ~target:70;
+    solve_row "auto_illustrating_rho70" S.Auto illustrating_instance ~target:70;
+    solve_row "dp_blackbox_rho100" S.Auto blackbox_instance ~target:100;
+    solve_row "dp_disjoint_rho100" S.Auto disjoint_instance ~target:100 ]
+  @ List.map
+      (fun name ->
+        solve_row
+          (Printf.sprintf "%s_illustrating_rho70"
+             (String.lowercase_ascii (H.name_to_string name)))
+          (S.Heuristic name) illustrating_instance ~target:70)
+      [ H.H0; H.H1; H.H2; H.H31; H.H32; H.H32_jump ]
+
+(* Incremental-vs-scratch oracle throughput on the large workload: the
+   headline number for the compiled-instance layer. Both sides price
+   the same neighbour moves of rho = (5,…,5). *)
+let oracle_throughput ~evals =
+  let inst = Lazy.force large_instance in
+  let problem = I.problem inst in
+  let j_compact = I.num_recipes inst in
+  let j_orig = Rentcost.Problem.num_recipes problem in
+  let o = I.Oracle.create inst in
+  I.Oracle.reset o ~rho:(Array.make j_compact 5);
+  let t0 = Unix.gettimeofday () in
+  let acc = ref 0 in
+  for i = 0 to evals - 1 do
+    I.Oracle.apply o ~j:(i mod j_compact) ~drho:1;
+    acc := !acc + I.Oracle.cost o;
+    I.Oracle.undo o
+  done;
+  let dt_inc = Unix.gettimeofday () -. t0 in
+  let scratch_evals = max 1 (evals / 50) in
+  let t0 = Unix.gettimeofday () in
+  let rho = Array.make j_orig 5 in
+  for i = 0 to scratch_evals - 1 do
+    let j = i mod j_orig in
+    rho.(j) <- 6;
+    acc := !acc + (Rentcost.Allocation.of_rho problem ~rho).Rentcost.Allocation.cost;
+    rho.(j) <- 5
+  done;
+  let dt_scratch = Unix.gettimeofday () -. t0 in
+  ignore !acc;
+  let inc_rate = float_of_int evals /. Float.max dt_inc 1e-9 in
+  let scratch_rate = float_of_int scratch_evals /. Float.max dt_scratch 1e-9 in
+  (inc_rate, scratch_rate)
+
+let json_escape s =
+  (* Row names are ASCII identifiers; quote/backslash escaping is all a
+     well-formed file needs. *)
+  String.concat ""
+    (List.map
+       (function
+         | '"' -> "\\\"" | '\\' -> "\\\\" | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let write_solver_json ~path ~rows ~inc_rate ~scratch_rate =
+  let oc = open_out path in
+  let row_json r =
+    Printf.sprintf
+      "    {\"name\": \"%s\", \"engine\": \"%s\", \"status\": \"%s\", \
+       \"cost\": %d, \"wall_time\": %.6f, \"evaluations\": %d, \
+       \"pivots\": %d, \"nodes\": %d, \"pruned_recipes\": %d}"
+      (json_escape r.row_name)
+      (json_escape (S.spec_to_string r.row_telemetry.S.engine))
+      (json_escape (S.status_to_string r.row_status))
+      r.row_cost r.row_telemetry.S.wall_time r.row_telemetry.S.evaluations
+      r.row_telemetry.S.pivots r.row_telemetry.S.nodes
+      r.row_telemetry.S.pruned_recipes
+  in
+  Printf.fprintf oc "{\n  \"schema\": \"rentcost-bench-solver/1\",\n";
+  Printf.fprintf oc "  \"engines\": [\n%s\n  ],\n"
+    (String.concat ",\n" (List.map row_json rows));
+  Printf.fprintf oc
+    "  \"oracle\": {\"incremental_evals_per_sec\": %.1f, \
+     \"scratch_evals_per_sec\": %.1f, \"speedup\": %.2f}\n"
+    inc_rate scratch_rate
+    (inc_rate /. Float.max scratch_rate 1e-9);
+  Printf.fprintf oc "}\n";
+  close_out oc
+
+let emit_solver_json ~evals =
+  let rows = engine_rows () in
+  let inc_rate, scratch_rate = oracle_throughput ~evals in
+  write_solver_json ~path:"BENCH_solver.json" ~rows ~inc_rate ~scratch_rate;
+  Printf.printf
+    "BENCH_solver.json written (%d engines; oracle %.0f incremental vs %.0f \
+     scratch evals/s, %.1fx)\n"
+    (List.length rows) inc_rate scratch_rate
+    (inc_rate /. Float.max scratch_rate 1e-9);
+  rows
+
+(* --- smoke mode: engine agreement + oracle consistency, no OLS --- *)
+
+let smoke () =
+  let failures = ref 0 in
+  let check name ok =
+    if not ok then begin
+      incr failures;
+      Printf.printf "FAIL %s\n" name
+    end
+  in
+  let rows = emit_solver_json ~evals:20_000 in
+  let cost_of name =
+    (List.find (fun r -> r.row_name = name) rows).row_cost
+  in
+  let exact = cost_of "exhaustive_illustrating_rho70" in
+  check "ilp agrees with exhaustive" (cost_of "ilp_illustrating_rho70" = exact);
+  check "auto agrees with exhaustive" (cost_of "auto_illustrating_rho70" = exact);
+  List.iter
+    (fun r ->
+      if Filename.check_suffix r.row_name "_illustrating_rho70" then
+        check (r.row_name ^ " is feasible (cost >= exact)")
+          (r.row_cost >= exact))
+    rows;
+  (* The structured instances route to their DPs and must match the
+     brute-force oracle. *)
+  List.iter
+    (fun (label, inst, expected_engine) ->
+      let dp = solve_row label S.Auto inst ~target:60 in
+      let ex = solve_row (label ^ "_oracle") S.Exhaustive inst ~target:60 in
+      check (label ^ " routed to " ^ S.spec_to_string expected_engine)
+        (dp.row_telemetry.S.engine = expected_engine);
+      check (label ^ " agrees with exhaustive") (dp.row_cost = ex.row_cost))
+    [ ("smoke_blackbox", blackbox_instance, S.Dp_blackbox);
+      ("smoke_disjoint", disjoint_instance, S.Dp_disjoint) ];
+  (* Incremental oracle vs scratch repricing on the illustrating
+     instance, including after undo. *)
+  let inst = Lazy.force illustrating_instance in
+  let o = I.Oracle.create inst in
+  let j_count = I.num_recipes inst in
+  I.Oracle.reset o ~rho:(Array.make j_count 3);
+  let scratch () =
+    (Rentcost.Allocation.of_rho (I.problem inst)
+       ~rho:(I.expand_rho inst (I.Oracle.rho o)))
+      .Rentcost.Allocation.cost
+  in
+  check "oracle matches scratch at start" (I.Oracle.cost o = scratch ());
+  for j = 0 to j_count - 1 do
+    I.Oracle.apply o ~j ~drho:(2 * (j + 1));
+    check (Printf.sprintf "oracle matches scratch after apply %d" j)
+      (I.Oracle.cost o = scratch ())
+  done;
+  for j = j_count - 1 downto 0 do
+    I.Oracle.undo o;
+    check (Printf.sprintf "oracle matches scratch after undo %d" j)
+      (I.Oracle.cost o = scratch ())
+  done;
+  if !failures = 0 then print_endline "smoke OK"
+  else begin
+    Printf.printf "smoke: %d failure(s)\n" !failures;
+    exit 1
+  end
+
 (* --- driver: run everything, print an aligned time/run table --- *)
 
 let () =
-  let ols =
-    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
-  in
-  let instance = Toolkit.Instance.monotonic_clock in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
-  let raw = Benchmark.all cfg [ instance ] all_tests in
-  let results = Analyze.all ols instance raw in
-  let rows =
-    Hashtbl.fold
-      (fun name ols acc ->
-        let ns =
-          match Analyze.OLS.estimates ols with Some (e :: _) -> e | _ -> nan
-        in
-        let r2 = Option.value ~default:nan (Analyze.OLS.r_square ols) in
-        (name, ns, r2) :: acc)
-      results []
-  in
-  let rows = List.sort (fun (a, _, _) (b, _, _) -> compare a b) rows in
-  let human ns =
-    if ns >= 1e9 then Printf.sprintf "%8.3f s " (ns /. 1e9)
-    else if ns >= 1e6 then Printf.sprintf "%8.3f ms" (ns /. 1e6)
-    else if ns >= 1e3 then Printf.sprintf "%8.3f us" (ns /. 1e3)
-    else Printf.sprintf "%8.1f ns" ns
-  in
-  Printf.printf "%-50s %12s %8s\n" "benchmark" "time/run" "r^2";
-  Printf.printf "%s\n" (String.make 72 '-');
-  List.iter
-    (fun (name, ns, r2) -> Printf.printf "%-50s %s %8.4f\n" name (human ns) r2)
-    rows
+  if Array.exists (( = ) "--smoke") Sys.argv then smoke ()
+  else begin
+    let ols =
+      Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+    in
+    let instance = Toolkit.Instance.monotonic_clock in
+    let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+    let raw = Benchmark.all cfg [ instance ] all_tests in
+    let results = Analyze.all ols instance raw in
+    let rows =
+      Hashtbl.fold
+        (fun name ols acc ->
+          let ns =
+            match Analyze.OLS.estimates ols with Some (e :: _) -> e | _ -> nan
+          in
+          let r2 = Option.value ~default:nan (Analyze.OLS.r_square ols) in
+          (name, ns, r2) :: acc)
+        results []
+    in
+    let rows = List.sort (fun (a, _, _) (b, _, _) -> compare a b) rows in
+    let human ns =
+      if ns >= 1e9 then Printf.sprintf "%8.3f s " (ns /. 1e9)
+      else if ns >= 1e6 then Printf.sprintf "%8.3f ms" (ns /. 1e6)
+      else if ns >= 1e3 then Printf.sprintf "%8.3f us" (ns /. 1e3)
+      else Printf.sprintf "%8.1f ns" ns
+    in
+    Printf.printf "%-50s %12s %8s\n" "benchmark" "time/run" "r^2";
+    Printf.printf "%s\n" (String.make 72 '-');
+    List.iter
+      (fun (name, ns, r2) -> Printf.printf "%-50s %s %8.4f\n" name (human ns) r2)
+      rows;
+    ignore (emit_solver_json ~evals:200_000)
+  end

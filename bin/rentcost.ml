@@ -50,6 +50,8 @@ let print_telemetry status (t : S.telemetry) =
   if t.S.nodes > 0 then Format.printf ", %d nodes" t.S.nodes;
   if t.S.pivots > 0 then Format.printf ", %d pivots" t.S.pivots;
   if t.S.evaluations > 0 then Format.printf ", %d evaluations" t.S.evaluations;
+  if t.S.pruned_recipes > 0 then
+    Format.printf ", %d dominated recipe(s) pruned" t.S.pruned_recipes;
   Format.printf ")@."
 
 let solve_with problem ~target ~spec ~seed ~step ~budget =
@@ -89,11 +91,19 @@ let cmd_info path =
           (Task_graph.critical_path_length r)
           (String.concat "," (List.map string_of_int (Task_graph.types_used r))))
       (Problem.recipes problem);
+    let instance = Instance.compile problem in
+    (* Classification is read off the compiled instance: dominance
+       pruning may reveal structure the raw recipe list hides. *)
     Format.printf "classification: %s (auto engine: %s)@."
-      (if Problem.is_blackbox problem then "black-box (§ V-A)"
-       else if Problem.is_disjoint problem then "disjoint types (§ V-B)"
+      (if Instance.is_blackbox instance then "black-box (§ V-A)"
+       else if Instance.is_disjoint instance then "disjoint types (§ V-B)"
        else "shared types (§ V-C)")
-      (S.spec_to_string (S.auto_spec problem));
+      (S.spec_to_string (S.auto_of_instance instance));
+    List.iter
+      (fun (j', j) ->
+        Format.printf "recipe %d is dominated by recipe %d (pruned from solves)@."
+          j' j)
+      (Instance.dropped instance);
     `Ok ()
 
 let cmd_validate path target items budget =

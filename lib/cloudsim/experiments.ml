@@ -78,26 +78,27 @@ let run ?configs ?(seed = 2016) ?time_limit ?progress preset =
     ~params:Rentcost.Heuristics.default_params
 
 let table3 ?(seed = 42) () =
-  let problem = Rentcost.Problem.illustrating in
+  let module S = Rentcost.Solver in
+  let instance = Rentcost.Instance.compile Rentcost.Problem.illustrating in
   let params = { Rentcost.Heuristics.default_params with step = 10 } in
   let targets = List.init 20 (fun i -> 10 * (i + 1)) in
+  let row ~rng ~label spec ~target =
+    match (S.solve_on ?rng ~params ~spec instance ~target).S.allocation with
+    | Some a -> (label, a.Rentcost.Allocation.rho, a.Rentcost.Allocation.cost)
+    | None -> (label, [||], -1)
+  in
   List.map
     (fun target ->
-      let ilp =
-        match (Rentcost.Ilp.solve problem ~target).Rentcost.Ilp.allocation with
-        | Some a -> ("ILP", a.Rentcost.Allocation.rho, a.Rentcost.Allocation.cost)
-        | None -> ("ILP", [||], -1)
-      in
+      let ilp = row ~rng:None ~label:"ILP" S.Exact_ilp ~target in
       let heuristics =
         List.map
           (fun name ->
-            let res =
-              Rentcost.Heuristics.run ~params name ~rng:(Numeric.Prng.create seed)
-                problem ~target
-            in
-            ( Rentcost.Heuristics.name_to_string name,
-              res.Rentcost.Heuristics.allocation.Rentcost.Allocation.rho,
-              res.Rentcost.Heuristics.allocation.Rentcost.Allocation.cost ))
+            (* A fresh fixed-seed stream per heuristic, as in the
+               paper's independent per-algorithm runs. *)
+            row
+              ~rng:(Some (Numeric.Prng.create seed))
+              ~label:(Rentcost.Heuristics.name_to_string name)
+              (S.Heuristic name) ~target)
           [ Rentcost.Heuristics.H1; H2; H31; H32; H32_jump ]
       in
       (target, ilp :: heuristics))

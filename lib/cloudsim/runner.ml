@@ -31,12 +31,12 @@ type measurement = {
   telemetry : S.telemetry;
 }
 
-let solve_one ~rng ~params problem ~target alg =
+let solve_one ~rng ~params instance ~target alg =
   (* All timing, node/evaluation accounting and ILP-timeout fallback
-     live in [Solver.solve]; the runner only labels rows. *)
+     live in [Solver.solve_on]; the runner only labels rows. *)
   let o =
-    S.solve ~budget:(algorithm_budget alg) ~rng ~params
-      ~spec:(algorithm_spec alg) problem ~target
+    S.solve_on ~budget:(algorithm_budget alg) ~rng ~params
+      ~spec:(algorithm_spec alg) instance ~target
   in
   match o.S.allocation with
   | Some a ->
@@ -47,13 +47,15 @@ let solve_one ~rng ~params problem ~target alg =
     assert false
 
 let run_instance ~rng ~config problem ~targets ~algorithms ~params =
+  (* One compile serves the whole targets × algorithms grid. *)
+  let instance = Rentcost.Instance.compile problem in
   List.concat_map
     (fun target ->
       List.map
         (fun alg ->
           let alg_rng = Numeric.Prng.split rng in
           let cost, proved_optimal, telemetry =
-            solve_one ~rng:alg_rng ~params problem ~target alg
+            solve_one ~rng:alg_rng ~params instance ~target alg
           in
           { config; target; algorithm = algorithm_name alg; cost;
             proved_optimal; telemetry })

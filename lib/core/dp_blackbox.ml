@@ -1,20 +1,20 @@
-let solve problem ~target =
-  if not (Problem.is_blackbox problem) then
+let solve_on instance ~target =
+  if not (Instance.is_blackbox instance) then
     invalid_arg "Dp_blackbox.solve: instance is not black-box (one task per \
                  recipe, pairwise distinct types)";
   if target < 0 then invalid_arg "Dp_blackbox.solve: negative target";
-  let platform = Problem.platform problem in
-  let j_count = Problem.num_recipes problem in
-  (* Recipe j is a single task of some type q_j; renting one machine of
-     that type yields r_{q_j} results at cost c_{q_j}. *)
+  let j_count = Instance.num_recipes instance in
+  (* Surviving recipe j is a single task of some type q_j (its support
+     is exactly {(q_j, 1)}); renting one machine of that type yields
+     r_{q_j} results at cost c_{q_j}. *)
   let type_of_recipe =
-    Array.init j_count (fun j -> Task_graph.type_of (Problem.recipe problem j) 0)
+    Array.init j_count (fun j -> (Instance.support instance j).Instance.types.(0))
   in
   let items =
     Array.map
       (fun q ->
-        { Knapsack.cost = Platform.cost platform q;
-          yield = Platform.throughput platform q })
+        { Knapsack.cost = Instance.type_cost instance q;
+          yield = Instance.type_throughput instance q })
       type_of_recipe
   in
   match Knapsack.min_cost_cover ~items ~demand:target with
@@ -32,8 +32,14 @@ let solve problem ~target =
         remaining := !remaining - take)
       counts;
     assert (!remaining = 0);
-    let machines = Array.make (Problem.num_types problem) 0 in
-    Array.iteri (fun j n -> machines.(type_of_recipe.(j)) <- machines.(type_of_recipe.(j)) + n) counts;
-    let alloc = Allocation.make problem ~rho ~machines in
+    let machines = Array.make (Instance.num_types instance) 0 in
+    Array.iteri
+      (fun j n ->
+        machines.(type_of_recipe.(j)) <- machines.(type_of_recipe.(j)) + n)
+      counts;
+    let rho = Instance.expand_rho instance rho in
+    let alloc = Allocation.make (Instance.problem instance) ~rho ~machines in
     assert (alloc.Allocation.cost = best);
     alloc
+
+let solve problem ~target = solve_on (Instance.compile problem) ~target

@@ -6,7 +6,14 @@
     pseudo-polynomial DP of {!Knapsack.min_cost_cover} in
     [O(J·ρ)] time. *)
 
-(** [solve problem ~target] returns an optimal allocation.
-    @raise Invalid_argument when the instance is not black-box
-    (use {!Problem.is_blackbox} to test) or [target < 0]. *)
+(** [solve problem ~target] returns an optimal allocation. The
+    black-box check runs on the dominance-pruned compiled instance, so
+    a problem whose only structure violations come from dominated
+    recipes (e.g. duplicated single-task recipes) is still accepted.
+    @raise Invalid_argument when the pruned instance is not black-box
+    (use {!Instance.is_blackbox} to test) or [target < 0]. *)
 val solve : Problem.t -> target:int -> Allocation.t
+
+(** [solve_on instance ~target] is {!solve} on a pre-compiled
+    instance. *)
+val solve_on : Instance.t -> target:int -> Allocation.t

@@ -1,15 +1,17 @@
 let recipe_cost problem ~j ~target = Costing.single_graph problem ~j ~target
 
-let solve problem ~target =
-  if not (Problem.is_disjoint problem) then
+let solve_on instance ~target =
+  if not (Instance.is_disjoint instance) then
     invalid_arg "Dp_disjoint.solve: recipes share task types (general case, \
                  use Ilp or Heuristics)";
   if target < 0 then invalid_arg "Dp_disjoint.solve: negative target";
-  let j_count = Problem.num_recipes problem in
-  (* Tabulate cost_j(t) for every recipe and every sub-target. *)
+  let j_count = Instance.num_recipes instance in
+  (* Tabulate cost_j(t) for every surviving recipe and every
+     sub-target, each entry the sparse § IV-A closed form over the
+     recipe's support. *)
   let cost_table =
     Array.init j_count (fun j ->
-        Array.init (target + 1) (fun t -> recipe_cost problem ~j ~target:t))
+        Array.init (target + 1) (fun t -> Instance.single_cost instance ~j ~target:t))
   in
   (* dp.(j).(t): optimal cost reaching throughput t with recipes 0..j;
      split.(j).(t): the ρ_j chosen there. *)
@@ -40,6 +42,9 @@ let solve problem ~target =
     t := !t - rho.(j)
   done;
   assert (!t = 0);
-  let alloc = Allocation.of_rho problem ~rho in
+  let rho = Instance.expand_rho instance rho in
+  let alloc = Allocation.of_rho (Instance.problem instance) ~rho in
   assert (alloc.Allocation.cost = dp.(j_count - 1).(target));
   alloc
+
+let solve problem ~target = solve_on (Instance.compile problem) ~target

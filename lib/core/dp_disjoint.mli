@@ -18,10 +18,17 @@
     (see DESIGN.md § 1). *)
 
 (** [solve problem ~target] returns an optimal allocation together
-    with the optimal throughput split.
-    @raise Invalid_argument when recipes share task types (use
-    {!Problem.is_disjoint} to test) or [target < 0]. *)
+    with the optimal throughput split. The disjointness check and the
+    DP both run on the dominance-pruned compiled instance; the
+    per-recipe cost table is filled with the sparse
+    {!Instance.single_cost} closed form.
+    @raise Invalid_argument when surviving recipes share task types
+    (use {!Instance.is_disjoint} to test) or [target < 0]. *)
 val solve : Problem.t -> target:int -> Allocation.t
+
+(** [solve_on instance ~target] is {!solve} on a pre-compiled
+    instance. *)
+val solve_on : Instance.t -> target:int -> Allocation.t
 
 (** [recipe_cost problem ~j ~target] is the separable per-recipe cost
     [cost_j(target)] the DP optimizes over (equals

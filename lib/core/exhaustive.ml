@@ -1,29 +1,42 @@
-let solve problem ~target =
+let solve_on instance ~target =
   if target < 0 then invalid_arg "Exhaustive.solve: negative target";
-  let j_count = Problem.num_recipes problem in
-  let rho = Array.make j_count 0 in
-  let best = ref None in
+  let j_count = Instance.num_recipes instance in
+  let o = Instance.Oracle.create instance in
+  let best_cost = ref max_int and best_rho = ref [||] in
   let consider () =
-    let alloc = Allocation.of_rho problem ~rho in
-    match !best with
-    | Some b when b.Allocation.cost <= alloc.Allocation.cost -> ()
-    | _ -> best := Some alloc
+    let c = Instance.Oracle.cost o in
+    if c < !best_cost then begin
+      best_cost := c;
+      best_rho := Instance.Oracle.rho o
+    end
   in
-  (* Enumerate compositions: assign to recipe j any amount of what is
-     left, the last recipe takes the remainder. *)
+  (* Enumerate compositions over the (dominance-pruned) compact recipe
+     space: assign to recipe j any amount of what is left, the last
+     recipe takes the remainder. Each unit assigned is one O(|supp|)
+     incremental re-price; applies and undos are strictly balanced, so
+     the oracle log stays bounded by the recursion depth. *)
   let rec go j remaining =
     if j = j_count - 1 then begin
-      rho.(j) <- remaining;
-      consider ()
+      Instance.Oracle.apply o ~j ~drho:remaining;
+      consider ();
+      Instance.Oracle.undo o
     end
-    else
-      for v = 0 to remaining do
-        rho.(j) <- v;
+    else begin
+      go (j + 1) remaining;
+      for v = 1 to remaining do
+        Instance.Oracle.apply o ~j ~drho:1;
         go (j + 1) (remaining - v)
+      done;
+      for _ = 1 to remaining do
+        Instance.Oracle.undo o
       done
+    end
   in
   go 0 target;
-  Option.get !best
+  Allocation.of_rho (Instance.problem instance)
+    ~rho:(Instance.expand_rho instance !best_rho)
+
+let solve problem ~target = solve_on (Instance.compile problem) ~target
 
 let count_compositions ~parts ~total =
   (* C(total + parts - 1, parts - 1) computed multiplicatively. *)

@@ -7,8 +7,16 @@
 
 (** [solve problem ~target] enumerates all compositions of [target]
     into [J] non-negative parts and returns a cheapest allocation.
+    Enumeration runs over the dominance-pruned compact recipe space of
+    a compiled {!Instance.t}, pricing each assigned unit incrementally
+    with {!Instance.Oracle.apply} — pruning never changes the optimal
+    cost (see {!Instance}).
     @raise Invalid_argument when [target < 0]. *)
 val solve : Problem.t -> target:int -> Allocation.t
+
+(** [solve_on instance ~target] is {!solve} on a pre-compiled
+    instance. *)
+val solve_on : Instance.t -> target:int -> Allocation.t
 
 (** [count_compositions ~parts ~total] is the number of splits
     enumerated by {!solve} (binomial [total+parts-1 choose parts-1]);

@@ -38,20 +38,24 @@ let check_params p =
 
 let evals_counter = Telemetry.counter Telemetry.heuristic_evals
 
-(* A counting cost oracle shared by one heuristic run; also the
-   enforcement point for evaluation/deadline budgets ([stopped] is
-   checked at move boundaries, so a run always ends on a complete,
-   feasible incumbent). *)
+(* A counting cost oracle shared by one heuristic run — an
+   [Instance.Oracle] (incremental re-pricing over recipe supports)
+   plus evaluation accounting, and the enforcement point for
+   evaluation/deadline budgets ([stopped] is checked at move
+   boundaries, so a run always ends on a complete, feasible
+   incumbent). *)
 type oracle = {
-  problem : Problem.t;
+  inst : Instance.t;
+  state : Instance.Oracle.t;
   mutable evals : int;
   eval_cap : int option;
   deadline_at : float option;  (* absolute Unix time *)
   mutable exhausted : bool;
 }
 
-let make_oracle problem (budget : Budget.t) =
-  { problem; evals = 0; eval_cap = budget.Budget.eval_cap;
+let make_oracle inst (budget : Budget.t) =
+  { inst; state = Instance.Oracle.create inst; evals = 0;
+    eval_cap = budget.Budget.eval_cap;
     deadline_at =
       Option.map (fun d -> Unix.gettimeofday () +. d) budget.Budget.deadline;
     exhausted = false }
@@ -70,26 +74,36 @@ let stopped oracle =
        true
      end
 
-let cost oracle rho =
+let note_eval oracle =
   oracle.evals <- oracle.evals + 1;
-  Telemetry.bump evals_counter;
-  (Allocation.of_rho oracle.problem ~rho).Allocation.cost
+  Telemetry.bump evals_counter
 
-let finish oracle rho =
-  { allocation = Allocation.of_rho oracle.problem ~rho;
+(* Price the oracle's current point: one evaluation, O(1) — the
+   incremental state was already re-priced by the applies. *)
+let current_cost oracle =
+  note_eval oracle;
+  Instance.Oracle.cost oracle.state
+
+let finish oracle =
+  { allocation = Instance.Oracle.allocation oracle.state;
     evaluations = oracle.evals;
     exhausted = oracle.exhausted }
 
 let check_target target = if target < 0 then invalid_arg "Heuristics: negative target"
 
-(* Move δ units from j1 to j2 in place; moves everything when the
-   source holds less than δ (the H2 rule of the paper). Returns the
-   amount actually moved. *)
-let move rho j1 j2 delta =
-  let d = min delta rho.(j1) in
-  rho.(j1) <- rho.(j1) - d;
-  rho.(j2) <- rho.(j2) + d;
+(* Move δ units from j1 to j2; moves everything when the source holds
+   less than δ (the H2 rule of the paper). Returns the amount actually
+   moved. Always pushes exactly two entries on the undo log, so a
+   revert is two [undo]s regardless of clamping. *)
+let move st j1 j2 delta =
+  let d = min delta (Instance.Oracle.rho_at st j1) in
+  Instance.Oracle.apply st ~j:j1 ~drho:(-d);
+  Instance.Oracle.apply st ~j:j2 ~drho:d;
   d
+
+let revert_move st =
+  Instance.Oracle.undo st;
+  Instance.Oracle.undo st
 
 (* ----- H0: uniformly random composition ----- *)
 
@@ -108,27 +122,29 @@ let random_composition rng j_count target =
   rho.(j_count - 1) <- target - !prev;
   rho
 
-let h0_random ?params:_ ?(budget = Budget.unlimited) ~rng problem ~target =
-  check_target target;
-  let oracle = make_oracle problem budget in
-  let j_count = Problem.num_recipes problem in
+let h0_on ?params:_ budget ~rng inst ~target =
+  let oracle = make_oracle inst budget in
+  let j_count = Instance.num_recipes inst in
   let rho =
     if j_count = 1 then [| target |] else random_composition rng j_count target
   in
-  finish oracle rho
+  Instance.Oracle.reset oracle.state ~rho;
+  finish oracle
 
 (* ----- H1: best single graph ----- *)
 
 (* H1 always runs to completion regardless of budget: its J
    evaluations are the feasibility floor every budgeted run can
-   afford, and every other heuristic starts from its vector. *)
-let h1_vector oracle target =
-  let j_count = Problem.num_recipes oracle.problem in
+   afford, and every other heuristic starts from its vector. Each
+   probe is the § IV-A closed form over the recipe's support —
+   O(|supp(j)|), no full load vector. The winning split is installed
+   in the oracle state. *)
+let h1_start oracle target =
+  let j_count = Instance.num_recipes oracle.inst in
   let best_j = ref 0 and best_cost = ref max_int in
   for j = 0 to j_count - 1 do
-    let rho = Array.make j_count 0 in
-    rho.(j) <- target;
-    let c = cost oracle rho in
+    note_eval oracle;
+    let c = Instance.single_cost oracle.inst ~j ~target in
     if c < !best_cost then begin
       best_cost := c;
       best_j := j
@@ -136,13 +152,13 @@ let h1_vector oracle target =
   done;
   let rho = Array.make j_count 0 in
   rho.(!best_j) <- target;
-  (rho, !best_cost)
+  Instance.Oracle.reset oracle.state ~rho;
+  !best_cost
 
-let h1_best_graph ?(budget = Budget.unlimited) problem ~target =
-  check_target target;
-  let oracle = make_oracle problem budget in
-  let rho, _ = h1_vector oracle target in
-  finish oracle rho
+let h1_on ?params:_ budget inst ~target =
+  let oracle = make_oracle inst budget in
+  ignore (h1_start oracle target);
+  finish oracle
 
 (* ----- H2: random walk ----- *)
 
@@ -152,63 +168,60 @@ let random_pair rng j_count =
   let j2 = (j1 + 1 + P.int rng (j_count - 1)) mod j_count in
   (j1, j2)
 
-let h2_random_walk ?(params = default_params) ?(budget = Budget.unlimited) ~rng
-    problem ~target =
-  check_params params;
-  check_target target;
-  let oracle = make_oracle problem budget in
-  let j_count = Problem.num_recipes problem in
-  let current, current_cost = h1_vector oracle target in
-  if j_count = 1 then finish oracle current
-  else begin
-    let best = Array.copy current and best_cost = ref current_cost in
+let h2_on ~params budget ~rng inst ~target =
+  let oracle = make_oracle inst budget in
+  let j_count = Instance.num_recipes inst in
+  let c0 = h1_start oracle target in
+  if j_count > 1 then begin
+    let st = oracle.state in
+    let best = ref (Instance.Oracle.rho st) and best_cost = ref c0 in
     let i = ref 0 in
     while !i < params.iterations && not (stopped oracle) do
       incr i;
       let j1, j2 = random_pair rng j_count in
-      ignore (move current j1 j2 params.step);
-      let c = cost oracle current in
+      ignore (move st j1 j2 params.step);
+      let c = current_cost oracle in
       if c < !best_cost then begin
         best_cost := c;
-        Array.blit current 0 best 0 j_count
-      end
+        best := Instance.Oracle.rho st
+      end;
       (* The walk continues from the new point whether or not it
          improved (contrast with H31). *)
+      Instance.Oracle.commit st
     done;
-    finish oracle best
-  end
+    Instance.Oracle.reset st ~rho:!best
+  end;
+  finish oracle
 
 (* ----- H31: stochastic descent ----- *)
 
-let h31_stochastic_descent ?(params = default_params) ?(budget = Budget.unlimited)
-    ~rng problem ~target =
-  check_params params;
-  check_target target;
-  let oracle = make_oracle problem budget in
-  let j_count = Problem.num_recipes problem in
-  let current, c0 = h1_vector oracle target in
-  if j_count = 1 then finish oracle current
-  else begin
-    let current_cost = ref c0 in
+let h31_on ~params budget ~rng inst ~target =
+  let oracle = make_oracle inst budget in
+  let j_count = Instance.num_recipes inst in
+  let c0 = h1_start oracle target in
+  if j_count > 1 then begin
+    let st = oracle.state in
+    let current_cost_r = ref c0 in
     let stale = ref 0 and i = ref 0 in
     while !i < params.iterations && !stale < params.patience && not (stopped oracle)
     do
       incr i;
       let j1, j2 = random_pair rng j_count in
-      let moved = move current j1 j2 params.step in
-      let c = cost oracle current in
-      if c < !current_cost then begin
-        current_cost := c;
-        stale := 0
+      ignore (move st j1 j2 params.step);
+      let c = current_cost oracle in
+      if c < !current_cost_r then begin
+        current_cost_r := c;
+        stale := 0;
+        Instance.Oracle.commit st
       end
       else begin
         (* Revert: descent only keeps improving moves. *)
-        ignore (move current j2 j1 moved);
+        revert_move st;
         incr stale
       end
-    done;
-    finish oracle current
-  end
+    done
+  end;
+  finish oracle
 
 (* ----- H32: steepest gradient ----- *)
 
@@ -218,13 +231,14 @@ let h31_stochastic_descent ?(params = default_params) ?(budget = Budget.unlimite
    up to the source's whole throughput is tested — the literal reading
    of the paper's "all possible throughput fraction exchanges", at a
    quadratically higher cost per pass. *)
-let steepest_step oracle params rho current_cost =
-  let j_count = Array.length rho in
+let steepest_step oracle params current_cost =
+  let st = oracle.state in
+  let j_count = Instance.num_recipes oracle.inst in
   let best_gain = ref 0 and best_move = ref None in
   let try_move j1 j2 delta =
-    let moved = move rho j1 j2 delta in
-    let c = cost oracle rho in
-    ignore (move rho j2 j1 moved);
+    let moved = move st j1 j2 delta in
+    let c = (note_eval oracle; Instance.Oracle.cost st) in
+    revert_move st;
     let gain = !current_cost - c in
     if gain > !best_gain then begin
       best_gain := gain;
@@ -232,16 +246,16 @@ let steepest_step oracle params rho current_cost =
     end
   in
   for j1 = 0 to j_count - 1 do
-    if rho.(j1) > 0 && not (stopped oracle) then
+    if Instance.Oracle.rho_at st j1 > 0 && not (stopped oracle) then
       for j2 = 0 to j_count - 1 do
         if j1 <> j2 then
           if params.exhaustive_deltas then begin
             let delta = ref params.step in
-            while !delta < rho.(j1) && not (stopped oracle) do
+            while !delta < Instance.Oracle.rho_at st j1 && not (stopped oracle) do
               try_move j1 j2 !delta;
               delta := !delta + params.step
             done;
-            try_move j1 j2 rho.(j1)
+            try_move j1 j2 (Instance.Oracle.rho_at st j1)
           end
           else try_move j1 j2 params.step
       done
@@ -249,37 +263,33 @@ let steepest_step oracle params rho current_cost =
   match !best_move with
   | None -> false
   | Some (j1, j2, delta) ->
-    ignore (move rho j1 j2 delta);
+    ignore (move st j1 j2 delta);
+    Instance.Oracle.commit st;
     current_cost := !current_cost - !best_gain;
     true
 
-let descend oracle params rho cost0 =
+let descend oracle params cost0 =
   let current_cost = ref cost0 in
-  while (not (stopped oracle)) && steepest_step oracle params rho current_cost do
+  while (not (stopped oracle)) && steepest_step oracle params current_cost do
     ()
   done;
   !current_cost
 
-let h32_steepest ?(params = default_params) ?(budget = Budget.unlimited) problem
-    ~target =
-  check_params params;
-  check_target target;
-  let oracle = make_oracle problem budget in
-  let rho, c0 = h1_vector oracle target in
-  ignore (descend oracle params rho c0);
-  finish oracle rho
+let h32_on ~params budget inst ~target =
+  let oracle = make_oracle inst budget in
+  let c0 = h1_start oracle target in
+  ignore (descend oracle params c0);
+  finish oracle
 
 (* ----- H32Jump: steepest gradient with random restarts nearby ----- *)
 
-let h32_jump ?(params = default_params) ?(budget = Budget.unlimited) ~rng problem
-    ~target =
-  check_params params;
-  check_target target;
-  let oracle = make_oracle problem budget in
-  let j_count = Problem.num_recipes problem in
-  let current, c0 = h1_vector oracle target in
-  let current_cost = ref (descend oracle params current c0) in
-  let best = Array.copy current and best_cost = ref !current_cost in
+let h32_jump_on ~params budget ~rng inst ~target =
+  let oracle = make_oracle inst budget in
+  let st = oracle.state in
+  let j_count = Instance.num_recipes inst in
+  let c0 = h1_start oracle target in
+  let current_cost_r = ref (descend oracle params c0) in
+  let best = ref (Instance.Oracle.rho st) and best_cost = ref !current_cost_r in
   if j_count > 1 then begin
     let jump = ref 0 in
     while !jump < params.jumps && not (stopped oracle) do
@@ -288,28 +298,56 @@ let h32_jump ?(params = default_params) ?(budget = Budget.unlimited) ~rng proble
          then descend to the nearby local minimum. *)
       for _ = 1 to params.jump_size do
         let j1, j2 = random_pair rng j_count in
-        ignore (move current j1 j2 params.step)
+        ignore (move st j1 j2 params.step)
       done;
-      current_cost := descend oracle params current (cost oracle current);
-      if !current_cost < !best_cost then begin
-        best_cost := !current_cost;
-        Array.blit current 0 best 0 j_count
+      Instance.Oracle.commit st;
+      current_cost_r := descend oracle params (current_cost oracle);
+      if !current_cost_r < !best_cost then begin
+        best_cost := !current_cost_r;
+        best := Instance.Oracle.rho st
       end
     done
   end;
-  finish oracle best
+  Instance.Oracle.reset st ~rho:!best;
+  finish oracle
 
-(* A fixed fallback seed so [run] stays usable — and reproducible —
-   when the caller has no PRNG at hand (deterministic heuristics never
-   touch it). *)
+(* A fixed fallback seed so the entry points stay usable — and
+   reproducible — when the caller has no PRNG at hand (deterministic
+   heuristics never touch it). *)
 let default_seed = 0x5EED
 
-let run ?(params = default_params) ?budget ?rng name problem ~target =
+let run_on ?(params = default_params) ?(budget = Budget.unlimited) ?rng name inst
+    ~target =
+  check_params params;
+  check_target target;
   let rng = match rng with Some r -> r | None -> P.create default_seed in
   match name with
-  | H0 -> h0_random ~params ?budget ~rng problem ~target
-  | H1 -> h1_best_graph ?budget problem ~target
-  | H2 -> h2_random_walk ~params ?budget ~rng problem ~target
-  | H31 -> h31_stochastic_descent ~params ?budget ~rng problem ~target
-  | H32 -> h32_steepest ~params ?budget problem ~target
-  | H32_jump -> h32_jump ~params ?budget ~rng problem ~target
+  | H0 -> h0_on ~params budget ~rng inst ~target
+  | H1 -> h1_on ~params budget inst ~target
+  | H2 -> h2_on ~params budget ~rng inst ~target
+  | H31 -> h31_on ~params budget ~rng inst ~target
+  | H32 -> h32_on ~params budget inst ~target
+  | H32_jump -> h32_jump_on ~params budget ~rng inst ~target
+
+let run ?params ?budget ?rng name problem ~target =
+  run_on ?params ?budget ?rng name (Instance.compile problem) ~target
+
+(* Per-heuristic entry points, kept for direct experimentation; each
+   compiles the instance itself. *)
+
+let h0_random ?params ?budget ~rng problem ~target =
+  run ?params ?budget ~rng H0 problem ~target
+
+let h1_best_graph ?budget problem ~target = run ?budget H1 problem ~target
+
+let h2_random_walk ?params ?budget ~rng problem ~target =
+  run ?params ?budget ~rng H2 problem ~target
+
+let h31_stochastic_descent ?params ?budget ~rng problem ~target =
+  run ?params ?budget ~rng H31 problem ~target
+
+let h32_steepest ?params ?budget problem ~target =
+  run ?params ?budget H32 problem ~target
+
+let h32_jump ?params ?budget ~rng problem ~target =
+  run ?params ?budget ~rng H32_jump problem ~target

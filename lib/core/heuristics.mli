@@ -3,10 +3,21 @@
 
     All heuristics search over integer throughput splits
     [ρ_1 … ρ_J >= 0] with [Σ_j ρ_j = ρ], scoring each split with the
-    closed-form cost oracle {!Allocation.of_rho}. Moves transfer a
-    quantum [δ = step] of throughput between two recipes (transferring
+    § IV-B closed-form cost oracle. Moves transfer a quantum
+    [δ = step] of throughput between two recipes (transferring
     everything when the source holds less than [δ]), exactly the
     exchange described for H2 in the paper.
+
+    Pricing goes through the compiled {!Instance} layer: the search
+    runs over the dominance-pruned compact recipe space, and every
+    move is re-priced incrementally by {!Instance.Oracle.apply} in
+    [O(|supp(j)|)] rather than recomputed from scratch in [O(Q·J)].
+    Results are reported in the problem's original recipe numbering.
+    On instances without dominated recipes the search trajectories
+    (and therefore costs, splits and evaluation counts) are identical
+    to the historical from-scratch oracle; with dominated recipes the
+    search space shrinks, which can only improve the incumbent at
+    equal effort.
 
     Stochastic heuristics (H0, H2, H31, H32Jump) draw randomness
     exclusively from the supplied {!Numeric.Prng.t}, so runs are
@@ -126,5 +137,18 @@ val run :
   ?rng:Numeric.Prng.t ->
   name ->
   Problem.t ->
+  target:int ->
+  result
+
+(** [run_on name instance ~target] is {!run} on a pre-compiled
+    {!Instance.t}, skipping the per-call compile. This is the hook
+    {!Solver.solve} uses so one compiled instance serves routing, the
+    ILP warm start and any heuristic fallback of a single solve. *)
+val run_on :
+  ?params:params ->
+  ?budget:Budget.t ->
+  ?rng:Numeric.Prng.t ->
+  name ->
+  Instance.t ->
   target:int ->
   result

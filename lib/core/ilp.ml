@@ -11,11 +11,15 @@ type outcome = {
 
 let ceil_div a b = (a + b - 1) / b
 
-let build problem ~target =
+(* The MILP is built over the dominance-pruned compact recipe space:
+   one ρ column per surviving recipe. Dominated columns are never
+   cheaper at equal throughput (see Instance), so dropping them leaves
+   the optimal value of both the MILP and its LP relaxation
+   unchanged while shrinking the tableau. *)
+let build_on instance ~target =
   if target < 0 then invalid_arg "Ilp.build: negative target";
-  let j_count = Problem.num_recipes problem in
-  let q_count = Problem.num_types problem in
-  let platform = Problem.platform problem in
+  let j_count = Instance.num_recipes instance in
+  let q_count = Instance.num_types instance in
   let m = Lp.Model.create () in
   let rho_vars =
     Array.init j_count (fun j -> Lp.Model.add_var m ~name:(Printf.sprintf "rho_%d" j))
@@ -31,10 +35,10 @@ let build problem ~target =
   (* Per type: x_q·r_q - Σ_j n^j_q·ρ_j >= 0  (constraint (2)) *)
   for q = 0 to q_count - 1 do
     let terms =
-      (x_vars.(q), R.of_int (Platform.throughput platform q))
+      (x_vars.(q), R.of_int (Instance.type_throughput instance q))
       :: List.filter_map
            (fun j ->
-             let n = Problem.type_count problem j q in
+             let n = Instance.count instance j q in
              if n = 0 then None else Some (rho_vars.(j), R.of_int (-n)))
            (List.init j_count Fun.id)
     in
@@ -50,38 +54,40 @@ let build problem ~target =
   for q = 0 to q_count - 1 do
     let nmax = ref 0 in
     for j = 0 to j_count - 1 do
-      nmax := max !nmax (Problem.type_count problem j q)
+      nmax := max !nmax (Instance.count instance j q)
     done;
-    let ub = ceil_div (!nmax * target) (Platform.throughput platform q) in
+    let ub = ceil_div (!nmax * target) (Instance.type_throughput instance q) in
     Lp.Model.tighten_upper m x_vars.(q) (R.of_int ub)
   done;
   let objective =
     Lp.Linexpr.of_terms
       (Array.to_list
-         (Array.mapi (fun q v -> (v, R.of_int (Platform.cost platform q))) x_vars))
+         (Array.mapi (fun q v -> (v, R.of_int (Instance.type_cost instance q))) x_vars))
   in
   Lp.Model.set_objective m Lp.Model.Minimize objective;
   (m, Array.to_list rho_vars @ Array.to_list x_vars)
 
-let decode problem solution =
-  let j_count = Problem.num_recipes problem in
-  let q_count = Problem.num_types problem in
+let build problem ~target = build_on (Instance.compile problem) ~target
+
+let decode instance solution =
+  let j_count = Instance.num_recipes instance in
+  let q_count = Instance.num_types instance in
   let values = solution.Milp.Solver.values in
   let to_int v =
     (* Integrality is enforced by the solver; exact rationals make the
        conversion lossless. *)
     Numeric.Bigint.to_int_exn (R.num values.(v))
   in
-  let rho = Array.init j_count to_int in
+  let rho = Instance.expand_rho instance (Array.init j_count to_int) in
   let machines = Array.init q_count (fun q -> to_int (j_count + q)) in
-  Allocation.make problem ~rho ~machines
+  Allocation.make (Instance.problem instance) ~rho ~machines
 
-let solve ?time_limit ?node_limit ?(strategy = Milp.Solver.Best_bound)
-    ?(warm_start = true) ?(cut_rounds = 0) problem ~target =
+let solve_on ?time_limit ?node_limit ?(strategy = Milp.Solver.Best_bound)
+    ?(warm_start = true) ?(cut_rounds = 0) instance ~target =
   let t0 = Unix.gettimeofday () in
-  let model, integer = build problem ~target in
-  let j_count = Problem.num_recipes problem in
-  let q_count = Problem.num_types problem in
+  let model, integer = build_on instance ~target in
+  let j_count = Instance.num_recipes instance in
+  let q_count = Instance.num_types instance in
   (* Seed the branch-and-bound with the best heuristic point: its cost
      is an upper cutoff that prunes most of the tree (the role played
      by Gurobi's internal primal heuristics in the paper's runs). The
@@ -97,13 +103,14 @@ let solve ?time_limit ?node_limit ?(strategy = Milp.Solver.Best_bound)
         | None -> Budget.unlimited
       in
       let res =
-        Heuristics.h32_jump ~budget ~rng:(Numeric.Prng.create 0x5EED) problem
-          ~target
+        Heuristics.run_on ~budget ~rng:(Numeric.Prng.create 0x5EED)
+          Heuristics.H32_jump instance ~target
       in
       let a = res.Heuristics.allocation in
       Some
         (Array.init (j_count + q_count) (fun i ->
-             if i < j_count then R.of_int a.Allocation.rho.(i)
+             if i < j_count then
+               R.of_int a.Allocation.rho.(Instance.original_index instance i)
              else R.of_int a.Allocation.machines.(i - j_count)))
     end
   in
@@ -120,7 +127,7 @@ let solve ?time_limit ?node_limit ?(strategy = Milp.Solver.Best_bound)
     Milp.Solver.solve ?time_limit ?node_limit ~integral_objective:true ~strategy
       ?warm_start:warm ~priority ~cut_rounds model ~integer
   in
-  let allocation = Option.map (decode problem) result.Milp.Solver.solution in
+  let allocation = Option.map (decode instance) result.Milp.Solver.solution in
   let best_bound =
     Option.map
       (fun b -> Numeric.Bigint.to_int_exn (R.ceil b))
@@ -132,6 +139,11 @@ let solve ?time_limit ?node_limit ?(strategy = Milp.Solver.Best_bound)
     best_bound;
     nodes = result.Milp.Solver.nodes;
     elapsed = Unix.gettimeofday () -. t0 }
+
+let solve ?time_limit ?node_limit ?strategy ?warm_start ?cut_rounds problem
+    ~target =
+  solve_on ?time_limit ?node_limit ?strategy ?warm_start ?cut_rounds
+    (Instance.compile problem) ~target
 
 let lp_lower_bound problem ~target =
   let model, _ = build problem ~target in

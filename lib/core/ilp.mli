@@ -26,9 +26,17 @@ type outcome = {
 
 (** [build problem ~target] constructs the MILP and returns it with
     the list of integer variables — exposed for inspection, testing
-    and benchmarking. Variables [0..J-1] are the [ρ_j] and
-    [J..J+Q-1] are the [x_q]. *)
+    and benchmarking. The model has one [ρ] column per {e surviving}
+    recipe of the dominance-pruned compiled instance (see
+    {!Instance}): variables [0..J'-1] are the [ρ_j] in compact
+    numbering and [J'..J'+Q-1] are the [x_q]. Dominated columns never
+    price cheaper at equal throughput, so both the MILP optimum and
+    its LP relaxation are unchanged. *)
 val build : Problem.t -> target:int -> Lp.Model.t * Lp.Model.var list
+
+(** [build_on instance ~target] is {!build} on a pre-compiled
+    instance. *)
+val build_on : Instance.t -> target:int -> Lp.Model.t * Lp.Model.var list
 
 (** [solve problem ~target] optimizes the MILP.
     @param time_limit wall-clock seconds (default: unlimited)
@@ -51,6 +59,19 @@ val solve :
   ?warm_start:bool ->
   ?cut_rounds:int ->
   Problem.t ->
+  target:int ->
+  outcome
+
+(** [solve_on instance ~target] is {!solve} on a pre-compiled
+    instance — the warm start reuses the instance too, so one compile
+    serves the whole solve. *)
+val solve_on :
+  ?time_limit:float ->
+  ?node_limit:int ->
+  ?strategy:Milp.Solver.strategy ->
+  ?warm_start:bool ->
+  ?cut_rounds:int ->
+  Instance.t ->
   target:int ->
   outcome
 

@@ -1,0 +1,242 @@
+module R = Numeric.Rat
+
+type support = {
+  types : int array;
+  counts : int array;
+}
+
+type t = {
+  problem : Problem.t;
+  costs : int array;  (* c_q *)
+  throughputs : int array;  (* r_q *)
+  original : int array;  (* compact recipe index -> original index *)
+  counts : int array array;  (* dense n^j_q rows, compact j *)
+  supports : support array;  (* sparse rows, compact j *)
+  dropped : (int * int) list;  (* (dominated, surviving dominator), original *)
+  unit_costs : R.t array;  (* fluid cost per throughput unit, compact j *)
+  blackbox : bool;
+  disjoint : bool;
+}
+
+type instance = t
+
+let ceil_div a b = (a + b - 1) / b
+
+(* [j] dominates [j'] when its counts are pointwise <= and the two
+   rows differ — or are equal with [j] the lower index, so exactly one
+   of an equal pair is dropped. The relation is a strict partial
+   order, hence every dropped recipe has a surviving dominator. *)
+let dominates rows j j' =
+  let cj = rows.(j) and cj' = rows.(j') in
+  let le = ref true and strict = ref false in
+  Array.iteri
+    (fun q n -> if n > cj'.(q) then le := false else if n < cj'.(q) then strict := true)
+    cj;
+  !le && (!strict || j < j')
+
+let compile ?(prune = true) problem =
+  let j_orig = Problem.num_recipes problem in
+  let q_count = Problem.num_types problem in
+  let platform = Problem.platform problem in
+  let costs = Array.init q_count (Platform.cost platform) in
+  let throughputs = Array.init q_count (Platform.throughput platform) in
+  let rows = Array.init j_orig (Problem.type_counts problem) in
+  let dominator = Array.make j_orig (-1) in
+  if prune then
+    for j' = 0 to j_orig - 1 do
+      let j = ref 0 in
+      while dominator.(j') < 0 && !j < j_orig do
+        if !j <> j' && dominates rows !j j' then dominator.(j') <- !j;
+        incr j
+      done
+    done;
+  let original =
+    Array.of_list
+      (List.filter (fun j -> dominator.(j) < 0) (List.init j_orig Fun.id))
+  in
+  let dropped =
+    List.filter_map
+      (fun j' ->
+        if dominator.(j') < 0 then None
+        else begin
+          (* Chase the dominance chain to a surviving recipe. *)
+          let j = ref dominator.(j') in
+          while dominator.(!j) >= 0 do
+            j := dominator.(!j)
+          done;
+          Some (j', !j)
+        end)
+      (List.init j_orig Fun.id)
+  in
+  let counts = Array.map (fun j -> rows.(j)) original in
+  let supports =
+    Array.map
+      (fun row ->
+        let used = ref [] in
+        for q = q_count - 1 downto 0 do
+          if row.(q) > 0 then used := q :: !used
+        done;
+        let types = Array.of_list !used in
+        { types; counts = Array.map (fun q -> row.(q)) types })
+      counts
+  in
+  let disjoint =
+    let users = Array.make q_count 0 in
+    Array.iter (fun s -> Array.iter (fun q -> users.(q) <- users.(q) + 1) s.types)
+      supports;
+    Array.for_all (fun u -> u <= 1) users
+  in
+  let blackbox =
+    disjoint
+    && Array.for_all
+         (fun s -> Array.length s.types = 1 && s.counts.(0) = 1)
+         supports
+  in
+  let unit_costs =
+    Array.map
+      (fun (s : support) ->
+        let acc = ref R.zero in
+        Array.iteri
+          (fun i q ->
+            acc := R.add !acc (R.of_ints (s.counts.(i) * costs.(q)) throughputs.(q)))
+          s.types;
+        !acc)
+      supports
+  in
+  { problem; costs; throughputs; original; counts; supports; dropped;
+    unit_costs; blackbox; disjoint }
+
+let problem t = t.problem
+let num_recipes t = Array.length t.original
+let num_types t = Array.length t.costs
+let original_index t j = t.original.(j)
+let dropped t = t.dropped
+let num_pruned t = List.length t.dropped
+let support t j = t.supports.(j)
+let count t j q = t.counts.(j).(q)
+let type_cost t q = t.costs.(q)
+let type_throughput t q = t.throughputs.(q)
+let is_blackbox t = t.blackbox
+let is_disjoint t = t.disjoint
+
+let single_cost t ~j ~target =
+  if target < 0 then invalid_arg "Instance.single_cost: negative target";
+  let s = t.supports.(j) in
+  let total = ref 0 in
+  Array.iteri
+    (fun i q ->
+      total := !total + (t.costs.(q) * ceil_div (s.counts.(i) * target) t.throughputs.(q)))
+    s.types;
+  !total
+
+let unit_cost t j = t.unit_costs.(j)
+
+let fluid_lower_bound t ~target =
+  if target < 0 then invalid_arg "Instance.fluid_lower_bound: negative target";
+  if target = 0 || num_recipes t = 0 then 0
+  else begin
+    let best = Array.fold_left R.min t.unit_costs.(0) t.unit_costs in
+    Numeric.Bigint.to_int_exn (R.ceil (R.mul best (R.of_int target)))
+  end
+
+let expand_rho t rho =
+  if Array.length rho <> num_recipes t then
+    invalid_arg "Instance.expand_rho: wrong length";
+  let out = Array.make (Problem.num_recipes t.problem) 0 in
+  Array.iteri (fun j r -> out.(t.original.(j)) <- r) rho;
+  out
+
+module Oracle = struct
+  type t = {
+    inst : instance;
+    rho : int array;  (* compact *)
+    loads : int array;  (* per type *)
+    machines : int array;  (* per type, always ⌈load/r⌉ *)
+    mutable cost : int;
+    mutable log : (int * int) list;  (* applied (j, drho), LIFO *)
+    mutable depth : int;
+  }
+
+  let create inst =
+    { inst;
+      rho = Array.make (num_recipes inst) 0;
+      loads = Array.make (num_types inst) 0;
+      machines = Array.make (num_types inst) 0;
+      cost = 0; log = []; depth = 0 }
+
+  (* The one hot path: re-price exactly supp(j). *)
+  let apply_raw o j drho =
+    if drho <> 0 then begin
+      let r = o.rho.(j) + drho in
+      if r < 0 then invalid_arg "Instance.Oracle.apply: negative throughput";
+      o.rho.(j) <- r;
+      let s = o.inst.supports.(j) in
+      let types = s.types and counts = s.counts in
+      for i = 0 to Array.length types - 1 do
+        let q = types.(i) in
+        let load = o.loads.(q) + (counts.(i) * drho) in
+        o.loads.(q) <- load;
+        let m = ceil_div load o.inst.throughputs.(q) in
+        let dm = m - o.machines.(q) in
+        if dm <> 0 then begin
+          o.machines.(q) <- m;
+          o.cost <- o.cost + (dm * o.inst.costs.(q))
+        end
+      done
+    end
+
+  let apply o ~j ~drho =
+    apply_raw o j drho;
+    o.log <- (j, drho) :: o.log;
+    o.depth <- o.depth + 1
+
+  let undo o =
+    match o.log with
+    | [] -> invalid_arg "Instance.Oracle.undo: nothing to undo"
+    | (j, drho) :: rest ->
+      o.log <- rest;
+      o.depth <- o.depth - 1;
+      apply_raw o j (-drho)
+
+  let depth o = o.depth
+
+  let commit o =
+    o.log <- [];
+    o.depth <- 0
+
+  let reset o ~rho =
+    if Array.length rho <> num_recipes o.inst then
+      invalid_arg "Instance.Oracle.reset: rho has wrong length";
+    Array.iter
+      (fun r -> if r < 0 then invalid_arg "Instance.Oracle.reset: negative throughput")
+      rho;
+    Array.blit rho 0 o.rho 0 (Array.length rho);
+    Array.fill o.loads 0 (Array.length o.loads) 0;
+    Array.iteri
+      (fun j rj ->
+        if rj > 0 then begin
+          let s = o.inst.supports.(j) in
+          Array.iteri
+            (fun i q -> o.loads.(q) <- o.loads.(q) + (s.counts.(i) * rj))
+            s.types
+        end)
+      o.rho;
+    o.cost <- 0;
+    Array.iteri
+      (fun q load ->
+        let m = ceil_div load o.inst.throughputs.(q) in
+        o.machines.(q) <- m;
+        o.cost <- o.cost + (m * o.inst.costs.(q)))
+      o.loads;
+    o.log <- [];
+    o.depth <- 0
+
+  let cost o = o.cost
+  let rho_at o j = o.rho.(j)
+  let rho o = Array.copy o.rho
+  let loads o = Array.copy o.loads
+  let machines o = Array.copy o.machines
+
+  let allocation o =
+    Allocation.of_rho o.inst.problem ~rho:(expand_rho o.inst o.rho)
+end

@@ -1,0 +1,159 @@
+(** A compiled view of a {!Problem.t}, built once per solve.
+
+    Every engine ultimately prices throughput splits with the § IV-B
+    closed form, and profiling shows the search engines (§ VI
+    heuristics, the exhaustive oracle, the DP tabulations) spend
+    essentially all their time there. [Instance.compile] preprocesses
+    the problem so that pricing work is proportional to what a move
+    actually touches:
+
+    - {b sparse recipe supports}: per recipe, the list of types with
+      [n^j_q > 0] (CSR-style), so inner loops skip zero entries;
+    - {b precomputed platform vectors}: [c_q] and [r_q] as plain
+      arrays, plus per-recipe closed-form unit-cost bounds (§ IV-A);
+    - {b recipe-dominance preprocessing}: recipe [j'] is dropped from
+      the search space when some recipe [j] satisfies
+      [n^j_q <= n^j'_q] for every [q] (ties broken towards the lower
+      index). Any throughput routed through [j'] can be rerouted
+      through [j] without raising any per-type load, hence without
+      raising the cost, so some optimum has [ρ_j' = 0] and dropping
+      [j'] never changes the optimal cost. Surviving recipes are
+      re-indexed compactly; {!expand_rho} maps results back to the
+      original numbering.
+
+    On top of the compiled view, {!module:Oracle} maintains loads,
+    machine counts and cost incrementally: {!Oracle.apply} re-prices
+    only the support of the touched recipe — [O(|supp(j)|)] per move
+    instead of the [O(Q·J)] plus allocations of a fresh
+    {!Allocation.of_rho}. *)
+
+(** Sparse counts of one recipe: [counts.(i)] tasks of type
+    [types.(i)], types ascending, all counts positive. *)
+type support = {
+  types : int array;
+  counts : int array;
+}
+
+type t
+
+(** Alias for {!t}, usable inside the {!module:Oracle} signature. *)
+type instance = t
+
+(** [compile problem] builds the instance. [O(J²·Q)] for the dominance
+    filter plus [O(J·Q)] for the tables — negligible next to any
+    search. [~prune:false] keeps dominated recipes (identity index
+    map); used by A/B tests and ablation benchmarks. *)
+val compile : ?prune:bool -> Problem.t -> t
+
+val problem : t -> Problem.t
+
+(** Number of surviving recipes [J'] (compact index space; [<= J]). *)
+val num_recipes : t -> int
+
+val num_types : t -> int
+
+(** [original_index t j] maps a compact index to the problem's
+    numbering. *)
+val original_index : t -> int -> int
+
+(** Dominated recipes as [(dropped, dominator)] pairs in original
+    numbering; the dominator always survives. *)
+val dropped : t -> (int * int) list
+
+(** Number of recipes removed by dominance preprocessing. *)
+val num_pruned : t -> int
+
+val support : t -> int -> support
+
+(** [count t j q] is [n^j_q] for compact [j]. *)
+val count : t -> int -> int -> int
+
+(** [type_cost t q] is [c_q]. *)
+val type_cost : t -> int -> int
+
+(** [type_throughput t q] is [r_q]. *)
+val type_throughput : t -> int -> int
+
+(** Structure flags of the {e pruned} problem, precomputed at compile
+    time (§ V routing). Pruning can only unlock structure — e.g. a
+    shared-types problem whose sharing recipes are all dominated
+    becomes disjoint — and routing on the pruned structure is sound
+    because the pruned problem has the same optimal cost. *)
+val is_blackbox : t -> bool
+
+val is_disjoint : t -> bool
+
+(** [single_cost t ~j ~target] is the § IV-A closed form
+    [Σ_q c_q·⌈n^j_q·target / r_q⌉] over the support of compact recipe
+    [j] — the cost of routing the whole target through [j]. *)
+val single_cost : t -> j:int -> target:int -> int
+
+(** [unit_cost t j] is the fluid (LP-relaxed) cost of one unit of
+    throughput on compact recipe [j]: [Σ_q n^j_q·c_q / r_q]. A lower
+    bound on the marginal cost of recipe [j]. *)
+val unit_cost : t -> int -> Numeric.Rat.t
+
+(** [fluid_lower_bound t ~target] is
+    [⌈target · min_j unit_cost j⌉] — a valid lower bound on the
+    optimal cost, from the LP relaxation with the capacity ceilings
+    dropped. *)
+val fluid_lower_bound : t -> target:int -> int
+
+(** [expand_rho t rho] maps a compact split (length [J']) to the
+    original numbering (length [J], zeros for dropped recipes). *)
+val expand_rho : t -> int array -> int array
+
+(** Incremental cost oracle: mutable loads/machines/cost state over
+    the compact index space. {!apply} pushes onto an undo log;
+    {!undo} pops (LIFO), restoring the previous state exactly —
+    machine counts are a deterministic function of the loads, so
+    replaying the inverse delta is exact. *)
+module Oracle : sig
+  type t
+
+  (** Fresh oracle at the all-zero split (cost 0). *)
+  val create : instance -> t
+
+  (** [reset o ~rho] rebuilds the state from scratch for a compact
+      split (length [J']) and clears the undo log.
+      [O(Σ_j |supp(j)|)].
+      @raise Invalid_argument on a wrong-sized or negative [rho]. *)
+  val reset : t -> rho:int array -> unit
+
+  (** Current total rental cost [Σ_q x_q·c_q]. O(1). *)
+  val cost : t -> int
+
+  (** [rho_at o j] is the current throughput of compact recipe [j]. *)
+  val rho_at : t -> int -> int
+
+  (** Copy of the current compact split. *)
+  val rho : t -> int array
+
+  (** Copy of the current per-type loads. *)
+  val loads : t -> int array
+
+  (** Copy of the current minimal machine counts. *)
+  val machines : t -> int array
+
+  (** [apply o ~j ~drho] adds [drho] to [ρ_j] and re-prices exactly
+      [supp(j)]: [O(|supp(j)|)]. The delta is pushed on the undo log.
+      @raise Invalid_argument when the move would make [ρ_j]
+      negative. *)
+  val apply : t -> j:int -> drho:int -> unit
+
+  (** Reverts the most recent un-undone {!apply}.
+      @raise Invalid_argument on an empty log. *)
+  val undo : t -> unit
+
+  (** Number of un-undone applies on the log. *)
+  val depth : t -> int
+
+  (** Accept the current state: clears the undo log (so walks that
+      keep every move do not grow it without bound). *)
+  val commit : t -> unit
+
+  (** The current state as a full {!Allocation.t} in original recipe
+      numbering (recomputed through {!Allocation.of_rho}, which also
+      revalidates the state at the boundary). *)
+  val allocation : t -> Allocation.t
+end

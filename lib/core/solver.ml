@@ -43,6 +43,7 @@ type telemetry = {
   evaluations : int;
   pivots : int;
   nodes : int;
+  pruned_recipes : int;
 }
 
 type outcome = {
@@ -51,30 +52,36 @@ type outcome = {
   telemetry : telemetry;
 }
 
-let auto_spec problem =
-  if Problem.is_blackbox problem then Dp_blackbox
-  else if Problem.is_disjoint problem then Dp_disjoint
+(* Routing reads the structure flags precomputed at instance compile
+   time — and therefore sees the *pruned* structure: a shared-types
+   problem whose sharing recipes are all dominated routes to the
+   cheaper DP, soundly (pruning preserves the optimal cost). *)
+let auto_of_instance instance =
+  if Instance.is_blackbox instance then Dp_blackbox
+  else if Instance.is_disjoint instance then Dp_disjoint
   else Exact_ilp
+
+let auto_spec problem = auto_of_instance (Instance.compile problem)
 
 (* When the ILP exhausts its budget with no incumbent at all, degrade
    to the best heuristic reachable in whatever budget remains. H32Jump
    under an already-expired budget collapses to the H1 floor, which
    always completes, so this stage cannot come back empty. *)
-let heuristic_fallback ~budget ~rng ~params ~t0 problem ~target =
+let heuristic_fallback ~budget ~rng ~params ~t0 instance ~target =
   let budget = Budget.remaining budget ~elapsed:(Unix.gettimeofday () -. t0) in
-  (Heuristics.run ~params ~budget ?rng Heuristics.H32_jump problem ~target)
+  (Heuristics.run_on ~params ~budget ?rng Heuristics.H32_jump instance ~target)
     .Heuristics.allocation
 
-let run_engine ~budget ~rng ~params ~t0 engine problem ~target =
+let run_engine ~budget ~rng ~params ~t0 engine instance ~target =
   match engine with
   | Auto -> assert false (* resolved by [solve] *)
-  | Dp_blackbox -> (Optimal, Some (Dp_blackbox.solve problem ~target))
-  | Dp_disjoint -> (Optimal, Some (Dp_disjoint.solve problem ~target))
-  | Exhaustive -> (Optimal, Some (Exhaustive.solve problem ~target))
+  | Dp_blackbox -> (Optimal, Some (Dp_blackbox.solve_on instance ~target))
+  | Dp_disjoint -> (Optimal, Some (Dp_disjoint.solve_on instance ~target))
+  | Exhaustive -> (Optimal, Some (Exhaustive.solve_on instance ~target))
   | Exact_ilp ->
     let o =
-      Ilp.solve ?time_limit:budget.Budget.deadline
-        ?node_limit:budget.Budget.node_cap problem ~target
+      Ilp.solve_on ?time_limit:budget.Budget.deadline
+        ?node_limit:budget.Budget.node_cap instance ~target
     in
     (match (o.Ilp.status, o.Ilp.allocation) with
      | Milp.Solver.Optimal, (Some _ as a) -> (Optimal, a)
@@ -84,29 +91,35 @@ let run_engine ~budget ~rng ~params ~t0 engine problem ~target =
        (* Budget expired before any integer point (the rental MILP is
           never unbounded): degrade to a heuristic incumbent. *)
        ( Budget_exhausted,
-         Some (heuristic_fallback ~budget ~rng ~params ~t0 problem ~target) ))
+         Some (heuristic_fallback ~budget ~rng ~params ~t0 instance ~target) ))
   | Heuristic name ->
-    let r = Heuristics.run ~params ~budget ?rng name problem ~target in
+    let r = Heuristics.run_on ~params ~budget ?rng name instance ~target in
     ( (if r.Heuristics.exhausted then Budget_exhausted else Feasible),
       Some r.Heuristics.allocation )
 
-let solve ?(budget = Budget.unlimited) ?rng ?(params = Heuristics.default_params)
-    ~spec problem ~target =
+let solve_on ?(budget = Budget.unlimited) ?rng
+    ?(params = Heuristics.default_params) ~spec instance ~target =
   if target < 0 then invalid_arg "Solver.solve: negative target";
   let t0 = Unix.gettimeofday () in
   let evals0 = Telemetry.value Telemetry.heuristic_evals in
   let pivots0 = Telemetry.value Telemetry.lp_pivots in
   let nodes0 = Telemetry.value Telemetry.milp_nodes in
-  let engine = match spec with Auto -> auto_spec problem | s -> s in
-  let status, allocation = run_engine ~budget ~rng ~params ~t0 engine problem ~target in
+  let engine = match spec with Auto -> auto_of_instance instance | s -> s in
+  let status, allocation =
+    run_engine ~budget ~rng ~params ~t0 engine instance ~target
+  in
   let telemetry =
     { engine;
       wall_time = Unix.gettimeofday () -. t0;
       evaluations = Telemetry.value Telemetry.heuristic_evals - evals0;
       pivots = Telemetry.value Telemetry.lp_pivots - pivots0;
-      nodes = Telemetry.value Telemetry.milp_nodes - nodes0 }
+      nodes = Telemetry.value Telemetry.milp_nodes - nodes0;
+      pruned_recipes = Instance.num_pruned instance }
   in
   { status; allocation; telemetry }
+
+let solve ?budget ?rng ?params ~spec problem ~target =
+  solve_on ?budget ?rng ?params ~spec (Instance.compile problem) ~target
 
 let pp_outcome fmt o =
   Format.fprintf fmt "@[<v>%s via %s in %.3f s" (status_to_string o.status)
@@ -117,6 +130,8 @@ let pp_outcome fmt o =
     Format.fprintf fmt ", %d pivots" o.telemetry.pivots;
   if o.telemetry.evaluations > 0 then
     Format.fprintf fmt ", %d evaluations" o.telemetry.evaluations;
+  if o.telemetry.pruned_recipes > 0 then
+    Format.fprintf fmt ", %d recipes pruned" o.telemetry.pruned_recipes;
   (match o.allocation with
    | Some a -> Format.fprintf fmt "@,%a" Allocation.pp a
    | None -> Format.fprintf fmt "@,(no allocation)");

@@ -21,13 +21,22 @@
 
     Telemetry is measured as deltas of the global {!Telemetry}
     counters around the solve, so nested or concurrent measurement at
-    outer layers stays correct. *)
+    outer layers stays correct.
 
-(** Which engine to run. [Auto] routes on the § V structure
-    predicates: black-box instances ({!Problem.is_blackbox}) to the
-    § V-A knapsack DP, disjoint-types instances
-    ({!Problem.is_disjoint}) to the § V-B DP, and general shared-types
-    instances to the § V-C ILP (H32Jump warm-started). *)
+    Every solve runs over a compiled {!Instance.t} — built once per
+    [solve] call, or supplied by the caller via [solve_on] to amortize
+    compilation across repeated solves of the same problem (sweeps,
+    benchmarks). *)
+
+(** Which engine to run. [Auto] routes on the structure flags
+    precomputed at instance compile time: black-box instances
+    ({!Instance.is_blackbox}) to the § V-A knapsack DP, disjoint-types
+    instances ({!Instance.is_disjoint}) to the § V-B DP, and general
+    shared-types instances to the § V-C ILP (H32Jump warm-started).
+    The flags describe the dominance-pruned recipe set, so a problem
+    whose structure violations all come from dominated recipes still
+    routes to the cheaper engine — soundly, since pruning preserves
+    the optimal cost. *)
 type spec =
   | Exact_ilp  (** § V-C branch and bound over exact LP relaxations *)
   | Dp_blackbox  (** § V-A pseudo-polynomial knapsack DP *)
@@ -65,6 +74,9 @@ type telemetry = {
   evaluations : int;  (** cost-oracle evaluations (heuristic effort) *)
   pivots : int;  (** exact simplex pivots, both engines *)
   nodes : int;  (** branch-and-bound nodes *)
+  pruned_recipes : int;
+      (** recipes removed by dominance preprocessing at instance
+          compile time (see {!Instance.compile}) *)
 }
 
 type outcome = {
@@ -75,8 +87,13 @@ type outcome = {
 }
 
 (** The engine [Auto] picks for this problem (routing only — no
-    solve). *)
+    solve). Compiles an instance to read the structure flags; use
+    {!auto_of_instance} when one is already at hand. *)
 val auto_spec : Problem.t -> spec
+
+(** [auto_of_instance instance] is the [Auto] routing decision for an
+    already-compiled instance (no work beyond reading two flags). *)
+val auto_of_instance : Instance.t -> spec
 
 (** [solve ~spec problem ~target] runs the selected engine.
 
@@ -95,6 +112,19 @@ val solve :
   ?params:Heuristics.params ->
   spec:spec ->
   Problem.t ->
+  target:int ->
+  outcome
+
+(** [solve_on ~spec instance ~target] is {!solve} on a pre-compiled
+    instance — the engines, the [Auto] routing and the ILP warm start
+    all reuse it, so one {!Instance.compile} serves any number of
+    solves (e.g. a target sweep). *)
+val solve_on :
+  ?budget:Budget.t ->
+  ?rng:Numeric.Prng.t ->
+  ?params:Heuristics.params ->
+  spec:spec ->
+  Instance.t ->
   target:int ->
   outcome
 

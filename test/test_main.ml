@@ -14,6 +14,7 @@ let () =
       Test_knapsack.suite;
       Test_model.suite;
       Test_costing.suite;
+      Test_instance.suite;
       Test_dp.suite;
       Test_ilp.suite;
       Test_heuristics.suite;

@@ -219,8 +219,38 @@ let test_spec_strings () =
     [ S.Auto; S.Exact_ilp; S.Dp_blackbox; S.Dp_disjoint; S.Exhaustive;
       S.Heuristic H.H0; S.Heuristic H.H1; S.Heuristic H.H2; S.Heuristic H.H31;
       S.Heuristic H.H32; S.Heuristic H.H32_jump ];
-  Alcotest.(check bool) "dp alias" true (S.spec_of_string "dp" = Some S.Dp_disjoint);
-  Alcotest.(check bool) "junk rejected" true (S.spec_of_string "gurobi" = None)
+  (* Every CLI spelling, pinned explicitly so a parser change that
+     breaks a documented flag cannot hide behind the round-trip. *)
+  List.iter
+    (fun (cli, expected) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%S parses" cli)
+        true
+        (S.spec_of_string cli = Some expected))
+    [ ("auto", S.Auto);
+      ("ilp", S.Exact_ilp);
+      ("dp", S.Dp_disjoint);
+      ("dp-disjoint", S.Dp_disjoint);
+      ("dp-blackbox", S.Dp_blackbox);
+      ("exhaustive", S.Exhaustive);
+      ("h0", S.Heuristic H.H0);
+      ("h1", S.Heuristic H.H1);
+      ("h2", S.Heuristic H.H2);
+      ("h31", S.Heuristic H.H31);
+      ("h32", S.Heuristic H.H32);
+      ("h32jump", S.Heuristic H.H32_jump);
+      (* Parsing is case-insensitive. *)
+      ("AUTO", S.Auto);
+      ("ILP", S.Exact_ilp);
+      ("Dp-Blackbox", S.Dp_blackbox);
+      ("H32Jump", S.Heuristic H.H32_jump) ];
+  List.iter
+    (fun junk ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%S rejected" junk)
+        true
+        (S.spec_of_string junk = None))
+    [ "gurobi"; ""; "h3"; "h33"; "dp_blackbox"; "ilp "; "h32-jump" ]
 
 let suite =
   ( "solver",
