@@ -11,8 +11,10 @@
    Run with: dune exec bench/main.exe
    Every run also writes BENCH_solver.json — a machine-readable
    per-engine record (wall time, evaluations, pivots, nodes, cost) plus
-   the incremental-vs-scratch oracle throughput, for tracking across
-   commits without parsing the OLS table.
+   the incremental-vs-scratch oracle throughput — and
+   BENCH_service.json — the provisioning service's cold-solve vs
+   cache-hit latency and the cache statistics of a replayed request
+   trace — for tracking across commits without parsing the OLS table.
 
    `dune exec bench/main.exe -- --smoke` skips the OLS fits: it runs a
    fast engine-agreement check (every exact engine must report the same
@@ -298,9 +300,53 @@ let solver_group =
                 (Lazy.force illustrating_instance) ~target:70)
                .S.telemetry.S.evaluations)) ]
 
+(* --- the provisioning service: cache-hit vs cold-solve latency --- *)
+
+module Svc = Rentcost_service
+
+let service_solve ~reuse ~target =
+  Svc.Protocol.Solve
+    { id = None; source = Svc.Protocol.Ref "app"; target; spec = S.Auto;
+      budget = None; reuse }
+
+let service_engine_with_app () =
+  let e = Svc.Engine.create () in
+  ignore (Svc.Engine.register e ~name:"app" illustrating);
+  e
+
+let service_answer engine req =
+  match Svc.Engine.handle engine req with
+  | [ Svc.Protocol.Solved { cost; _ } ] -> cost
+  | _ -> failwith "service bench: unexpected response"
+
+(* One engine per kernel: the hit kernel replays a primed entry, the
+   cold kernel opts out of reuse so every call runs the ILP. *)
+let primed_engine =
+  lazy
+    (let e = service_engine_with_app () in
+     ignore
+       (service_answer e (service_solve ~reuse:Svc.Protocol.Monotone ~target:70));
+     e)
+
+let cold_engine = lazy (service_engine_with_app ())
+
+let service_group =
+  Test.make_grouped ~name:"service"
+    [ Test.make ~name:"cache_hit_rho70"
+        (Staged.stage (fun () ->
+             service_answer (Lazy.force primed_engine)
+               (service_solve ~reuse:Svc.Protocol.Monotone ~target:70)));
+      Test.make ~name:"cold_solve_rho70"
+        (Staged.stage (fun () ->
+             service_answer (Lazy.force cold_engine)
+               (service_solve ~reuse:Svc.Protocol.No_reuse ~target:70)));
+      Test.make ~name:"fingerprint_illustrating"
+        (Staged.stage (fun () -> Svc.Fingerprint.of_problem illustrating)) ]
+
 let all_tests =
   Test.make_grouped ~name:"rentcost"
-    [ table3; fig3; fig4; fig5; fig6; fig7; fig8; micro; ablation; solver_group ]
+    [ table3; fig3; fig4; fig5; fig6; fig7; fig8; micro; ablation; solver_group;
+      service_group ]
 
 (* --- BENCH_solver.json: machine-readable per-engine record --- *)
 
@@ -418,6 +464,90 @@ let emit_solver_json ~evals =
     (inc_rate /. Float.max scratch_rate 1e-9);
   rows
 
+(* --- BENCH_service.json: cold vs warm-hit latency + a replayed
+   request trace through the provisioning engine --- *)
+
+let service_latency ~iters =
+  let cold_e = service_engine_with_app () in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to iters do
+    ignore
+      (service_answer cold_e (service_solve ~reuse:Svc.Protocol.No_reuse ~target:70))
+  done;
+  let cold = (Unix.gettimeofday () -. t0) /. float_of_int iters in
+  let hit_e = service_engine_with_app () in
+  ignore
+    (service_answer hit_e (service_solve ~reuse:Svc.Protocol.Monotone ~target:70));
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to iters do
+    ignore
+      (service_answer hit_e (service_solve ~reuse:Svc.Protocol.Monotone ~target:70))
+  done;
+  let warm = (Unix.gettimeofday () -. t0) /. float_of_int iters in
+  (cold, warm)
+
+type service_trace = {
+  tr_requests : int;
+  tr_hits : int;
+  tr_misses : int;
+  tr_monotone : int;
+  tr_warm : int;
+}
+
+(* A representative session: a cold target sweep, the same sweep
+   replayed (exact hits), lower targets (monotone hits), and
+   warm-policy solves between cached targets (warm-started solves).
+   Counters are global and monotone, so the trace reads deltas. *)
+let service_trace () =
+  let snap () =
+    ( Telemetry.value Telemetry.service_requests,
+      Telemetry.value Telemetry.service_cache_hits,
+      Telemetry.value Telemetry.service_cache_misses,
+      Telemetry.value Telemetry.service_monotone_hits,
+      Telemetry.value Telemetry.service_warm_starts )
+  in
+  let r0, h0, m0, o0, w0 = snap () in
+  let e = service_engine_with_app () in
+  let solve ~reuse target =
+    ignore (service_answer e (service_solve ~reuse ~target))
+  in
+  let targets = [ 50; 60; 70; 80; 90; 100 ] in
+  List.iter (solve ~reuse:Svc.Protocol.Monotone) targets;
+  List.iter (solve ~reuse:Svc.Protocol.Monotone) targets;
+  List.iter (solve ~reuse:Svc.Protocol.Monotone) [ 45; 55; 65 ];
+  List.iter (solve ~reuse:Svc.Protocol.Warm) [ 95; 85 ];
+  let r1, h1, m1, o1, w1 = snap () in
+  { tr_requests = r1 - r0; tr_hits = h1 - h0; tr_misses = m1 - m0;
+    tr_monotone = o1 - o0; tr_warm = w1 - w0 }
+
+let write_service_json ~path ~cold ~warm ~trace =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"schema\": \"rentcost-bench-service/1\",\n";
+  Printf.fprintf oc
+    "  \"latency\": {\"cold_us\": %.3f, \"warm_hit_us\": %.3f, \
+     \"speedup\": %.2f},\n"
+    (cold *. 1e6) (warm *. 1e6)
+    (cold /. Float.max warm 1e-9);
+  Printf.fprintf oc
+    "  \"trace\": {\"requests\": %d, \"cache_hits\": %d, \
+     \"cache_misses\": %d, \"monotone_hits\": %d, \"warm_starts\": %d}\n"
+    trace.tr_requests trace.tr_hits trace.tr_misses trace.tr_monotone
+    trace.tr_warm;
+  Printf.fprintf oc "}\n";
+  close_out oc
+
+let emit_service_json ~iters =
+  let cold, warm = service_latency ~iters in
+  let trace = service_trace () in
+  write_service_json ~path:"BENCH_service.json" ~cold ~warm ~trace;
+  Printf.printf
+    "BENCH_service.json written (cold %.1f us vs warm hit %.1f us, %.0fx; \
+     trace: %d requests, %d hits, %d warm starts)\n"
+    (cold *. 1e6) (warm *. 1e6)
+    (cold /. Float.max warm 1e-9)
+    trace.tr_requests trace.tr_hits trace.tr_warm;
+  (cold, warm, trace)
+
 (* --- smoke mode: engine agreement + oracle consistency, no OLS --- *)
 
 let smoke () =
@@ -474,6 +604,13 @@ let smoke () =
     check (Printf.sprintf "oracle matches scratch after undo %d" j)
       (I.Oracle.cost o = scratch ())
   done;
+  (* The provisioning service: a warm hit must beat a cold solve and
+     the replayed trace must actually hit the cache. *)
+  let cold, warm, trace = emit_service_json ~iters:50 in
+  check "service warm hit faster than cold solve" (warm < cold);
+  check "service trace produced cache hits" (trace.tr_hits > 0);
+  check "service trace produced monotone hits" (trace.tr_monotone > 0);
+  check "service trace produced warm starts" (trace.tr_warm > 0);
   if !failures = 0 then print_endline "smoke OK"
   else begin
     Printf.printf "smoke: %d failure(s)\n" !failures;
@@ -514,5 +651,6 @@ let () =
     List.iter
       (fun (name, ns, r2) -> Printf.printf "%-50s %s %8.4f\n" name (human ns) r2)
       rows;
-    ignore (emit_solver_json ~evals:200_000)
+    ignore (emit_solver_json ~evals:200_000);
+    ignore (emit_service_json ~iters:200)
   end

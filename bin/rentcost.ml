@@ -8,11 +8,19 @@
      dune exec bin/rentcost.exe -- solve app.rentcost --target 70 -a h32jump
      dune exec bin/rentcost.exe -- solve app.rentcost --target 70 --time-limit 5
      dune exec bin/rentcost.exe -- validate app.rentcost --target 70
+     dune exec bin/rentcost.exe -- serve --socket /tmp/rentcost.sock
+     dune exec bin/rentcost.exe -- serve < requests.jsonl
 
    Every solve goes through the unified [Rentcost.Solver] engine; the
    default algorithm "auto" routes on problem structure (§ V-A/V-B
    DPs, § V-C ILP) and degrades to the best heuristic incumbent when
-   a --time-limit / --node-limit / --max-evals budget expires. *)
+   a --time-limit / --node-limit / --max-evals budget expires.
+
+   "serve" starts the provisioning daemon (Rentcost_service): a
+   long-running solve loop speaking line-delimited JSON over a Unix
+   socket (--socket) or stdin/stdout, with instance fingerprinting,
+   an LRU solution cache and warm-start reuse. --time-limit /
+   --node-limit / --max-evals set the default per-request budget. *)
 
 open Cmdliner
 
@@ -128,6 +136,23 @@ let cmd_validate path target items budget =
 let cmd_example () =
   print_string (Rentcost.Problem_format.to_string Rentcost.Problem.illustrating)
 
+let cmd_serve socket cache_capacity queue_capacity budget =
+  if cache_capacity <= 0 then `Error (true, "--cache must be positive")
+  else if queue_capacity <= 0 then `Error (true, "--queue must be positive")
+  else begin
+    let config =
+      { Rentcost_service.Engine.cache_capacity; queue_capacity;
+        default_budget = budget }
+    in
+    match socket with
+    | Some path ->
+      (match Rentcost_service.Daemon.serve_socket ~config ~path () with
+       | () -> `Ok ()
+       | exception Unix.Unix_error (err, fn, _) ->
+         `Error (false, Printf.sprintf "serve: %s: %s" fn (Unix.error_message err)))
+    | None -> `Ok (Rentcost_service.Daemon.serve_channels ~config stdin stdout)
+  end
+
 (* --- cmdliner plumbing --- *)
 
 let algorithm_arg =
@@ -160,15 +185,29 @@ let items_arg =
 
 let subcommand =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"COMMAND"
-         ~doc:"solve, info, validate, or example.")
+         ~doc:"solve, info, validate, serve, or example.")
 
-let main sub path target spec seed step time_limit node_limit max_evals items =
+let socket_arg =
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+         ~doc:"Serve on a Unix-domain socket instead of stdin/stdout.")
+
+let cache_arg =
+  Arg.(value & opt int 128 & info [ "cache" ] ~docv:"N"
+         ~doc:"Solution-cache capacity (LRU entries) for serve.")
+
+let queue_arg =
+  Arg.(value & opt int 64 & info [ "queue" ] ~docv:"N"
+         ~doc:"Admission-queue capacity for serve.")
+
+let main sub path target spec seed step time_limit node_limit max_evals items
+    socket cache_capacity queue_capacity =
   let budget =
     { Rentcost.Budget.deadline = time_limit; node_cap = node_limit;
       eval_cap = max_evals }
   in
   match (sub, path, target) with
   | "example", _, _ -> `Ok (cmd_example ())
+  | "serve", _, _ -> cmd_serve socket cache_capacity queue_capacity budget
   | "info", Some path, _ -> cmd_info path
   | "solve", Some path, Some target -> cmd_solve path target spec seed step budget
   | "validate", Some path, Some target -> cmd_validate path target items budget
@@ -190,6 +229,6 @@ let cmd =
         $ Arg.(value & opt (some int) None
                & info [ "target"; "t" ] ~docv:"N" ~doc:"Target throughput.")
         $ algorithm_arg $ seed_arg $ step_arg $ time_limit_arg $ node_limit_arg
-        $ max_evals_arg $ items_arg))
+        $ max_evals_arg $ items_arg $ socket_arg $ cache_arg $ queue_arg))
 
 let () = exit (Cmd.eval cmd)

@@ -12,12 +12,14 @@
      heuristic (what a latency-constrained autoscaler might do);
 
    and reports the churn (machine starts/stops) each elastic policy
-   would impose on the autoscaler.
+   would impose on the autoscaler. The planner compiles the problem
+   once for the whole day and seeds each hour's solve with the
+   previous hour's fleet (Solver warm starts).
 
    Run with: dune exec examples/autoscaling.exe *)
 
-module A = Rentcost.Analysis
 module E = Rentcost.Elastic
+module S = Rentcost.Solver
 
 let problem = Rentcost.Problem.illustrating
 
@@ -30,10 +32,11 @@ let demand =
       int_of_float (base +. morning +. evening))
 
 let () =
-  let ilp = A.ilp_solver () in
-  let elastic = E.provision ilp problem ~demand in
-  let h1_elastic = E.provision A.h1_solver problem ~demand in
-  let static = E.static_peak ilp problem ~demand in
+  let elastic = E.provision ~spec:S.Exact_ilp problem ~demand in
+  let h1_elastic =
+    E.provision ~spec:(S.Heuristic Rentcost.Heuristics.H1) problem ~demand
+  in
+  let static = E.static_peak ~spec:S.Exact_ilp problem ~demand in
   Format.printf "Peak demand %d -> static fleet costs %d per hour@.@."
     (Array.fold_left max 0 demand)
     (E.peak_cost static);

@@ -1,12 +1,48 @@
 type plan = Allocation.t array
 
-let provision solver problem ~demand =
-  Array.map (fun target -> solver problem ~target) demand
+let check_demand demand =
+  Array.iter
+    (fun d -> if d < 0 then invalid_arg "Elastic: negative demand")
+    demand
 
-let static_peak solver problem ~demand =
-  let peak = Array.fold_left max 0 demand in
-  let fleet = solver problem ~target:peak in
-  Array.map (fun _ -> fleet) demand
+let solve_one ?budget ?rng ?params ?warm_start ~spec instance ~target =
+  match
+    (Solver.solve_on ?budget ?rng ?params ?warm_start ~spec instance ~target)
+      .Solver.allocation
+  with
+  | Some a -> a
+  | None ->
+    (* Unreachable for demand >= 0: renting enough machines is always
+       feasible. *)
+    assert false
+
+(* One compile serves the whole trace; each period's solve is seeded
+   with the previous period's fleet (trimmed/validated inside the
+   solver, dropped when demand rose past it). *)
+let provision ?budget ?rng ?params ?(spec = Solver.Auto) ?(warm = true) problem
+    ~demand =
+  check_demand demand;
+  let instance = Instance.compile problem in
+  let previous = ref None in
+  Array.map
+    (fun target ->
+      let warm_start = if warm then !previous else None in
+      let a = solve_one ?budget ?rng ?params ?warm_start ~spec instance ~target in
+      previous := Some a;
+      a)
+    demand
+
+let static_peak ?budget ?rng ?params ?(spec = Solver.Auto) problem ~demand =
+  check_demand demand;
+  if Array.length demand = 0 then [||]
+  else begin
+    let peak = Array.fold_left max 0 demand in
+    let fleet =
+      solve_one ?budget ?rng ?params ~spec (Instance.compile problem)
+        ~target:peak
+    in
+    Array.map (fun _ -> fleet) demand
+  end
 
 let total_cost plan =
   Array.fold_left (fun acc a -> acc + a.Allocation.cost) 0 plan

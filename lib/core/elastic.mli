@@ -4,18 +4,50 @@
     optimization as demand moves. This module plans a fleet per billing
     period (the paper's costs are hourly rates), compares elastic and
     static-peak policies, and quantifies the re-provisioning churn an
-    autoscaler would impose. *)
+    autoscaler would impose.
+
+    Planning goes through the unified {!Solver} over one compiled
+    {!Instance.t}: the problem is compiled once for the whole trace
+    (the same amortization PR 2 gave {!Cloudsim.Runner}), and each
+    period's solve is seeded with the previous period's fleet as a
+    {!Solver.solve} warm start — consecutive demands are close, so the
+    previous optimum is usually a near-optimal incumbent. *)
 
 (** One allocation per billing period. *)
 type plan = Allocation.t array
 
-(** [provision solver problem ~demand] solves each period's target
-    independently. Periods with zero demand get an empty allocation. *)
-val provision : Analysis.solver -> Problem.t -> demand:int array -> plan
+(** [provision problem ~demand] solves each period's target through
+    {!Solver.solve_on} on a single compiled instance.
 
-(** [static_peak solver problem ~demand] rents once for the peak
-    demand and keeps that fleet every period. *)
-val static_peak : Analysis.solver -> Problem.t -> demand:int array -> plan
+    @param spec engine selection (default [Solver.Auto]).
+    @param budget per-period solve budget (default unlimited).
+    @param rng / [params] forwarded to the solver (stochastic
+      heuristics only).
+    @param warm seed each period with the previous period's allocation
+      (default [true]; the first period always solves cold). Exact
+      engines still return optima — warm starts only speed them up —
+      so disabling is only useful for ablation timing.
+    @raise Invalid_argument on a negative demand entry. *)
+val provision :
+  ?budget:Budget.t ->
+  ?rng:Numeric.Prng.t ->
+  ?params:Heuristics.params ->
+  ?spec:Solver.spec ->
+  ?warm:bool ->
+  Problem.t ->
+  demand:int array ->
+  plan
+
+(** [static_peak problem ~demand] rents once for the peak demand and
+    keeps that fleet every period (one solve total). *)
+val static_peak :
+  ?budget:Budget.t ->
+  ?rng:Numeric.Prng.t ->
+  ?params:Heuristics.params ->
+  ?spec:Solver.spec ->
+  Problem.t ->
+  demand:int array ->
+  plan
 
 (** [total_cost plan] is the bill over the whole trace
     ([Σ_t cost_t], each period billed fully). *)

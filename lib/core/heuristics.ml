@@ -160,6 +160,26 @@ let h1_on ?params:_ budget inst ~target =
   ignore (h1_start oracle target);
   finish oracle
 
+(* Start point of the search heuristics: the H1 split, or a caller
+   supplied warm start when it prices no worse. The warm split must be
+   compact, non-negative and sum to at least the target (the Solver
+   layer validates before handing it down); pricing it costs one
+   evaluation, so unseeded runs keep their historical trajectories and
+   evaluation counts exactly. *)
+let start_point oracle ~warm_start target =
+  let c1 = h1_start oracle target in
+  match warm_start with
+  | None -> c1
+  | Some rho ->
+    let h1_rho = Instance.Oracle.rho oracle.state in
+    Instance.Oracle.reset oracle.state ~rho;
+    let cw = current_cost oracle in
+    if cw <= c1 then cw
+    else begin
+      Instance.Oracle.reset oracle.state ~rho:h1_rho;
+      c1
+    end
+
 (* ----- H2: random walk ----- *)
 
 (* Draw a random ordered pair of distinct recipes. *)
@@ -168,10 +188,10 @@ let random_pair rng j_count =
   let j2 = (j1 + 1 + P.int rng (j_count - 1)) mod j_count in
   (j1, j2)
 
-let h2_on ~params budget ~rng inst ~target =
+let h2_on ~params budget ~rng ~warm_start inst ~target =
   let oracle = make_oracle inst budget in
   let j_count = Instance.num_recipes inst in
-  let c0 = h1_start oracle target in
+  let c0 = start_point oracle ~warm_start target in
   if j_count > 1 then begin
     let st = oracle.state in
     let best = ref (Instance.Oracle.rho st) and best_cost = ref c0 in
@@ -195,10 +215,10 @@ let h2_on ~params budget ~rng inst ~target =
 
 (* ----- H31: stochastic descent ----- *)
 
-let h31_on ~params budget ~rng inst ~target =
+let h31_on ~params budget ~rng ~warm_start inst ~target =
   let oracle = make_oracle inst budget in
   let j_count = Instance.num_recipes inst in
-  let c0 = h1_start oracle target in
+  let c0 = start_point oracle ~warm_start target in
   if j_count > 1 then begin
     let st = oracle.state in
     let current_cost_r = ref c0 in
@@ -275,19 +295,19 @@ let descend oracle params cost0 =
   done;
   !current_cost
 
-let h32_on ~params budget inst ~target =
+let h32_on ~params budget ~warm_start inst ~target =
   let oracle = make_oracle inst budget in
-  let c0 = h1_start oracle target in
+  let c0 = start_point oracle ~warm_start target in
   ignore (descend oracle params c0);
   finish oracle
 
 (* ----- H32Jump: steepest gradient with random restarts nearby ----- *)
 
-let h32_jump_on ~params budget ~rng inst ~target =
+let h32_jump_on ~params budget ~rng ~warm_start inst ~target =
   let oracle = make_oracle inst budget in
   let st = oracle.state in
   let j_count = Instance.num_recipes inst in
-  let c0 = h1_start oracle target in
+  let c0 = start_point oracle ~warm_start target in
   let current_cost_r = ref (descend oracle params c0) in
   let best = ref (Instance.Oracle.rho st) and best_cost = ref !current_cost_r in
   if j_count > 1 then begin
@@ -316,18 +336,18 @@ let h32_jump_on ~params budget ~rng inst ~target =
    heuristics never touch it). *)
 let default_seed = 0x5EED
 
-let run_on ?(params = default_params) ?(budget = Budget.unlimited) ?rng name inst
-    ~target =
+let run_on ?(params = default_params) ?(budget = Budget.unlimited) ?rng
+    ?warm_start name inst ~target =
   check_params params;
   check_target target;
   let rng = match rng with Some r -> r | None -> P.create default_seed in
   match name with
   | H0 -> h0_on ~params budget ~rng inst ~target
   | H1 -> h1_on ~params budget inst ~target
-  | H2 -> h2_on ~params budget ~rng inst ~target
-  | H31 -> h31_on ~params budget ~rng inst ~target
-  | H32 -> h32_on ~params budget inst ~target
-  | H32_jump -> h32_jump_on ~params budget ~rng inst ~target
+  | H2 -> h2_on ~params budget ~rng ~warm_start inst ~target
+  | H31 -> h31_on ~params budget ~rng ~warm_start inst ~target
+  | H32 -> h32_on ~params budget ~warm_start inst ~target
+  | H32_jump -> h32_jump_on ~params budget ~rng ~warm_start inst ~target
 
 let run ?params ?budget ?rng name problem ~target =
   run_on ?params ?budget ?rng name (Instance.compile problem) ~target

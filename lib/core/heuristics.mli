@@ -143,11 +143,21 @@ val run :
 (** [run_on name instance ~target] is {!run} on a pre-compiled
     {!Instance.t}, skipping the per-call compile. This is the hook
     {!Solver.solve} uses so one compiled instance serves routing, the
-    ILP warm start and any heuristic fallback of a single solve. *)
+    ILP warm start and any heuristic fallback of a single solve.
+
+    @param warm_start an alternative start split for the search
+      heuristics (H2, H31, H32, H32Jump), in {e compact} recipe
+      numbering, non-negative, summing to at least [target] — the
+      caller is responsible for validity ({!Solver.solve} checks
+      before delegating). The search starts from whichever of the warm
+      split and the H1 split prices cheaper (one extra evaluation);
+      H0 and H1 ignore it. Unseeded runs are bit-identical to the
+      historical trajectories. *)
 val run_on :
   ?params:params ->
   ?budget:Budget.t ->
   ?rng:Numeric.Prng.t ->
+  ?warm_start:int array ->
   name ->
   Instance.t ->
   target:int ->

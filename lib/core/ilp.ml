@@ -82,37 +82,72 @@ let decode instance solution =
   let machines = Array.init q_count (fun q -> to_int (j_count + q)) in
   Allocation.make (Instance.problem instance) ~rho ~machines
 
+(* Whether [alloc] is usable as an initial MILP incumbent for this
+   instance and target: feasible, representable in the compact column
+   space (no throughput on pruned recipes) and inside the model's
+   tightening bounds (each ρ_j <= target; minimal machines then stay
+   under the x_q bounds whenever Σρ_j = target). *)
+let valid_incumbent instance ~target alloc =
+  let problem = Instance.problem instance in
+  let rho = alloc.Allocation.rho in
+  Array.length rho = Problem.num_recipes problem
+  && Allocation.feasible problem ~target alloc
+  && List.for_all (fun (j', _) -> rho.(j') = 0) (Instance.dropped instance)
+  && Array.for_all (fun r -> r <= target) rho
+  && begin
+    let minimal = Allocation.of_rho problem ~rho in
+    let within = ref true in
+    for q = 0 to Instance.num_types instance - 1 do
+      let nmax = ref 0 in
+      for j = 0 to Instance.num_recipes instance - 1 do
+        nmax := max !nmax (Instance.count instance j q)
+      done;
+      let ub = ceil_div (!nmax * target) (Instance.type_throughput instance q) in
+      if minimal.Allocation.machines.(q) > ub then within := false
+    done;
+    !within
+  end
+
 let solve_on ?time_limit ?node_limit ?(strategy = Milp.Solver.Best_bound)
-    ?(warm_start = true) ?(cut_rounds = 0) instance ~target =
+    ?(warm_start = true) ?incumbent ?(cut_rounds = 0) instance ~target =
   let t0 = Unix.gettimeofday () in
   let model, integer = build_on instance ~target in
   let j_count = Instance.num_recipes instance in
   let q_count = Instance.num_types instance in
-  (* Seed the branch-and-bound with the best heuristic point: its cost
-     is an upper cutoff that prunes most of the tree (the role played
-     by Gurobi's internal primal heuristics in the paper's runs). The
-     warm start shares this solve's deadline, so a capped run cannot
+  let point_of alloc =
+    (* Machines re-minimized through the closed form, so the point
+       satisfies the capacity rows with the smallest x_q. *)
+    let a = Allocation.of_rho (Instance.problem instance) ~rho:alloc.Allocation.rho in
+    Array.init (j_count + q_count) (fun i ->
+        if i < j_count then
+          R.of_int a.Allocation.rho.(Instance.original_index instance i)
+        else R.of_int a.Allocation.machines.(i - j_count))
+  in
+  (* Seed the branch-and-bound with a known feasible point: its cost is
+     an upper cutoff that prunes most of the tree (the role played by
+     Gurobi's internal primal heuristics in the paper's runs). A
+     caller-supplied incumbent (a cached or previous-period solution)
+     is used directly when valid; otherwise the H32Jump warm-up runs.
+     The warm-up shares this solve's deadline, so a capped run cannot
      overshoot it warming up; whatever it produces — at worst the H1
      floor — still seeds the search. *)
   let warm =
-    if not warm_start then None
-    else begin
-      let budget =
-        match time_limit with
-        | Some d -> Budget.deadline (Float.max 0.0 d)
-        | None -> Budget.unlimited
-      in
-      let res =
-        Heuristics.run_on ~budget ~rng:(Numeric.Prng.create 0x5EED)
-          Heuristics.H32_jump instance ~target
-      in
-      let a = res.Heuristics.allocation in
-      Some
-        (Array.init (j_count + q_count) (fun i ->
-             if i < j_count then
-               R.of_int a.Allocation.rho.(Instance.original_index instance i)
-             else R.of_int a.Allocation.machines.(i - j_count)))
-    end
+    match incumbent with
+    | Some a when valid_incumbent instance ~target a -> Some (point_of a)
+    | _ ->
+      if not warm_start then None
+      else begin
+        let budget =
+          match time_limit with
+          | Some d -> Budget.deadline (Float.max 0.0 d)
+          | None -> Budget.unlimited
+        in
+        let res =
+          Heuristics.run_on ~budget ~rng:(Numeric.Prng.create 0x5EED)
+            Heuristics.H32_jump instance ~target
+        in
+        Some (point_of res.Heuristics.allocation)
+      end
   in
   let priority =
     [ List.init j_count Fun.id; List.init q_count (fun q -> j_count + q) ]
@@ -140,9 +175,9 @@ let solve_on ?time_limit ?node_limit ?(strategy = Milp.Solver.Best_bound)
     nodes = result.Milp.Solver.nodes;
     elapsed = Unix.gettimeofday () -. t0 }
 
-let solve ?time_limit ?node_limit ?strategy ?warm_start ?cut_rounds problem
-    ~target =
-  solve_on ?time_limit ?node_limit ?strategy ?warm_start ?cut_rounds
+let solve ?time_limit ?node_limit ?strategy ?warm_start ?incumbent ?cut_rounds
+    problem ~target =
+  solve_on ?time_limit ?node_limit ?strategy ?warm_start ?incumbent ?cut_rounds
     (Instance.compile problem) ~target
 
 let lp_lower_bound problem ~target =

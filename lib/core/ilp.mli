@@ -47,6 +47,12 @@ val build_on : Instance.t -> target:int -> Lp.Model.t * Lp.Model.var list
     @param warm_start seed the search with an H32Jump incumbent
       (default [true]; the role Gurobi's primal heuristics play in the
       paper's runs). Disable for ablation measurements.
+    @param incumbent a known feasible allocation (e.g. a cached or
+      previous-period solution) used as the initial incumbent instead
+      of running the H32Jump warm-up. Silently ignored when it is
+      infeasible for this target, routes throughput through a pruned
+      recipe, or falls outside the model's tightening bounds — the
+      solve then proceeds per [warm_start].
     @param cut_rounds Gomory cut rounds at the root (default 0:
       disabled — with a dense exact tableau the smaller tree does not
       repay the denser, slower node relaxations; see the
@@ -57,6 +63,7 @@ val solve :
   ?node_limit:int ->
   ?strategy:Milp.Solver.strategy ->
   ?warm_start:bool ->
+  ?incumbent:Allocation.t ->
   ?cut_rounds:int ->
   Problem.t ->
   target:int ->
@@ -70,6 +77,7 @@ val solve_on :
   ?node_limit:int ->
   ?strategy:Milp.Solver.strategy ->
   ?warm_start:bool ->
+  ?incumbent:Allocation.t ->
   ?cut_rounds:int ->
   Instance.t ->
   target:int ->

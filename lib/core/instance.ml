@@ -16,6 +16,8 @@ type t = {
   unit_costs : R.t array;  (* fluid cost per throughput unit, compact j *)
   blackbox : bool;
   disjoint : bool;
+  mutable canon : (string * int array) option;
+      (* memoized canonical encoding + recipe order (fingerprinting) *)
 }
 
 type instance = t
@@ -104,7 +106,7 @@ let compile ?(prune = true) problem =
       supports
   in
   { problem; costs; throughputs; original; counts; supports; dropped;
-    unit_costs; blackbox; disjoint }
+    unit_costs; blackbox; disjoint; canon = None }
 
 let problem t = t.problem
 let num_recipes t = Array.length t.original
@@ -145,6 +147,77 @@ let expand_rho t rho =
   let out = Array.make (Problem.num_recipes t.problem) 0 in
   Array.iteri (fun j r -> out.(t.original.(j)) <- r) rho;
   out
+
+(* --- structural fingerprinting --- *)
+
+(* Canonical orders over the pruned cost structure. Types are keyed by
+   (c_q, r_q, sorted column multiset) — all permutation-invariant —
+   then refined by their actual column under the canonical recipe
+   order, which breaks most (c, r)-ties deterministically. Recipes are
+   ordered lexicographically by their type-reordered rows; equal rows
+   are interchangeable, so their relative order is immaterial. All
+   compared arrays have equal lengths, so polymorphic compare is a
+   plain lexicographic order here. *)
+let canonical_orders t =
+  let jc = num_recipes t and qc = num_types t in
+  let sorted_col q =
+    let c = Array.init jc (fun j -> t.counts.(j).(q)) in
+    Array.sort compare c;
+    c
+  in
+  let tkeys =
+    Array.init qc (fun q -> (t.costs.(q), t.throughputs.(q), sorted_col q))
+  in
+  let torder = Array.init qc Fun.id in
+  Array.sort (fun a b -> compare tkeys.(a) tkeys.(b)) torder;
+  let rorder = Array.init jc Fun.id in
+  let sort_recipes () =
+    let rows =
+      Array.init jc (fun j -> Array.map (fun q -> t.counts.(j).(q)) torder)
+    in
+    Array.sort (fun a b -> compare rows.(a) rows.(b)) rorder
+  in
+  sort_recipes ();
+  (* Refine type ties by the actual column under the recipe order, then
+     restore recipe order under the refined type order. *)
+  let refined_col q = Array.map (fun j -> t.counts.(j).(q)) rorder in
+  Array.sort
+    (fun a b ->
+      let c = compare tkeys.(a) tkeys.(b) in
+      if c <> 0 then c else compare (refined_col a) (refined_col b))
+    torder;
+  sort_recipes ();
+  (torder, rorder)
+
+let canon t =
+  match t.canon with
+  | Some c -> c
+  | None ->
+    let torder, rorder = canonical_orders t in
+    let b = Buffer.create 256 in
+    Buffer.add_string b
+      (Printf.sprintf "Q%d J%d" (num_types t) (num_recipes t));
+    Array.iter
+      (fun q -> Buffer.add_string b (Printf.sprintf ";%d/%d" t.costs.(q) t.throughputs.(q)))
+      torder;
+    Array.iter
+      (fun j ->
+        Buffer.add_char b '|';
+        Array.iteri
+          (fun i q ->
+            if i > 0 then Buffer.add_char b ',';
+            Buffer.add_string b (string_of_int t.counts.(j).(q)))
+          torder)
+      rorder;
+    let c = (Buffer.contents b, rorder) in
+    t.canon <- Some c;
+    c
+
+let canonical_encoding t = fst (canon t)
+
+let fingerprint t = Digest.to_hex (Digest.string (canonical_encoding t))
+
+let canonical_recipe_order t = Array.copy (snd (canon t))
 
 module Oracle = struct
   type t = {

@@ -103,6 +103,40 @@ val fluid_lower_bound : t -> target:int -> int
     original numbering (length [J], zeros for dropped recipes). *)
 val expand_rho : t -> int array -> int array
 
+(** {1 Structural fingerprinting}
+
+    Two problems that differ only by a renumbering of task types or a
+    reordering of recipes describe the same optimization (costs, rates
+    and [n^j_q] rows are permutations of each other), so a solution of
+    one transfers to the other by applying the permutation. The
+    canonical encoding below quotients out those renamings: types are
+    ordered by [(c_q, r_q, sorted column multiset)] refined by their
+    actual columns, recipes lexicographically by their reordered rows.
+    The encoding fully describes the pruned cost structure, so {e equal
+    encodings always mean equivalent problems} — a cache keyed on them
+    can never serve a wrong answer. The converse is best-effort: highly
+    automorphic instances whose types tie on every refinement key may
+    canonicalize differently under different input orders, which costs
+    a missed cache share, never a wrong one. *)
+
+(** [canonical_encoding t] is the canonical textual form of the pruned
+    cost structure (type count, recipe count, per-type [(c, r)] pairs
+    and [n^j_q] rows, all in canonical order). *)
+val canonical_encoding : t -> string
+
+(** [fingerprint t] is the hex digest of {!canonical_encoding} — a
+    compact cache key. Equal fingerprints imply equal encodings up to
+    digest collision; cache layers that must rule even that out compare
+    the encodings on hit. *)
+val fingerprint : t -> string
+
+(** [canonical_recipe_order t] maps canonical recipe slots to compact
+    recipe indices: slot [i] of the canonical form is compact recipe
+    [(canonical_recipe_order t).(i)]. A split cached in canonical order
+    transfers to any instance with the same encoding through its own
+    order array. *)
+val canonical_recipe_order : t -> int array
+
 (** Incremental cost oracle: mutable loads/machines/cost state over
     the compact index space. {!apply} pushes onto an undo log;
     {!undo} pops (LIFO), restoring the previous state exactly —

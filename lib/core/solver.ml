@@ -44,6 +44,7 @@ type telemetry = {
   pivots : int;
   nodes : int;
   pruned_recipes : int;
+  warm_started : bool;
 }
 
 type outcome = {
@@ -63,25 +64,74 @@ let auto_of_instance instance =
 
 let auto_spec problem = auto_of_instance (Instance.compile problem)
 
+(* A caller-supplied warm start is usable when it is feasible for this
+   target and routes nothing through a pruned recipe. It is then
+   mapped to the compact index space and trimmed to Σρ = target
+   exactly — surplus throughput is shed from the highest fluid
+   unit-cost recipes first. Trimming keeps the split feasible (loads
+   only drop) and puts it inside the search space every engine
+   explores (the heuristics exchange throughput at constant Σρ, and
+   the MILP bounds each ρ_j by the target). *)
+let normalize_warm_start instance ~target alloc =
+  let problem = Instance.problem instance in
+  let rho = alloc.Allocation.rho in
+  if
+    Array.length rho <> Problem.num_recipes problem
+    || (not (Allocation.feasible problem ~target alloc))
+    || List.exists (fun (j', _) -> rho.(j') <> 0) (Instance.dropped instance)
+  then None
+  else begin
+    let jc = Instance.num_recipes instance in
+    let compact =
+      Array.init jc (fun j -> rho.(Instance.original_index instance j))
+    in
+    let surplus = ref (Array.fold_left ( + ) 0 compact - target) in
+    if !surplus > 0 then begin
+      let order = Array.init jc Fun.id in
+      Array.sort
+        (fun a b ->
+          Numeric.Rat.compare (Instance.unit_cost instance b)
+            (Instance.unit_cost instance a))
+        order;
+      Array.iter
+        (fun j ->
+          if !surplus > 0 then begin
+            let cut = min compact.(j) !surplus in
+            compact.(j) <- compact.(j) - cut;
+            surplus := !surplus - cut
+          end)
+        order
+    end;
+    Some compact
+  end
+
 (* When the ILP exhausts its budget with no incumbent at all, degrade
    to the best heuristic reachable in whatever budget remains. H32Jump
    under an already-expired budget collapses to the H1 floor, which
    always completes, so this stage cannot come back empty. *)
-let heuristic_fallback ~budget ~rng ~params ~t0 instance ~target =
+let heuristic_fallback ~budget ~rng ~params ~warm ~t0 instance ~target =
   let budget = Budget.remaining budget ~elapsed:(Unix.gettimeofday () -. t0) in
-  (Heuristics.run_on ~params ~budget ?rng Heuristics.H32_jump instance ~target)
+  (Heuristics.run_on ~params ~budget ?rng ?warm_start:warm Heuristics.H32_jump
+     instance ~target)
     .Heuristics.allocation
 
-let run_engine ~budget ~rng ~params ~t0 engine instance ~target =
+let run_engine ~budget ~rng ~params ~warm ~t0 engine instance ~target =
   match engine with
   | Auto -> assert false (* resolved by [solve] *)
   | Dp_blackbox -> (Optimal, Some (Dp_blackbox.solve_on instance ~target))
   | Dp_disjoint -> (Optimal, Some (Dp_disjoint.solve_on instance ~target))
   | Exhaustive -> (Optimal, Some (Exhaustive.solve_on instance ~target))
   | Exact_ilp ->
+    let incumbent =
+      Option.map
+        (fun c ->
+          Allocation.of_rho (Instance.problem instance)
+            ~rho:(Instance.expand_rho instance c))
+        warm
+    in
     let o =
       Ilp.solve_on ?time_limit:budget.Budget.deadline
-        ?node_limit:budget.Budget.node_cap instance ~target
+        ?node_limit:budget.Budget.node_cap ?incumbent instance ~target
     in
     (match (o.Ilp.status, o.Ilp.allocation) with
      | Milp.Solver.Optimal, (Some _ as a) -> (Optimal, a)
@@ -91,22 +141,31 @@ let run_engine ~budget ~rng ~params ~t0 engine instance ~target =
        (* Budget expired before any integer point (the rental MILP is
           never unbounded): degrade to a heuristic incumbent. *)
        ( Budget_exhausted,
-         Some (heuristic_fallback ~budget ~rng ~params ~t0 instance ~target) ))
+         Some (heuristic_fallback ~budget ~rng ~params ~warm ~t0 instance ~target)
+       ))
   | Heuristic name ->
-    let r = Heuristics.run_on ~params ~budget ?rng name instance ~target in
+    let r =
+      Heuristics.run_on ~params ~budget ?rng ?warm_start:warm name instance
+        ~target
+    in
     ( (if r.Heuristics.exhausted then Budget_exhausted else Feasible),
       Some r.Heuristics.allocation )
 
 let solve_on ?(budget = Budget.unlimited) ?rng
-    ?(params = Heuristics.default_params) ~spec instance ~target =
+    ?(params = Heuristics.default_params) ?warm_start ~spec instance ~target =
   if target < 0 then invalid_arg "Solver.solve: negative target";
   let t0 = Unix.gettimeofday () in
   let evals0 = Telemetry.value Telemetry.heuristic_evals in
   let pivots0 = Telemetry.value Telemetry.lp_pivots in
   let nodes0 = Telemetry.value Telemetry.milp_nodes in
   let engine = match spec with Auto -> auto_of_instance instance | s -> s in
+  let warm =
+    match warm_start with
+    | None -> None
+    | Some a -> normalize_warm_start instance ~target a
+  in
   let status, allocation =
-    run_engine ~budget ~rng ~params ~t0 engine instance ~target
+    run_engine ~budget ~rng ~params ~warm ~t0 engine instance ~target
   in
   let telemetry =
     { engine;
@@ -114,12 +173,14 @@ let solve_on ?(budget = Budget.unlimited) ?rng
       evaluations = Telemetry.value Telemetry.heuristic_evals - evals0;
       pivots = Telemetry.value Telemetry.lp_pivots - pivots0;
       nodes = Telemetry.value Telemetry.milp_nodes - nodes0;
-      pruned_recipes = Instance.num_pruned instance }
+      pruned_recipes = Instance.num_pruned instance;
+      warm_started = warm <> None }
   in
   { status; allocation; telemetry }
 
-let solve ?budget ?rng ?params ~spec problem ~target =
-  solve_on ?budget ?rng ?params ~spec (Instance.compile problem) ~target
+let solve ?budget ?rng ?params ?warm_start ~spec problem ~target =
+  solve_on ?budget ?rng ?params ?warm_start ~spec (Instance.compile problem)
+    ~target
 
 let pp_outcome fmt o =
   Format.fprintf fmt "@[<v>%s via %s in %.3f s" (status_to_string o.status)
@@ -132,6 +193,7 @@ let pp_outcome fmt o =
     Format.fprintf fmt ", %d evaluations" o.telemetry.evaluations;
   if o.telemetry.pruned_recipes > 0 then
     Format.fprintf fmt ", %d recipes pruned" o.telemetry.pruned_recipes;
+  if o.telemetry.warm_started then Format.fprintf fmt ", warm-started";
   (match o.allocation with
    | Some a -> Format.fprintf fmt "@,%a" Allocation.pp a
    | None -> Format.fprintf fmt "@,(no allocation)");

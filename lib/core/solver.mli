@@ -77,6 +77,9 @@ type telemetry = {
   pruned_recipes : int;
       (** recipes removed by dominance preprocessing at instance
           compile time (see {!Instance.compile}) *)
+  warm_started : bool;
+      (** a caller-supplied [?warm_start] passed validation and seeded
+          the engine (always [false] without one) *)
 }
 
 type outcome = {
@@ -103,6 +106,18 @@ val auto_of_instance : Instance.t -> spec
       PRNG keeps runs deterministic. Exact engines ignore it.
     @param params heuristic tuning (default
       {!Heuristics.default_params}); exact engines ignore it.
+    @param warm_start a known allocation (a cached solution, the
+      previous billing period's fleet) used to seed the solve. It is
+      feasibility-checked against the instance and {e silently
+      dropped} when unusable (wrong shape, misses the target, or
+      routes throughput through a dominance-pruned recipe); when it
+      passes, surplus throughput beyond the target is shed from the
+      most expensive recipes and the trimmed split seeds the search
+      heuristics' start point and the ILP's initial incumbent. The
+      DPs and the exhaustive oracle ignore it. Results can only
+      improve: engines keep whichever of the seed and their own start
+      prices cheaper, and exact engines still prove optimality.
+      {!telemetry}[.warm_started] records whether the seed was used.
     @raise Invalid_argument when [target < 0], or when a DP engine is
       forced (not via [Auto]) on a problem whose structure it does not
       support. *)
@@ -110,6 +125,7 @@ val solve :
   ?budget:Budget.t ->
   ?rng:Numeric.Prng.t ->
   ?params:Heuristics.params ->
+  ?warm_start:Allocation.t ->
   spec:spec ->
   Problem.t ->
   target:int ->
@@ -123,6 +139,7 @@ val solve_on :
   ?budget:Budget.t ->
   ?rng:Numeric.Prng.t ->
   ?params:Heuristics.params ->
+  ?warm_start:Allocation.t ->
   spec:spec ->
   Instance.t ->
   target:int ->

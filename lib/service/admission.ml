@@ -1,0 +1,36 @@
+type 'a t = {
+  cap : int;
+  q : ('a * float option) Queue.t;
+  mutable shed : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then
+    invalid_arg "Admission.create: capacity must be positive";
+  { cap = capacity; q = Queue.create (); shed = 0 }
+
+let capacity t = t.cap
+
+let length t = Queue.length t.q
+
+let shed_count t = t.shed
+
+let offer t ?expires_at job =
+  if Queue.length t.q >= t.cap then begin
+    t.shed <- t.shed + 1;
+    false
+  end
+  else begin
+    Queue.add (job, expires_at) t.q;
+    true
+  end
+
+let take t ~now =
+  match Queue.take_opt t.q with
+  | None -> `Empty
+  | Some (job, expires_at) -> (
+    match expires_at with
+    | Some deadline when now > deadline ->
+      t.shed <- t.shed + 1;
+      `Shed job
+    | _ -> `Job job)

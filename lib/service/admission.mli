@@ -1,0 +1,36 @@
+(** Admission control for the solve queue: bounded FIFO with graceful
+    shedding.
+
+    The daemon is single-threaded, so admission is about bounding the
+    {e backlog}: a request is shed at the door when the queue is full,
+    and shed at dispatch when its deadline expired while it waited
+    (running an already-dead solve only delays every request behind
+    it). Time is supplied by the caller ([~now], matched against
+    absolute [~expires_at] stamps), so the policy is deterministic
+    under test. *)
+
+type 'a t
+
+(** @raise Invalid_argument when [capacity <= 0]. *)
+val create : capacity:int -> 'a t
+
+val capacity : 'a t -> int
+
+(** Jobs currently queued. *)
+val length : 'a t -> int
+
+(** Total jobs shed since {!create} — at the door and at dispatch. *)
+val shed_count : 'a t -> int
+
+(** [offer t ?expires_at job] enqueues [job], or sheds it ([false])
+    when the queue is at capacity. [expires_at] is an absolute
+    timestamp on the caller's clock; omitted, the job never expires in
+    queue. *)
+val offer : 'a t -> ?expires_at:float -> 'a -> bool
+
+(** [take t ~now] dequeues the oldest job: [`Job j] when it is still
+    worth running, [`Shed j] when its [expires_at] passed while it
+    queued (counted in {!shed_count}; callers typically answer it
+    [Overloaded] and call [take] again), [`Empty] when nothing is
+    queued. *)
+val take : 'a t -> now:float -> [ `Job of 'a | `Shed of 'a | `Empty ]

@@ -1,0 +1,80 @@
+let is_blank line = String.trim line = ""
+
+let respond oc response =
+  output_string oc (Json.to_string (Protocol.response_to_json response));
+  output_char oc '\n';
+  flush oc
+
+let dump_stats dump engine =
+  output_string dump
+    (Json.to_string (Json.Obj [ ("stats", Json.Obj (Engine.stats engine)) ]));
+  output_char dump '\n';
+  flush dump
+
+(* One request line: parse, dispatch, answer. [`Stop] on shutdown. *)
+let serve_line engine oc line =
+  if is_blank line then `Continue
+  else
+    match Json.of_string line with
+    | Error msg ->
+      respond oc (Protocol.Error { id = None; message = "bad json: " ^ msg });
+      `Continue
+    | Ok j -> (
+      match Protocol.request_of_json j with
+      | Error message ->
+        respond oc (Protocol.Error { id = None; message });
+        `Continue
+      | Ok request ->
+        List.iter (respond oc) (Engine.handle engine request);
+        (match request with Protocol.Shutdown -> `Stop | _ -> `Continue))
+
+let serve_connection engine ic oc =
+  let rec loop () =
+    match input_line ic with
+    | exception End_of_file -> `Eof
+    | line -> (
+      match serve_line engine oc line with
+      | `Continue -> loop ()
+      | `Stop -> `Stop)
+  in
+  loop ()
+
+let make_engine engine config =
+  match engine with
+  | Some e -> e
+  | None -> Engine.create ?config ()
+
+let serve_channels ?engine ?config ?(dump = stderr) ic oc =
+  let engine = make_engine engine config in
+  let (_ : [ `Eof | `Stop ]) = serve_connection engine ic oc in
+  dump_stats dump engine
+
+let serve_socket ?engine ?config ?(dump = stderr) ~path () =
+  let engine = make_engine engine config in
+  (match Sys.signal Sys.sigpipe Sys.Signal_ignore with
+   | (_ : Sys.signal_behavior) -> ()
+   | exception Invalid_argument _ -> ());
+  if Sys.file_exists path then Sys.remove path;
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      (try Sys.remove path with Sys_error _ -> ());
+      dump_stats dump engine)
+    (fun () ->
+      Unix.bind sock (Unix.ADDR_UNIX path);
+      Unix.listen sock 8;
+      let rec accept_loop () =
+        let client, _addr = Unix.accept sock in
+        let ic = Unix.in_channel_of_descr client
+        and oc = Unix.out_channel_of_descr client in
+        let verdict =
+          try serve_connection engine ic oc
+          with Sys_error _ | Unix.Unix_error _ ->
+            (* A client that vanished mid-line is its own problem. *)
+            `Eof
+        in
+        (try Unix.close client with Unix.Unix_error _ -> ());
+        match verdict with `Eof -> accept_loop () | `Stop -> ()
+      in
+      accept_loop ())

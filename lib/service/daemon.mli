@@ -1,0 +1,35 @@
+(** The serving loop: line-delimited {!Protocol} JSON over channels or
+    a Unix-domain socket.
+
+    Single-threaded by design — requests are answered in arrival
+    order, admission control bounds the backlog, and the shared
+    {!Engine.t} needs no locking. On shutdown (a [shutdown] request,
+    or EOF on the input) the engine's {!Engine.stats} snapshot is
+    dumped as one JSON line to [dump] (default [stderr], keeping the
+    response stream clean). *)
+
+(** [serve_channels ic oc] answers requests read from [ic] on [oc]
+    until a [shutdown] request or EOF. Unparseable lines get an
+    [Error] response; blank lines are ignored. Pass [?engine] to share
+    or inspect the engine (e.g. across calls, or from tests);
+    otherwise a fresh one is built from [?config]. *)
+val serve_channels :
+  ?engine:Engine.t ->
+  ?config:Engine.config ->
+  ?dump:out_channel ->
+  in_channel ->
+  out_channel ->
+  unit
+
+(** [serve_socket ~path ()] listens on a Unix-domain socket at [path]
+    (replacing any stale socket file), serving one client at a time;
+    client disconnects return to [accept], a [shutdown] request stops
+    the server and removes the socket file. The engine — and so the
+    cache — persists across client connections. *)
+val serve_socket :
+  ?engine:Engine.t ->
+  ?config:Engine.config ->
+  ?dump:out_channel ->
+  path:string ->
+  unit ->
+  unit

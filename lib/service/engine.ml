@@ -1,0 +1,331 @@
+module Instance = Rentcost.Instance
+module Allocation = Rentcost.Allocation
+module Solver = Rentcost.Solver
+module Budget = Rentcost.Budget
+
+let c_requests = Telemetry.counter Telemetry.service_requests
+let c_hits = Telemetry.counter Telemetry.service_cache_hits
+let c_misses = Telemetry.counter Telemetry.service_cache_misses
+let c_monotone = Telemetry.counter Telemetry.service_monotone_hits
+let c_warm = Telemetry.counter Telemetry.service_warm_starts
+let c_reuse = Telemetry.counter Telemetry.service_compile_reuse
+let c_shed = Telemetry.counter Telemetry.service_shed
+
+type config = {
+  cache_capacity : int;
+  queue_capacity : int;
+  default_budget : Budget.t;
+}
+
+let default_config =
+  {
+    cache_capacity = 128;
+    queue_capacity = 64;
+    default_budget = Budget.unlimited;
+  }
+
+type job = {
+  id : int option;
+  source : Protocol.source;
+  target : int;
+  spec : Solver.spec;
+  budget : Budget.t;
+  reuse : Protocol.reuse;
+  arrived : float;
+}
+
+(* Handling-latency histogram: upper bounds in seconds, last bucket
+   open-ended. *)
+let latency_bounds = [| 0.001; 0.01; 0.1; 1.0 |]
+
+let latency_labels = [| "lt_1ms"; "lt_10ms"; "lt_100ms"; "lt_1s"; "ge_1s" |]
+
+type t = {
+  config : config;
+  solutions : Cache.t;
+  queue : job Admission.t;
+  registry : (string, Instance.t * Fingerprint.t) Hashtbl.t;
+  instances : (string, Instance.t * Fingerprint.t) Hashtbl.t;
+      (* keyed by digest; Fingerprint.equal checked on reuse *)
+  latency : int array;
+  started_at : float;
+}
+
+let create ?(config = default_config) () =
+  {
+    config;
+    solutions = Cache.create ~capacity:config.cache_capacity;
+    queue = Admission.create ~capacity:config.queue_capacity;
+    registry = Hashtbl.create 16;
+    instances = Hashtbl.create 16;
+    latency = Array.make (Array.length latency_labels) 0;
+    started_at = Unix.gettimeofday ();
+  }
+
+let cache t = t.solutions
+
+let queue_length t = Admission.length t.queue
+
+let record_latency t seconds =
+  let n = Array.length latency_bounds in
+  let rec bucket i =
+    if i >= n || seconds < latency_bounds.(i) then min i n else bucket (i + 1)
+  in
+  let b = bucket 0 in
+  t.latency.(b) <- t.latency.(b) + 1
+
+(* --- canonical split translation ---
+
+   The cache stores splits in canonical recipe order; these two maps
+   move an allocation between an instance's own numbering and that
+   shared order, which is what lets fingerprint-equal instances serve
+   each other's solutions. *)
+
+let canonical_rho_of inst (alloc : Allocation.t) =
+  let order = Instance.canonical_recipe_order inst in
+  let jc = Instance.num_recipes inst in
+  let compact =
+    Array.init jc (fun j ->
+        alloc.Allocation.rho.(Instance.original_index inst j))
+  in
+  Array.init jc (fun slot -> compact.(order.(slot)))
+
+let alloc_of_canonical inst canonical_rho =
+  let order = Instance.canonical_recipe_order inst in
+  let compact = Array.make (Instance.num_recipes inst) 0 in
+  Array.iteri (fun slot j -> compact.(j) <- canonical_rho.(slot)) order;
+  Allocation.of_rho (Instance.problem inst) ~rho:(Instance.expand_rho inst compact)
+
+(* --- registration and instance resolution --- *)
+
+let register t ~name problem =
+  let inst = Instance.compile problem in
+  let fp = Fingerprint.of_instance inst in
+  Hashtbl.replace t.registry name (inst, fp);
+  Hashtbl.replace t.instances (Fingerprint.digest fp) (inst, fp);
+  fp
+
+(* Resolve a solve source to [(solve_inst, client_inst, fp)]:
+   [solve_inst] is the (possibly shared) instance engines run on,
+   [client_inst] carries the submitted problem's numbering for the
+   response. They differ only for an inline problem that
+   fingerprint-matched an already-compiled one. *)
+let resolve t source =
+  match source with
+  | Protocol.Ref name -> (
+    match Hashtbl.find_opt t.registry name with
+    | None -> Result.Error (Printf.sprintf "solve: unknown ref %S" name)
+    | Some (inst, fp) ->
+      Telemetry.bump c_reuse;
+      Result.Ok (inst, inst, fp))
+  | Protocol.Inline problem -> (
+    let inst = Instance.compile problem in
+    let fp = Fingerprint.of_instance inst in
+    match Hashtbl.find_opt t.instances (Fingerprint.digest fp) with
+    | Some (inst0, fp0) when Fingerprint.equal fp fp0 ->
+      Telemetry.bump c_reuse;
+      Result.Ok (inst0, inst, fp)
+    | _ ->
+      Hashtbl.replace t.instances (Fingerprint.digest fp) (inst, fp);
+      Result.Ok (inst, inst, fp))
+
+(* --- the reuse ladder --- *)
+
+let solved ~job ~status ~(alloc : Allocation.t) ~served ~engine ~wall =
+  Protocol.Solved
+    {
+      id = job.id;
+      status;
+      cost = alloc.Allocation.cost;
+      rho = Array.copy alloc.Allocation.rho;
+      machines = Array.copy alloc.Allocation.machines;
+      served;
+      engine;
+      wall_time = wall;
+    }
+
+let run_solve t ~now job =
+  let started = Unix.gettimeofday () in
+  Telemetry.bump c_requests;
+  match resolve t job.source with
+  | Result.Error message ->
+    Protocol.Error { id = job.id; message }
+  | Result.Ok (solve_inst, client_inst, fp) ->
+    let digest = Fingerprint.digest fp
+    and encoding = Fingerprint.encoding fp in
+    let spec =
+      match job.spec with
+      | Solver.Auto -> Solver.auto_of_instance solve_inst
+      | s -> s
+    in
+    let spec_s = Solver.spec_to_string spec in
+    let reuse_at_least r =
+      match (job.reuse, r) with
+      | Protocol.No_reuse, _ -> false
+      | _, Protocol.No_reuse -> true
+      | Protocol.Exact_only, _ -> r = Protocol.Exact_only
+      | Protocol.Warm, _ -> r <> Protocol.Monotone
+      | Protocol.Monotone, _ -> true
+    in
+    let finish ~status ~alloc ~served ~engine =
+      let wall = Unix.gettimeofday () -. started in
+      record_latency t wall;
+      solved ~job ~status ~alloc ~served ~engine ~wall
+    in
+    let exact =
+      if reuse_at_least Protocol.Exact_only then
+        Cache.find_exact t.solutions ~digest ~encoding ~target:job.target
+          ~spec:spec_s
+      else None
+    in
+    (match exact with
+     | Some entry ->
+       Telemetry.bump c_hits;
+       let alloc = alloc_of_canonical client_inst entry.Cache.canonical_rho in
+       let status =
+         if entry.Cache.optimal then Solver.Optimal else Solver.Feasible
+       in
+       finish ~status ~alloc ~served:Protocol.Exact_hit ~engine:entry.Cache.spec
+     | None -> (
+       let monotone =
+         if reuse_at_least Protocol.Monotone then
+           Cache.find_monotone t.solutions ~digest ~encoding ~target:job.target
+         else None
+       in
+       match monotone with
+       | Some entry ->
+         (* An optimal split for a larger target covers this one: a
+            feasible incumbent with zero solve work. *)
+         Telemetry.bump c_hits;
+         Telemetry.bump c_monotone;
+         let alloc = alloc_of_canonical client_inst entry.Cache.canonical_rho in
+         finish ~status:Solver.Feasible ~alloc ~served:Protocol.Monotone_hit
+           ~engine:entry.Cache.spec
+       | None ->
+         Telemetry.bump c_misses;
+         let warm_start =
+           if reuse_at_least Protocol.Warm then
+             match
+               Cache.find_nearest t.solutions ~digest ~encoding
+                 ~target:job.target
+             with
+             | Some entry ->
+               Some (alloc_of_canonical solve_inst entry.Cache.canonical_rho)
+             | None -> None
+           else None
+         in
+         (* Charge queue wait against the request's deadline. *)
+         let budget = Budget.remaining job.budget ~elapsed:(now -. job.arrived) in
+         let outcome =
+           Solver.solve_on ~budget ?warm_start ~spec solve_inst
+             ~target:job.target
+         in
+         (match outcome.Solver.allocation with
+          | None ->
+            Protocol.Error
+              { id = job.id; message = "solve: no allocation found" }
+          | Some alloc ->
+            if outcome.Solver.telemetry.Solver.warm_started then
+              Telemetry.bump c_warm;
+            let canonical = canonical_rho_of solve_inst alloc in
+            Cache.insert t.solutions ~digest ~encoding
+              {
+                Cache.target = job.target;
+                spec = spec_s;
+                canonical_rho = canonical;
+                cost = alloc.Allocation.cost;
+                optimal = outcome.Solver.status = Solver.Optimal;
+              };
+            let client_alloc =
+              if solve_inst == client_inst then alloc
+              else alloc_of_canonical client_inst canonical
+            in
+            let served =
+              if outcome.Solver.telemetry.Solver.warm_started then
+                Protocol.Warm_started
+              else Protocol.Cold
+            in
+            finish ~status:outcome.Solver.status ~alloc:client_alloc ~served
+              ~engine:(Solver.spec_to_string outcome.Solver.telemetry.Solver.engine))))
+
+(* --- stats --- *)
+
+let stats t =
+  let counters =
+    List.map (fun (name, v) -> (name, Json.Int v)) (Telemetry.all ())
+  in
+  let latency =
+    Array.to_list
+      (Array.mapi (fun i label -> (label, Json.Int t.latency.(i))) latency_labels)
+  in
+  [
+    ("uptime", Json.Float (Unix.gettimeofday () -. t.started_at));
+    ("counters", Json.Obj counters);
+    ( "cache",
+      Json.Obj
+        [
+          ("size", Json.Int (Cache.length t.solutions));
+          ("capacity", Json.Int (Cache.capacity t.solutions));
+          ("evictions", Json.Int (Cache.evictions t.solutions));
+        ] );
+    ( "queue",
+      Json.Obj
+        [
+          ("depth", Json.Int (Admission.length t.queue));
+          ("capacity", Json.Int (Admission.capacity t.queue));
+          ("shed", Json.Int (Admission.shed_count t.queue));
+        ] );
+    ("latency", Json.Obj latency);
+    ("registered", Json.Int (Hashtbl.length t.registry));
+  ]
+
+(* --- request dispatch --- *)
+
+let clock = function Some now -> now | None -> Unix.gettimeofday ()
+
+let submit ?now t (request : Protocol.request) =
+  let now = clock now in
+  match request with
+  | Protocol.Register { name; problem } ->
+    let fp = register t ~name problem in
+    Some (Protocol.Registered { name; fingerprint = Fingerprint.short fp })
+  | Protocol.Stats -> Some (Protocol.Stats_reply (stats t))
+  | Protocol.Shutdown -> Some Protocol.Bye
+  | Protocol.Solve { id; source; target; spec; budget; reuse } ->
+    let budget =
+      match budget with Some b -> b | None -> t.config.default_budget
+    in
+    let job = { id; source; target; spec; budget; reuse; arrived = now } in
+    let expires_at =
+      Option.map (fun d -> now +. d) budget.Budget.deadline
+    in
+    if Admission.offer t.queue ?expires_at job then None
+    else begin
+      Telemetry.bump c_shed;
+      Some (Protocol.Overloaded { id })
+    end
+
+let drain ?now t =
+  let now = clock now in
+  let rec go acc =
+    match Admission.take t.queue ~now with
+    | `Empty -> List.rev acc
+    | `Shed job ->
+      Telemetry.bump c_shed;
+      go (Protocol.Overloaded { id = job.id } :: acc)
+    | `Job job -> go (run_solve t ~now job :: acc)
+  in
+  go []
+
+let handle ?now t request =
+  match request with
+  | Protocol.Solve _ -> (
+    match submit ?now t request with
+    | Some shed -> drain ?now t @ [ shed ]
+    | None -> drain ?now t)
+  | _ ->
+    let backlog = drain ?now t in
+    let immediate =
+      match submit ?now t request with Some r -> [ r ] | None -> []
+    in
+    backlog @ immediate

@@ -1,0 +1,87 @@
+(** The provisioning engine: solves behind a fingerprint-keyed cache
+    with admission control.
+
+    One engine owns the long-lived state a solve daemon amortizes
+    across requests — a name registry and a compiled-instance table
+    (compile once, solve many), the LRU solution {!Cache}, the
+    {!Admission} queue, and latency/telemetry accounting. It speaks
+    {!Protocol} values directly, so the in-process embedding and the
+    line-delimited daemon share every code path.
+
+    {2 The reuse ladder}
+
+    A solve request walks down until something answers, stopping at
+    the rung its [reuse] policy allows:
+
+    + {b exact hit} — a cached answer for the same structure, target
+      and engine (or any optimality-proved answer for that target):
+      replayed verbatim.
+    + {b monotone hit} — a cached {e optimal} answer for the same
+      structure at the smallest target [>= target]: its split meets
+      this target too, so it is served immediately as a feasible
+      incumbent, without running an engine.
+    + {b warm start} — the nearest cached split at or above the
+      target (optimal or not) seeds {!Rentcost.Solver.solve_on}
+      ([?warm_start]); surplus throughput is trimmed by the solver.
+    + {b cold solve}.
+
+    Cached splits are stored in canonical recipe order, so all three
+    rungs serve fingerprint-equal requests whatever recipe numbering
+    they were submitted in; responses are always translated back into
+    the {e submitted} problem's numbering.
+
+    {2 Accounting}
+
+    Every outcome bumps the [service.*] counters in {!Telemetry}
+    (requests, cache_hits / cache_misses, monotone_hits, warm_starts,
+    compile_reuse, shed) and a five-bucket handling-latency histogram;
+    {!stats} snapshots all of it for the [stats] request and the
+    shutdown dump. *)
+
+type config = {
+  cache_capacity : int;  (** LRU entries (default 128) *)
+  queue_capacity : int;  (** admission backlog bound (default 64) *)
+  default_budget : Rentcost.Budget.t;
+      (** budget for solve requests that carry none (default
+          {!Rentcost.Budget.unlimited}) *)
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> unit -> t
+
+(** [register t ~name problem] compiles [problem], stores it under
+    [name] (replacing any previous binding) and in the instance table,
+    and returns its fingerprint. *)
+val register : t -> name:string -> Rentcost.Problem.t -> Fingerprint.t
+
+(** [submit t request] runs [Register]/[Stats]/[Shutdown] immediately
+    ([Some response]) and enqueues [Solve] requests — [None] when
+    admitted (answers come from {!drain}), [Some (Overloaded _)] when
+    shed at the door. [~now] is the admission clock (defaults to the
+    wall clock); deadlines of queued requests are measured against
+    it. *)
+val submit : ?now:float -> t -> Protocol.request -> Protocol.response option
+
+(** [drain t] runs every queued solve whose deadline has not expired
+    in queue (expired ones answer [Overloaded]) and returns the
+    responses in arrival order. *)
+val drain : ?now:float -> t -> Protocol.response list
+
+(** [handle t request] = backlog first, then this request: {!drain}
+    composed with {!submit} so callers with one request in flight —
+    the daemon, the tests — get exactly its responses, in order. *)
+val handle : ?now:float -> t -> Protocol.request -> Protocol.response list
+
+(** Snapshot for [Stats_reply] and the shutdown dump: every registered
+    {!Telemetry} counter, cache occupancy/evictions, queue depth/shed
+    count, and the latency histogram. *)
+val stats : t -> (string * Json.t) list
+
+(** The engine's solution cache (tests observe eviction order). *)
+val cache : t -> Cache.t
+
+(** Queued solve requests not yet drained. *)
+val queue_length : t -> int

@@ -1,0 +1,310 @@
+module Solver = Rentcost.Solver
+module Budget = Rentcost.Budget
+module Problem_format = Rentcost.Problem_format
+
+type reuse =
+  | No_reuse
+  | Exact_only
+  | Warm
+  | Monotone
+
+let reuse_to_string = function
+  | No_reuse -> "none"
+  | Exact_only -> "exact"
+  | Warm -> "warm"
+  | Monotone -> "monotone"
+
+let reuse_of_string s =
+  match String.lowercase_ascii s with
+  | "none" -> Some No_reuse
+  | "exact" -> Some Exact_only
+  | "warm" -> Some Warm
+  | "monotone" -> Some Monotone
+  | _ -> None
+
+type source =
+  | Ref of string
+  | Inline of Rentcost.Problem.t
+
+type request =
+  | Register of { name : string; problem : Rentcost.Problem.t }
+  | Solve of {
+      id : int option;
+      source : source;
+      target : int;
+      spec : Solver.spec;
+      budget : Budget.t option;
+      reuse : reuse;
+    }
+  | Stats
+  | Shutdown
+
+type served =
+  | Cold
+  | Exact_hit
+  | Monotone_hit
+  | Warm_started
+
+let served_to_string = function
+  | Cold -> "cold"
+  | Exact_hit -> "exact-hit"
+  | Monotone_hit -> "monotone-hit"
+  | Warm_started -> "warm-started"
+
+let served_of_string = function
+  | "cold" -> Some Cold
+  | "exact-hit" -> Some Exact_hit
+  | "monotone-hit" -> Some Monotone_hit
+  | "warm-started" -> Some Warm_started
+  | _ -> None
+
+type response =
+  | Solved of {
+      id : int option;
+      status : Solver.status;
+      cost : int;
+      rho : int array;
+      machines : int array;
+      served : served;
+      engine : string;
+      wall_time : float;
+    }
+  | Registered of { name : string; fingerprint : string }
+  | Stats_reply of (string * Json.t) list
+  | Overloaded of { id : int option }
+  | Error of { id : int option; message : string }
+  | Bye
+
+let status_of_string = function
+  | "optimal" -> Some Solver.Optimal
+  | "feasible" -> Some Solver.Feasible
+  | "budget-exhausted" -> Some Solver.Budget_exhausted
+  | "infeasible" -> Some Solver.Infeasible
+  | _ -> None
+
+(* --- request decoding --- *)
+
+let ( let* ) = Result.bind
+
+let parse_problem ~what text =
+  match Problem_format.of_string text with
+  | p -> Ok p
+  | exception Failure msg -> Result.Error (Printf.sprintf "%s: %s" what msg)
+  | exception Invalid_argument msg -> Result.Error (Printf.sprintf "%s: %s" what msg)
+
+let load_problem path =
+  match Problem_format.load path with
+  | p -> Ok p
+  | exception Sys_error msg -> Result.Error (Printf.sprintf "register: %s" msg)
+  | exception Failure msg -> Result.Error (Printf.sprintf "register: %s: %s" path msg)
+  | exception Invalid_argument msg ->
+    Result.Error (Printf.sprintf "register: %s: %s" path msg)
+
+let decode_register j =
+  let* name =
+    Option.to_result ~none:"register: missing \"name\""
+      (Json.get_string "name" j)
+  in
+  let* problem =
+    match (Json.get_string "problem" j, Json.get_string "path" j) with
+    | Some text, None -> parse_problem ~what:"register" text
+    | None, Some path -> load_problem path
+    | Some _, Some _ -> Result.Error "register: give \"problem\" or \"path\", not both"
+    | None, None -> Result.Error "register: missing \"problem\" or \"path\""
+  in
+  Ok (Register { name; problem })
+
+let decode_budget j =
+  let deadline = Json.get_float "deadline" j in
+  let node_cap = Json.get_int "nodes" j in
+  let eval_cap = Json.get_int "evals" j in
+  let* () =
+    match deadline with
+    | Some d when d < 0.0 -> Result.Error "solve: negative \"deadline\""
+    | _ -> Ok ()
+  in
+  let* () =
+    match (node_cap, eval_cap) with
+    | Some n, _ when n < 0 -> Result.Error "solve: negative \"nodes\""
+    | _, Some n when n < 0 -> Result.Error "solve: negative \"evals\""
+    | _ -> Ok ()
+  in
+  match (deadline, node_cap, eval_cap) with
+  | None, None, None -> Ok None
+  | _ -> Ok (Some { Budget.deadline; node_cap; eval_cap })
+
+let decode_solve j =
+  let id = Json.get_int "id" j in
+  let* source =
+    match (Json.get_string "ref" j, Json.get_string "problem" j) with
+    | Some name, None -> Ok (Ref name)
+    | None, Some text ->
+      let* p = parse_problem ~what:"solve" text in
+      Ok (Inline p)
+    | Some _, Some _ -> Result.Error "solve: give \"ref\" or \"problem\", not both"
+    | None, None -> Result.Error "solve: missing \"ref\" or \"problem\""
+  in
+  let* target =
+    Option.to_result ~none:"solve: missing integer \"target\""
+      (Json.get_int "target" j)
+  in
+  let* () = if target < 0 then Result.Error "solve: negative \"target\"" else Ok () in
+  let* spec =
+    match Json.get_string "spec" j with
+    | None -> Ok Solver.Auto
+    | Some s ->
+      Option.to_result
+        ~none:(Printf.sprintf "solve: unknown spec %S" s)
+        (Solver.spec_of_string s)
+  in
+  let* reuse =
+    match Json.get_string "reuse" j with
+    | None -> Ok Monotone
+    | Some s ->
+      Option.to_result
+        ~none:(Printf.sprintf "solve: unknown reuse policy %S" s)
+        (reuse_of_string s)
+  in
+  let* budget = decode_budget j in
+  Ok (Solve { id; source; target; spec; budget; reuse })
+
+let request_of_json j =
+  match Json.get_string "op" j with
+  | None -> Result.Error "missing \"op\""
+  | Some "register" -> decode_register j
+  | Some "solve" -> decode_solve j
+  | Some "stats" -> Ok Stats
+  | Some "shutdown" -> Ok Shutdown
+  | Some op -> Result.Error (Printf.sprintf "unknown op %S" op)
+
+(* --- request encoding (clients, tests) --- *)
+
+let opt_field key enc = function None -> [] | Some v -> [ (key, enc v) ]
+
+let request_to_json = function
+  | Register { name; problem } ->
+    Json.Obj
+      [
+        ("op", Json.String "register");
+        ("name", Json.String name);
+        ("problem", Json.String (Problem_format.to_string problem));
+      ]
+  | Solve { id; source; target; spec; budget; reuse } ->
+    let source_field =
+      match source with
+      | Ref name -> ("ref", Json.String name)
+      | Inline p -> ("problem", Json.String (Problem_format.to_string p))
+    in
+    let budget_fields =
+      match budget with
+      | None -> []
+      | Some b ->
+        opt_field "deadline" (fun d -> Json.Float d) b.Budget.deadline
+        @ opt_field "nodes" (fun n -> Json.Int n) b.Budget.node_cap
+        @ opt_field "evals" (fun n -> Json.Int n) b.Budget.eval_cap
+    in
+    Json.Obj
+      ([ ("op", Json.String "solve") ]
+      @ opt_field "id" (fun i -> Json.Int i) id
+      @ [
+          source_field;
+          ("target", Json.Int target);
+          ("spec", Json.String (Solver.spec_to_string spec));
+          ("reuse", Json.String (reuse_to_string reuse));
+        ]
+      @ budget_fields)
+  | Stats -> Json.Obj [ ("op", Json.String "stats") ]
+  | Shutdown -> Json.Obj [ ("op", Json.String "shutdown") ]
+
+(* --- response encoding --- *)
+
+let int_array a = Json.List (Array.to_list (Array.map (fun i -> Json.Int i) a))
+
+let response_to_json = function
+  | Solved { id; status; cost; rho; machines; served; engine; wall_time } ->
+    Json.Obj
+      (opt_field "id" (fun i -> Json.Int i) id
+      @ [
+          ("ok", Json.Bool true);
+          ("status", Json.String (Solver.status_to_string status));
+          ("cost", Json.Int cost);
+          ("rho", int_array rho);
+          ("machines", int_array machines);
+          ("served", Json.String (served_to_string served));
+          ("engine", Json.String engine);
+          ("wall_time", Json.Float wall_time);
+        ])
+  | Registered { name; fingerprint } ->
+    Json.Obj
+      [
+        ("ok", Json.Bool true);
+        ("registered", Json.String name);
+        ("fingerprint", Json.String fingerprint);
+      ]
+  | Stats_reply fields ->
+    Json.Obj [ ("ok", Json.Bool true); ("stats", Json.Obj fields) ]
+  | Overloaded { id } ->
+    Json.Obj
+      (opt_field "id" (fun i -> Json.Int i) id
+      @ [ ("ok", Json.Bool false); ("status", Json.String "overloaded") ])
+  | Error { id; message } ->
+    Json.Obj
+      (opt_field "id" (fun i -> Json.Int i) id
+      @ [ ("ok", Json.Bool false); ("error", Json.String message) ])
+  | Bye -> Json.Obj [ ("ok", Json.Bool true); ("status", Json.String "bye") ]
+
+(* --- response decoding (clients, tests) --- *)
+
+let decode_int_array = function
+  | Json.List items ->
+    let rec go acc = function
+      | [] -> Some (Array.of_list (List.rev acc))
+      | v :: rest -> (
+        match Json.to_int v with
+        | Some i -> go (i :: acc) rest
+        | None -> None)
+    in
+    go [] items
+  | _ -> None
+
+let response_of_json j =
+  let id = Json.get_int "id" j in
+  match Json.get_string "error" j with
+  | Some message -> Ok (Error { id; message })
+  | None -> (
+    match (Json.get_string "status" j, Json.member "cost" j) with
+    | Some "overloaded", _ -> Ok (Overloaded { id })
+    | Some "bye", _ -> Ok Bye
+    | Some status_s, Some _ ->
+      let* status =
+        Option.to_result
+          ~none:(Printf.sprintf "unknown status %S" status_s)
+          (status_of_string status_s)
+      in
+      let field name coerce =
+        Option.to_result
+          ~none:(Printf.sprintf "missing or bad %S" name)
+          (Option.bind (Json.member name j) coerce)
+      in
+      let* cost = field "cost" Json.to_int in
+      let* rho = field "rho" decode_int_array in
+      let* machines = field "machines" decode_int_array in
+      let* served_s = field "served" Json.to_str in
+      let* served =
+        Option.to_result
+          ~none:(Printf.sprintf "unknown served tag %S" served_s)
+          (served_of_string served_s)
+      in
+      let* engine = field "engine" Json.to_str in
+      let* wall_time = field "wall_time" Json.to_float in
+      Ok (Solved { id; status; cost; rho; machines; served; engine; wall_time })
+    | _ -> (
+      match (Json.get_string "registered" j, Json.member "stats" j) with
+      | Some name, _ ->
+        let* fingerprint =
+          Option.to_result ~none:"missing \"fingerprint\""
+            (Json.get_string "fingerprint" j)
+        in
+        Ok (Registered { name; fingerprint })
+      | None, Some (Json.Obj fields) -> Ok (Stats_reply fields)
+      | _ -> Result.Error "unrecognized response shape"))

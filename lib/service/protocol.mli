@@ -1,0 +1,110 @@
+(** The daemon's wire protocol: one JSON object per line, both ways.
+
+    {2 Requests}
+
+    {v
+    {"op":"register","name":"app","path":"app.rentcost"}
+    {"op":"register","name":"app","problem":"types 2\n..."}
+    {"op":"solve","id":1,"ref":"app","target":120}
+    {"op":"solve","id":2,"problem":"types 2\n...","target":90,
+     "spec":"ilp","reuse":"warm","deadline":1.5,"nodes":10000,
+     "evals":50000}
+    {"op":"stats"}
+    {"op":"shutdown"}
+    v}
+
+    Solve defaults: [spec] "auto", [reuse] "monotone", no budget caps
+    beyond the engine's configured default. [reuse] picks a rung of
+    the reuse ladder: ["none"] always solves cold, ["exact"] replays
+    identical requests only, ["warm"] additionally seeds cold solves
+    from the nearest cached split, ["monotone"] additionally answers
+    from a cached optimal at a higher target (feasible incumbent,
+    served without solving).
+
+    {2 Responses}
+
+    {v
+    {"id":1,"ok":true,"status":"optimal","cost":44,"rho":[110,0,10],
+     "machines":[4,8],"served":"cold","engine":"ilp",
+     "wall_time":0.0123}
+    {"ok":true,"registered":"app","fingerprint":"d41d8cd98f00"}
+    {"ok":true,"stats":{...}}
+    {"id":7,"ok":false,"status":"overloaded"}
+    {"ok":false,"error":"solve: unknown ref \"nope\""}
+    {"ok":true,"status":"bye"}
+    v}
+
+    [served] is one of ["cold"], ["exact-hit"], ["monotone-hit"],
+    ["warm-started"]. [rho] and [machines] are in the {e submitted}
+    problem's numbering, whatever instance actually served the
+    request. Both codecs run in both directions so in-process clients
+    and the test suite can speak the protocol without the daemon. *)
+
+type reuse =
+  | No_reuse
+  | Exact_only
+  | Warm
+  | Monotone
+
+val reuse_to_string : reuse -> string
+
+val reuse_of_string : string -> reuse option
+
+(** What a solve runs on: a name registered earlier, or a problem
+    shipped inline. *)
+type source =
+  | Ref of string
+  | Inline of Rentcost.Problem.t
+
+type request =
+  | Register of { name : string; problem : Rentcost.Problem.t }
+  | Solve of {
+      id : int option;  (** echoed back, client-chosen *)
+      source : source;
+      target : int;
+      spec : Rentcost.Solver.spec;
+      budget : Rentcost.Budget.t option;  (** [None] = engine default *)
+      reuse : reuse;
+    }
+  | Stats
+  | Shutdown
+
+(** How a solve response was produced. *)
+type served =
+  | Cold
+  | Exact_hit
+  | Monotone_hit
+  | Warm_started
+
+val served_to_string : served -> string
+
+type response =
+  | Solved of {
+      id : int option;
+      status : Rentcost.Solver.status;
+      cost : int;
+      rho : int array;  (** submitted problem's recipe numbering *)
+      machines : int array;
+      served : served;
+      engine : string;  (** spec string of the engine (or cached entry) *)
+      wall_time : float;  (** seconds spent handling this request *)
+    }
+  | Registered of { name : string; fingerprint : string }
+  | Stats_reply of (string * Json.t) list
+  | Overloaded of { id : int option }
+  | Error of { id : int option; message : string }
+  | Bye
+
+(** [request_of_json j] decodes a request. ["path"] registers are read
+    from disk here; file and parse errors come back as [Error _]
+    results, never exceptions. *)
+val request_of_json : Json.t -> (request, string) result
+
+(** [request_to_json r] encodes a request (client side). An inline
+    problem is shipped as its {!Rentcost.Problem_format} text. *)
+val request_to_json : request -> Json.t
+
+val response_to_json : response -> Json.t
+
+(** [response_of_json j] decodes a response (client side). *)
+val response_of_json : Json.t -> (response, string) result

@@ -33,3 +33,10 @@ let lp_pivots = "lp.pivots"
 let milp_nodes = "milp.nodes"
 let milp_incumbents = "milp.incumbents"
 let heuristic_evals = "heuristics.evaluations"
+let service_requests = "service.requests"
+let service_cache_hits = "service.cache_hits"
+let service_cache_misses = "service.cache_misses"
+let service_monotone_hits = "service.monotone_hits"
+let service_warm_starts = "service.warm_starts"
+let service_compile_reuse = "service.compile_reuse"
+let service_shed = "service.shed"

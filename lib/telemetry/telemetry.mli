@@ -67,3 +67,33 @@ val milp_incumbents : string
 
 (** Cost-oracle evaluations by {!Rentcost.Heuristics}. *)
 val heuristic_evals : string
+
+(** {2 Serving-layer counters ([Rentcost_service])}
+
+    Bumped by the provisioning service engine; the daemon's [stats]
+    request and shutdown dump read them alongside the solver
+    counters. *)
+
+(** Solve requests admitted (sheds excluded). *)
+val service_requests : string
+
+(** Requests answered from the solution cache (exact and monotone hits
+    both count; see also {!service_monotone_hits}). *)
+val service_cache_hits : string
+
+(** Solve requests that went to an engine (cold or warm-started). *)
+val service_cache_misses : string
+
+(** Cache hits served through monotone reuse: a cached optimal
+    allocation for a higher target answering a lower one. *)
+val service_monotone_hits : string
+
+(** Engine solves seeded with a nearby cached allocation. *)
+val service_warm_starts : string
+
+(** Requests that reused an already-compiled instance (problem refs
+    and fingerprint-equal inline problems). *)
+val service_compile_reuse : string
+
+(** Requests shed by admission control ([Overloaded] responses). *)
+val service_shed : string

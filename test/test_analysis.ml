@@ -108,9 +108,8 @@ module E = Rentcost.Elastic
 let demand = [| 0; 20; 50; 120; 70; 20 |]
 
 let test_elastic_vs_static () =
-  let solver = A.ilp_solver () in
-  let elastic = E.provision solver p ~demand in
-  let static = E.static_peak solver p ~demand in
+  let elastic = E.provision ~spec:Rentcost.Solver.Exact_ilp p ~demand in
+  let static = E.static_peak ~spec:Rentcost.Solver.Exact_ilp p ~demand in
   Alcotest.(check int) "plan lengths" (Array.length demand) (Array.length elastic);
   (* Every period of the static plan costs the peak-period price. *)
   Alcotest.(check int) "static bill"
@@ -131,8 +130,7 @@ let test_elastic_vs_static () =
     elastic
 
 let test_elastic_accounting () =
-  let solver = A.h1_solver in
-  let plan = E.provision solver p ~demand in
+  let plan = E.provision ~spec:(Rentcost.Solver.Heuristic H.H1) p ~demand in
   (* machine_hours sums the per-period fleets. *)
   let hours = E.machine_hours plan in
   let expected = Array.make (PB.num_types p) 0 in
@@ -143,15 +141,33 @@ let test_elastic_accounting () =
   Alcotest.(check (array int)) "machine hours" expected hours;
   (* churn from the empty fleet is at least the first period's size and
      zero for a constant plan. *)
-  let static = E.static_peak solver p ~demand in
+  let static = E.static_peak ~spec:(Rentcost.Solver.Heuristic H.H1) p ~demand in
   let fleet_size =
     Array.fold_left ( + ) 0 static.(0).AL.machines
   in
   Alcotest.(check int) "static churn = one ramp-up" fleet_size (E.churn static);
   Alcotest.(check bool) "elastic churn >= ramp-up" true (E.churn plan >= 0)
 
+let test_elastic_warm_matches_cold () =
+  (* Warm-started exact solves stay optimal: per-period costs agree
+     with cold solves over rising, falling and repeated demand. *)
+  let demand = [| 120; 70; 70; 20; 90; 120 |] in
+  let warm = E.provision ~spec:Rentcost.Solver.Exact_ilp ~warm:true p ~demand in
+  let cold = E.provision ~spec:Rentcost.Solver.Exact_ilp ~warm:false p ~demand in
+  Array.iteri
+    (fun t a ->
+      Alcotest.(check int)
+        (Printf.sprintf "period %d cost" t)
+        cold.(t).AL.cost a.AL.cost)
+    warm
+
+let test_elastic_negative_demand () =
+  Alcotest.check_raises "negative demand"
+    (Invalid_argument "Elastic: negative demand") (fun () ->
+      ignore (E.provision p ~demand:[| 10; -1 |]))
+
 let test_elastic_empty_trace () =
-  let plan = E.provision A.h1_solver p ~demand:[||] in
+  let plan = E.provision ~spec:(Rentcost.Solver.Heuristic H.H1) p ~demand:[||] in
   Alcotest.(check int) "empty bill" 0 (E.total_cost plan);
   Alcotest.(check int) "empty churn" 0 (E.churn plan);
   Alcotest.(check (array int)) "empty hours" [||] (E.machine_hours plan);
@@ -174,4 +190,8 @@ let suite =
         test_exhaustive_deltas_finds_distant_optimum;
       Alcotest.test_case "elastic vs static" `Slow test_elastic_vs_static;
       Alcotest.test_case "elastic accounting" `Quick test_elastic_accounting;
+      Alcotest.test_case "elastic warm matches cold" `Slow
+        test_elastic_warm_matches_cold;
+      Alcotest.test_case "elastic negative demand" `Quick
+        test_elastic_negative_demand;
       Alcotest.test_case "elastic empty trace" `Quick test_elastic_empty_trace ] )

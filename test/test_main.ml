@@ -24,4 +24,5 @@ let () =
       Test_solver.suite;
       Test_integration.suite;
       Test_analysis.suite;
-      Test_format.suite ]
+      Test_format.suite;
+      Test_service.suite ]

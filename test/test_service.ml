@@ -1,0 +1,367 @@
+(* Tests for the provisioning service (Rentcost_service): the JSON
+   codec, fingerprint invariance under renumbering, LRU cache
+   behavior, the engine's reuse ladder (exact replay, monotone serve,
+   warm start) with allocations always valid for the submitted
+   problem, admission shedding, and an end-to-end daemon session over
+   a pipe. *)
+
+module P = Rentcost.Problem
+module PF = Rentcost.Platform
+module TG = Rentcost.Task_graph
+module AL = Rentcost.Allocation
+module B = Rentcost.Budget
+module S = Rentcost.Solver
+module Svc = Rentcost_service
+module C = Svc.Cache
+module E = Svc.Engine
+module F = Svc.Fingerprint
+module J = Svc.Json
+module Pr = Svc.Protocol
+
+(* A shared-types problem (routes to the ILP) with no dominated
+   recipe: type-count vectors (1,1,0), (0,1,1), (1,0,1). *)
+let recipes types_lists =
+  Array.of_list
+    (List.map
+       (fun ts -> TG.chain ~ntypes:3 ~types:(Array.of_list ts))
+       types_lists)
+
+let base =
+  P.create (PF.of_list [ (5, 10); (8, 20); (11, 30) ])
+    (recipes [ [ 0; 1 ]; [ 1; 2 ]; [ 0; 2 ] ])
+
+(* [base] with types renamed (0,1,2) -> (1,2,0) and the recipes listed
+   in a different order — structurally the same problem. *)
+let permuted =
+  P.create (PF.of_list [ (11, 30); (5, 10); (8, 20) ])
+    (recipes [ [ 2; 0 ]; [ 1; 0 ]; [ 1; 2 ] ])
+
+let solve_req ?id ?(source = Pr.Ref "app") ?(spec = S.Auto) ?budget
+    ?(reuse = Pr.Monotone) target =
+  Pr.Solve { id; source; target; spec; budget; reuse }
+
+type solved = {
+  s_status : S.status;
+  s_cost : int;
+  s_rho : int array;
+  s_machines : int array;
+  s_served : Pr.served;
+}
+
+let solved1 engine req =
+  match E.handle engine req with
+  | [ Pr.Solved { status; cost; rho; machines; served; _ } ] ->
+    { s_status = status; s_cost = cost; s_rho = rho; s_machines = machines;
+      s_served = served }
+  | [ Pr.Error { message; _ } ] -> Alcotest.fail ("engine error: " ^ message)
+  | _ -> Alcotest.fail "expected exactly one solved response"
+
+let engine_with ?config problem =
+  let e = E.create ?config () in
+  ignore (E.register e ~name:"app" problem);
+  e
+
+let check_served what expected got =
+  Alcotest.(check string) what
+    (Pr.served_to_string expected)
+    (Pr.served_to_string got)
+
+(* The response must be a valid allocation of the *submitted* problem:
+   machine counts covering the loads, target reached. *)
+let check_valid_for problem ~target r =
+  let a = AL.make problem ~rho:r.s_rho ~machines:r.s_machines in
+  Alcotest.(check bool) "feasible for submitted problem" true
+    (AL.feasible problem ~target a);
+  Alcotest.(check int) "reported cost matches machines" r.s_cost
+    a.AL.cost
+
+(* --- Json --- *)
+
+let test_json_roundtrip () =
+  let v =
+    J.Obj
+      [ ("a", J.List [ J.Int 1; J.Float 2.5; J.String "x\n\"\\"; J.Bool true;
+                       J.Null ]);
+        ("empty", J.Obj []) ]
+  in
+  match J.of_string (J.to_string v) with
+  | Error e -> Alcotest.fail e
+  | Ok v' -> Alcotest.(check string) "stable" (J.to_string v) (J.to_string v')
+
+let test_json_unicode_and_errors () =
+  (match J.of_string {|"Aé😀"|} with
+   | Ok (J.String s) ->
+     Alcotest.(check string) "utf8 escapes" "A\xc3\xa9\xf0\x9f\x98\x80" s
+   | _ -> Alcotest.fail "unicode escape parse");
+  Alcotest.(check bool) "trailing garbage rejected" true
+    (Result.is_error (J.of_string "1 2"));
+  Alcotest.(check bool) "bad token rejected" true
+    (Result.is_error (J.of_string "{\"a\":nul}"));
+  Alcotest.(check bool) "integral float coerces" true
+    (J.to_int (J.Float 3.0) = Some 3);
+  Alcotest.(check bool) "fractional float does not" true
+    (J.to_int (J.Float 3.5) = None)
+
+(* --- Fingerprint --- *)
+
+let test_fingerprint_permutation_invariant () =
+  let fa = F.of_problem base and fb = F.of_problem permuted in
+  Alcotest.(check bool) "equal encodings" true (F.equal fa fb);
+  Alcotest.(check string) "equal digests" (F.digest fa) (F.digest fb)
+
+let test_fingerprint_distinguishes () =
+  let other =
+    P.create (PF.of_list [ (5, 10); (8, 20); (12, 30) ])
+      (recipes [ [ 0; 1 ]; [ 1; 2 ]; [ 0; 2 ] ])
+  in
+  Alcotest.(check bool) "different cost, different fingerprint" false
+    (F.equal (F.of_problem base) (F.of_problem other))
+
+(* --- Cache --- *)
+
+let entry ?(spec = "ilp") ?(optimal = true) target =
+  { C.target; spec; canonical_rho = [| target; 0; 0 |]; cost = target;
+    optimal }
+
+let test_cache_lru_eviction () =
+  let c = C.create ~capacity:2 in
+  C.insert c ~digest:"a" ~encoding:"ea" (entry 10);
+  C.insert c ~digest:"b" ~encoding:"eb" (entry 20);
+  (* Touch "a" so "b" becomes the LRU entry. *)
+  Alcotest.(check bool) "a hit" true
+    (C.find_exact c ~digest:"a" ~encoding:"ea" ~target:10 ~spec:"ilp" <> None);
+  C.insert c ~digest:"c" ~encoding:"ec" (entry 30);
+  Alcotest.(check bool) "a survives" true (C.mem c ~digest:"a" ~target:10 ~spec:"ilp");
+  Alcotest.(check bool) "b evicted" false (C.mem c ~digest:"b" ~target:20 ~spec:"ilp");
+  Alcotest.(check bool) "c present" true (C.mem c ~digest:"c" ~target:30 ~spec:"ilp");
+  Alcotest.(check int) "one eviction" 1 (C.evictions c);
+  Alcotest.(check int) "at capacity" 2 (C.length c)
+
+let test_cache_lookups () =
+  let c = C.create ~capacity:8 in
+  let digest = "d" and encoding = "e" in
+  C.insert c ~digest ~encoding (entry 50);
+  C.insert c ~digest ~encoding (entry 100);
+  C.insert c ~digest ~encoding (entry ~optimal:false 70);
+  (* A digest collision (same digest, different encoding) must miss. *)
+  Alcotest.(check bool) "collision misses" true
+    (C.find_exact c ~digest ~encoding:"other" ~target:50 ~spec:"ilp" = None);
+  (* Monotone: smallest optimal target >= request; 70 is not optimal. *)
+  (match C.find_monotone c ~digest ~encoding ~target:60 with
+   | Some e -> Alcotest.(check int) "monotone 60 -> 100" 100 e.C.target
+   | None -> Alcotest.fail "monotone 60 missed");
+  (match C.find_monotone c ~digest ~encoding ~target:40 with
+   | Some e -> Alcotest.(check int) "monotone 40 -> 50" 50 e.C.target
+   | None -> Alcotest.fail "monotone 40 missed");
+  (* Nearest usable: any entry at or above the target. *)
+  (match C.find_nearest c ~digest ~encoding ~target:60 with
+   | Some e -> Alcotest.(check int) "nearest 60 -> 70" 70 e.C.target
+   | None -> Alcotest.fail "nearest 60 missed");
+  Alcotest.(check bool) "nearest never below target" true
+    (C.find_nearest c ~digest ~encoding ~target:101 = None);
+  (* An optimal entry answers an exact request from another engine. *)
+  (match C.find_exact c ~digest ~encoding ~target:100 ~spec:"h1" with
+   | Some e -> Alcotest.(check bool) "cross-spec needs optimal" true e.C.optimal
+   | None -> Alcotest.fail "cross-spec exact missed");
+  Alcotest.(check bool) "non-optimal other-spec entry does not" true
+    (C.find_exact c ~digest ~encoding ~target:70 ~spec:"h1" = None)
+
+(* --- Engine: the reuse ladder --- *)
+
+let test_exact_replay () =
+  let e = engine_with base in
+  let r1 = solved1 e (solve_req ~id:1 120) in
+  let r2 = solved1 e (solve_req ~id:2 120) in
+  check_served "first cold" Pr.Cold r1.s_served;
+  check_served "second from cache" Pr.Exact_hit r2.s_served;
+  Alcotest.(check int) "same cost" r1.s_cost r2.s_cost;
+  Alcotest.(check (array int)) "identical rho" r1.s_rho r2.s_rho;
+  Alcotest.(check (array int)) "identical machines" r1.s_machines r2.s_machines;
+  Alcotest.(check string) "still optimal"
+    (S.status_to_string r1.s_status) (S.status_to_string r2.s_status);
+  check_valid_for base ~target:120 r2
+
+let test_monotone_reuse_feasible () =
+  let e = engine_with base in
+  let high = solved1 e (solve_req 120) in
+  let low = solved1 e (solve_req 90) in
+  check_served "low target served monotone" Pr.Monotone_hit low.s_served;
+  Alcotest.(check string) "feasible, not proved optimal" "feasible"
+    (S.status_to_string low.s_status);
+  Alcotest.(check int) "replays the cached optimum's cost" high.s_cost
+    low.s_cost;
+  check_valid_for base ~target:90 low;
+  (* The incumbent is an upper bound: a true solve can only be <=. *)
+  let cold = solved1 (engine_with base) (solve_req ~reuse:Pr.No_reuse 90) in
+  Alcotest.(check bool) "incumbent upper-bounds the optimum" true
+    (cold.s_cost <= low.s_cost)
+
+let test_warm_start_reuse () =
+  let e = engine_with base in
+  ignore (solved1 e (solve_req 100));
+  let warm = solved1 e (solve_req ~reuse:Pr.Warm 80) in
+  check_served "seeded from nearest cached split" Pr.Warm_started warm.s_served;
+  Alcotest.(check string) "exact engine still proves optimality" "optimal"
+    (S.status_to_string warm.s_status);
+  let cold = solved1 (engine_with base) (solve_req ~reuse:Pr.No_reuse 80) in
+  Alcotest.(check int) "warm start does not change the optimum" cold.s_cost
+    warm.s_cost;
+  check_valid_for base ~target:80 warm
+
+let test_equivalent_inline_shares_cache () =
+  let e = E.create () in
+  let r1 = solved1 e (solve_req ~source:(Pr.Inline base) 100) in
+  let r2 = solved1 e (solve_req ~source:(Pr.Inline permuted) 100) in
+  check_served "permuted problem hits the cache" Pr.Exact_hit r2.s_served;
+  Alcotest.(check int) "same optimal cost" r1.s_cost r2.s_cost;
+  (* The cached split is translated into the submitted numbering. *)
+  check_valid_for permuted ~target:100 r2
+
+let test_reuse_none_never_hits () =
+  let e = engine_with base in
+  ignore (solved1 e (solve_req 70));
+  let r = solved1 e (solve_req ~reuse:Pr.No_reuse 70) in
+  check_served "reuse none solves cold" Pr.Cold r.s_served
+
+let test_unknown_ref_errors () =
+  let e = E.create () in
+  match E.handle e (solve_req ~source:(Pr.Ref "nope") 50) with
+  | [ Pr.Error { message; _ } ] ->
+    Alcotest.(check bool) "mentions the ref" true
+      (String.length message > 0)
+  | _ -> Alcotest.fail "expected an error response"
+
+(* --- admission control --- *)
+
+let test_admission_door_shed () =
+  let e =
+    engine_with ~config:{ E.default_config with E.queue_capacity = 2 } base
+  in
+  Alcotest.(check bool) "first admitted" true
+    (E.submit ~now:0.0 e (solve_req ~id:1 50) = None);
+  Alcotest.(check bool) "second admitted" true
+    (E.submit ~now:0.0 e (solve_req ~id:2 60) = None);
+  (match E.submit ~now:0.0 e (solve_req ~id:3 70) with
+   | Some (Pr.Overloaded { id = Some 3 }) -> ()
+   | _ -> Alcotest.fail "expected the third request shed at the door");
+  Alcotest.(check int) "two queued" 2 (E.queue_length e);
+  let responses = E.drain ~now:0.0 e in
+  Alcotest.(check int) "both drained" 2 (List.length responses);
+  Alcotest.(check bool) "drained in arrival order" true
+    (match responses with
+     | [ Pr.Solved { id = Some 1; _ }; Pr.Solved { id = Some 2; _ } ] -> true
+     | _ -> false)
+
+let test_admission_deadline_shed () =
+  let e = engine_with base in
+  Alcotest.(check bool) "admitted" true
+    (E.submit ~now:0.0 e
+       (solve_req ~id:9 ~budget:(B.deadline 0.5) 50)
+     = None);
+  match E.drain ~now:10.0 e with
+  | [ Pr.Overloaded { id = Some 9 } ] -> ()
+  | _ -> Alcotest.fail "expected the expired request shed at dispatch"
+
+(* --- end to end: a daemon session over a pipe --- *)
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = ref 0 in
+  while !n < Bytes.length b do
+    n := !n + Unix.write fd b !n (Bytes.length b - !n)
+  done
+
+let test_daemon_over_pipe () =
+  let req_read, req_write = Unix.pipe () in
+  let resp_read, resp_write = Unix.pipe () in
+  let requests =
+    [ Pr.Register { name = "app"; problem = base };
+      solve_req ~id:1 110; solve_req ~id:2 110; Pr.Stats; Pr.Shutdown ]
+  in
+  let payload =
+    String.concat ""
+      (List.map
+         (fun r -> J.to_string (Pr.request_to_json r) ^ "\n")
+         requests)
+  in
+  write_all req_write payload;
+  Unix.close req_write;
+  let dump_path = Filename.temp_file "rentcost_service" ".dump" in
+  let dump = open_out dump_path in
+  let oc = Unix.out_channel_of_descr resp_write in
+  Svc.Daemon.serve_channels ~dump (Unix.in_channel_of_descr req_read) oc;
+  close_out dump;
+  close_out oc;
+  let ic = Unix.in_channel_of_descr resp_read in
+  let rec read_lines acc =
+    match input_line ic with
+    | line -> read_lines (line :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  let lines = read_lines [] in
+  close_in ic;
+  let responses =
+    List.map
+      (fun line ->
+        match J.of_string line with
+        | Error e -> Alcotest.fail ("bad response json: " ^ e)
+        | Ok j -> (
+          match Pr.response_of_json j with
+          | Error e -> Alcotest.fail ("bad response: " ^ e)
+          | Ok r -> r))
+      lines
+  in
+  (match responses with
+   | [ Pr.Registered { name = "app"; _ };
+       Pr.Solved { id = Some 1; served = s1; cost = c1; rho = r1; _ };
+       Pr.Solved { id = Some 2; served = s2; cost = c2; rho = r2; _ };
+       Pr.Stats_reply stats;
+       Pr.Bye ] ->
+     check_served "first cold" Pr.Cold s1;
+     check_served "replay served from cache" Pr.Exact_hit s2;
+     Alcotest.(check int) "same cost over the wire" c1 c2;
+     Alcotest.(check (array int)) "same split over the wire" r1 r2;
+     let hits =
+       Option.bind
+         (J.member "counters" (J.Obj stats))
+         (J.get_int Telemetry.service_cache_hits)
+     in
+     Alcotest.(check bool) "stats report a cache hit" true
+       (match hits with Some h -> h >= 1 | None -> false)
+   | _ -> Alcotest.fail "unexpected response sequence");
+  let dump_ic = open_in dump_path in
+  let dump_line = input_line dump_ic in
+  close_in dump_ic;
+  Sys.remove dump_path;
+  Alcotest.(check bool) "shutdown dumped stats" true
+    (match J.of_string dump_line with
+     | Ok j -> J.member "stats" j <> None
+     | Error _ -> false)
+
+let suite =
+  ( "service",
+    [ Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+      Alcotest.test_case "json unicode and errors" `Quick
+        test_json_unicode_and_errors;
+      Alcotest.test_case "fingerprint permutation invariance" `Quick
+        test_fingerprint_permutation_invariant;
+      Alcotest.test_case "fingerprint distinguishes" `Quick
+        test_fingerprint_distinguishes;
+      Alcotest.test_case "cache LRU eviction order" `Quick
+        test_cache_lru_eviction;
+      Alcotest.test_case "cache lookup semantics" `Quick test_cache_lookups;
+      Alcotest.test_case "exact replay from cache" `Quick test_exact_replay;
+      Alcotest.test_case "monotone reuse is feasible" `Quick
+        test_monotone_reuse_feasible;
+      Alcotest.test_case "warm-start reuse" `Quick test_warm_start_reuse;
+      Alcotest.test_case "equivalent inline problems share the cache" `Quick
+        test_equivalent_inline_shares_cache;
+      Alcotest.test_case "reuse none never hits" `Quick
+        test_reuse_none_never_hits;
+      Alcotest.test_case "unknown ref errors" `Quick test_unknown_ref_errors;
+      Alcotest.test_case "admission sheds at the door" `Quick
+        test_admission_door_shed;
+      Alcotest.test_case "admission sheds expired deadlines" `Quick
+        test_admission_deadline_shed;
+      Alcotest.test_case "daemon session over a pipe" `Quick
+        test_daemon_over_pipe ] )

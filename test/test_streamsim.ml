@@ -33,6 +33,55 @@ let test_assign_zero_weight_skipped () =
     Alcotest.(check int) "always recipe 1" 1 (A.next a)
   done
 
+(* qcheck properties over random weight vectors: weights 0..9, at
+   least one positive (fixed up deterministically when the draw is all
+   zeros). *)
+let prop ?(count = 100) name gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen f)
+
+let weights_gen =
+  QCheck2.Gen.(
+    map2
+      (fun ws fix ->
+        let ws = Array.of_list ws in
+        if Array.exists (fun w -> w > 0) ws then ws
+        else begin
+          ws.(fix mod Array.length ws) <- 1;
+          ws
+        end)
+      (list_size (int_range 1 6) (int_range 0 9))
+      (int_range 0 5))
+
+let prop_assign_zero_weights_starve =
+  prop "zero-weight recipes never receive items"
+    QCheck2.Gen.(pair weights_gen (int_range 1 200))
+    (fun (weights, n) ->
+      let a = A.create ~weights in
+      for _ = 1 to n do
+        ignore (A.next a)
+      done;
+      let counts = A.counts a in
+      Array.for_all Fun.id
+        (Array.mapi (fun j c -> weights.(j) > 0 || c = 0) counts))
+
+let prop_assign_counts_within_one =
+  prop "after any prefix, counts stay within one of n*rho_j/rho"
+    QCheck2.Gen.(pair weights_gen (int_range 1 200))
+    (fun (weights, n) ->
+      let a = A.create ~weights in
+      let total = float_of_int (Array.fold_left ( + ) 0 weights) in
+      let ok = ref true in
+      for i = 1 to n do
+        ignore (A.next a);
+        Array.iteri
+          (fun j c ->
+            let share = float_of_int i *. float_of_int weights.(j) /. total in
+            if Float.abs (float_of_int c -. share) > 1.0 +. 1e-9 then
+              ok := false)
+          (A.counts a)
+      done;
+      !ok && A.total a = n)
+
 let test_assign_validation () =
   Alcotest.check_raises "empty" (Invalid_argument "Assign.create: no weights")
     (fun () -> ignore (A.create ~weights:[||]));
@@ -246,6 +295,8 @@ let suite =
     [ Alcotest.test_case "assign proportions" `Quick test_assign_proportions;
       Alcotest.test_case "assign zero weights" `Quick test_assign_zero_weight_skipped;
       Alcotest.test_case "assign validation" `Quick test_assign_validation;
+      prop_assign_zero_weights_starve;
+      prop_assign_counts_within_one;
       Alcotest.test_case "single machine timing" `Quick test_single_machine_timing;
       Alcotest.test_case "two machines double throughput" `Quick
         test_two_machines_double_throughput;
