@@ -15,6 +15,8 @@
    BENCH_service.json — the provisioning service's cold-solve vs
    cache-hit latency and the cache statistics of a replayed request
    trace — for tracking across commits without parsing the OLS table.
+   BENCH_observability.json records what the Telemetry instrumentation
+   costs on the heuristic hot path (enabled vs kill-switched).
 
    `dune exec bench/main.exe -- --smoke` skips the OLS fits: it runs a
    fast engine-agreement check (every exact engine must report the same
@@ -343,10 +345,38 @@ let service_group =
       Test.make ~name:"fingerprint_illustrating"
         (Staged.stage (fun () -> Svc.Fingerprint.of_problem illustrating)) ]
 
+(* --- observability: what the instrumentation itself costs --- *)
+
+let bench_hist =
+  lazy (Telemetry.histogram "bench.observe_seconds" ~bounds:[| 0.001; 0.01; 0.1; 1.0 |])
+
+let observability_group =
+  let c = Telemetry.counter "bench.bump" in
+  Test.make_grouped ~name:"observability"
+    [ Test.make ~name:"counter_bump" (Staged.stage (fun () -> Telemetry.bump c));
+      Test.make ~name:"histogram_observe"
+        (Staged.stage (fun () -> Telemetry.observe (Lazy.force bench_hist) 0.05));
+      Test.make ~name:"span_enabled"
+        (Staged.stage (fun () ->
+             Telemetry.Span.with_span "bench.span" (fun () -> 42)));
+      (* The kill-switch path, toggle included (the toggle is two ref
+         writes; the point is that the span body is a tail call). *)
+      Test.make ~name:"span_disabled"
+        (Staged.stage (fun () ->
+             Telemetry.set_enabled false;
+             let r = Telemetry.Span.with_span "bench.span" (fun () -> 42) in
+             Telemetry.set_enabled true;
+             r));
+      Test.make ~name:"h32jump_instrumented_rho70"
+        (Staged.stage
+           (heuristic H.H32_jump ~params:params10 illustrating_instance ~target:70));
+      Test.make ~name:"text_exposition"
+        (Staged.stage (fun () -> String.length (Telemetry.text_exposition ()))) ]
+
 let all_tests =
   Test.make_grouped ~name:"rentcost"
     [ table3; fig3; fig4; fig5; fig6; fig7; fig8; micro; ablation; solver_group;
-      service_group ]
+      service_group; observability_group ]
 
 (* --- BENCH_solver.json: machine-readable per-engine record --- *)
 
@@ -548,6 +578,59 @@ let emit_service_json ~iters =
     trace.tr_requests trace.tr_hits trace.tr_warm;
   (cold, warm, trace)
 
+(* --- BENCH_observability.json: instrumentation overhead on the
+   heuristic hot path --- *)
+
+(* Best-of-[reps] alternating enabled/disabled timings of the same
+   H32Jump solve. Alternation plus best-of defends against frequency
+   drift and one-off scheduler hiccups: the minimum of each side is
+   the honest "how fast can this go" comparison. *)
+let observability_overhead ~reps =
+  let inst = Lazy.force illustrating_instance in
+  let run () =
+    ignore
+      ((S.solve_on ~rng:(P.create 99) ~params:params10
+          ~spec:(S.Heuristic H.H32_jump) inst ~target:70)
+         .S.telemetry.S.evaluations)
+  in
+  let inner = 20 in
+  let time_one enabled =
+    Telemetry.set_enabled enabled;
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to inner do run () done;
+    Unix.gettimeofday () -. t0
+  in
+  run ();
+  (* warm-up: faults, caches, lazy cells *)
+  let best_on = ref infinity and best_off = ref infinity in
+  for _ = 1 to reps do
+    best_off := Float.min !best_off (time_one false);
+    best_on := Float.min !best_on (time_one true)
+  done;
+  Telemetry.set_enabled true;
+  (!best_on /. float_of_int inner, !best_off /. float_of_int inner)
+
+let write_observability_json ~path ~on ~off =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"schema\": \"rentcost-bench-observability/1\",\n";
+  Printf.fprintf oc
+    "  \"hot_path\": {\"kernel\": \"h32jump_illustrating_rho70\", \
+     \"enabled_us\": %.3f, \"disabled_us\": %.3f, \"overhead_pct\": %.2f}\n"
+    (on *. 1e6) (off *. 1e6)
+    (100.0 *. ((on /. Float.max off 1e-9) -. 1.0));
+  Printf.fprintf oc "}\n";
+  close_out oc
+
+let emit_observability_json ~reps =
+  let on, off = observability_overhead ~reps in
+  write_observability_json ~path:"BENCH_observability.json" ~on ~off;
+  Printf.printf
+    "BENCH_observability.json written (hot path %.1f us enabled vs %.1f us \
+     disabled, %+.1f%%)\n"
+    (on *. 1e6) (off *. 1e6)
+    (100.0 *. ((on /. Float.max off 1e-9) -. 1.0));
+  (on, off)
+
 (* --- smoke mode: engine agreement + oracle consistency, no OLS --- *)
 
 let smoke () =
@@ -611,6 +694,43 @@ let smoke () =
   check "service trace produced cache hits" (trace.tr_hits > 0);
   check "service trace produced monotone hits" (trace.tr_monotone > 0);
   check "service trace produced warm starts" (trace.tr_warm > 0);
+  (* Observability: the kill switch must freeze every instrument, and
+     enabled instrumentation must stay within 5% of the disabled hot
+     path (the absolute slack absorbs clock granularity on a ~100 us
+     kernel). *)
+  let hist_count name =
+    match
+      List.find_opt
+        (fun h -> h.Telemetry.h_name = name)
+        (Telemetry.histograms ())
+    with
+    | Some h -> h.Telemetry.h_count
+    | None -> 0
+  in
+  Telemetry.set_enabled false;
+  let evals_frozen = Telemetry.value Telemetry.heuristic_evals in
+  let hist_frozen = hist_count Telemetry.heuristic_run_evals in
+  let lat_frozen = hist_count Telemetry.service_latency_seconds in
+  let spans_frozen = Telemetry.Span.recorded () in
+  ignore
+    (S.solve_on ~rng:(P.create 99) ~params:params10
+       ~spec:(S.Heuristic H.H32_jump)
+       (Lazy.force illustrating_instance) ~target:70);
+  ignore
+    (service_answer (Lazy.force cold_engine)
+       (service_solve ~reuse:Svc.Protocol.No_reuse ~target:70));
+  check "disabled mode freezes counters"
+    (Telemetry.value Telemetry.heuristic_evals = evals_frozen);
+  check "disabled mode freezes solver histograms"
+    (hist_count Telemetry.heuristic_run_evals = hist_frozen);
+  check "disabled mode freezes service latency buckets"
+    (hist_count Telemetry.service_latency_seconds = lat_frozen);
+  check "disabled mode records no spans"
+    (Telemetry.Span.recorded () = spans_frozen);
+  Telemetry.set_enabled true;
+  let on, off = emit_observability_json ~reps:7 in
+  check "instrumentation overhead under 5% on the heuristic hot path"
+    (on <= (off *. 1.05) +. 2.5e-4);
   if !failures = 0 then print_endline "smoke OK"
   else begin
     Printf.printf "smoke: %d failure(s)\n" !failures;
@@ -652,5 +772,6 @@ let () =
       (fun (name, ns, r2) -> Printf.printf "%-50s %s %8.4f\n" name (human ns) r2)
       rows;
     ignore (emit_solver_json ~evals:200_000);
-    ignore (emit_service_json ~iters:200)
+    ignore (emit_service_json ~iters:200);
+    ignore (emit_observability_json ~reps:9)
   end

@@ -10,6 +10,9 @@
      dune exec bin/rentcost.exe -- validate app.rentcost --target 70
      dune exec bin/rentcost.exe -- serve --socket /tmp/rentcost.sock
      dune exec bin/rentcost.exe -- serve < requests.jsonl
+     dune exec bin/rentcost.exe -- stats --socket /tmp/rentcost.sock
+     dune exec bin/rentcost.exe -- stats --socket /tmp/rentcost.sock --text
+     dune exec bin/rentcost.exe -- solve app.rentcost --target 70 --trace t.jsonl
 
    Every solve goes through the unified [Rentcost.Solver] engine; the
    default algorithm "auto" routes on problem structure (§ V-A/V-B
@@ -20,7 +23,14 @@
    long-running solve loop speaking line-delimited JSON over a Unix
    socket (--socket) or stdin/stdout, with instance fingerprinting,
    an LRU solution cache and warm-start reuse. --time-limit /
-   --node-limit / --max-evals set the default per-request budget. *)
+   --node-limit / --max-evals set the default per-request budget.
+
+   "stats" scrapes a running daemon: it sends {"op":"metrics"} over
+   the socket and prints the reply — raw JSON by default, the
+   Prometheus-style text exposition with --text.
+
+   --trace FILE (any command) appends every completed Telemetry span
+   to FILE as JSON lines while the command runs. *)
 
 open Cmdliner
 
@@ -136,6 +146,45 @@ let cmd_validate path target items budget =
 let cmd_example () =
   print_string (Rentcost.Problem_format.to_string Rentcost.Problem.illustrating)
 
+let cmd_stats socket text_mode =
+  match socket with
+  | None -> `Error (true, "stats requires --socket PATH")
+  | Some path -> (
+    let module J = Rentcost_service.Json in
+    let module Pr = Rentcost_service.Protocol in
+    let scrape () =
+      let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () ->
+          try Unix.close sock with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.connect sock (Unix.ADDR_UNIX path);
+          let oc = Unix.out_channel_of_descr sock in
+          output_string oc (J.to_string (Pr.request_to_json Pr.Metrics));
+          output_char oc '\n';
+          flush oc;
+          input_line (Unix.in_channel_of_descr sock))
+    in
+    match scrape () with
+    | exception Unix.Unix_error (err, fn, _) ->
+      `Error (false, Printf.sprintf "stats: %s: %s" fn (Unix.error_message err))
+    | exception End_of_file ->
+      `Error (false, "stats: daemon closed the connection")
+    | line -> (
+      match J.of_string line with
+      | Error msg -> `Error (false, "stats: bad reply: " ^ msg)
+      | Ok reply ->
+        if not text_mode then begin
+          print_endline line;
+          `Ok ()
+        end
+        else (
+          match J.get_string "text" reply with
+          | Some text ->
+            print_string text;
+            `Ok ()
+          | None -> `Error (false, "stats: reply carries no text exposition"))))
+
 let cmd_serve socket cache_capacity queue_capacity budget =
   if cache_capacity <= 0 then `Error (true, "--cache must be positive")
   else if queue_capacity <= 0 then `Error (true, "--queue must be positive")
@@ -185,7 +234,7 @@ let items_arg =
 
 let subcommand =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"COMMAND"
-         ~doc:"solve, info, validate, serve, or example.")
+         ~doc:"solve, info, validate, serve, stats, or example.")
 
 let socket_arg =
   Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH"
@@ -199,15 +248,29 @@ let queue_arg =
   Arg.(value & opt int 64 & info [ "queue" ] ~docv:"N"
          ~doc:"Admission-queue capacity for serve.")
 
+let trace_arg =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+         ~doc:"Append completed telemetry spans to FILE as JSON lines.")
+
+let text_arg =
+  Arg.(value & flag & info [ "text" ]
+         ~doc:"Print the Prometheus-style text exposition (stats).")
+
 let main sub path target spec seed step time_limit node_limit max_evals items
-    socket cache_capacity queue_capacity =
+    socket cache_capacity queue_capacity trace text_mode =
   let budget =
     { Rentcost.Budget.deadline = time_limit; node_cap = node_limit;
       eval_cap = max_evals }
   in
+  (match trace with
+   | None -> ()
+   | Some path ->
+     Rentcost_service.Metrics.install_trace ~path;
+     at_exit Rentcost_service.Metrics.close_trace);
   match (sub, path, target) with
   | "example", _, _ -> `Ok (cmd_example ())
   | "serve", _, _ -> cmd_serve socket cache_capacity queue_capacity budget
+  | "stats", _, _ -> cmd_stats socket text_mode
   | "info", Some path, _ -> cmd_info path
   | "solve", Some path, Some target -> cmd_solve path target spec seed step budget
   | "validate", Some path, Some target -> cmd_validate path target items budget
@@ -229,6 +292,7 @@ let cmd =
         $ Arg.(value & opt (some int) None
                & info [ "target"; "t" ] ~docv:"N" ~doc:"Target throughput.")
         $ algorithm_arg $ seed_arg $ step_arg $ time_limit_arg $ node_limit_arg
-        $ max_evals_arg $ items_arg $ socket_arg $ cache_arg $ queue_arg))
+        $ max_evals_arg $ items_arg $ socket_arg $ cache_arg $ queue_arg
+        $ trace_arg $ text_arg))
 
 let () = exit (Cmd.eval cmd)

@@ -38,6 +38,10 @@ let check_params p =
 
 let evals_counter = Telemetry.counter Telemetry.heuristic_evals
 
+let run_evals_hist =
+  Telemetry.histogram Telemetry.heuristic_run_evals
+    ~bounds:[| 10.; 100.; 1_000.; 10_000.; 100_000. |]
+
 (* A counting cost oracle shared by one heuristic run — an
    [Instance.Oracle] (incremental re-pricing over recipe supports)
    plus evaluation accounting, and the enforcement point for
@@ -90,6 +94,28 @@ let finish oracle =
     exhausted = oracle.exhausted }
 
 let check_target target = if target < 0 then invalid_arg "Heuristics: negative target"
+
+(* Sampled iteration spans: the search loops are far too hot for a
+   span per move (a move is one oracle evaluation), so every
+   [1 lsl block_bits] iterations one span covering the whole block is
+   recorded, timed by the loop itself. Off, this is one ref read per
+   block boundary check; on, two clock reads per 64 iterations. *)
+let block_bits = 6
+
+let block_mask = (1 lsl block_bits) - 1
+
+let sample_block ~name oracle ~iter ~block_start =
+  if Telemetry.enabled () && iter land block_mask = 0 then begin
+    let t = Telemetry.now () in
+    Telemetry.Span.record
+      ~attrs:
+        [ ("iterations", string_of_int iter);
+          ("evaluations", string_of_int oracle.evals) ]
+      ~name ~start:!block_start
+      ~duration:(t -. !block_start)
+      ();
+    block_start := t
+  end
 
 (* Move δ units from j1 to j2; moves everything when the source holds
    less than δ (the H2 rule of the paper). Returns the amount actually
@@ -196,6 +222,7 @@ let h2_on ~params budget ~rng ~warm_start inst ~target =
     let st = oracle.state in
     let best = ref (Instance.Oracle.rho st) and best_cost = ref c0 in
     let i = ref 0 in
+    let block_start = ref (Telemetry.now ()) in
     while !i < params.iterations && not (stopped oracle) do
       incr i;
       let j1, j2 = random_pair rng j_count in
@@ -207,7 +234,8 @@ let h2_on ~params budget ~rng ~warm_start inst ~target =
       end;
       (* The walk continues from the new point whether or not it
          improved (contrast with H31). *)
-      Instance.Oracle.commit st
+      Instance.Oracle.commit st;
+      sample_block ~name:"heuristics.h2.block" oracle ~iter:!i ~block_start
     done;
     Instance.Oracle.reset st ~rho:!best
   end;
@@ -223,6 +251,7 @@ let h31_on ~params budget ~rng ~warm_start inst ~target =
     let st = oracle.state in
     let current_cost_r = ref c0 in
     let stale = ref 0 and i = ref 0 in
+    let block_start = ref (Telemetry.now ()) in
     while !i < params.iterations && !stale < params.patience && not (stopped oracle)
     do
       incr i;
@@ -238,7 +267,8 @@ let h31_on ~params budget ~rng ~warm_start inst ~target =
         (* Revert: descent only keeps improving moves. *)
         revert_move st;
         incr stale
-      end
+      end;
+      sample_block ~name:"heuristics.h31.block" oracle ~iter:!i ~block_start
     done
   end;
   finish oracle
@@ -290,8 +320,11 @@ let steepest_step oracle params current_cost =
 
 let descend oracle params cost0 =
   let current_cost = ref cost0 in
+  let steps = ref 0 in
+  let block_start = ref (Telemetry.now ()) in
   while (not (stopped oracle)) && steepest_step oracle params current_cost do
-    ()
+    incr steps;
+    sample_block ~name:"heuristics.h32.block" oracle ~iter:!steps ~block_start
   done;
   !current_cost
 
@@ -341,13 +374,25 @@ let run_on ?(params = default_params) ?(budget = Budget.unlimited) ?rng
   check_params params;
   check_target target;
   let rng = match rng with Some r -> r | None -> P.create default_seed in
-  match name with
-  | H0 -> h0_on ~params budget ~rng inst ~target
-  | H1 -> h1_on ~params budget inst ~target
-  | H2 -> h2_on ~params budget ~rng ~warm_start inst ~target
-  | H31 -> h31_on ~params budget ~rng ~warm_start inst ~target
-  | H32 -> h32_on ~params budget ~warm_start inst ~target
-  | H32_jump -> h32_jump_on ~params budget ~rng ~warm_start inst ~target
+  let go () =
+    match name with
+    | H0 -> h0_on ~params budget ~rng inst ~target
+    | H1 -> h1_on ~params budget inst ~target
+    | H2 -> h2_on ~params budget ~rng ~warm_start inst ~target
+    | H31 -> h31_on ~params budget ~rng ~warm_start inst ~target
+    | H32 -> h32_on ~params budget ~warm_start inst ~target
+    | H32_jump -> h32_jump_on ~params budget ~rng ~warm_start inst ~target
+  in
+  if not (Telemetry.enabled ()) then go ()
+  else
+    Telemetry.Span.with_span
+      ~attrs:
+        [ ("algo", name_to_string name); ("target", string_of_int target) ]
+      "heuristics.run"
+      (fun () ->
+        let r = go () in
+        Telemetry.observe run_evals_hist (float_of_int r.evaluations);
+        r)
 
 let run ?params ?budget ?rng name problem ~target =
   run_on ?params ?budget ?rng name (Instance.compile problem) ~target

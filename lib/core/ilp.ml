@@ -111,7 +111,9 @@ let valid_incumbent instance ~target alloc =
 let solve_on ?time_limit ?node_limit ?(strategy = Milp.Solver.Best_bound)
     ?(warm_start = true) ?incumbent ?(cut_rounds = 0) instance ~target =
   let t0 = Unix.gettimeofday () in
-  let model, integer = build_on instance ~target in
+  let model, integer =
+    Telemetry.Span.with_span "ilp.build" (fun () -> build_on instance ~target)
+  in
   let j_count = Instance.num_recipes instance in
   let q_count = Instance.num_types instance in
   let point_of alloc =
@@ -136,18 +138,18 @@ let solve_on ?time_limit ?node_limit ?(strategy = Milp.Solver.Best_bound)
     | Some a when valid_incumbent instance ~target a -> Some (point_of a)
     | _ ->
       if not warm_start then None
-      else begin
-        let budget =
-          match time_limit with
-          | Some d -> Budget.deadline (Float.max 0.0 d)
-          | None -> Budget.unlimited
-        in
-        let res =
-          Heuristics.run_on ~budget ~rng:(Numeric.Prng.create 0x5EED)
-            Heuristics.H32_jump instance ~target
-        in
-        Some (point_of res.Heuristics.allocation)
-      end
+      else
+        Telemetry.Span.with_span "ilp.warmup" (fun () ->
+            let budget =
+              match time_limit with
+              | Some d -> Budget.deadline (Float.max 0.0 d)
+              | None -> Budget.unlimited
+            in
+            let res =
+              Heuristics.run_on ~budget ~rng:(Numeric.Prng.create 0x5EED)
+                Heuristics.H32_jump instance ~target
+            in
+            Some (point_of res.Heuristics.allocation))
   in
   let priority =
     [ List.init j_count Fun.id; List.init q_count (fun q -> j_count + q) ]

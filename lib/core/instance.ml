@@ -36,7 +36,7 @@ let dominates rows j j' =
     cj;
   !le && (!strict || j < j')
 
-let compile ?(prune = true) problem =
+let compile_impl ?(prune = true) problem =
   let j_orig = Problem.num_recipes problem in
   let q_count = Problem.num_types problem in
   let platform = Problem.platform problem in
@@ -107,6 +107,10 @@ let compile ?(prune = true) problem =
   in
   { problem; costs; throughputs; original; counts; supports; dropped;
     unit_costs; blackbox; disjoint; canon = None }
+
+let compile ?prune problem =
+  Telemetry.Span.with_span "instance.compile" (fun () ->
+      compile_impl ?prune problem)
 
 let problem t = t.problem
 let num_recipes t = Array.length t.original

@@ -37,6 +37,10 @@ let status_to_string = function
   | Budget_exhausted -> "budget-exhausted"
   | Infeasible -> "infeasible"
 
+let wall_hist =
+  Telemetry.histogram Telemetry.solver_wall_seconds
+    ~bounds:[| 0.0001; 0.001; 0.01; 0.1; 1.0; 10.0 |]
+
 type telemetry = {
   engine : spec;
   wall_time : float;
@@ -110,10 +114,13 @@ let normalize_warm_start instance ~target alloc =
    under an already-expired budget collapses to the H1 floor, which
    always completes, so this stage cannot come back empty. *)
 let heuristic_fallback ~budget ~rng ~params ~warm ~t0 instance ~target =
-  let budget = Budget.remaining budget ~elapsed:(Unix.gettimeofday () -. t0) in
-  (Heuristics.run_on ~params ~budget ?rng ?warm_start:warm Heuristics.H32_jump
-     instance ~target)
-    .Heuristics.allocation
+  Telemetry.Span.with_span "solver.fallback" (fun () ->
+      let budget =
+        Budget.remaining budget ~elapsed:(Unix.gettimeofday () -. t0)
+      in
+      (Heuristics.run_on ~params ~budget ?rng ?warm_start:warm
+         Heuristics.H32_jump instance ~target)
+        .Heuristics.allocation)
 
 let run_engine ~budget ~rng ~params ~warm ~t0 engine instance ~target =
   match engine with
@@ -162,14 +169,28 @@ let solve_on ?(budget = Budget.unlimited) ?rng
   let warm =
     match warm_start with
     | None -> None
-    | Some a -> normalize_warm_start instance ~target a
+    | Some a ->
+      Telemetry.Span.with_span "solver.warm_start" (fun () ->
+          normalize_warm_start instance ~target a)
   in
-  let status, allocation =
+  let dispatch () =
     run_engine ~budget ~rng ~params ~warm ~t0 engine instance ~target
   in
+  let status, allocation =
+    if not (Telemetry.enabled ()) then dispatch ()
+    else
+      Telemetry.Span.with_span
+        ~attrs:
+          [ ("engine", spec_to_string engine);
+            ("target", string_of_int target);
+            ("warm", if warm <> None then "true" else "false") ]
+        "solver.solve" dispatch
+  in
+  let wall_time = Unix.gettimeofday () -. t0 in
+  Telemetry.observe wall_hist wall_time;
   let telemetry =
     { engine;
-      wall_time = Unix.gettimeofday () -. t0;
+      wall_time;
       evaluations = Telemetry.value Telemetry.heuristic_evals - evals0;
       pivots = Telemetry.value Telemetry.lp_pivots - pivots0;
       nodes = Telemetry.value Telemetry.milp_nodes - nodes0;

@@ -175,7 +175,7 @@ let run_phase t z ~banned =
   in
   loop ()
 
-let solve model =
+let solve_impl model =
   pivot_count := 0;
   let nstruct = Model.num_vars model in
   (* Shifted domains; crossing bounds are infeasible outright. *)
@@ -350,3 +350,6 @@ let solve model =
         Simplex.Optimal { Simplex.objective; values }
     end
   end
+
+let solve model =
+  Telemetry.Span.with_span "lp.bounded" (fun () -> solve_impl model)

@@ -282,6 +282,8 @@ let solve_core model =
             oriented_rows = Array.of_list oriented } )
   end
 
-let solve model = fst (solve_core model)
+let solve model =
+  Telemetry.Span.with_span "lp.simplex" (fun () -> fst (solve_core model))
 
-let solve_detailed model = snd (solve_core model)
+let solve_detailed model =
+  Telemetry.Span.with_span "lp.simplex" (fun () -> snd (solve_core model))

@@ -15,6 +15,15 @@ type status = Optimal | Feasible | Infeasible | Unbounded | Unknown
 let nodes_counter = Telemetry.counter Telemetry.milp_nodes
 let incumbents_counter = Telemetry.counter Telemetry.milp_incumbents
 
+let solve_nodes_hist =
+  Telemetry.histogram Telemetry.milp_solve_nodes
+    ~bounds:[| 1.; 10.; 100.; 1_000.; 10_000. |]
+
+(* Per-node spans would double the clock traffic of small nodes, so
+   only every 64th node (and the root) is timed individually; the LP
+   engines underneath still record a span per relaxation solve. *)
+let node_sampled n = (n - 1) land 63 = 0
+
 type solution = { objective : R.t; values : R.t array }
 
 type outcome = {
@@ -145,7 +154,9 @@ let solve ?time_limit ?node_limit ?(integral_objective = false)
      every node inherits them). Only applies to pure-integer models. *)
   let base =
     if cut_rounds <= 0 then base
-    else fst (Lp.Gomory.strengthen ~rounds:cut_rounds base ~integer)
+    else
+      Telemetry.Span.with_span "milp.cuts" (fun () ->
+          fst (Lp.Gomory.strengthen ~rounds:cut_rounds base ~integer))
   in
   let denorm_obj o = match sense with Lp.Model.Minimize -> o | Maximize -> R.neg o in
   let queue =
@@ -206,7 +217,16 @@ let solve ?time_limit ?node_limit ?(integral_objective = false)
         else begin
           incr nodes;
           Telemetry.bump nodes_counter;
-          let relaxation = lp_solve (apply_extras base node.extra) in
+          let relax () = lp_solve (apply_extras base node.extra) in
+          let relaxation =
+            if Telemetry.enabled () && node_sampled !nodes then
+              Telemetry.Span.with_span
+                ~attrs:
+                  [ ("node", string_of_int !nodes);
+                    ("depth", string_of_int node.depth) ]
+                "milp.node" relax
+            else relax ()
+          in
           (match relaxation with
            | Lp.Simplex.Infeasible ->
              if is_root then root_status := Some Infeasible
@@ -240,7 +260,8 @@ let solve ?time_limit ?node_limit ?(integral_objective = false)
         end
     end
   in
-  loop ();
+  Telemetry.Span.with_span "milp.search" loop;
+  Telemetry.observe solve_nodes_hist (float_of_int !nodes);
   let elapsed = Unix.gettimeofday () -. t0 in
   match !root_status with
   | Some Infeasible ->

@@ -5,9 +5,16 @@ let respond oc response =
   output_char oc '\n';
   flush oc
 
+(* The shutdown dump is the [metrics] exposition with the engine's
+   stats folded in — one JSON line, same encoding either way. *)
 let dump_stats dump engine =
   output_string dump
-    (Json.to_string (Json.Obj [ ("stats", Json.Obj (Engine.stats engine)) ]));
+    (Json.to_string
+       (Json.Obj
+          [
+            ("stats", Json.Obj (Engine.stats engine));
+            ("metrics", Metrics.json ());
+          ]));
   output_char dump '\n';
   flush dump
 

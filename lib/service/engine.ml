@@ -11,6 +11,20 @@ let c_warm = Telemetry.counter Telemetry.service_warm_starts
 let c_reuse = Telemetry.counter Telemetry.service_compile_reuse
 let c_shed = Telemetry.counter Telemetry.service_shed
 
+(* Per-op request counters, pre-registered so [submit] never touches
+   the registry mutex. *)
+let op_names = [ "register"; "solve"; "stats"; "metrics"; "shutdown" ]
+
+let op_counters =
+  List.map (fun op -> (op, Telemetry.counter (Telemetry.service_op op))) op_names
+
+let op_name = function
+  | Protocol.Register _ -> "register"
+  | Protocol.Solve _ -> "solve"
+  | Protocol.Stats -> "stats"
+  | Protocol.Metrics -> "metrics"
+  | Protocol.Shutdown -> "shutdown"
+
 type config = {
   cache_capacity : int;
   queue_capacity : int;
@@ -34,9 +48,18 @@ type job = {
   arrived : float;
 }
 
-(* Handling-latency histogram: upper bounds in seconds, last bucket
-   open-ended. *)
-let latency_bounds = [| 0.001; 0.01; 0.1; 1.0 |]
+(* Handling latency and queue wait live in shared Telemetry histograms
+   (the [metrics] request and Prometheus text exposition read them
+   uniformly), which also means the kill switch freezes them along
+   with every other instrument. The labels survive only as the
+   human-readable spelling of the latency buckets in [stats]. *)
+let latency_hist =
+  Telemetry.histogram Telemetry.service_latency_seconds
+    ~bounds:[| 0.001; 0.01; 0.1; 1.0 |]
+
+let queue_wait_hist =
+  Telemetry.histogram Telemetry.service_queue_wait_seconds
+    ~bounds:[| 0.001; 0.01; 0.1; 1.0; 10.0 |]
 
 let latency_labels = [| "lt_1ms"; "lt_10ms"; "lt_100ms"; "lt_1s"; "ge_1s" |]
 
@@ -47,7 +70,6 @@ type t = {
   registry : (string, Instance.t * Fingerprint.t) Hashtbl.t;
   instances : (string, Instance.t * Fingerprint.t) Hashtbl.t;
       (* keyed by digest; Fingerprint.equal checked on reuse *)
-  latency : int array;
   started_at : float;
 }
 
@@ -58,21 +80,12 @@ let create ?(config = default_config) () =
     queue = Admission.create ~capacity:config.queue_capacity;
     registry = Hashtbl.create 16;
     instances = Hashtbl.create 16;
-    latency = Array.make (Array.length latency_labels) 0;
     started_at = Unix.gettimeofday ();
   }
 
 let cache t = t.solutions
 
 let queue_length t = Admission.length t.queue
-
-let record_latency t seconds =
-  let n = Array.length latency_bounds in
-  let rec bucket i =
-    if i >= n || seconds < latency_bounds.(i) then min i n else bucket (i + 1)
-  in
-  let b = bucket 0 in
-  t.latency.(b) <- t.latency.(b) + 1
 
 (* --- canonical split translation ---
 
@@ -144,10 +157,21 @@ let solved ~job ~status ~(alloc : Allocation.t) ~served ~engine ~wall =
       wall_time = wall;
     }
 
-let run_solve t ~now job =
+(* The ladder rungs each get a span, so a request's trace reads as
+   service.request → service.resolve / rung lookups / service.solve →
+   solver.solve → engine internals. The queue wait (admission to
+   drain) is recorded as a sibling span timed externally, since no
+   code runs while the job sits in the queue. *)
+let run_solve_inner t ~now job =
   let started = Unix.gettimeofday () in
   Telemetry.bump c_requests;
-  match resolve t job.source with
+  Telemetry.observe queue_wait_hist (now -. job.arrived);
+  Telemetry.Span.record ~name:"service.queue_wait" ~start:job.arrived
+    ~duration:(now -. job.arrived) ();
+  match
+    Telemetry.Span.with_span "service.resolve" (fun () ->
+        resolve t job.source)
+  with
   | Result.Error message ->
     Protocol.Error { id = job.id; message }
   | Result.Ok (solve_inst, client_inst, fp) ->
@@ -169,13 +193,14 @@ let run_solve t ~now job =
     in
     let finish ~status ~alloc ~served ~engine =
       let wall = Unix.gettimeofday () -. started in
-      record_latency t wall;
+      Telemetry.observe latency_hist wall;
       solved ~job ~status ~alloc ~served ~engine ~wall
     in
     let exact =
       if reuse_at_least Protocol.Exact_only then
-        Cache.find_exact t.solutions ~digest ~encoding ~target:job.target
-          ~spec:spec_s
+        Telemetry.Span.with_span "service.rung.exact" (fun () ->
+            Cache.find_exact t.solutions ~digest ~encoding ~target:job.target
+              ~spec:spec_s)
       else None
     in
     (match exact with
@@ -189,7 +214,9 @@ let run_solve t ~now job =
      | None -> (
        let monotone =
          if reuse_at_least Protocol.Monotone then
-           Cache.find_monotone t.solutions ~digest ~encoding ~target:job.target
+           Telemetry.Span.with_span "service.rung.monotone" (fun () ->
+               Cache.find_monotone t.solutions ~digest ~encoding
+                 ~target:job.target)
          else None
        in
        match monotone with
@@ -205,20 +232,23 @@ let run_solve t ~now job =
          Telemetry.bump c_misses;
          let warm_start =
            if reuse_at_least Protocol.Warm then
-             match
-               Cache.find_nearest t.solutions ~digest ~encoding
-                 ~target:job.target
-             with
-             | Some entry ->
-               Some (alloc_of_canonical solve_inst entry.Cache.canonical_rho)
-             | None -> None
+             Telemetry.Span.with_span "service.rung.warm" (fun () ->
+                 match
+                   Cache.find_nearest t.solutions ~digest ~encoding
+                     ~target:job.target
+                 with
+                 | Some entry ->
+                   Some
+                     (alloc_of_canonical solve_inst entry.Cache.canonical_rho)
+                 | None -> None)
            else None
          in
          (* Charge queue wait against the request's deadline. *)
          let budget = Budget.remaining job.budget ~elapsed:(now -. job.arrived) in
          let outcome =
-           Solver.solve_on ~budget ?warm_start ~spec solve_inst
-             ~target:job.target
+           Telemetry.Span.with_span "service.solve" (fun () ->
+               Solver.solve_on ~budget ?warm_start ~spec solve_inst
+                 ~target:job.target)
          in
          (match outcome.Solver.allocation with
           | None ->
@@ -248,19 +278,41 @@ let run_solve t ~now job =
             finish ~status:outcome.Solver.status ~alloc:client_alloc ~served
               ~engine:(Solver.spec_to_string outcome.Solver.telemetry.Solver.engine))))
 
+let run_solve t ~now job =
+  if not (Telemetry.enabled ()) then run_solve_inner t ~now job
+  else
+    Telemetry.Span.with_span
+      ~attrs:
+        [
+          ("target", string_of_int job.target);
+          ("reuse", Protocol.reuse_to_string job.reuse);
+        ]
+      "service.request"
+      (fun () -> run_solve_inner t ~now job)
+
 (* --- stats --- *)
 
 let stats t =
   let counters =
     List.map (fun (name, v) -> (name, Json.Int v)) (Telemetry.all ())
   in
+  let ops =
+    List.map (fun (op, c) -> (op, Json.Int (Telemetry.read c))) op_counters
+  in
+  (* The latency buckets as readable labels; the authoritative data is
+     the [service.latency_seconds] histogram, of which this is a
+     rendering (per-bucket counts, overflow last). *)
   let latency =
+    let h = Telemetry.snapshot latency_hist in
     Array.to_list
-      (Array.mapi (fun i label -> (label, Json.Int t.latency.(i))) latency_labels)
+      (Array.mapi
+         (fun i label -> (label, Json.Int h.Telemetry.h_counts.(i)))
+         latency_labels)
   in
   [
     ("uptime", Json.Float (Unix.gettimeofday () -. t.started_at));
     ("counters", Json.Obj counters);
+    ("ops", Json.Obj ops);
     ( "cache",
       Json.Obj
         [
@@ -285,11 +337,16 @@ let clock = function Some now -> now | None -> Unix.gettimeofday ()
 
 let submit ?now t (request : Protocol.request) =
   let now = clock now in
+  Telemetry.bump (List.assoc (op_name request) op_counters);
   match request with
   | Protocol.Register { name; problem } ->
     let fp = register t ~name problem in
     Some (Protocol.Registered { name; fingerprint = Fingerprint.short fp })
   | Protocol.Stats -> Some (Protocol.Stats_reply (stats t))
+  | Protocol.Metrics ->
+    Some
+      (Protocol.Metrics_reply
+         { metrics = Metrics.json ~stats:(stats t) (); text = Metrics.text () })
   | Protocol.Shutdown -> Some Protocol.Bye
   | Protocol.Solve { id; source; target; spec; budget; reuse } ->
     let budget =

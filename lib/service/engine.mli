@@ -34,9 +34,13 @@
 
     Every outcome bumps the [service.*] counters in {!Telemetry}
     (requests, cache_hits / cache_misses, monotone_hits, warm_starts,
-    compile_reuse, shed) and a five-bucket handling-latency histogram;
+    compile_reuse, shed, per-op request counts) and observes the
+    [service.latency_seconds] and [service.queue_wait_seconds]
+    histograms; each drained request runs under a [service.request]
+    span whose children trace the ladder rungs and the engine solve.
     {!stats} snapshots all of it for the [stats] request and the
-    shutdown dump. *)
+    shutdown dump; the [metrics] request serves the full
+    {!Metrics.json} exposition. *)
 
 type config = {
   cache_capacity : int;  (** LRU entries (default 128) *)
@@ -57,7 +61,8 @@ val create : ?config:config -> unit -> t
     and returns its fingerprint. *)
 val register : t -> name:string -> Rentcost.Problem.t -> Fingerprint.t
 
-(** [submit t request] runs [Register]/[Stats]/[Shutdown] immediately
+(** [submit t request] runs [Register]/[Stats]/[Metrics]/[Shutdown]
+    immediately
     ([Some response]) and enqueues [Solve] requests — [None] when
     admitted (answers come from {!drain}), [Some (Overloaded _)] when
     shed at the door. [~now] is the admission clock (defaults to the
@@ -75,9 +80,10 @@ val drain : ?now:float -> t -> Protocol.response list
     the daemon, the tests — get exactly its responses, in order. *)
 val handle : ?now:float -> t -> Protocol.request -> Protocol.response list
 
-(** Snapshot for [Stats_reply] and the shutdown dump: every registered
-    {!Telemetry} counter, cache occupancy/evictions, queue depth/shed
-    count, and the latency histogram. *)
+(** Snapshot for [Stats_reply] and the shutdown dump: uptime, every
+    registered {!Telemetry} counter, per-op request counts, cache
+    occupancy/evictions, queue depth/shed count, and the latency
+    histogram buckets. *)
 val stats : t -> (string * Json.t) list
 
 (** The engine's solution cache (tests observe eviction order). *)

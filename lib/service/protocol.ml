@@ -37,6 +37,7 @@ type request =
       reuse : reuse;
     }
   | Stats
+  | Metrics
   | Shutdown
 
 type served =
@@ -71,6 +72,7 @@ type response =
     }
   | Registered of { name : string; fingerprint : string }
   | Stats_reply of (string * Json.t) list
+  | Metrics_reply of { metrics : Json.t; text : string }
   | Overloaded of { id : int option }
   | Error of { id : int option; message : string }
   | Bye
@@ -174,6 +176,7 @@ let request_of_json j =
   | Some "register" -> decode_register j
   | Some "solve" -> decode_solve j
   | Some "stats" -> Ok Stats
+  | Some "metrics" -> Ok Metrics
   | Some "shutdown" -> Ok Shutdown
   | Some op -> Result.Error (Printf.sprintf "unknown op %S" op)
 
@@ -214,6 +217,7 @@ let request_to_json = function
         ]
       @ budget_fields)
   | Stats -> Json.Obj [ ("op", Json.String "stats") ]
+  | Metrics -> Json.Obj [ ("op", Json.String "metrics") ]
   | Shutdown -> Json.Obj [ ("op", Json.String "shutdown") ]
 
 (* --- response encoding --- *)
@@ -243,6 +247,13 @@ let response_to_json = function
       ]
   | Stats_reply fields ->
     Json.Obj [ ("ok", Json.Bool true); ("stats", Json.Obj fields) ]
+  | Metrics_reply { metrics; text } ->
+    Json.Obj
+      [
+        ("ok", Json.Bool true);
+        ("metrics", metrics);
+        ("text", Json.String text);
+      ]
   | Overloaded { id } ->
     Json.Obj
       (opt_field "id" (fun i -> Json.Int i) id
@@ -307,4 +318,13 @@ let response_of_json j =
         in
         Ok (Registered { name; fingerprint })
       | None, Some (Json.Obj fields) -> Ok (Stats_reply fields)
+      | None, None -> (
+        match Json.member "metrics" j with
+        | Some metrics ->
+          let* text =
+            Option.to_result ~none:"missing \"text\""
+              (Json.get_string "text" j)
+          in
+          Ok (Metrics_reply { metrics; text })
+        | None -> Result.Error "unrecognized response shape")
       | _ -> Result.Error "unrecognized response shape"))

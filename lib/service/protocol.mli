@@ -67,6 +67,7 @@ type request =
       reuse : reuse;
     }
   | Stats
+  | Metrics  (** full telemetry exposition: counters, histograms, spans *)
   | Shutdown
 
 (** How a solve response was produced. *)
@@ -91,6 +92,10 @@ type response =
     }
   | Registered of { name : string; fingerprint : string }
   | Stats_reply of (string * Json.t) list
+  | Metrics_reply of {
+      metrics : Json.t;  (** {!Metrics.json}: counters, histograms, spans *)
+      text : string;  (** Prometheus-style exposition *)
+    }
   | Overloaded of { id : int option }
   | Error of { id : int option; message : string }
   | Bye

@@ -1,16 +1,51 @@
-type counter = { mutable value : int }
+(* The observability substrate: counters, histograms and spans shared
+   by every layer of the solver stack. See telemetry.mli for the
+   contract; the implementation notes below cover what the interface
+   does not promise.
+
+   Thread-safety: the *registries* (name -> counter / histogram) are
+   protected by one mutex, so find-or-create during a concurrent
+   snapshot cannot corrupt the tables — [all] and [histograms] copy
+   under the lock and hand out plain lists. The *recording* paths
+   (bump, add, observe, span push) are deliberately lock-free: they
+   are single-writer in every current embedding (the daemon is
+   single-threaded), and under true parallel writers an increment may
+   be lost but nothing can crash or hang. *)
 
 let enabled_flag = ref true
+
+let enabled () = !enabled_flag
+
+let set_enabled b = enabled_flag := b
+
+(* The clock used for spans. Wall clock by default; swappable so tests
+   can drive deterministic timings. *)
+let clock = ref Unix.gettimeofday
+
+let set_clock f = clock := f
+
+let now () = !clock ()
+
+let registry_mutex = Mutex.create ()
+
+let locked f =
+  Mutex.lock registry_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_mutex) f
+
+(* --- counters --- *)
+
+type counter = { mutable value : int }
 
 let registry : (string, counter) Hashtbl.t = Hashtbl.create 16
 
 let counter name =
-  match Hashtbl.find_opt registry name with
-  | Some c -> c
-  | None ->
-    let c = { value = 0 } in
-    Hashtbl.add registry name c;
-    c
+  locked (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some c -> c
+      | None ->
+        let c = { value = 0 } in
+        Hashtbl.add registry name c;
+        c)
 
 let bump c = if !enabled_flag then c.value <- c.value + 1
 
@@ -19,15 +54,238 @@ let add c n = if !enabled_flag then c.value <- c.value + n
 let read c = c.value
 
 let value name =
-  match Hashtbl.find_opt registry name with Some c -> c.value | None -> 0
+  locked (fun () ->
+      match Hashtbl.find_opt registry name with Some c -> c.value | None -> 0)
 
 let all () =
   List.sort compare
-    (Hashtbl.fold (fun name c acc -> (name, c.value) :: acc) registry [])
+    (locked (fun () ->
+         Hashtbl.fold (fun name c acc -> (name, c.value) :: acc) registry []))
 
-let enabled () = !enabled_flag
+(* --- histograms --- *)
 
-let set_enabled b = enabled_flag := b
+type histogram = {
+  hist_name : string;
+  bounds : float array;  (* strictly increasing upper bounds *)
+  counts : int array;  (* length = |bounds| + 1; last is overflow *)
+  mutable sum : float;
+  mutable observations : int;
+}
+
+type histogram_snapshot = {
+  h_name : string;
+  h_bounds : float array;
+  h_counts : int array;
+  h_sum : float;
+  h_count : int;
+}
+
+let histogram_registry : (string, histogram) Hashtbl.t = Hashtbl.create 16
+
+let check_bounds bounds =
+  if Array.length bounds = 0 then
+    invalid_arg "Telemetry.histogram: empty bounds";
+  for i = 1 to Array.length bounds - 1 do
+    if bounds.(i) <= bounds.(i - 1) then
+      invalid_arg "Telemetry.histogram: bounds must be strictly increasing"
+  done
+
+let histogram name ~bounds =
+  check_bounds bounds;
+  locked (fun () ->
+      match Hashtbl.find_opt histogram_registry name with
+      | Some h ->
+        if h.bounds <> bounds then
+          invalid_arg
+            (Printf.sprintf
+               "Telemetry.histogram: %S already registered with different \
+                bounds"
+               name);
+        h
+      | None ->
+        let h =
+          { hist_name = name;
+            bounds = Array.copy bounds;
+            counts = Array.make (Array.length bounds + 1) 0;
+            sum = 0.0;
+            observations = 0 }
+        in
+        Hashtbl.add histogram_registry name h;
+        h)
+
+(* Bucket of [v]: the first bound with v <= bound (Prometheus "le"
+   semantics), else the overflow bucket. Bucket arrays are tiny (a
+   handful of bounds), so a linear scan beats binary search. *)
+let bucket_index h v =
+  let n = Array.length h.bounds in
+  let rec go i = if i >= n || v <= h.bounds.(i) then i else go (i + 1) in
+  go 0
+
+let observe h v =
+  if !enabled_flag then begin
+    let b = bucket_index h v in
+    h.counts.(b) <- h.counts.(b) + 1;
+    h.sum <- h.sum +. v;
+    h.observations <- h.observations + 1
+  end
+
+let snapshot h =
+  { h_name = h.hist_name;
+    h_bounds = Array.copy h.bounds;
+    h_counts = Array.copy h.counts;
+    h_sum = h.sum;
+    h_count = h.observations }
+
+let histograms () =
+  List.sort compare
+    (locked (fun () ->
+         Hashtbl.fold
+           (fun _name h acc -> snapshot h :: acc)
+           histogram_registry []))
+
+(* --- spans --- *)
+
+module Span = struct
+  type t = {
+    id : int;
+    parent : int;  (* 0 = no parent *)
+    depth : int;
+    name : string;
+    attrs : (string * string) list;
+    start : float;
+    duration : float;
+  }
+
+  let dummy =
+    { id = 0; parent = 0; depth = 0; name = ""; attrs = []; start = 0.0;
+      duration = 0.0 }
+
+  (* Bounded ring of completed spans. [total] only grows; the write
+     slot is [total mod capacity]. *)
+  let ring = ref (Array.make 256 dummy)
+
+  let total = ref 0
+
+  let next_id = ref 0
+
+  (* Innermost open span (its id and depth): with_span brackets
+     maintain this to parent-link completed spans. *)
+  let cur_parent = ref 0
+
+  let cur_depth = ref 0
+
+  let sink : (t -> unit) option ref = ref None
+
+  let set_sink s = sink := s
+
+  let capacity () = Array.length !ring
+
+  let set_capacity n =
+    if n <= 0 then invalid_arg "Telemetry.Span.set_capacity";
+    ring := Array.make n dummy;
+    total := 0
+
+  let clear () =
+    Array.fill !ring 0 (Array.length !ring) dummy;
+    total := 0;
+    cur_parent := 0;
+    cur_depth := 0
+
+  let recorded () = !total
+
+  let push s =
+    let r = !ring in
+    r.(!total mod Array.length r) <- s;
+    incr total;
+    match !sink with None -> () | Some f -> f s
+
+  (* Record an externally timed span (sampled loops time their own
+     blocks). It is parented under the innermost open span. *)
+  let record ?(attrs = []) ~name ~start ~duration () =
+    if !enabled_flag then begin
+      incr next_id;
+      push
+        { id = !next_id; parent = !cur_parent; depth = !cur_depth; name;
+          attrs; start; duration }
+    end
+
+  let with_span ?(attrs = []) name f =
+    if not !enabled_flag then f ()
+    else begin
+      incr next_id;
+      let id = !next_id in
+      let parent = !cur_parent and depth = !cur_depth in
+      cur_parent := id;
+      cur_depth := depth + 1;
+      let t0 = !clock () in
+      let finish () =
+        let duration = !clock () -. t0 in
+        cur_parent := parent;
+        cur_depth := depth;
+        push { id; parent; depth; name; attrs; start = t0; duration }
+      in
+      match f () with
+      | v ->
+        finish ();
+        v
+      | exception e ->
+        finish ();
+        raise e
+    end
+
+  (* Retained spans, oldest first. Parents complete after their
+     children, so a parent appears later in this list than the spans
+     it contains. *)
+  let recent () =
+    let r = !ring in
+    let cap = Array.length r in
+    let n = min !total cap in
+    let first = !total - n in
+    List.init n (fun i -> r.((first + i) mod cap))
+end
+
+(* --- Prometheus-style text exposition --- *)
+
+(* Metric names sanitize "." (and any other non-identifier byte) to
+   "_": "service.cache_hits" -> "service_cache_hits". *)
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c | _ -> '_')
+    name
+
+let float_text f = Printf.sprintf "%.9g" f
+
+let text_exposition () =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun (name, v) ->
+      let n = sanitize name in
+      Buffer.add_string b (Printf.sprintf "# TYPE %s_total counter\n" n);
+      Buffer.add_string b (Printf.sprintf "%s_total %d\n" n v))
+    (all ());
+  List.iter
+    (fun s ->
+      let n = sanitize s.h_name in
+      Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" n);
+      let cumulative = ref 0 in
+      Array.iteri
+        (fun i c ->
+          cumulative := !cumulative + c;
+          let le =
+            if i < Array.length s.h_bounds then float_text s.h_bounds.(i)
+            else "+Inf"
+          in
+          Buffer.add_string b
+            (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" n le !cumulative))
+        s.h_counts;
+      Buffer.add_string b
+        (Printf.sprintf "%s_sum %s\n" n (float_text s.h_sum));
+      Buffer.add_string b (Printf.sprintf "%s_count %d\n" n s.h_count))
+    (histograms ());
+  Buffer.contents b
+
+(* --- well-known counter names --- *)
 
 let lp_pivots = "lp.pivots"
 let milp_nodes = "milp.nodes"
@@ -40,3 +298,13 @@ let service_monotone_hits = "service.monotone_hits"
 let service_warm_starts = "service.warm_starts"
 let service_compile_reuse = "service.compile_reuse"
 let service_shed = "service.shed"
+
+let service_op op = "service.op." ^ op
+
+(* --- well-known histogram names --- *)
+
+let service_latency_seconds = "service.latency_seconds"
+let service_queue_wait_seconds = "service.queue_wait_seconds"
+let solver_wall_seconds = "solver.wall_seconds"
+let heuristic_run_evals = "heuristics.run_evals"
+let milp_solve_nodes = "milp.solve_nodes"

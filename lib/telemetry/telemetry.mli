@@ -1,22 +1,52 @@
-(** Lightweight cross-layer performance counters.
+(** The observability substrate shared by every layer of the solver
+    stack: monotone counters, fixed-bucket histograms and hierarchical
+    spans, with a Prometheus-style text exposition.
 
     The solver stack spans several libraries (the simplex engines in
-    [lp], branch and bound in [milp], the heuristics in [rentcost]),
-    and a single user-facing solve may drive any combination of them.
-    Rather than thread effort statistics through every return type,
-    each layer bumps a named global counter at its unit of work
-    (simplex pivot, branch-and-bound node, cost-oracle evaluation) and
-    an observer — typically [Rentcost.Solver] — reads counter deltas
-    around a solve.
+    [lp], branch and bound in [milp], the heuristics in [rentcost],
+    the provisioning service in [rentcost_service]), and a single
+    user-facing solve may drive any combination of them. Rather than
+    thread effort statistics through every return type, each layer
+    records against a named global instrument at its unit of work, and
+    observers — [Rentcost.Solver], the daemon's [stats] and [metrics]
+    requests, the bench harness — read the shared state.
 
-    Counters are monotone: they are never reset, only read, so nested
-    or interleaved observers cannot corrupt each other — each computes
-    its own before/after difference.
+    {b Counters} are monotone: never reset, only read, so nested or
+    interleaved observers cannot corrupt each other — each computes
+    its own before/after difference. {b Histograms} bucket latency or
+    size observations under fixed upper bounds (Prometheus ["le"]
+    semantics: an observation lands in the first bucket whose bound is
+    [>=] the value). {b Spans} time a bracketed computation on the
+    shared clock and land in a bounded in-memory ring (and an optional
+    sink), carrying parent links so a trace reconstructs the call
+    tree.
 
-    Counting is on by default (one predictable branch and an integer
-    add per event). {!set_enabled}[ false] freezes every counter,
-    making instrumented code paths effectively zero-cost for purists
-    benchmarking the raw kernels. *)
+    Everything honours one kill switch: {!set_enabled}[ false] freezes
+    counters and histograms and makes {!Span.with_span} a tail call of
+    its body — no clock reads, no allocation — so instrumented code
+    paths are effectively zero-cost when observability is off.
+
+    Thread-safety: registration and snapshots ({!counter},
+    {!histogram}, {!all}, {!histograms}) are mutex-protected, so
+    registering during an iteration over a snapshot — or from another
+    domain — never raises. The recording paths (bump, observe, span
+    push) are lock-free single-writer: under parallel writers an
+    increment may be lost, but nothing crashes. *)
+
+val enabled : unit -> bool
+
+(** Globally enable or disable all recording. Disabling does not clear
+    accumulated values. *)
+val set_enabled : bool -> unit
+
+(** The clock spans are timed on, in seconds. Defaults to
+    [Unix.gettimeofday]; {!set_clock} swaps it (tests use a
+    deterministic counter). *)
+val now : unit -> float
+
+val set_clock : (unit -> float) -> unit
+
+(** {1 Counters} *)
 
 type counter
 
@@ -26,10 +56,10 @@ type counter
     each other. *)
 val counter : string -> counter
 
-(** [bump c] adds 1 to [c] (no-op when counting is disabled). *)
+(** [bump c] adds 1 to [c] (no-op when recording is disabled). *)
 val bump : counter -> unit
 
-(** [add c n] adds [n] to [c] (no-op when counting is disabled). *)
+(** [add c n] adds [n] to [c] (no-op when recording is disabled). *)
 val add : counter -> int -> unit
 
 (** Current value of a counter (monotone since program start). *)
@@ -40,14 +70,110 @@ val read : counter -> int
 val value : string -> int
 
 (** All registered counters with their current values, sorted by
-    name. *)
+    name. The list is a snapshot: iterating it while new counters are
+    registered is safe. *)
 val all : unit -> (string * int) list
 
-val enabled : unit -> bool
+(** {1 Histograms} *)
 
-(** Globally enable or disable counting. Disabling does not clear
-    accumulated values. *)
-val set_enabled : bool -> unit
+type histogram
+
+(** [histogram name ~bounds] finds or creates the histogram registered
+    under [name]. [bounds] are strictly increasing bucket upper
+    bounds; an implicit overflow bucket catches everything above the
+    last. Re-registering with different bounds raises
+    [Invalid_argument]. *)
+val histogram : string -> bounds:float array -> histogram
+
+(** [observe h v] adds one observation (no-op when recording is
+    disabled). [v] lands in the first bucket whose bound is [>= v]
+    (["le"] semantics), or the overflow bucket. *)
+val observe : histogram -> float -> unit
+
+type histogram_snapshot = {
+  h_name : string;
+  h_bounds : float array;
+  h_counts : int array;
+      (** per-bucket (not cumulative); length [|h_bounds| + 1], last
+          entry is the overflow bucket *)
+  h_sum : float;
+  h_count : int;
+}
+
+val snapshot : histogram -> histogram_snapshot
+
+(** All registered histograms, snapshotted, sorted by name. *)
+val histograms : unit -> histogram_snapshot list
+
+(** {1 Spans} *)
+
+module Span : sig
+  (** A completed timed region. [parent] is the id of the span that
+      was open when this one started (0 = none); [depth] its nesting
+      depth. Ids are unique and increasing within a process. *)
+  type t = {
+    id : int;
+    parent : int;
+    depth : int;
+    name : string;
+    attrs : (string * string) list;
+    start : float;  (** clock value at entry *)
+    duration : float;  (** seconds *)
+  }
+
+  (** [with_span name f] times [f ()] and records the completed span
+      in the ring buffer (and the sink, when set). Spans nest: a span
+      opened inside [f] is parented under this one, including across
+      library boundaries. When recording is disabled this is exactly
+      [f ()] — no clock read, no allocation. Exceptions propagate; the
+      span is still recorded. *)
+  val with_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+
+  (** [record ~name ~start ~duration ()] pushes an externally timed
+      span — used by sampled loops that time blocks of iterations
+      themselves. Parented under the innermost open [with_span]. *)
+  val record :
+    ?attrs:(string * string) list ->
+    name:string ->
+    start:float ->
+    duration:float ->
+    unit ->
+    unit
+
+  (** Retained spans, oldest first, at most {!capacity} of them.
+      Parents complete after their children, so a parent appears after
+      the spans it contains. *)
+  val recent : unit -> t list
+
+  (** Total spans recorded since start (or the last {!set_capacity} /
+      {!clear}) — exceeds [capacity ()] once the ring has wrapped. *)
+  val recorded : unit -> int
+
+  val capacity : unit -> int
+
+  (** Resize the ring (discards retained spans). Default 256. *)
+  val set_capacity : int -> unit
+
+  (** Drop all retained spans (ids keep increasing). *)
+  val clear : unit -> unit
+
+  (** A sink sees every completed span as it is recorded — the JSONL
+      trace writer in [Rentcost_service.Metrics] installs itself
+      here. [None] (the default) disables forwarding. *)
+  val set_sink : (t -> unit) option -> unit
+end
+
+(** {1 Text exposition}
+
+    A Prometheus-style rendering of every counter and histogram:
+    [name_total] lines for counters, [name_bucket{le="..."}] (with
+    cumulative counts), [name_sum] and [name_count] lines for
+    histograms. Metric names have non-identifier characters replaced
+    by ["_"]. *)
+val text_exposition : unit -> string
+
+(** [sanitize name] is the exposition spelling of a metric name. *)
+val sanitize : string -> string
 
 (** {1 Well-known counter names}
 
@@ -71,8 +197,8 @@ val heuristic_evals : string
 (** {2 Serving-layer counters ([Rentcost_service])}
 
     Bumped by the provisioning service engine; the daemon's [stats]
-    request and shutdown dump read them alongside the solver
-    counters. *)
+    and [metrics] requests and shutdown dump read them alongside the
+    solver counters. *)
 
 (** Solve requests admitted (sheds excluded). *)
 val service_requests : string
@@ -97,3 +223,24 @@ val service_compile_reuse : string
 
 (** Requests shed by admission control ([Overloaded] responses). *)
 val service_shed : string
+
+(** [service_op "solve"] etc. — per-op request counters bumped by the
+    service engine for every protocol operation it is handed. *)
+val service_op : string -> string
+
+(** {1 Well-known histogram names} *)
+
+(** Request handling latency in the service engine, seconds. *)
+val service_latency_seconds : string
+
+(** Queue wait of drained solve jobs, seconds. *)
+val service_queue_wait_seconds : string
+
+(** End-to-end [Rentcost.Solver.solve_on] wall time, seconds. *)
+val solver_wall_seconds : string
+
+(** Cost-oracle evaluations per heuristic run (a size histogram). *)
+val heuristic_run_evals : string
+
+(** Branch-and-bound nodes per MILP solve (a size histogram). *)
+val milp_solve_nodes : string

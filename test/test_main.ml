@@ -25,4 +25,5 @@ let () =
       Test_integration.suite;
       Test_analysis.suite;
       Test_format.suite;
-      Test_service.suite ]
+      Test_service.suite;
+      Test_telemetry.suite ]

@@ -338,6 +338,59 @@ let test_daemon_over_pipe () =
      | Ok j -> J.member "stats" j <> None
      | Error _ -> false)
 
+(* --- the metrics exposition --- *)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let test_metrics_reply () =
+  let e = engine_with base in
+  (match E.handle e (solve_req ~id:1 90) with
+   | [ Pr.Solved _ ] -> ()
+   | _ -> Alcotest.fail "expected one solved response");
+  match E.handle e Pr.Metrics with
+  | [ Pr.Metrics_reply { metrics; text } ] ->
+    (* The reply survives the wire codec. *)
+    (match
+       Pr.response_of_json
+         (Pr.response_to_json (Pr.Metrics_reply { metrics; text }))
+     with
+     | Ok (Pr.Metrics_reply _) -> ()
+     | _ -> Alcotest.fail "metrics reply does not survive the codec");
+    let counters = J.member "counters" metrics in
+    Alcotest.(check bool) "requests counted" true
+      (match Option.bind counters (J.get_int Telemetry.service_requests) with
+       | Some n -> n >= 1
+       | None -> false);
+    (match J.member "histograms" metrics with
+     | Some (J.List hs) ->
+       let names = List.filter_map (J.get_string "name") hs in
+       Alcotest.(check bool) "latency histogram exported" true
+         (List.mem Telemetry.service_latency_seconds names);
+       Alcotest.(check bool) "queue-wait histogram exported" true
+         (List.mem Telemetry.service_queue_wait_seconds names)
+     | _ -> Alcotest.fail "metrics carry no histograms");
+    (match J.member "spans" metrics with
+     | Some (J.List spans) ->
+       let names = List.filter_map (J.get_string "name") spans in
+       Alcotest.(check bool) "request span retained" true
+         (List.mem "service.request" names)
+     | _ -> Alcotest.fail "metrics carry no spans");
+    (match J.member "service" metrics with
+     | Some svc ->
+       Alcotest.(check bool) "per-op counts included" true
+         (J.member "ops" svc <> None);
+       Alcotest.(check bool) "uptime included" true
+         (J.member "uptime" svc <> None)
+     | None -> Alcotest.fail "metrics carry no service stats");
+    Alcotest.(check bool) "text exposition covers service counters" true
+      (contains ~sub:"service_requests_total" text);
+    Alcotest.(check bool) "text exposition covers histogram buckets" true
+      (contains ~sub:"service_latency_seconds_bucket" text)
+  | _ -> Alcotest.fail "expected a metrics reply"
+
 let suite =
   ( "service",
     [ Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
@@ -363,5 +416,6 @@ let suite =
         test_admission_door_shed;
       Alcotest.test_case "admission sheds expired deadlines" `Quick
         test_admission_deadline_shed;
+      Alcotest.test_case "metrics reply" `Quick test_metrics_reply;
       Alcotest.test_case "daemon session over a pipe" `Quick
         test_daemon_over_pipe ] )

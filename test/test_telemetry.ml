@@ -1,0 +1,299 @@
+(* Telemetry: span nesting and ordering, ring wraparound, the
+   kill-switch's zero-allocation guarantee, histogram bucket laws
+   (qcheck), the span JSONL codec round-trip, and registration under
+   concurrent domains.
+
+   Spans and the enabled flag are global state; every test that
+   touches them restores enabled = true and clears the ring so tests
+   stay order-independent. *)
+
+module T = Telemetry
+module M = Rentcost_service.Metrics
+module J = Rentcost_service.Json
+
+(* A deterministic clock: each read advances one tick, so durations
+   count the clock reads (and nested spans get distinct, predictable
+   timings). *)
+let install_tick_clock () =
+  let t = ref 0.0 in
+  T.set_clock (fun () ->
+      t := !t +. 1.0;
+      !t)
+
+let restore () =
+  T.set_clock Unix.gettimeofday;
+  T.set_enabled true;
+  T.Span.set_sink None;
+  T.Span.clear ()
+
+let with_clean f () = Fun.protect ~finally:restore f
+
+(* --- spans --- *)
+
+let test_span_nesting =
+  with_clean (fun () ->
+      install_tick_clock ();
+      T.Span.clear ();
+      let v =
+        T.Span.with_span "outer" (fun () ->
+            T.Span.with_span "inner_a" (fun () -> ());
+            T.Span.with_span ~attrs:[ ("k", "v") ] "inner_b" (fun () -> 17))
+      in
+      Alcotest.(check int) "body value" 17 v;
+      match T.Span.recent () with
+      | [ a; b; outer ] ->
+        Alcotest.(check string) "first completed" "inner_a" a.T.Span.name;
+        Alcotest.(check string) "second completed" "inner_b" b.T.Span.name;
+        Alcotest.(check string) "parent completes last" "outer" outer.T.Span.name;
+        Alcotest.(check int) "inner_a parented" outer.T.Span.id a.T.Span.parent;
+        Alcotest.(check int) "inner_b parented" outer.T.Span.id b.T.Span.parent;
+        Alcotest.(check int) "outer is a root" 0 outer.T.Span.parent;
+        Alcotest.(check int) "outer depth" 0 outer.T.Span.depth;
+        Alcotest.(check int) "inner depth" 1 a.T.Span.depth;
+        Alcotest.(check (list (pair string string)))
+          "attrs kept" [ ("k", "v") ] b.T.Span.attrs;
+        Alcotest.(check bool) "ids increase" true
+          (outer.T.Span.id < a.T.Span.id && a.T.Span.id < b.T.Span.id);
+        (* The tick clock makes every duration a positive whole number
+           of clock reads, and the parent encloses the children. *)
+        Alcotest.(check bool) "durations positive" true
+          (List.for_all
+             (fun s -> s.T.Span.duration > 0.0)
+             [ a; b; outer ]);
+        Alcotest.(check bool) "parent encloses children" true
+          (outer.T.Span.duration > a.T.Span.duration +. b.T.Span.duration
+           -. 1.0)
+      | l ->
+        Alcotest.failf "expected 3 spans, got %d" (List.length l))
+
+let test_span_exception =
+  with_clean (fun () ->
+      T.Span.clear ();
+      (try
+         T.Span.with_span "boom" (fun () -> failwith "expected")
+       with Failure _ -> ());
+      match T.Span.recent () with
+      | [ s ] ->
+        Alcotest.(check string) "span recorded on raise" "boom" s.T.Span.name;
+        (* The parent context must be restored after the raise. *)
+        T.Span.with_span "after" (fun () -> ());
+        let after = List.nth (T.Span.recent ()) 1 in
+        Alcotest.(check int) "nesting state restored" 0 after.T.Span.parent
+      | l -> Alcotest.failf "expected 1 span, got %d" (List.length l))
+
+let test_ring_wraparound =
+  with_clean (fun () ->
+      let saved = T.Span.capacity () in
+      Fun.protect
+        ~finally:(fun () -> T.Span.set_capacity saved)
+        (fun () ->
+          T.Span.set_capacity 4;
+          for i = 1 to 6 do
+            T.Span.record
+              ~name:(Printf.sprintf "s%d" i)
+              ~start:(float_of_int i) ~duration:1.0 ()
+          done;
+          Alcotest.(check int) "total recorded" 6 (T.Span.recorded ());
+          let names =
+            List.map (fun s -> s.T.Span.name) (T.Span.recent ())
+          in
+          Alcotest.(check (list string))
+            "ring keeps the newest, oldest first"
+            [ "s3"; "s4"; "s5"; "s6" ] names))
+
+let test_disabled_zero_alloc =
+  with_clean (fun () ->
+      T.set_enabled false;
+      let f () = 7 in
+      (* Warm up any one-time allocation paths. *)
+      for _ = 1 to 3 do
+        ignore (T.Span.with_span "off" f)
+      done;
+      let c = T.counter "test.zero_alloc" in
+      let h = T.histogram "test.zero_alloc_hist" ~bounds:[| 1.0 |] in
+      let before = Gc.minor_words () in
+      for _ = 1 to 1000 do
+        ignore (T.Span.with_span "off" f);
+        T.bump c;
+        T.observe h 0.5
+      done;
+      let allocated = Gc.minor_words () -. before in
+      Alcotest.(check bool)
+        (Printf.sprintf "disabled instruments allocate nothing (%.0f words)"
+           allocated)
+        true (allocated = 0.0);
+      Alcotest.(check int) "counter frozen" 0 (T.read c);
+      Alcotest.(check int) "histogram frozen" 0 (T.snapshot h).T.h_count;
+      Alcotest.(check int) "no spans" 0 (T.Span.recorded ()))
+
+(* --- histograms --- *)
+
+let test_histogram_basics () =
+  let h = T.histogram "test.hist_basics" ~bounds:[| 1.0; 10.0; 100.0 |] in
+  List.iter (T.observe h) [ 0.5; 1.0; 5.0; 10.0; 50.0; 1000.0 ];
+  let s = T.snapshot h in
+  (* le semantics: 1.0 lands in the first bucket, 10.0 in the second. *)
+  Alcotest.(check (list int)) "bucket counts (le semantics, overflow last)"
+    [ 2; 2; 1; 1 ]
+    (Array.to_list s.T.h_counts);
+  Alcotest.(check int) "count" 6 s.T.h_count;
+  Alcotest.(check (float 1e-9)) "sum" 1066.5 s.T.h_sum;
+  Alcotest.check_raises "bounds mismatch rejected"
+    (Invalid_argument
+       "Telemetry.histogram: \"test.hist_basics\" already registered with \
+        different bounds")
+    (fun () -> ignore (T.histogram "test.hist_basics" ~bounds:[| 2.0 |]))
+
+let prop name gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count:300 ~name gen f)
+
+(* Every observation lands in exactly one bucket: counts sum to the
+   observation count, and each value lands in the first bucket whose
+   bound is >= the value. *)
+let hist_gen =
+  QCheck2.Gen.(
+    pair
+      (list_size (int_range 1 6) (float_bound_inclusive 100.0))
+      (list_size (int_range 0 40) (float_bound_inclusive 120.0)))
+
+let bucket_prop (raw_bounds, values) =
+  (* Distinct sorted bounds; a fresh histogram name per shape so
+     re-registration rules don't interfere. *)
+  let bounds =
+    Array.of_list (List.sort_uniq compare raw_bounds)
+  in
+  let name =
+    Printf.sprintf "test.prop_%d_%f" (Array.length bounds)
+      (Array.fold_left ( +. ) 0.0 bounds)
+  in
+  let h = T.histogram name ~bounds in
+  let before = T.snapshot h in
+  List.iter (T.observe h) values;
+  let after = T.snapshot h in
+  let added = Array.map2 ( - ) after.T.h_counts before.T.h_counts in
+  let expect = Array.make (Array.length bounds + 1) 0 in
+  List.iter
+    (fun v ->
+      let rec first i =
+        if i >= Array.length bounds then i
+        else if v <= bounds.(i) then i
+        else first (i + 1)
+      in
+      let b = first 0 in
+      expect.(b) <- expect.(b) + 1)
+    values;
+  Array.for_all2 ( = ) added expect
+  && after.T.h_count - before.T.h_count = List.length values
+  && Array.fold_left ( + ) 0 added = List.length values
+
+(* --- the span JSONL codec --- *)
+
+let span_eq : T.Span.t Alcotest.testable =
+  Alcotest.testable
+    (fun fmt s -> Format.fprintf fmt "%s#%d" s.T.Span.name s.T.Span.id)
+    ( = )
+
+let test_span_json_roundtrip =
+  with_clean (fun () ->
+      install_tick_clock ();
+      T.Span.clear ();
+      T.Span.with_span "outer" (fun () ->
+          T.Span.with_span ~attrs:[ ("engine", "ilp"); ("target", "70") ]
+            "inner" (fun () -> ()));
+      let spans = T.Span.recent () in
+      List.iter
+        (fun s ->
+          (* Through the JSON value and through the printed line, as a
+             trace file reader would see it. *)
+          (match M.span_of_json (M.span_to_json s) with
+           | Ok s' -> Alcotest.check span_eq "value round-trip" s s'
+           | Error e -> Alcotest.fail e);
+          match J.of_string (J.to_string (M.span_to_json s)) with
+          | Error e -> Alcotest.fail ("reparse: " ^ e)
+          | Ok j -> (
+            match M.span_of_json j with
+            | Ok s' -> Alcotest.check span_eq "line round-trip" s s'
+            | Error e -> Alcotest.fail e))
+        spans)
+
+let test_trace_sink =
+  with_clean (fun () ->
+      T.Span.clear ();
+      let path = Filename.temp_file "rentcost_trace" ".jsonl" in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+        (fun () ->
+          M.install_trace ~path;
+          T.Span.with_span "a" (fun () ->
+              T.Span.with_span "b" (fun () -> ()));
+          M.close_trace ();
+          let ic = open_in path in
+          let lines = ref [] in
+          (try
+             while true do
+               lines := input_line ic :: !lines
+             done
+           with End_of_file -> close_in ic);
+          let decoded =
+            List.rev_map
+              (fun line ->
+                match J.of_string line with
+                | Error e -> Alcotest.fail ("trace line: " ^ e)
+                | Ok j -> (
+                  match M.span_of_json j with
+                  | Error e -> Alcotest.fail ("trace span: " ^ e)
+                  | Ok s -> s))
+              !lines
+          in
+          Alcotest.(check (list string))
+            "sink saw both spans in completion order" [ "b"; "a" ]
+            (List.map (fun s -> s.T.Span.name) decoded)))
+
+(* --- concurrent registration (regression: Telemetry.all while other
+   domains register) --- *)
+
+let test_concurrent_registration () =
+  let domains =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            for i = 0 to 199 do
+              let c =
+                T.counter (Printf.sprintf "test.conc.%d.%d" d (i mod 50))
+              in
+              T.bump c;
+              ignore
+                (T.histogram
+                   (Printf.sprintf "test.conc_hist.%d.%d" d (i mod 10))
+                   ~bounds:[| 1.0; 2.0 |])
+            done))
+  in
+  (* Snapshot and render concurrently with the registrations; the laws
+     here are "never raises" and "snapshots are sorted". *)
+  for _ = 1 to 50 do
+    let names = List.map fst (T.all ()) in
+    Alcotest.(check bool) "counter snapshot sorted" true
+      (List.sort compare names = names);
+    ignore (T.histograms ());
+    ignore (T.text_exposition ())
+  done;
+  List.iter Domain.join domains;
+  let found = List.filter (fun (n, _) -> String.length n >= 10 && String.sub n 0 10 = "test.conc.") (T.all ()) in
+  Alcotest.(check int) "all concurrent counters registered" 200
+    (List.length found)
+
+let suite =
+  ( "telemetry",
+    [
+      Alcotest.test_case "span nesting and ordering" `Quick test_span_nesting;
+      Alcotest.test_case "span survives exceptions" `Quick test_span_exception;
+      Alcotest.test_case "ring wraparound" `Quick test_ring_wraparound;
+      Alcotest.test_case "disabled mode allocates nothing" `Quick
+        test_disabled_zero_alloc;
+      Alcotest.test_case "histogram le-bucket semantics" `Quick
+        test_histogram_basics;
+      prop "every observation lands in exactly one bucket" hist_gen bucket_prop;
+      Alcotest.test_case "span json round-trip" `Quick test_span_json_roundtrip;
+      Alcotest.test_case "jsonl trace sink round-trip" `Quick test_trace_sink;
+      Alcotest.test_case "registration is domain-safe" `Quick
+        test_concurrent_registration;
+    ] )
