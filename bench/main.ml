@@ -17,6 +17,14 @@
    trace — for tracking across commits without parsing the OLS table.
    BENCH_observability.json records what the Telemetry instrumentation
    costs on the heuristic hot path (enabled vs kill-switched).
+   BENCH_parallel.json records the portfolio race's 1-domain vs
+   4-domain wall time on the H32Jump workload.
+
+   Randomness discipline: every workload and kernel seed derives from
+   ONE root seed (RENTCOST_BENCH_SEED, default 2016) split in a fixed
+   order below, and every BENCH_*.json records it — so cross-group
+   comparisons (and --smoke) are reproducible run-to-run, and a seed
+   sweep is one env var away.
 
    `dune exec bench/main.exe -- --smoke` skips the OLS fits: it runs a
    fast engine-agreement check (every exact engine must report the same
@@ -31,8 +39,28 @@ module H = Rentcost.Heuristics
 module I = Rentcost.Instance
 module P = Numeric.Prng
 module S = Rentcost.Solver
+module Pf = Rentcost_parallel.Portfolio
+module Pl = Rentcost_parallel.Pool
 
 (* --- fixed workloads --- *)
+
+(* One root seed for the whole run. The three sub-seeds are drawn in a
+   fixed order, so each consumer (workload generation, heuristic
+   kernels, the sweep) gets a stable, independent stream — previously
+   each group re-derived its own PRNG from ad-hoc constants, so
+   comparisons across groups were not reproducible from one knob. *)
+let root_seed =
+  match Sys.getenv_opt "RENTCOST_BENCH_SEED" with
+  | Some v -> (match int_of_string_opt v with Some n -> n | None -> 2016)
+  | None -> 2016
+
+let workload_seed, kernel_seed, sweep_seed =
+  let r = P.create root_seed in
+  let sub () = Int64.to_int (P.bits64 r) land 0x3FFFFFFF in
+  let workload = sub () in
+  let kernel = sub () in
+  let sweep = sub () in
+  (workload, kernel, sweep)
 
 let illustrating = Rentcost.Problem.illustrating
 
@@ -47,7 +75,7 @@ let instance_of_preset id =
   lazy
     (let preset = Option.get (Cloudsim.Experiments.find id) in
      I.compile
-       (G.problem ~rng:(P.create 2016) preset.Cloudsim.Experiments.graphs
+       (G.problem ~rng:(P.create workload_seed) preset.Cloudsim.Experiments.graphs
           preset.Cloudsim.Experiments.cloud))
 
 let small_instance = instance_of_preset "fig3"
@@ -61,7 +89,7 @@ let problem_of inst = I.problem (Lazy.force inst)
 (* A precomputed measurement list exercising the figure aggregations. *)
 let sample_measurements =
   lazy
-    (Cloudsim.Runner.sweep ~seed:7 ~configs:4
+    (Cloudsim.Runner.sweep ~seed:sweep_seed ~configs:4
        { G.num_graphs = 3; min_tasks = 2; max_tasks = 3; mutation_pct = 0.5 }
        { G.num_types = 3; min_cost = 1; max_cost = 20; min_throughput = 5;
          max_throughput = 20 }
@@ -96,7 +124,7 @@ let milp_engine engine problem ~target () =
     .Milp.Solver.nodes
 
 let heuristic name ?(params = H.default_params) inst ~target () =
-  (S.solve_on ~rng:(P.create 99) ~params ~spec:(S.Heuristic name)
+  (S.solve_on ~rng:(P.create kernel_seed) ~params ~spec:(S.Heuristic name)
      (Lazy.force inst) ~target)
     .S.telemetry.S.evaluations
 
@@ -373,10 +401,31 @@ let observability_group =
       Test.make ~name:"text_exposition"
         (Staged.stage (fun () -> String.length (Telemetry.text_exposition ()))) ]
 
+(* --- parallel: the domain pool and the portfolio race --- *)
+
+let parallel_group =
+  Test.make_grouped ~name:"parallel"
+    [ Test.make ~name:"pool_roundtrip_d2"
+        (Staged.stage (fun () ->
+             Pl.with_pool ~domains:2 (fun pool ->
+                 Pl.run_list pool (List.init 8 (fun i () -> i * i)))));
+      Test.make ~name:"portfolio_illustrating_d1"
+        (Staged.stage (fun () ->
+             (Pf.solve_on ~rng:(P.create kernel_seed) ~params:params10
+                ~domains:1
+                (Lazy.force illustrating_instance) ~target:70)
+               .S.telemetry.S.evaluations));
+      Test.make ~name:"portfolio_illustrating_d4"
+        (Staged.stage (fun () ->
+             (Pf.solve_on ~rng:(P.create kernel_seed) ~params:params10
+                ~domains:4
+                (Lazy.force illustrating_instance) ~target:70)
+               .S.telemetry.S.evaluations)) ]
+
 let all_tests =
   Test.make_grouped ~name:"rentcost"
     [ table3; fig3; fig4; fig5; fig6; fig7; fig8; micro; ablation; solver_group;
-      service_group; observability_group ]
+      service_group; observability_group; parallel_group ]
 
 (* --- BENCH_solver.json: machine-readable per-engine record --- *)
 
@@ -389,8 +438,8 @@ type engine_row = {
 
 let solve_row name spec inst ~target =
   let o =
-    S.solve_on ~rng:(P.create 99) ~params:params10 ~spec (Lazy.force inst)
-      ~target
+    S.solve_on ~rng:(P.create kernel_seed) ~params:params10 ~spec
+      (Lazy.force inst) ~target
   in
   let cost =
     match o.S.allocation with
@@ -473,6 +522,7 @@ let write_solver_json ~path ~rows ~inc_rate ~scratch_rate =
       r.row_telemetry.S.pruned_recipes
   in
   Printf.fprintf oc "{\n  \"schema\": \"rentcost-bench-solver/1\",\n";
+  Printf.fprintf oc "  \"seed\": %d,\n" root_seed;
   Printf.fprintf oc "  \"engines\": [\n%s\n  ],\n"
     (String.concat ",\n" (List.map row_json rows));
   Printf.fprintf oc
@@ -553,6 +603,7 @@ let service_trace () =
 let write_service_json ~path ~cold ~warm ~trace =
   let oc = open_out path in
   Printf.fprintf oc "{\n  \"schema\": \"rentcost-bench-service/1\",\n";
+  Printf.fprintf oc "  \"seed\": %d,\n" root_seed;
   Printf.fprintf oc
     "  \"latency\": {\"cold_us\": %.3f, \"warm_hit_us\": %.3f, \
      \"speedup\": %.2f},\n"
@@ -589,7 +640,7 @@ let observability_overhead ~reps =
   let inst = Lazy.force illustrating_instance in
   let run () =
     ignore
-      ((S.solve_on ~rng:(P.create 99) ~params:params10
+      ((S.solve_on ~rng:(P.create kernel_seed) ~params:params10
           ~spec:(S.Heuristic H.H32_jump) inst ~target:70)
          .S.telemetry.S.evaluations)
   in
@@ -613,6 +664,7 @@ let observability_overhead ~reps =
 let write_observability_json ~path ~on ~off =
   let oc = open_out path in
   Printf.fprintf oc "{\n  \"schema\": \"rentcost-bench-observability/1\",\n";
+  Printf.fprintf oc "  \"seed\": %d,\n" root_seed;
   Printf.fprintf oc
     "  \"hot_path\": {\"kernel\": \"h32jump_illustrating_rho70\", \
      \"enabled_us\": %.3f, \"disabled_us\": %.3f, \"overhead_pct\": %.2f}\n"
@@ -630,6 +682,69 @@ let emit_observability_json ~reps =
     (on *. 1e6) (off *. 1e6)
     (100.0 *. ((on /. Float.max off 1e-9) -. 1.0));
   (on, off)
+
+(* --- BENCH_parallel.json: the portfolio race, 1 domain vs 4 ---
+
+   The workload is four independently seeded H32Jump restarts on the
+   fig7 instance — near-equal-length tasks, so on >= 4 cores the
+   4-domain race should approach 4x and must clear 1.5x (asserted in
+   --smoke, gated on the core count: the JSON records [cores] so a
+   1-core box still emits an honest file). Best-of-reps wall time on
+   both sides kills scheduler noise. *)
+
+let portfolio_wall ~domains ~reps =
+  let strategies = List.init 4 (fun _ -> Pf.Heuristic H.H32_jump) in
+  (* Enough perturbation rounds that each strategy runs for tens of
+     milliseconds — domain spawn (~hundreds of microseconds) must be
+     noise next to the work, or the speedup number measures the
+     runtime, not the race. *)
+  let params = { H.default_params with H.jumps = 4_000 } in
+  let inst = Lazy.force large_instance in
+  let best = ref infinity in
+  let cost = ref (-1) in
+  for _ = 1 to reps do
+    let t0 = Unix.gettimeofday () in
+    let o =
+      Pf.solve_on ~rng:(P.create kernel_seed) ~params ~strategies ~domains inst
+        ~target:100
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt;
+    cost :=
+      (match o.S.allocation with
+       | Some a -> a.Rentcost.Allocation.cost
+       | None -> -1)
+  done;
+  (!best, !cost)
+
+let write_parallel_json ~path ~cores ~wall1 ~wall4 ~cost1 ~cost4 =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"schema\": \"rentcost-bench-parallel/1\",\n";
+  Printf.fprintf oc "  \"seed\": %d,\n" root_seed;
+  Printf.fprintf oc "  \"cores\": %d,\n" cores;
+  Printf.fprintf oc
+    "  \"workload\": \"4x h32jump portfolio, fig7, target 100\",\n";
+  Printf.fprintf oc "  \"wall_seconds_domains1\": %.6f,\n" wall1;
+  Printf.fprintf oc "  \"wall_seconds_domains4\": %.6f,\n" wall4;
+  Printf.fprintf oc "  \"speedup\": %.3f,\n"
+    (wall1 /. Float.max wall4 1e-9);
+  Printf.fprintf oc "  \"cost_domains1\": %d,\n  \"cost_domains4\": %d\n"
+    cost1 cost4;
+  Printf.fprintf oc "}\n";
+  close_out oc
+
+let emit_parallel_json ~reps =
+  let cores = Domain.recommended_domain_count () in
+  let wall1, cost1 = portfolio_wall ~domains:1 ~reps in
+  let wall4, cost4 = portfolio_wall ~domains:4 ~reps in
+  write_parallel_json ~path:"BENCH_parallel.json" ~cores ~wall1 ~wall4 ~cost1
+    ~cost4;
+  Printf.printf
+    "BENCH_parallel.json written (%d core(s): %.1f ms on 1 domain vs %.1f ms \
+     on 4, speedup %.2fx)\n"
+    cores (wall1 *. 1e3) (wall4 *. 1e3)
+    (wall1 /. Float.max wall4 1e-9);
+  (cores, wall1, wall4, cost1, cost4)
 
 (* --- smoke mode: engine agreement + oracle consistency, no OLS --- *)
 
@@ -713,7 +828,7 @@ let smoke () =
   let lat_frozen = hist_count Telemetry.service_latency_seconds in
   let spans_frozen = Telemetry.Span.recorded () in
   ignore
-    (S.solve_on ~rng:(P.create 99) ~params:params10
+    (S.solve_on ~rng:(P.create kernel_seed) ~params:params10
        ~spec:(S.Heuristic H.H32_jump)
        (Lazy.force illustrating_instance) ~target:70);
   ignore
@@ -731,6 +846,43 @@ let smoke () =
   let on, off = emit_observability_json ~reps:7 in
   check "instrumentation overhead under 5% on the heuristic hot path"
     (on <= (off *. 1.05) +. 2.5e-4);
+  (* The portfolio race: bit-identical across domain counts, never
+     worse than its rank-0 sequential run, and — when the machine has
+     the cores — actually faster on 4 domains. *)
+  let cores, wall1, wall4, cost1, cost4 = emit_parallel_json ~reps:3 in
+  check "portfolio 1-domain and 4-domain agree on cost" (cost1 = cost4);
+  let alloc o =
+    match o.S.allocation with
+    | Some a -> Some (a.Rentcost.Allocation.rho, a.Rentcost.Allocation.cost)
+    | None -> None
+  in
+  let p1 =
+    Pf.solve_on ~rng:(P.create kernel_seed) ~params:params10 ~domains:1
+      (Lazy.force illustrating_instance) ~target:70
+  in
+  let p4 =
+    Pf.solve_on ~rng:(P.create kernel_seed) ~params:params10 ~domains:4
+      (Lazy.force illustrating_instance) ~target:70
+  in
+  check "portfolio allocation is domain-count invariant" (alloc p1 = alloc p4);
+  let seq =
+    S.solve_on ~rng:(P.create kernel_seed) ~params:params10
+      ~spec:(S.Heuristic H.H32_jump)
+      (Lazy.force illustrating_instance) ~target:70
+  in
+  (match (p4.S.allocation, seq.S.allocation) with
+   | Some pa, Some sa ->
+     check "portfolio dominates sequential h32jump on the same seed"
+       (pa.Rentcost.Allocation.cost <= sa.Rentcost.Allocation.cost)
+   | _ -> check "portfolio and sequential h32jump both found allocations" false);
+  if cores >= 4 then
+    check "4-domain portfolio at least 1.5x faster than 1-domain"
+      (wall1 /. Float.max wall4 1e-9 >= 1.5)
+  else
+    Printf.printf
+      "note: %d core(s) — skipping the 4-domain speedup assertion (needs >= \
+       4)\n"
+      cores;
   if !failures = 0 then print_endline "smoke OK"
   else begin
     Printf.printf "smoke: %d failure(s)\n" !failures;
@@ -773,5 +925,6 @@ let () =
       rows;
     ignore (emit_solver_json ~evals:200_000);
     ignore (emit_service_json ~iters:200);
-    ignore (emit_observability_json ~reps:9)
+    ignore (emit_observability_json ~reps:9);
+    ignore (emit_parallel_json ~reps:5)
   end

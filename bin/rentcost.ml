@@ -6,9 +6,11 @@
      dune exec bin/rentcost.exe -- info app.rentcost
      dune exec bin/rentcost.exe -- solve app.rentcost --target 70
      dune exec bin/rentcost.exe -- solve app.rentcost --target 70 -a h32jump
+     dune exec bin/rentcost.exe -- solve app.rentcost --target 70 --domains 4
      dune exec bin/rentcost.exe -- solve app.rentcost --target 70 --time-limit 5
      dune exec bin/rentcost.exe -- validate app.rentcost --target 70
      dune exec bin/rentcost.exe -- serve --socket /tmp/rentcost.sock
+     dune exec bin/rentcost.exe -- serve --workers 4 < requests.jsonl
      dune exec bin/rentcost.exe -- serve < requests.jsonl
      dune exec bin/rentcost.exe -- stats --socket /tmp/rentcost.sock
      dune exec bin/rentcost.exe -- stats --socket /tmp/rentcost.sock --text
@@ -18,12 +20,16 @@
    default algorithm "auto" routes on problem structure (§ V-A/V-B
    DPs, § V-C ILP) and degrades to the best heuristic incumbent when
    a --time-limit / --node-limit / --max-evals budget expires.
+   --domains N instead races the § VI heuristic portfolio
+   (Rentcost_parallel.Portfolio) across N domains — same seed, same
+   answer for any N; -a is ignored in portfolio mode.
 
    "serve" starts the provisioning daemon (Rentcost_service): a
    long-running solve loop speaking line-delimited JSON over a Unix
    socket (--socket) or stdin/stdout, with instance fingerprinting,
    an LRU solution cache and warm-start reuse. --time-limit /
-   --node-limit / --max-evals set the default per-request budget.
+   --node-limit / --max-evals set the default per-request budget;
+   --workers N drains the admission queue with N worker domains.
 
    "stats" scrapes a running daemon: it sends {"op":"metrics"} over
    the socket and prints the reply — raw JSON by default, the
@@ -72,10 +78,18 @@ let print_telemetry status (t : S.telemetry) =
     Format.printf ", %d dominated recipe(s) pruned" t.S.pruned_recipes;
   Format.printf ")@."
 
-let solve_with problem ~target ~spec ~seed ~step ~budget =
+let solve_with problem ~target ~spec ~seed ~step ~budget ~domains =
   let params = { Rentcost.Heuristics.default_params with step } in
+  let rng = Numeric.Prng.create seed in
   match
-    S.solve ~budget ~rng:(Numeric.Prng.create seed) ~params ~spec problem ~target
+    match domains with
+    | None -> S.solve ~budget ~rng ~params ~spec problem ~target
+    | Some n ->
+      (* Portfolio mode: race the § VI heuristics on [n] domains. The
+         reduction is deterministic, so any [n] gives the same answer
+         for a given seed. *)
+      Rentcost_parallel.Portfolio.solve ~budget ~rng ~params ~domains:n
+        problem ~target
   with
   | exception Invalid_argument msg -> Error msg
   | o ->
@@ -84,11 +98,11 @@ let solve_with problem ~target ~spec ~seed ~step ~budget =
      | Some a -> Ok a
      | None -> Error "no allocation meets the target")
 
-let cmd_solve path target spec seed step budget =
+let cmd_solve path target spec seed step budget domains =
   match load path with
   | Error msg -> `Error (false, msg)
   | Ok problem ->
-    (match solve_with problem ~target ~spec ~seed ~step ~budget with
+    (match solve_with problem ~target ~spec ~seed ~step ~budget ~domains with
      | Ok a ->
        print_allocation problem target a;
        `Ok ()
@@ -185,13 +199,14 @@ let cmd_stats socket text_mode =
             `Ok ()
           | None -> `Error (false, "stats: reply carries no text exposition"))))
 
-let cmd_serve socket cache_capacity queue_capacity budget =
+let cmd_serve socket cache_capacity queue_capacity budget workers =
   if cache_capacity <= 0 then `Error (true, "--cache must be positive")
   else if queue_capacity <= 0 then `Error (true, "--queue must be positive")
+  else if workers < 1 then `Error (true, "--workers must be at least 1")
   else begin
     let config =
       { Rentcost_service.Engine.cache_capacity; queue_capacity;
-        default_budget = budget }
+        default_budget = budget; workers }
     in
     match socket with
     | Some path ->
@@ -256,8 +271,17 @@ let text_arg =
   Arg.(value & flag & info [ "text" ]
          ~doc:"Print the Prometheus-style text exposition (stats).")
 
+let domains_arg =
+  Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N"
+         ~doc:"Solve by racing the heuristic portfolio on N domains \
+               (deterministic for a fixed --seed, any N).")
+
+let workers_arg =
+  Arg.(value & opt int 1 & info [ "workers" ] ~docv:"N"
+         ~doc:"Worker domains draining the serve queue concurrently.")
+
 let main sub path target spec seed step time_limit node_limit max_evals items
-    socket cache_capacity queue_capacity trace text_mode =
+    socket cache_capacity queue_capacity trace text_mode domains workers =
   let budget =
     { Rentcost.Budget.deadline = time_limit; node_cap = node_limit;
       eval_cap = max_evals }
@@ -269,10 +293,11 @@ let main sub path target spec seed step time_limit node_limit max_evals items
      at_exit Rentcost_service.Metrics.close_trace);
   match (sub, path, target) with
   | "example", _, _ -> `Ok (cmd_example ())
-  | "serve", _, _ -> cmd_serve socket cache_capacity queue_capacity budget
+  | "serve", _, _ -> cmd_serve socket cache_capacity queue_capacity budget workers
   | "stats", _, _ -> cmd_stats socket text_mode
   | "info", Some path, _ -> cmd_info path
-  | "solve", Some path, Some target -> cmd_solve path target spec seed step budget
+  | "solve", Some path, Some target ->
+    cmd_solve path target spec seed step budget domains
   | "validate", Some path, Some target -> cmd_validate path target items budget
   | ("solve" | "validate"), Some _, None ->
     `Error (true, "--target is required")
@@ -293,6 +318,6 @@ let cmd =
                & info [ "target"; "t" ] ~docv:"N" ~doc:"Target throughput.")
         $ algorithm_arg $ seed_arg $ step_arg $ time_limit_arg $ node_limit_arg
         $ max_evals_arg $ items_arg $ socket_arg $ cache_arg $ queue_arg
-        $ trace_arg $ text_arg))
+        $ trace_arg $ text_arg $ domains_arg $ workers_arg))
 
 let () = exit (Cmd.eval cmd)

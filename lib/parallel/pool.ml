@@ -1,0 +1,207 @@
+(* Work-stealing domain pool. See pool.mli for the contract.
+
+   Layout: one FIFO queue + mutex per lane (lane 0 = the caller,
+   lanes 1.. = spawned domains). Submission round-robins over lanes
+   with an atomic counter; execution pops the own lane first, then
+   scans the others (a steal). Idle workers sleep on one shared
+   condition variable; submitters signal it after every push. The
+   lost-wakeup guard is the classic re-check: a worker only waits
+   while holding the sleep mutex after a full scan came up empty, and
+   submitters signal under that same mutex, so a push either lands
+   before the scan (found) or its signal lands after the wait began
+   (wakes it). *)
+
+type task = unit -> unit
+
+type lane = { lq : task Queue.t; lm : Mutex.t }
+
+type t = {
+  lanes : lane array;
+  mutable workers : unit Domain.t list;  (* set once, just after create *)
+  stop : bool Atomic.t;
+  sleep_m : Mutex.t;
+  sleep_c : Condition.t;
+  rr : int Atomic.t;  (* round-robin submission cursor *)
+  depth : int Atomic.t;  (* queued (unstarted) tasks across lanes *)
+  shuffle : Numeric.Prng.t option;  (* test hook, see mli *)
+}
+
+type 'a state = Pending | Done of 'a | Failed of exn * Printexc.raw_backtrace
+
+type 'a promise = {
+  pm : Mutex.t;
+  pc : Condition.t;
+  mutable state : 'a state;
+}
+
+let tasks_counter = Telemetry.counter Telemetry.parallel_tasks
+
+let steals_counter = Telemetry.counter Telemetry.parallel_steals
+
+let depth_hist =
+  Telemetry.histogram Telemetry.parallel_queue_depth
+    ~bounds:[| 0.; 1.; 2.; 4.; 8.; 16.; 32.; 64. |]
+
+let domains t = Array.length t.lanes
+
+let pop_lane t i =
+  let l = t.lanes.(i) in
+  Mutex.lock l.lm;
+  let r = if Queue.is_empty l.lq then None else Some (Queue.pop l.lq) in
+  Mutex.unlock l.lm;
+  if r <> None then Atomic.decr t.depth;
+  r
+
+(* Pop the own lane, else steal round-robin from the others. *)
+let try_pop t ~lane =
+  match pop_lane t lane with
+  | Some _ as r -> r
+  | None ->
+    let n = Array.length t.lanes in
+    let rec steal k =
+      if k >= n then None
+      else
+        match pop_lane t ((lane + k) mod n) with
+        | Some _ as r ->
+          Telemetry.bump steals_counter;
+          r
+        | None -> steal (k + 1)
+    in
+    steal 1
+
+let rec worker_loop t ~lane =
+  if not (Atomic.get t.stop) then begin
+    (match try_pop t ~lane with
+     | Some task -> task ()
+     | None ->
+       Mutex.lock t.sleep_m;
+       if (not (Atomic.get t.stop)) && Atomic.get t.depth = 0 then
+         Condition.wait t.sleep_c t.sleep_m;
+       Mutex.unlock t.sleep_m);
+    worker_loop t ~lane
+  end
+
+let create ?shuffle ~domains () =
+  if domains < 1 then invalid_arg "Pool.create: domains < 1";
+  let lanes =
+    Array.init domains (fun _ -> { lq = Queue.create (); lm = Mutex.create () })
+  in
+  let pool =
+    { lanes;
+      workers = [];
+      stop = Atomic.make false;
+      sleep_m = Mutex.create ();
+      sleep_c = Condition.create ();
+      rr = Atomic.make 0;
+      depth = Atomic.make 0;
+      shuffle }
+  in
+  pool.workers <-
+    List.init (domains - 1) (fun i ->
+        Domain.spawn (fun () -> worker_loop pool ~lane:(i + 1)));
+  pool
+
+let submit t task =
+  if Atomic.get t.stop then invalid_arg "Pool.async: pool is shut down";
+  let lane =
+    t.lanes.(Atomic.fetch_and_add t.rr 1 mod Array.length t.lanes)
+  in
+  Mutex.lock lane.lm;
+  Queue.push task lane.lq;
+  Mutex.unlock lane.lm;
+  let d = 1 + Atomic.fetch_and_add t.depth 1 in
+  Telemetry.bump tasks_counter;
+  Telemetry.observe depth_hist (float_of_int d);
+  Mutex.lock t.sleep_m;
+  Condition.signal t.sleep_c;
+  Mutex.unlock t.sleep_m
+
+let async t f =
+  let p = { pm = Mutex.create (); pc = Condition.create (); state = Pending } in
+  let task () =
+    let result =
+      match f () with
+      | v -> Done v
+      | exception e -> Failed (e, Printexc.get_raw_backtrace ())
+    in
+    Mutex.lock p.pm;
+    p.state <- result;
+    Condition.broadcast p.pc;
+    Mutex.unlock p.pm
+  in
+  submit t task;
+  p
+
+(* Await helps: while the promise is pending, run queued tasks on the
+   calling domain rather than sleeping. With ~domains:1 this is the
+   only execution engine, and tasks run in strict submission order. If
+   nothing is poppable the promise's task is already running on a
+   worker (or done), so waiting on its condition cannot deadlock. *)
+let rec await t p =
+  Mutex.lock p.pm;
+  let s = p.state in
+  Mutex.unlock p.pm;
+  match s with
+  | Done v -> v
+  | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+  | Pending ->
+    (match try_pop t ~lane:0 with
+     | Some task -> task ()
+     | None ->
+       Mutex.lock p.pm;
+       (match p.state with
+        | Pending -> Condition.wait p.pc p.pm
+        | _ -> ());
+       Mutex.unlock p.pm);
+    await t p
+
+let run_list t thunks =
+  let promises = List.map (fun f -> async t f) thunks in
+  (* Settle everything before re-raising, so no task is left running
+     against deallocated caller state. *)
+  let results =
+    List.map
+      (fun p ->
+        match await t p with
+        | v -> Done v
+        | exception e -> Failed (e, Printexc.get_raw_backtrace ()))
+      promises
+  in
+  List.map
+    (function
+      | Done v -> v
+      | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+      | Pending -> assert false)
+    results
+
+let run_collect t thunks =
+  let rm = Mutex.create () in
+  let completed = ref [] in
+  let promises =
+    List.mapi
+      (fun i f ->
+        async t (fun () ->
+            let r = f () in
+            Mutex.lock rm;
+            completed := (i, r) :: !completed;
+            Mutex.unlock rm))
+      thunks
+  in
+  List.iter (fun p -> await t p) promises;
+  let arr = Array.of_list (List.rev !completed) in
+  (match t.shuffle with
+   | Some rng -> Numeric.Prng.shuffle rng arr
+   | None -> ());
+  Array.to_list arr
+
+let shutdown t =
+  if not (Atomic.exchange t.stop true) then begin
+    Mutex.lock t.sleep_m;
+    Condition.broadcast t.sleep_c;
+    Mutex.unlock t.sleep_m;
+    List.iter Domain.join t.workers
+  end
+
+let with_pool ?shuffle ~domains f =
+  let t = create ?shuffle ~domains () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

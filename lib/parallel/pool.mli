@@ -1,0 +1,74 @@
+(** A fixed-size pool of worker domains with work-stealing task
+    submission.
+
+    The pool owns [domains - 1] spawned domains; the caller's domain
+    is the pool's lane 0 and participates in execution whenever it
+    blocks in {!await} (it "helps": pops and runs queued tasks instead
+    of sleeping). [~domains:1] therefore spawns nothing and runs every
+    task on the caller, in submission order — the sequential
+    degeneration the determinism tests pin down.
+
+    Tasks are submitted round-robin across per-lane FIFO queues; an
+    idle lane first drains its own queue, then steals from the others
+    (bumping the [parallel.steals] counter). Submission order is
+    preserved per lane but not globally — callers that need a
+    deterministic result under any interleaving must make their
+    reduction order-insensitive (see {!Portfolio}).
+
+    Instruments: every submission bumps [parallel.tasks] and samples
+    the queued-task count into the [parallel.queue_depth] histogram;
+    stolen executions bump [parallel.steals].
+
+    A pool is cheap (a few mutexes and queues) but spawning domains is
+    not; create one pool per batch of related work, or share one and
+    {!shutdown} it at the end. *)
+
+type t
+
+(** A handle on a submitted task's eventual result. *)
+type 'a promise
+
+(** [create ~domains ()] spawns [domains - 1] worker domains.
+
+    @param shuffle a {e test hook}: when set, {!run_collect} shuffles
+      its completion-ordered results with this PRNG before returning,
+      so tests can prove a reduction ignores completion order without
+      needing real parallel nondeterminism (impossible to force on a
+      single-core machine).
+    @raise Invalid_argument when [domains < 1]. *)
+val create : ?shuffle:Numeric.Prng.t -> domains:int -> unit -> t
+
+(** Lanes in the pool ([domains] as created, including the caller). *)
+val domains : t -> int
+
+(** [async t f] queues [f] for execution and returns its promise.
+    @raise Invalid_argument after {!shutdown}. *)
+val async : t -> (unit -> 'a) -> 'a promise
+
+(** [await t p] returns the promise's result, running queued tasks on
+    the calling domain while it waits. Re-raises (with the original
+    backtrace) if the task raised. *)
+val await : t -> 'a promise -> 'a
+
+(** [run_list t thunks] runs all thunks and returns their results in
+    {e submission} order. The first raised exception (in submission
+    order) is re-raised after all tasks settle. *)
+val run_list : t -> (unit -> 'a) list -> 'a list
+
+(** [run_collect t thunks] runs all thunks and returns
+    [(index, result)] pairs in {e completion} order — the order the
+    tasks actually finished, which under real parallelism depends on
+    scheduling. When the pool was created with [?shuffle], the list is
+    additionally shuffled. Callers must not depend on the order; the
+    point is to feed order-insensitive reductions and to test that
+    they are. *)
+val run_collect : t -> (unit -> 'a) list -> (int * 'a) list
+
+(** Stop the workers and join them. Queued-but-unstarted tasks are
+    discarded (their promises never settle) — await what you need
+    first. Idempotent. *)
+val shutdown : t -> unit
+
+(** [with_pool ?shuffle ~domains f] is [f pool] with a guaranteed
+    {!shutdown}. *)
+val with_pool : ?shuffle:Numeric.Prng.t -> domains:int -> (t -> 'a) -> 'a

@@ -1,0 +1,25 @@
+type 'a t = { locks : Mutex.t array; shards : 'a array }
+
+let create ~stripes make =
+  if stripes < 1 then invalid_arg "Striped.create: stripes < 1";
+  { locks = Array.init stripes (fun _ -> Mutex.create ());
+    shards = Array.init stripes make }
+
+let stripes t = Array.length t.shards
+
+let with_stripe t i f =
+  let i = i mod Array.length t.shards in
+  let i = if i < 0 then i + Array.length t.shards else i in
+  Mutex.lock t.locks.(i);
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.locks.(i))
+    (fun () -> f t.shards.(i))
+
+let with_key t ~key f = with_stripe t (Hashtbl.hash key) f
+
+let fold t ~init ~f =
+  let acc = ref init in
+  for i = 0 to Array.length t.shards - 1 do
+    acc := with_stripe t i (fun shard -> f !acc shard)
+  done;
+  !acc

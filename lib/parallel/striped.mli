@@ -1,0 +1,41 @@
+(** Sharded-mutex wrapper: [n] independent shards, each its own value
+    behind its own lock.
+
+    The parallel service workers share mutable state that the
+    underlying modules ([Rentcost_service.Cache], [Hashtbl]) do not
+    protect themselves. A single global mutex would serialize every
+    worker on every access; striping hashes the access key to one of
+    [n] shards so accesses to different shards proceed in parallel and
+    only same-shard accesses contend. With [stripes:1] this degrades
+    to exactly the single-mutex wrapper — the sequential code path the
+    daemon uses for [--workers 1].
+
+    Shard assignment is by [Hashtbl.hash] of the string key, so equal
+    keys always reach the same shard — per-key operations (a cache
+    lookup for one fingerprint, a registry insert for one id) are
+    linearizable. Cross-shard reads ({!fold}) lock shards one at a
+    time and therefore see a point-in-time view of each shard but not
+    of the whole — fine for stats, not for invariants. *)
+
+type 'a t
+
+(** [create ~stripes make] builds a striped value of [stripes] shards,
+    shard [i] initialized to [make i].
+    @raise Invalid_argument when [stripes < 1]. *)
+val create : stripes:int -> (int -> 'a) -> 'a t
+
+val stripes : 'a t -> int
+
+(** [with_key t ~key f] runs [f shard] under the lock of the shard
+    [key] hashes to. Equal keys always hit the same shard. *)
+val with_key : 'a t -> key:string -> ('a -> 'b) -> 'b
+
+(** [with_stripe t i f] runs [f] under the lock of shard
+    [i mod stripes t] — for callers that pick their own placement. *)
+val with_stripe : 'a t -> int -> ('a -> 'b) -> 'b
+
+(** [fold t init f] folds [f] over every shard, locking one shard at a
+    time (never two at once, so it cannot deadlock against
+    {!with_key}). The result is not an atomic snapshot of the whole
+    structure. *)
+val fold : 'a t -> init:'b -> f:('b -> 'a -> 'b) -> 'b

@@ -46,18 +46,120 @@ let serve_connection engine ic oc =
   in
   loop ()
 
+(* --- the parallel connection loop ---
+
+   With [workers > 1] the reader domain only parses lines and routes
+   requests: solves are enqueued through [Engine.submit] and answered
+   by whichever worker domain drains them, so responses come back in
+   completion order — clients correlate by id. One mutex around
+   [respond] keeps each JSON line whole. Shutdown (request or EOF)
+   flips the stop flag and wakes the workers, which drain the
+   remaining queue before exiting — a shutdown with a non-empty queue
+   still answers everything, and Bye is the last response. *)
+let serve_connection_parallel engine ~workers ic oc =
+  let om = Mutex.create () in
+  let respond_locked r =
+    Mutex.lock om;
+    Fun.protect ~finally:(fun () -> Mutex.unlock om) (fun () -> respond oc r)
+  in
+  let stop = Atomic.make false in
+  let worker_domains =
+    List.init workers (fun _ ->
+        Domain.spawn (fun () ->
+            let rec loop () =
+              if Engine.wait_for_work engine ~stop:(fun () -> Atomic.get stop)
+              then begin
+                (match Engine.drain_one engine with
+                 | Some r -> (
+                   (* A vanished client must not kill the worker: keep
+                      draining so shutdown still converges. *)
+                   try respond_locked r with Sys_error _ | Unix.Unix_error _ -> ())
+                 | None -> ());
+                loop ()
+              end
+            in
+            loop ()))
+  in
+  let joined = ref false in
+  let join_workers () =
+    if not !joined then begin
+      joined := true;
+      Atomic.set stop true;
+      Engine.wake_all engine;
+      List.iter Domain.join worker_domains
+    end
+  in
+  let serve_request request =
+    match request with
+    | Protocol.Shutdown ->
+      (* Workers finish the backlog first, so Bye really is last. *)
+      join_workers ();
+      List.iter respond_locked
+        (match Engine.submit engine request with Some r -> [ r ] | None -> []);
+      `Stop
+    | _ ->
+      (match Engine.submit engine request with
+       | Some r -> respond_locked r
+       | None -> ());
+      `Continue
+  in
+  let rec loop () =
+    match input_line ic with
+    | exception End_of_file ->
+      join_workers ();
+      `Eof
+    | line ->
+      if is_blank line then loop ()
+      else (
+        match Json.of_string line with
+        | Error msg ->
+          respond_locked
+            (Protocol.Error { id = None; message = "bad json: " ^ msg });
+          loop ()
+        | Ok j -> (
+          match Protocol.request_of_json j with
+          | Error message ->
+            respond_locked (Protocol.Error { id = None; message });
+            loop ()
+          | Ok request -> (
+            match serve_request request with
+            | `Continue -> loop ()
+            | `Stop -> `Stop)))
+  in
+  (* Whatever ends the connection — EOF, shutdown, a client that
+     vanished mid-line — the workers are joined before we return, so
+     the socket accept loop never accumulates orphan domains. *)
+  match loop () with
+  | verdict -> verdict
+  | exception e ->
+    join_workers ();
+    raise e
+
 let make_engine engine config =
   match engine with
   | Some e -> e
   | None -> Engine.create ?config ()
 
-let serve_channels ?engine ?config ?(dump = stderr) ic oc =
+let worker_count engine workers =
+  match workers with
+  | Some w ->
+    if w < 1 then invalid_arg "Daemon: workers < 1";
+    w
+  | None -> (Engine.config engine).Engine.workers
+
+let serve engine ~workers ic oc =
+  if workers <= 1 then serve_connection engine ic oc
+  else serve_connection_parallel engine ~workers ic oc
+
+let serve_channels ?engine ?config ?(dump = stderr) ?workers ic oc =
   let engine = make_engine engine config in
-  let (_ : [ `Eof | `Stop ]) = serve_connection engine ic oc in
+  let workers = worker_count engine workers in
+  let (_ : [ `Eof | `Stop ]) = serve engine ~workers ic oc in
   dump_stats dump engine
 
-let serve_socket ?engine ?config ?(dump = stderr) ~path () =
+let serve_socket ?engine ?config ?(dump = stderr) ?workers ~path () =
   let engine = make_engine engine config in
+  let workers = worker_count engine workers in
   (match Sys.signal Sys.sigpipe Sys.Signal_ignore with
    | (_ : Sys.signal_behavior) -> ()
    | exception Invalid_argument _ -> ());
@@ -76,7 +178,7 @@ let serve_socket ?engine ?config ?(dump = stderr) ~path () =
         let ic = Unix.in_channel_of_descr client
         and oc = Unix.out_channel_of_descr client in
         let verdict =
-          try serve_connection engine ic oc
+          try serve engine ~workers ic oc
           with Sys_error _ | Unix.Unix_error _ ->
             (* A client that vanished mid-line is its own problem. *)
             `Eof

@@ -1,12 +1,26 @@
 (** The serving loop: line-delimited {!Protocol} JSON over channels or
     a Unix-domain socket.
 
-    Single-threaded by design — requests are answered in arrival
-    order, admission control bounds the backlog, and the shared
-    {!Engine.t} needs no locking. On shutdown (a [shutdown] request,
-    or EOF on the input) the engine's {!Engine.stats} snapshot is
-    dumped as one JSON line to [dump] (default [stderr], keeping the
-    response stream clean). *)
+    With [workers <= 1] (the default) the loop is single-threaded and
+    answers requests in arrival order — the historical daemon,
+    bit-identical behaviour. With [workers > 1] the reader domain
+    parses and routes requests while [workers] worker domains drain
+    the admission queue concurrently: solve responses come back in
+    {e completion} order (clients correlate by request id), each JSON
+    line is written atomically under an output lock, and
+    register/stats/metrics requests are answered immediately by the
+    reader. On shutdown (a [shutdown] request, or EOF on the input)
+    the workers first finish every queued job — a shutdown racing a
+    non-empty queue loses no answers and [Bye] is the final response —
+    and then the engine's {!Engine.stats} snapshot is dumped as one
+    JSON line to [dump] (default [stderr], keeping the response stream
+    clean).
+
+    [?workers] defaults to the engine's [config.workers]; passing it
+    overrides the config (the engine's lock striping is sized at
+    {!Engine.create} time, so prefer setting it in the config).
+
+    @raise Invalid_argument when [workers < 1]. *)
 
 (** [serve_channels ic oc] answers requests read from [ic] on [oc]
     until a [shutdown] request or EOF. Unparseable lines get an
@@ -17,6 +31,7 @@ val serve_channels :
   ?engine:Engine.t ->
   ?config:Engine.config ->
   ?dump:out_channel ->
+  ?workers:int ->
   in_channel ->
   out_channel ->
   unit
@@ -25,11 +40,14 @@ val serve_channels :
     (replacing any stale socket file), serving one client at a time;
     client disconnects return to [accept], a [shutdown] request stops
     the server and removes the socket file. The engine — and so the
-    cache — persists across client connections. *)
+    cache — persists across client connections. With [workers > 1]
+    each connection gets its own worker domains (spawned at accept,
+    joined at disconnect); the engine state they drain persists. *)
 val serve_socket :
   ?engine:Engine.t ->
   ?config:Engine.config ->
   ?dump:out_channel ->
+  ?workers:int ->
   path:string ->
   unit ->
   unit

@@ -29,6 +29,7 @@ type config = {
   cache_capacity : int;
   queue_capacity : int;
   default_budget : Budget.t;
+  workers : int;
 }
 
 let default_config =
@@ -36,6 +37,7 @@ let default_config =
     cache_capacity = 128;
     queue_capacity = 64;
     default_budget = Budget.unlimited;
+    workers = 1;
   }
 
 type job = {
@@ -63,29 +65,51 @@ let queue_wait_hist =
 
 let latency_labels = [| "lt_1ms"; "lt_10ms"; "lt_100ms"; "lt_1s"; "ge_1s" |]
 
+module Striped = Rentcost_parallel.Striped
+
 type t = {
   config : config;
-  solutions : Cache.t;
+  solutions : Shared_cache.t;
   queue : job Admission.t;
-  registry : (string, Instance.t * Fingerprint.t) Hashtbl.t;
-  instances : (string, Instance.t * Fingerprint.t) Hashtbl.t;
-      (* keyed by digest; Fingerprint.equal checked on reuse *)
+  qm : Mutex.t;  (* guards every [queue] access *)
+  qc : Condition.t;  (* signalled on admission; workers sleep here *)
+  registry : (string, Instance.t * Fingerprint.t) Hashtbl.t Striped.t;
+      (* striped by name *)
+  instances : (string, Instance.t * Fingerprint.t) Hashtbl.t Striped.t;
+      (* striped by digest; Fingerprint.equal checked on reuse *)
   started_at : float;
 }
 
+(* State sharding scales with the worker count but stays bounded:
+   beyond 8 stripes the lock contention left on a cache stripe is
+   noise next to the solves it fronts. workers = 1 gives single-stripe
+   state — the sequential daemon's exact behaviour. *)
+let stripes_for config = max 1 (min config.workers 8)
+
 let create ?(config = default_config) () =
+  if config.workers < 1 then invalid_arg "Engine.create: workers < 1";
+  let stripes = stripes_for config in
   {
     config;
-    solutions = Cache.create ~capacity:config.cache_capacity;
+    solutions =
+      Shared_cache.create ~capacity:config.cache_capacity ~stripes;
     queue = Admission.create ~capacity:config.queue_capacity;
-    registry = Hashtbl.create 16;
-    instances = Hashtbl.create 16;
+    qm = Mutex.create ();
+    qc = Condition.create ();
+    registry = Striped.create ~stripes (fun _ -> Hashtbl.create 16);
+    instances = Striped.create ~stripes (fun _ -> Hashtbl.create 16);
     started_at = Unix.gettimeofday ();
   }
 
 let cache t = t.solutions
 
-let queue_length t = Admission.length t.queue
+let config t = t.config
+
+let locked_queue t f =
+  Mutex.lock t.qm;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.qm) (fun () -> f t.queue)
+
+let queue_length t = locked_queue t Admission.length
 
 (* --- canonical split translation ---
 
@@ -114,8 +138,11 @@ let alloc_of_canonical inst canonical_rho =
 let register t ~name problem =
   let inst = Instance.compile problem in
   let fp = Fingerprint.of_instance inst in
-  Hashtbl.replace t.registry name (inst, fp);
-  Hashtbl.replace t.instances (Fingerprint.digest fp) (inst, fp);
+  Striped.with_key t.registry ~key:name (fun tbl ->
+      Hashtbl.replace tbl name (inst, fp));
+  let digest = Fingerprint.digest fp in
+  Striped.with_key t.instances ~key:digest (fun tbl ->
+      Hashtbl.replace tbl digest (inst, fp));
   fp
 
 (* Resolve a solve source to [(solve_inst, client_inst, fp)]:
@@ -126,21 +153,34 @@ let register t ~name problem =
 let resolve t source =
   match source with
   | Protocol.Ref name -> (
-    match Hashtbl.find_opt t.registry name with
+    match
+      Striped.with_key t.registry ~key:name (fun tbl ->
+          Hashtbl.find_opt tbl name)
+    with
     | None -> Result.Error (Printf.sprintf "solve: unknown ref %S" name)
     | Some (inst, fp) ->
       Telemetry.bump c_reuse;
       Result.Ok (inst, inst, fp))
-  | Protocol.Inline problem -> (
+  | Protocol.Inline problem ->
     let inst = Instance.compile problem in
     let fp = Fingerprint.of_instance inst in
-    match Hashtbl.find_opt t.instances (Fingerprint.digest fp) with
-    | Some (inst0, fp0) when Fingerprint.equal fp fp0 ->
-      Telemetry.bump c_reuse;
-      Result.Ok (inst0, inst, fp)
-    | _ ->
-      Hashtbl.replace t.instances (Fingerprint.digest fp) (inst, fp);
-      Result.Ok (inst, inst, fp))
+    let digest = Fingerprint.digest fp in
+    (* Lookup and (on miss) insert under one stripe lock, so two
+       workers resolving the same inline problem agree on which
+       compiled instance is the shared one. *)
+    let solve_inst =
+      Striped.with_key t.instances ~key:digest (fun tbl ->
+          match Hashtbl.find_opt tbl digest with
+          | Some (inst0, fp0) when Fingerprint.equal fp fp0 -> `Reuse inst0
+          | _ ->
+            Hashtbl.replace tbl digest (inst, fp);
+            `Fresh)
+    in
+    (match solve_inst with
+     | `Reuse inst0 ->
+       Telemetry.bump c_reuse;
+       Result.Ok (inst0, inst, fp)
+     | `Fresh -> Result.Ok (inst, inst, fp))
 
 (* --- the reuse ladder --- *)
 
@@ -199,7 +239,7 @@ let run_solve_inner t ~now job =
     let exact =
       if reuse_at_least Protocol.Exact_only then
         Telemetry.Span.with_span "service.rung.exact" (fun () ->
-            Cache.find_exact t.solutions ~digest ~encoding ~target:job.target
+            Shared_cache.find_exact t.solutions ~digest ~encoding ~target:job.target
               ~spec:spec_s)
       else None
     in
@@ -215,7 +255,7 @@ let run_solve_inner t ~now job =
        let monotone =
          if reuse_at_least Protocol.Monotone then
            Telemetry.Span.with_span "service.rung.monotone" (fun () ->
-               Cache.find_monotone t.solutions ~digest ~encoding
+               Shared_cache.find_monotone t.solutions ~digest ~encoding
                  ~target:job.target)
          else None
        in
@@ -234,7 +274,7 @@ let run_solve_inner t ~now job =
            if reuse_at_least Protocol.Warm then
              Telemetry.Span.with_span "service.rung.warm" (fun () ->
                  match
-                   Cache.find_nearest t.solutions ~digest ~encoding
+                   Shared_cache.find_nearest t.solutions ~digest ~encoding
                      ~target:job.target
                  with
                  | Some entry ->
@@ -258,7 +298,7 @@ let run_solve_inner t ~now job =
             if outcome.Solver.telemetry.Solver.warm_started then
               Telemetry.bump c_warm;
             let canonical = canonical_rho_of solve_inst alloc in
-            Cache.insert t.solutions ~digest ~encoding
+            Shared_cache.insert t.solutions ~digest ~encoding
               {
                 Cache.target = job.target;
                 spec = spec_s;
@@ -316,19 +356,22 @@ let stats t =
     ( "cache",
       Json.Obj
         [
-          ("size", Json.Int (Cache.length t.solutions));
-          ("capacity", Json.Int (Cache.capacity t.solutions));
-          ("evictions", Json.Int (Cache.evictions t.solutions));
+          ("size", Json.Int (Shared_cache.length t.solutions));
+          ("capacity", Json.Int (Shared_cache.capacity t.solutions));
+          ("evictions", Json.Int (Shared_cache.evictions t.solutions));
         ] );
     ( "queue",
       Json.Obj
         [
-          ("depth", Json.Int (Admission.length t.queue));
+          ("depth", Json.Int (queue_length t));
           ("capacity", Json.Int (Admission.capacity t.queue));
-          ("shed", Json.Int (Admission.shed_count t.queue));
+          ("shed", Json.Int (locked_queue t Admission.shed_count));
         ] );
     ("latency", Json.Obj latency);
-    ("registered", Json.Int (Hashtbl.length t.registry));
+    ( "registered",
+      Json.Int
+        (Striped.fold t.registry ~init:0 ~f:(fun acc tbl ->
+             acc + Hashtbl.length tbl)) );
   ]
 
 (* --- request dispatch --- *)
@@ -356,16 +399,35 @@ let submit ?now t (request : Protocol.request) =
     let expires_at =
       Option.map (fun d -> now +. d) budget.Budget.deadline
     in
-    if Admission.offer t.queue ?expires_at job then None
+    let admitted =
+      locked_queue t (fun q ->
+          let ok = Admission.offer q ?expires_at job in
+          if ok then Condition.signal t.qc;
+          ok)
+    in
+    if admitted then None
     else begin
       Telemetry.bump c_shed;
       Some (Protocol.Overloaded { id })
     end
 
+(* Take one job under the queue lock; run it outside (solves are the
+   long part — holding qm across them would serialize the workers). *)
+let take_one ~now t = locked_queue t (fun q -> Admission.take q ~now)
+
+let drain_one ?now t =
+  let now = clock now in
+  match take_one ~now t with
+  | `Empty -> None
+  | `Shed job ->
+    Telemetry.bump c_shed;
+    Some (Protocol.Overloaded { id = job.id })
+  | `Job job -> Some (run_solve t ~now job)
+
 let drain ?now t =
   let now = clock now in
   let rec go acc =
-    match Admission.take t.queue ~now with
+    match take_one ~now t with
     | `Empty -> List.rev acc
     | `Shed job ->
       Telemetry.bump c_shed;
@@ -373,6 +435,29 @@ let drain ?now t =
     | `Job job -> go (run_solve t ~now job :: acc)
   in
   go []
+
+(* Block until the queue is non-empty or [stop ()] turns true (the
+   caller flips its stop flag and calls [wake_all]). Returns whether
+   the queue held work at wake-up — true even when stopping, so
+   workers drain a non-empty queue before exiting. *)
+let wait_for_work t ~stop =
+  Mutex.lock t.qm;
+  let rec wait () =
+    if Admission.length t.queue > 0 then true
+    else if stop () then false
+    else begin
+      Condition.wait t.qc t.qm;
+      wait ()
+    end
+  in
+  let has_work = wait () in
+  Mutex.unlock t.qm;
+  has_work
+
+let wake_all t =
+  Mutex.lock t.qm;
+  Condition.broadcast t.qc;
+  Mutex.unlock t.qm
 
 let handle ?now t request =
   match request with

@@ -40,7 +40,18 @@
     span whose children trace the ladder rungs and the engine solve.
     {!stats} snapshots all of it for the [stats] request and the
     shutdown dump; the [metrics] request serves the full
-    {!Metrics.json} exposition. *)
+    {!Metrics.json} exposition.
+
+    {2 Concurrency}
+
+    The engine is safe to share across domains: the admission queue
+    sits behind one mutex + condition variable ({!submit} signals,
+    {!wait_for_work} sleeps), and the solution cache, name registry
+    and instance table are lock-striped ({!Shared_cache},
+    [Rentcost_parallel.Striped]) with stripe counts sized by
+    [config.workers]. With [workers = 1] everything degrades to the
+    single-lock sequential engine. Solves themselves run outside all
+    engine locks, so [N] workers really solve [N] jobs at once. *)
 
 type config = {
   cache_capacity : int;  (** LRU entries (default 128) *)
@@ -48,13 +59,22 @@ type config = {
   default_budget : Rentcost.Budget.t;
       (** budget for solve requests that carry none (default
           {!Rentcost.Budget.unlimited}) *)
+  workers : int;
+      (** worker domains the daemon should drain the queue with
+          (default 1 = the historical sequential daemon). The engine
+          itself spawns nothing — {!Daemon} owns the domains — but the
+          worker count sizes the lock striping of the cache, registry
+          and instance table. *)
 }
 
 val default_config : config
 
 type t
 
+(** @raise Invalid_argument when [config.workers < 1]. *)
 val create : ?config:config -> unit -> t
+
+val config : t -> config
 
 (** [register t ~name problem] compiles [problem], stores it under
     [name] (replacing any previous binding) and in the instance table,
@@ -75,6 +95,24 @@ val submit : ?now:float -> t -> Protocol.request -> Protocol.response option
     responses in arrival order. *)
 val drain : ?now:float -> t -> Protocol.response list
 
+(** [drain_one t] takes and runs {e one} queued solve (or answers one
+    expired job with [Overloaded]); [None] when the queue is empty.
+    The building block of the parallel daemon's worker loop: each
+    worker repeatedly takes one job under the queue lock and solves it
+    outside, so concurrent workers interleave at job granularity. *)
+val drain_one : ?now:float -> t -> Protocol.response option
+
+(** [wait_for_work t ~stop] blocks the calling domain until the queue
+    is non-empty or [stop ()] is true, and returns whether the queue
+    held work — [true] even when stopping, so a worker loop drains a
+    non-empty queue before exiting. Whoever flips the stop flag must
+    call {!wake_all} afterwards. *)
+val wait_for_work : t -> stop:(unit -> bool) -> bool
+
+(** Wake every domain blocked in {!wait_for_work} (for stop-flag
+    changes; admissions signal by themselves). *)
+val wake_all : t -> unit
+
 (** [handle t request] = backlog first, then this request: {!drain}
     composed with {!submit} so callers with one request in flight —
     the daemon, the tests — get exactly its responses, in order. *)
@@ -86,8 +124,10 @@ val handle : ?now:float -> t -> Protocol.request -> Protocol.response list
     histogram buckets. *)
 val stats : t -> (string * Json.t) list
 
-(** The engine's solution cache (tests observe eviction order). *)
-val cache : t -> Cache.t
+(** The engine's solution cache (tests observe occupancy and eviction
+    counts). Striped by fingerprint digest; single-stripe — the plain
+    LRU — when [workers = 1]. *)
+val cache : t -> Shared_cache.t
 
 (** Queued solve requests not yet drained. *)
 val queue_length : t -> int

@@ -1,0 +1,45 @@
+type t = { striped : Cache.t Rentcost_parallel.Striped.t; total : int }
+
+module Striped = Rentcost_parallel.Striped
+
+let create ~capacity ~stripes =
+  if capacity <= 0 then invalid_arg "Shared_cache.create: capacity <= 0";
+  if stripes < 1 then invalid_arg "Shared_cache.create: stripes < 1";
+  let stripes = min stripes capacity in
+  (* Spread the total capacity as evenly as it divides; the first
+     [capacity mod stripes] stripes take the remainder. *)
+  let base = capacity / stripes and extra = capacity mod stripes in
+  { striped =
+      Striped.create ~stripes (fun i ->
+          Cache.create ~capacity:(base + if i < extra then 1 else 0));
+    total = capacity }
+
+let stripes t = Striped.stripes t.striped
+
+let capacity t = t.total
+
+let length t =
+  Striped.fold t.striped ~init:0 ~f:(fun acc c -> acc + Cache.length c)
+
+let evictions t =
+  Striped.fold t.striped ~init:0 ~f:(fun acc c -> acc + Cache.evictions c)
+
+let find_exact t ~digest ~encoding ~target ~spec =
+  Striped.with_key t.striped ~key:digest (fun c ->
+      Cache.find_exact c ~digest ~encoding ~target ~spec)
+
+let find_monotone t ~digest ~encoding ~target =
+  Striped.with_key t.striped ~key:digest (fun c ->
+      Cache.find_monotone c ~digest ~encoding ~target)
+
+let find_nearest t ~digest ~encoding ~target =
+  Striped.with_key t.striped ~key:digest (fun c ->
+      Cache.find_nearest c ~digest ~encoding ~target)
+
+let insert t ~digest ~encoding entry =
+  Striped.with_key t.striped ~key:digest (fun c ->
+      Cache.insert c ~digest ~encoding entry)
+
+let mem t ~digest ~target ~spec =
+  Striped.with_key t.striped ~key:digest (fun c ->
+      Cache.mem c ~digest ~target ~spec)

@@ -1,0 +1,52 @@
+(** A domain-safe striped wrapper around the LRU {!Cache}.
+
+    Every cache operation is keyed by a fingerprint digest, so the
+    digest doubles as the striping key: [stripes] independent
+    {!Cache.t}s, each behind its own lock, with equal digests always
+    landing on the same stripe. Lookups and inserts for one structure
+    are therefore linearizable, while requests for unrelated
+    structures proceed in parallel. With [stripes:1] this is exactly a
+    mutex around one {!Cache.t} — the sequential daemon's
+    configuration, with bit-identical hit/eviction behaviour to the
+    unwrapped cache.
+
+    The total [capacity] is split across stripes (as evenly as
+    possible), so the bound on live entries is global; eviction
+    pressure, however, is per-stripe — a hot stripe can evict while a
+    cold one has room. That trades a little hit rate for lock-free
+    cross-stripe parallelism. *)
+
+type t
+
+(** [create ~capacity ~stripes] — [stripes] is clamped to
+    [capacity] (every stripe holds at least one entry).
+    @raise Invalid_argument when [capacity <= 0] or [stripes < 1]. *)
+val create : capacity:int -> stripes:int -> t
+
+val stripes : t -> int
+
+(** Total capacity across stripes (= the [create] argument). *)
+val capacity : t -> int
+
+(** Live entries across stripes. *)
+val length : t -> int
+
+(** Total evictions across stripes. *)
+val evictions : t -> int
+
+(** The four {!Cache} operations, each running under the lock of the
+    digest's stripe. Semantics are {!Cache}'s. *)
+
+val find_exact :
+  t -> digest:string -> encoding:string -> target:int -> spec:string ->
+  Cache.entry option
+
+val find_monotone :
+  t -> digest:string -> encoding:string -> target:int -> Cache.entry option
+
+val find_nearest :
+  t -> digest:string -> encoding:string -> target:int -> Cache.entry option
+
+val insert : t -> digest:string -> encoding:string -> Cache.entry -> unit
+
+val mem : t -> digest:string -> target:int -> spec:string -> bool

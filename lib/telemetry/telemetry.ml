@@ -3,14 +3,16 @@
    contract; the implementation notes below cover what the interface
    does not promise.
 
-   Thread-safety: the *registries* (name -> counter / histogram) are
-   protected by one mutex, so find-or-create during a concurrent
-   snapshot cannot corrupt the tables — [all] and [histograms] copy
-   under the lock and hand out plain lists. The *recording* paths
-   (bump, add, observe, span push) are deliberately lock-free: they
-   are single-writer in every current embedding (the daemon is
-   single-threaded), and under true parallel writers an increment may
-   be lost but nothing can crash or hang. *)
+   Thread-safety: every instrument is safe under parallel writers
+   since the multicore PR. Counters are [Atomic.t]s (bump/add are
+   wait-free and exact). Histograms carry one mutex each protecting
+   the bucket array, sum and count together, so a snapshot always
+   satisfies sum-of-buckets = count. The span ring indexes slots with
+   a fetch-and-add so two domains never write the same slot, the
+   open-span context (parent id, depth) is domain-local state, and the
+   sink is called under its own mutex so a JSONL trace writer never
+   interleaves lines. The registries (name -> instrument) keep their
+   original single mutex. *)
 
 let enabled_flag = ref true
 
@@ -34,7 +36,7 @@ let locked f =
 
 (* --- counters --- *)
 
-type counter = { mutable value : int }
+type counter = int Atomic.t
 
 let registry : (string, counter) Hashtbl.t = Hashtbl.create 16
 
@@ -43,24 +45,28 @@ let counter name =
       match Hashtbl.find_opt registry name with
       | Some c -> c
       | None ->
-        let c = { value = 0 } in
+        let c = Atomic.make 0 in
         Hashtbl.add registry name c;
         c)
 
-let bump c = if !enabled_flag then c.value <- c.value + 1
+let bump c = if !enabled_flag then Atomic.incr c
 
-let add c n = if !enabled_flag then c.value <- c.value + n
+let add c n = if !enabled_flag then ignore (Atomic.fetch_and_add c n)
 
-let read c = c.value
+let read c = Atomic.get c
 
 let value name =
   locked (fun () ->
-      match Hashtbl.find_opt registry name with Some c -> c.value | None -> 0)
+      match Hashtbl.find_opt registry name with
+      | Some c -> Atomic.get c
+      | None -> 0)
 
 let all () =
   List.sort compare
     (locked (fun () ->
-         Hashtbl.fold (fun name c acc -> (name, c.value) :: acc) registry []))
+         Hashtbl.fold
+           (fun name c acc -> (name, Atomic.get c) :: acc)
+           registry []))
 
 (* --- histograms --- *)
 
@@ -70,6 +76,9 @@ type histogram = {
   counts : int array;  (* length = |bounds| + 1; last is overflow *)
   mutable sum : float;
   mutable observations : int;
+  hist_lock : Mutex.t;
+      (* protects counts/sum/observations as one unit, so a snapshot
+         never tears (sum of counts always equals observations) *)
 }
 
 type histogram_snapshot = {
@@ -108,7 +117,8 @@ let histogram name ~bounds =
             bounds = Array.copy bounds;
             counts = Array.make (Array.length bounds + 1) 0;
             sum = 0.0;
-            observations = 0 }
+            observations = 0;
+            hist_lock = Mutex.create () }
         in
         Hashtbl.add histogram_registry name h;
         h)
@@ -124,17 +134,24 @@ let bucket_index h v =
 let observe h v =
   if !enabled_flag then begin
     let b = bucket_index h v in
+    Mutex.lock h.hist_lock;
     h.counts.(b) <- h.counts.(b) + 1;
     h.sum <- h.sum +. v;
-    h.observations <- h.observations + 1
+    h.observations <- h.observations + 1;
+    Mutex.unlock h.hist_lock
   end
 
 let snapshot h =
-  { h_name = h.hist_name;
-    h_bounds = Array.copy h.bounds;
-    h_counts = Array.copy h.counts;
-    h_sum = h.sum;
-    h_count = h.observations }
+  Mutex.lock h.hist_lock;
+  let s =
+    { h_name = h.hist_name;
+      h_bounds = Array.copy h.bounds;
+      h_counts = Array.copy h.counts;
+      h_sum = h.sum;
+      h_count = h.observations }
+  in
+  Mutex.unlock h.hist_lock;
+  s
 
 let histograms () =
   List.sort compare
@@ -160,21 +177,26 @@ module Span = struct
     { id = 0; parent = 0; depth = 0; name = ""; attrs = []; start = 0.0;
       duration = 0.0 }
 
-  (* Bounded ring of completed spans. [total] only grows; the write
-     slot is [total mod capacity]. *)
+  (* Bounded ring of completed spans. [total] only grows; each push
+     claims slot [fetch_and_add total 1 mod capacity], so parallel
+     pushes land in distinct slots. *)
   let ring = ref (Array.make 256 dummy)
 
-  let total = ref 0
+  let total = Atomic.make 0
 
-  let next_id = ref 0
+  let next_id = Atomic.make 0
 
-  (* Innermost open span (its id and depth): with_span brackets
-     maintain this to parent-link completed spans. *)
-  let cur_parent = ref 0
-
-  let cur_depth = ref 0
+  (* Innermost open span of the *current domain* (its id and depth):
+     with_span brackets maintain this to parent-link completed spans.
+     Domain-local, so traces from parallel workers nest correctly
+     instead of parenting under whichever span another domain happens
+     to have open. *)
+  let context : (int * int) Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> (0, 0))
 
   let sink : (t -> unit) option ref = ref None
+
+  let sink_mutex = Mutex.create ()
 
   let set_sink s = sink := s
 
@@ -183,45 +205,46 @@ module Span = struct
   let set_capacity n =
     if n <= 0 then invalid_arg "Telemetry.Span.set_capacity";
     ring := Array.make n dummy;
-    total := 0
+    Atomic.set total 0
 
   let clear () =
     Array.fill !ring 0 (Array.length !ring) dummy;
-    total := 0;
-    cur_parent := 0;
-    cur_depth := 0
+    Atomic.set total 0;
+    Domain.DLS.set context (0, 0)
 
-  let recorded () = !total
+  let recorded () = Atomic.get total
 
   let push s =
+    let slot = Atomic.fetch_and_add total 1 in
     let r = !ring in
-    r.(!total mod Array.length r) <- s;
-    incr total;
-    match !sink with None -> () | Some f -> f s
+    r.(slot mod Array.length r) <- s;
+    match !sink with
+    | None -> ()
+    | Some f ->
+      Mutex.lock sink_mutex;
+      Fun.protect ~finally:(fun () -> Mutex.unlock sink_mutex) (fun () -> f s)
+
+  let fresh_id () = 1 + Atomic.fetch_and_add next_id 1
 
   (* Record an externally timed span (sampled loops time their own
-     blocks). It is parented under the innermost open span. *)
+     blocks). It is parented under the innermost open span of this
+     domain. *)
   let record ?(attrs = []) ~name ~start ~duration () =
     if !enabled_flag then begin
-      incr next_id;
-      push
-        { id = !next_id; parent = !cur_parent; depth = !cur_depth; name;
-          attrs; start; duration }
+      let parent, depth = Domain.DLS.get context in
+      push { id = fresh_id (); parent; depth; name; attrs; start; duration }
     end
 
   let with_span ?(attrs = []) name f =
     if not !enabled_flag then f ()
     else begin
-      incr next_id;
-      let id = !next_id in
-      let parent = !cur_parent and depth = !cur_depth in
-      cur_parent := id;
-      cur_depth := depth + 1;
+      let id = fresh_id () in
+      let parent, depth = Domain.DLS.get context in
+      Domain.DLS.set context (id, depth + 1);
       let t0 = !clock () in
       let finish () =
         let duration = !clock () -. t0 in
-        cur_parent := parent;
-        cur_depth := depth;
+        Domain.DLS.set context (parent, depth);
         push { id; parent; depth; name; attrs; start = t0; duration }
       in
       match f () with
@@ -239,8 +262,8 @@ module Span = struct
   let recent () =
     let r = !ring in
     let cap = Array.length r in
-    let n = min !total cap in
-    let first = !total - n in
+    let n = min (Atomic.get total) cap in
+    let first = Atomic.get total - n in
     List.init n (fun i -> r.((first + i) mod cap))
 end
 
@@ -301,6 +324,11 @@ let service_shed = "service.shed"
 
 let service_op op = "service.op." ^ op
 
+let parallel_tasks = "parallel.tasks"
+let parallel_steals = "parallel.steals"
+
+let parallel_win strategy = "parallel.win." ^ strategy
+
 (* --- well-known histogram names --- *)
 
 let service_latency_seconds = "service.latency_seconds"
@@ -308,3 +336,5 @@ let service_queue_wait_seconds = "service.queue_wait_seconds"
 let solver_wall_seconds = "solver.wall_seconds"
 let heuristic_run_evals = "heuristics.run_evals"
 let milp_solve_nodes = "milp.solve_nodes"
+let parallel_queue_depth = "parallel.queue_depth"
+let parallel_portfolio_seconds = "parallel.portfolio_seconds"

@@ -26,12 +26,16 @@
     its body — no clock reads, no allocation — so instrumented code
     paths are effectively zero-cost when observability is off.
 
-    Thread-safety: registration and snapshots ({!counter},
-    {!histogram}, {!all}, {!histograms}) are mutex-protected, so
-    registering during an iteration over a snapshot — or from another
-    domain — never raises. The recording paths (bump, observe, span
-    push) are lock-free single-writer: under parallel writers an
-    increment may be lost, but nothing crashes. *)
+    Thread-safety: every instrument is safe and {e exact} under
+    parallel writers. Counters are atomics (wait-free bump/add, no
+    lost increments); each histogram guards its buckets, sum and count
+    with one mutex, so snapshots never tear; span ring slots are
+    claimed with a fetch-and-add, the open-span context is
+    domain-local (a worker's spans nest under {e its own} enclosing
+    span, not another domain's), and the sink runs under its own mutex
+    so a trace writer's lines never interleave. Registration and
+    snapshots ({!counter}, {!histogram}, {!all}, {!histograms}) keep
+    their original registry mutex. *)
 
 val enabled : unit -> bool
 
@@ -228,6 +232,20 @@ val service_shed : string
     service engine for every protocol operation it is handed. *)
 val service_op : string -> string
 
+(** {2 Parallel-execution counters ([Rentcost_parallel])} *)
+
+(** Tasks submitted to a {!Rentcost_parallel.Pool}. *)
+val parallel_tasks : string
+
+(** Tasks a pool lane executed from {e another} lane's queue (work
+    stealing). *)
+val parallel_steals : string
+
+(** [parallel_win "h32_jump"] etc. — portfolio races won per strategy
+    (the strategy whose incumbent the deterministic reduction
+    selected). *)
+val parallel_win : string -> string
+
 (** {1 Well-known histogram names} *)
 
 (** Request handling latency in the service engine, seconds. *)
@@ -244,3 +262,10 @@ val heuristic_run_evals : string
 
 (** Branch-and-bound nodes per MILP solve (a size histogram). *)
 val milp_solve_nodes : string
+
+(** Pool queue depth sampled at each task submission (a size
+    histogram). *)
+val parallel_queue_depth : string
+
+(** End-to-end portfolio race wall time, seconds. *)
+val parallel_portfolio_seconds : string

@@ -26,4 +26,5 @@ let () =
       Test_analysis.suite;
       Test_format.suite;
       Test_service.suite;
-      Test_telemetry.suite ]
+      Test_telemetry.suite;
+      Test_parallel.suite ]

@@ -1,0 +1,634 @@
+(* Tests for the multicore layer (Rentcost_parallel + the parallel
+   service): the domain pool's scheduling contract, striped-lock
+   mutual exclusion, the shared LRU cache under concurrent writers,
+   the engine's worker-loop building blocks, the portfolio race's
+   differential and determinism guarantees, and a parallel daemon
+   session under concurrent clients.
+
+   RENTCOST_TEST_DOMAINS (default 2) sets the domain/worker counts, so
+   CI runs the whole battery both sequentially (=1) and with real
+   parallelism (=4) — the assertions are identical in both modes;
+   that is the point. *)
+
+module P = Numeric.Prng
+module S = Rentcost.Solver
+module H = Rentcost.Heuristics
+module AL = Rentcost.Allocation
+module Pl = Rentcost_parallel.Pool
+module St = Rentcost_parallel.Striped
+module Pf = Rentcost_parallel.Portfolio
+module Svc = Rentcost_service
+module E = Svc.Engine
+module Pr = Svc.Protocol
+module J = Svc.Json
+module G = Cloudsim.Generator
+
+let test_domains =
+  match Sys.getenv_opt "RENTCOST_TEST_DOMAINS" with
+  | Some v -> (
+    match int_of_string_opt v with Some n when n >= 1 -> n | _ -> 2)
+  | None -> 2
+
+let illustrating = Rentcost.Problem.illustrating
+
+(* Small heuristic budgets: the properties below solve whole
+   portfolios per case, and the guarantees are seed-for-seed, not
+   effort-dependent. *)
+let small_params = { H.default_params with H.iterations = 60; H.jumps = 8 }
+
+let cost_of outcome =
+  match outcome.S.allocation with
+  | Some a -> a.AL.cost
+  | None -> Alcotest.fail "expected an allocation"
+
+let alloc_key outcome =
+  match outcome.S.allocation with
+  | Some a -> Some (Array.to_list a.AL.rho, Array.to_list a.AL.machines, a.AL.cost)
+  | None -> None
+
+(* --- Pool: scheduling contract --- *)
+
+let test_pool_sequential_order () =
+  (* domains:1 spawns nothing: every task runs on the caller, in
+     submission order — the degeneration the portfolio's determinism
+     argument leans on. *)
+  let ran = ref [] in
+  let results =
+    Pl.with_pool ~domains:1 (fun pool ->
+        Pl.run_list pool
+          (List.init 8 (fun i () ->
+               ran := i :: !ran;
+               i * i)))
+  in
+  Alcotest.(check (list int)) "results in submission order"
+    (List.init 8 (fun i -> i * i))
+    results;
+  Alcotest.(check (list int)) "executed in submission order"
+    (List.init 8 Fun.id) (List.rev !ran)
+
+let test_pool_run_list_order () =
+  let results =
+    Pl.with_pool ~domains:test_domains (fun pool ->
+        Pl.run_list pool (List.init 32 (fun i () -> 3 * i)))
+  in
+  Alcotest.(check (list int)) "submission-order results under N domains"
+    (List.init 32 (fun i -> 3 * i))
+    results
+
+let test_pool_no_lost_tasks () =
+  let hits = Atomic.make 0 in
+  Pl.with_pool ~domains:test_domains (fun pool ->
+      ignore
+        (Pl.run_list pool
+           (List.init 200 (fun _ () -> Atomic.incr hits))));
+  Alcotest.(check int) "every submitted task ran exactly once" 200
+    (Atomic.get hits)
+
+let test_pool_run_collect_complete () =
+  let pairs =
+    Pl.with_pool ~domains:test_domains (fun pool ->
+        Pl.run_collect pool (List.init 50 (fun i () -> i + 100)))
+  in
+  let indices = List.sort compare (List.map fst pairs) in
+  Alcotest.(check (list int)) "every index appears exactly once"
+    (List.init 50 Fun.id) indices;
+  List.iter
+    (fun (i, r) ->
+      Alcotest.(check int) "result travels with its index" (i + 100) r)
+    pairs
+
+let test_pool_exception_propagation () =
+  (match
+     Pl.with_pool ~domains:test_domains (fun pool ->
+         Pl.run_list pool
+           (List.init 6 (fun i () -> if i = 3 then failwith "boom" else i)))
+   with
+   | _ -> Alcotest.fail "expected the task's exception"
+   | exception Failure msg -> Alcotest.(check string) "task exn" "boom" msg);
+  (* Await re-raises too, and the pool survives a failed task. *)
+  Pl.with_pool ~domains:test_domains (fun pool ->
+      let bad = Pl.async pool (fun () -> raise Exit) in
+      let good = Pl.async pool (fun () -> 41 + 1) in
+      (match Pl.await pool bad with
+       | _ -> Alcotest.fail "expected Exit"
+       | exception Exit -> ());
+      Alcotest.(check int) "later task unaffected" 42 (Pl.await pool good))
+
+let test_pool_guards () =
+  (match Pl.create ~domains:0 () with
+   | _ -> Alcotest.fail "domains:0 accepted"
+   | exception Invalid_argument _ -> ());
+  let pool = Pl.create ~domains:1 () in
+  Pl.shutdown pool;
+  Pl.shutdown pool;
+  (* idempotent *)
+  match Pl.async pool (fun () -> ()) with
+  | _ -> Alcotest.fail "submit after shutdown accepted"
+  | exception Invalid_argument _ -> ()
+
+(* --- Striped: mutual exclusion and key placement --- *)
+
+let spawn_each n f = List.init n (fun i -> Domain.spawn (fun () -> f i))
+let join_all = List.iter Domain.join
+
+let test_striped_mutual_exclusion () =
+  (* Read-modify-write on one shared cell from several domains: only
+     mutual exclusion keeps the final count exact. *)
+  let cell = St.create ~stripes:1 (fun _ -> ref 0) in
+  let per_domain = 2_000 in
+  join_all
+    (spawn_each (max 2 test_domains) (fun _ ->
+         for _ = 1 to per_domain do
+           St.with_key cell ~key:"the-key" (fun r -> incr r)
+         done));
+  Alcotest.(check int) "no lost increments"
+    (max 2 test_domains * per_domain)
+    (St.with_key cell ~key:"the-key" (fun r -> !r))
+
+let test_striped_fold_and_placement () =
+  let t = St.create ~stripes:4 (fun _ -> ref 0) in
+  let keys = List.init 32 (fun i -> "key-" ^ string_of_int i) in
+  List.iter (fun k -> St.with_key t ~key:k (fun r -> incr r)) keys;
+  (* Equal keys land on the same shard, so a second pass doubles every
+     shard's count and the fold sees the exact total. *)
+  List.iter (fun k -> St.with_key t ~key:k (fun r -> incr r)) keys;
+  Alcotest.(check int) "fold sums all shards" 64
+    (St.fold t ~init:0 ~f:(fun acc r -> acc + !r));
+  Alcotest.(check int) "stripes as created" 4 (St.stripes t)
+
+(* --- Shared_cache: bounded and correct under concurrent writers --- *)
+
+let test_shared_cache_race () =
+  let capacity = 8 in
+  let cache = Svc.Shared_cache.create ~capacity ~stripes:4 in
+  let digest i = Printf.sprintf "digest-%03d" i
+  and encoding i = Printf.sprintf "encoding-%03d" i in
+  let entry i =
+    { Svc.Cache.target = 10; spec = "h32jump"; canonical_rho = [| i; i |];
+      cost = i; optimal = false }
+  in
+  join_all
+    (spawn_each (max 2 test_domains) (fun d ->
+         for round = 1 to 20 do
+           for i = 0 to 19 do
+             if (i + d + round) mod 3 = 0 then
+               Svc.Shared_cache.insert cache ~digest:(digest i)
+                 ~encoding:(encoding i) (entry i)
+             else
+               match
+                 Svc.Shared_cache.find_exact cache ~digest:(digest i)
+                   ~encoding:(encoding i) ~target:10 ~spec:"h32jump"
+               with
+               | None -> ()
+               | Some e ->
+                 (* A hit must be the entry stored under that digest —
+                    never another fingerprint's answer. *)
+                 if e.Svc.Cache.cost <> i then
+                   Alcotest.failf "digest %d answered with cost %d" i
+                     e.Svc.Cache.cost
+           done
+         done));
+  Alcotest.(check bool) "live entries within global capacity" true
+    (Svc.Shared_cache.length cache <= capacity);
+  Alcotest.(check int) "capacity reported as created" capacity
+    (Svc.Shared_cache.capacity cache)
+
+(* --- Engine: the worker-loop building blocks --- *)
+
+let solve_req ?id ?(reuse = Pr.Monotone) target =
+  Pr.Solve { id; source = Pr.Ref "app"; target; spec = S.Auto; budget = None;
+             reuse }
+
+let fresh_engine ?(workers = test_domains) ?(queue_capacity = 64) () =
+  let e =
+    E.create
+      ~config:{ E.default_config with E.workers; queue_capacity }
+      ()
+  in
+  ignore (E.register e ~name:"app" illustrating);
+  e
+
+let test_engine_drain_one_and_wait () =
+  let e = fresh_engine () in
+  List.iter
+    (fun i -> assert (E.submit e (solve_req ~id:i 60) = None))
+    [ 1; 2; 3 ];
+  Alcotest.(check bool) "non-empty queue reports work even when stopping"
+    true
+    (E.wait_for_work e ~stop:(fun () -> true));
+  let drained = ref 0 in
+  let rec go () =
+    match E.drain_one e with
+    | Some (Pr.Solved _) ->
+      incr drained;
+      go ()
+    | Some _ -> Alcotest.fail "expected solved responses"
+    | None -> ()
+  in
+  go ();
+  Alcotest.(check int) "drain_one answers each queued job once" 3 !drained;
+  Alcotest.(check int) "queue empty after draining" 0 (E.queue_length e);
+  Alcotest.(check bool) "empty queue + stop returns no work" false
+    (E.wait_for_work e ~stop:(fun () -> true))
+
+let test_engine_submit_race () =
+  (* Several domains race solves into a tiny queue: the admission
+     arithmetic must stay exact — every offer is either queued or
+     answered Overloaded, nothing vanishes. *)
+  let queue_capacity = 8 in
+  let e = fresh_engine ~queue_capacity () in
+  let writers = max 2 test_domains in
+  let per_writer = 10 in
+  let shed = Atomic.make 0 in
+  join_all
+    (spawn_each writers (fun d ->
+         for i = 1 to per_writer do
+           match E.submit e (solve_req ~id:((d * 100) + i) 60) with
+           | None -> ()
+           | Some (Pr.Overloaded _) -> Atomic.incr shed
+           | Some _ -> Alcotest.fail "unexpected immediate response"
+         done));
+  let queued = E.queue_length e in
+  Alcotest.(check int) "queued + shed = offered"
+    (writers * per_writer)
+    (queued + Atomic.get shed);
+  Alcotest.(check bool) "queue bound respected" true
+    (queued <= queue_capacity);
+  Alcotest.(check int) "drain answers exactly the queued jobs" queued
+    (List.length (E.drain e))
+
+let test_engine_parallel_workers_drain () =
+  (* The daemon's worker loop, inlined: N domains block in
+     wait_for_work, drain one job at a time, and stop after the
+     backlog is gone. Every admitted solve must be answered exactly
+     once. *)
+  let e = fresh_engine () in
+  let stop = Atomic.make false in
+  let rm = Mutex.create () in
+  let responses = ref [] in
+  let workers =
+    spawn_each test_domains (fun _ ->
+        let rec loop () =
+          if E.wait_for_work e ~stop:(fun () -> Atomic.get stop) then begin
+            (match E.drain_one e with
+             | Some r ->
+               Mutex.lock rm;
+               responses := r :: !responses;
+               Mutex.unlock rm
+             | None -> ());
+            loop ()
+          end
+        in
+        loop ())
+  in
+  let jobs = 12 in
+  for i = 1 to jobs do
+    assert (E.submit e (solve_req ~id:i ~reuse:Pr.No_reuse 60) = None)
+  done;
+  (* Busy-wait for the workers to drain, then release them. *)
+  let rec settle budget =
+    if E.queue_length e > 0 && budget > 0 then begin
+      Domain.cpu_relax ();
+      settle (budget - 1)
+    end
+  in
+  settle 50_000_000;
+  while
+    Mutex.lock rm;
+    let n = List.length !responses in
+    Mutex.unlock rm;
+    n < jobs
+  do
+    Domain.cpu_relax ()
+  done;
+  Atomic.set stop true;
+  E.wake_all e;
+  join_all workers;
+  let ids =
+    List.sort compare
+      (List.map
+         (function
+           | Pr.Solved { id = Some i; _ } -> i
+           | _ -> Alcotest.fail "expected solved responses")
+         !responses)
+  in
+  Alcotest.(check (list int)) "every job answered exactly once"
+    (List.init jobs (fun i -> i + 1))
+    ids
+
+(* --- Portfolio: differential properties --- *)
+
+let gen_params =
+  { G.num_graphs = 3; min_tasks = 2; max_tasks = 4; mutation_pct = 0.3 }
+
+let gen_cloud =
+  { G.num_types = 3; min_cost = 5; max_cost = 30; min_throughput = 5;
+    max_throughput = 20 }
+
+let prop name gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count:20 ~name gen f)
+
+let qgen = QCheck2.Gen.(pair (int_range 0 10_000) (int_range 10 120))
+
+(* For any instance, seed and domain count: the portfolio is feasible
+   and never worse than the plain sequential H32Jump run on the same
+   seed — rank 0 of the race IS that run. *)
+let prop_portfolio_dominates =
+  prop "portfolio feasible and <= sequential h32jump" qgen
+    (fun (seed, target) ->
+      let problem = G.problem ~rng:(P.create seed) gen_params gen_cloud in
+      let sequential =
+        S.solve ~rng:(P.create seed) ~params:small_params
+          ~spec:(S.Heuristic H.H32_jump) problem ~target
+      in
+      List.for_all
+        (fun domains ->
+          let o =
+            Pf.solve ~rng:(P.create seed) ~params:small_params ~domains
+              problem ~target
+          in
+          (match o.S.allocation with
+           | Some a -> AL.feasible problem ~target a
+           | None -> false)
+          && cost_of o <= cost_of sequential)
+        [ 1; 2; 4 ])
+
+(* On structured instances a Milp-backed portfolio must agree with the
+   independent exact engines. *)
+let platform4 =
+  Rentcost.Platform.of_list [ (10, 10); (18, 20); (25, 30); (33, 40) ]
+
+let chain types = Rentcost.Task_graph.chain ~ntypes:4 ~types
+
+let blackbox_problem =
+  Rentcost.Problem.create platform4 (Array.init 4 (fun q -> chain [| q |]))
+
+let disjoint_problem =
+  Rentcost.Problem.create platform4 [| chain [| 0; 1 |]; chain [| 2; 3 |] |]
+
+let test_portfolio_agrees_with_exact () =
+  List.iter
+    (fun (label, problem, oracle_spec, target) ->
+      let exact =
+        match (S.solve ~spec:oracle_spec problem ~target).S.allocation with
+        | Some a -> a.AL.cost
+        | None -> Alcotest.fail (label ^ ": oracle found no allocation")
+      in
+      List.iter
+        (fun domains ->
+          let o =
+            Pf.solve ~rng:(P.create 11)
+              ~strategies:[ Pf.Heuristic H.H32_jump; Pf.Milp ]
+              ~domains problem ~target
+          in
+          Alcotest.(check int)
+            (Printf.sprintf "%s: portfolio = %s (domains %d)" label
+               (S.spec_to_string oracle_spec) domains)
+            exact (cost_of o);
+          Alcotest.(check bool) (label ^ " proved optimal") true
+            (o.S.status = S.Optimal))
+        [ 1; test_domains ])
+    [ ("illustrating", illustrating, S.Exhaustive, 70);
+      ("blackbox", blackbox_problem, S.Exhaustive, 60);
+      ("disjoint", disjoint_problem, S.Dp_disjoint, 60) ]
+
+(* --- Portfolio: determinism --- *)
+
+let portfolio_on ?pool ~domains seed =
+  Pf.solve ~rng:(P.create seed) ~params:small_params ?pool ~domains
+    illustrating ~target:70
+
+let test_portfolio_determinism_repeats () =
+  let reference = alloc_key (portfolio_on ~domains:1 0x5EED) in
+  Alcotest.(check bool) "reference run found an allocation" true
+    (reference <> None);
+  for rep = 1 to 10 do
+    List.iter
+      (fun domains ->
+        if alloc_key (portfolio_on ~domains 0x5EED) <> reference then
+          Alcotest.failf "repeat %d with %d domain(s) diverged" rep domains)
+      [ 1; 2; 4 ]
+  done
+
+let test_portfolio_shuffled_completion_order () =
+  (* The executor's test hook shuffles run_collect's completion order;
+     the reduction must not care. Ten shuffles, three domain counts,
+     one answer. *)
+  let reference = alloc_key (portfolio_on ~domains:1 0x5EED) in
+  for shuffle_seed = 1 to 10 do
+    List.iter
+      (fun domains ->
+        Pl.with_pool ~shuffle:(P.create shuffle_seed) ~domains (fun pool ->
+            if alloc_key (portfolio_on ~pool ~domains 0x5EED) <> reference
+            then
+              Alcotest.failf "shuffle %d with %d domain(s) diverged"
+                shuffle_seed domains))
+      [ 1; 2; test_domains ]
+  done
+
+let test_reduce_order_and_ties () =
+  (* Build outcomes from real allocations of the illustrating problem:
+     of_rho gives full control of the split, and cost follows. *)
+  let mk rho =
+    let a = AL.of_rho illustrating ~rho in
+    { S.status = S.Feasible; allocation = Some a;
+      telemetry =
+        { S.engine = S.Heuristic H.H32_jump; wall_time = 0.0;
+          evaluations = 0; pivots = 0; nodes = 0; pruned_recipes = 0;
+          warm_started = false } }
+  in
+  let cheap = mk [| 70; 0; 0 |]
+  and dear = mk [| 0; 70; 0 |] in
+  let c_cheap = cost_of cheap and c_dear = cost_of dear in
+  Alcotest.(check bool) "test splits priced differently" true
+    (c_cheap <> c_dear);
+  let lo, hi = if c_cheap < c_dear then (cheap, dear) else (dear, cheap) in
+  (* Best cost wins under every permutation. *)
+  List.iter
+    (fun perm ->
+      match Pf.reduce perm with
+      | Some (rank, o) ->
+        Alcotest.(check int) "winner is the cheaper outcome" (cost_of lo)
+          (cost_of o);
+        Alcotest.(check int) "winner keeps its rank" 2 rank
+      | None -> Alcotest.fail "reduce dropped everything")
+    [ [ (1, hi); (2, lo) ]; [ (2, lo); (1, hi) ] ];
+  (* Equal costs: the lower rank wins, wherever it sits in the list. *)
+  List.iter
+    (fun perm ->
+      match Pf.reduce perm with
+      | Some (rank, _) ->
+        Alcotest.(check int) "tie broken by lowest rank" 0 rank
+      | None -> Alcotest.fail "reduce dropped everything")
+    [ [ (0, lo); (3, lo) ]; [ (3, lo); (0, lo) ] ];
+  (* Outcomes without an allocation are skipped, not winners. *)
+  let infeasible =
+    { S.status = S.Infeasible; allocation = None;
+      telemetry = lo.S.telemetry }
+  in
+  (match Pf.reduce [ (0, infeasible); (1, hi) ] with
+   | Some (1, _) -> ()
+   | _ -> Alcotest.fail "allocation-less outcome must be skipped");
+  Alcotest.(check bool) "all-infeasible reduces to None" true
+    (Pf.reduce [ (0, infeasible) ] = None)
+
+(* --- the parallel daemon under concurrent clients --- *)
+
+let write_line fd s =
+  (* One write per line: under PIPE_BUF, concurrent writers interleave
+     at line granularity, never mid-line. *)
+  let b = Bytes.of_string (s ^ "\n") in
+  let n = Unix.write fd b 0 (Bytes.length b) in
+  assert (n = Bytes.length b)
+
+let request_line r = J.to_string (Pr.request_to_json r)
+
+let parse_response line =
+  match J.of_string line with
+  | Error e -> Alcotest.fail ("torn or bad response json: " ^ e)
+  | Ok j -> (
+    match Pr.response_of_json j with
+    | Error e -> Alcotest.fail ("bad response: " ^ e)
+    | Ok r -> r)
+
+(* Run a full daemon session over pipes: [writers] client domains each
+   write [per_writer] solve requests concurrently, then the main
+   domain appends Stats and Shutdown and serves with [workers]
+   domains. Returns the parsed responses in arrival order. *)
+let daemon_session ~workers ~writers ~per_writer =
+  let req_read, req_write = Unix.pipe () in
+  let resp_read, resp_write = Unix.pipe () in
+  join_all
+    (spawn_each writers (fun d ->
+         for i = 1 to per_writer do
+           let id = (d * 1000) + i in
+           let reuse = if i mod 2 = 0 then Pr.Monotone else Pr.No_reuse in
+           write_line req_write
+             (request_line (solve_req ~id ~reuse (60 + (i mod 3))))
+         done));
+  write_line req_write (request_line Pr.Stats);
+  write_line req_write (request_line Pr.Shutdown);
+  Unix.close req_write;
+  let engine = fresh_engine ~workers () in
+  let dump = open_out Filename.null in
+  let oc = Unix.out_channel_of_descr resp_write in
+  Svc.Daemon.serve_channels ~engine ~dump ~workers
+    (Unix.in_channel_of_descr req_read)
+    oc;
+  close_out dump;
+  close_out oc;
+  let ic = Unix.in_channel_of_descr resp_read in
+  let rec read_lines acc =
+    match input_line ic with
+    | line -> read_lines (parse_response line :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  let responses = read_lines [] in
+  close_in ic;
+  responses
+
+let solved_ids responses =
+  List.sort compare
+    (List.filter_map
+       (function Pr.Solved { id; _ } -> id | _ -> None)
+       responses)
+
+let expected_ids ~writers ~per_writer =
+  List.sort compare
+    (List.concat_map
+       (fun d -> List.init per_writer (fun i -> (d * 1000) + i + 1))
+       (List.init writers Fun.id))
+
+let test_parallel_daemon_stress () =
+  let writers = max 2 test_domains and per_writer = 8 in
+  let requests_before = Telemetry.value Telemetry.service_requests in
+  let responses =
+    daemon_session ~workers:(max 4 test_domains) ~writers ~per_writer
+  in
+  (* Every solve answered exactly once, no torn lines (parse_response
+     already failed otherwise), Bye strictly last. *)
+  Alcotest.(check (list int)) "every client id answered exactly once"
+    (expected_ids ~writers ~per_writer)
+    (solved_ids responses);
+  (match List.rev responses with
+   | Pr.Bye :: rest ->
+     Alcotest.(check bool) "exactly one Bye" true
+       (not (List.exists (function Pr.Bye -> true | _ -> false) rest))
+   | _ -> Alcotest.fail "Bye must be the final response");
+  Alcotest.(check bool) "stats answered during the session" true
+    (List.exists (function Pr.Stats_reply _ -> true | _ -> false) responses);
+  let requests_after = Telemetry.value Telemetry.service_requests in
+  Alcotest.(check bool) "request counter saw every solve" true
+    (requests_after - requests_before >= writers * per_writer)
+
+let test_parallel_daemon_matches_sequential () =
+  (* Same request stream through 1 worker and N workers: completion
+     order may differ, the answers may not. *)
+  let writers = 2 and per_writer = 6 in
+  let answers responses =
+    List.sort compare
+      (List.filter_map
+         (function
+           | Pr.Solved { id = Some id; cost; _ } -> Some (id, cost)
+           | _ -> None)
+         responses)
+  in
+  let sequential = daemon_session ~workers:1 ~writers ~per_writer in
+  let parallel =
+    daemon_session ~workers:(max 4 test_domains) ~writers ~per_writer
+  in
+  Alcotest.(check (list (pair int int)))
+    "same (id, cost) answers as the sequential daemon"
+    (answers sequential) (answers parallel)
+
+let test_shutdown_drains_backlog () =
+  (* All requests (shutdown included) are buffered in the pipe before
+     the daemon starts: the reader reaches Shutdown while the queue
+     still holds work, and must still answer everything before Bye. *)
+  let responses = daemon_session ~workers:2 ~writers:1 ~per_writer:10 in
+  Alcotest.(check (list int)) "backlog fully answered"
+    (expected_ids ~writers:1 ~per_writer:10)
+    (solved_ids responses);
+  match List.rev responses with
+  | Pr.Bye :: _ -> ()
+  | _ -> Alcotest.fail "Bye must come after the drained backlog"
+
+let suite =
+  ( "parallel",
+    [ Alcotest.test_case "pool domains:1 is sequential" `Quick
+        test_pool_sequential_order;
+      Alcotest.test_case "pool run_list keeps submission order" `Quick
+        test_pool_run_list_order;
+      Alcotest.test_case "pool loses no tasks" `Quick test_pool_no_lost_tasks;
+      Alcotest.test_case "pool run_collect is complete" `Quick
+        test_pool_run_collect_complete;
+      Alcotest.test_case "pool propagates task exceptions" `Quick
+        test_pool_exception_propagation;
+      Alcotest.test_case "pool guards its arguments" `Quick test_pool_guards;
+      Alcotest.test_case "striped locks exclude writers" `Quick
+        test_striped_mutual_exclusion;
+      Alcotest.test_case "striped placement and fold" `Quick
+        test_striped_fold_and_placement;
+      Alcotest.test_case "shared cache bounded and digest-correct under race"
+        `Quick test_shared_cache_race;
+      Alcotest.test_case "engine drain_one and wait_for_work" `Quick
+        test_engine_drain_one_and_wait;
+      Alcotest.test_case "engine admission race stays exact" `Quick
+        test_engine_submit_race;
+      Alcotest.test_case "engine parallel workers drain the queue" `Quick
+        test_engine_parallel_workers_drain;
+      prop_portfolio_dominates;
+      Alcotest.test_case "portfolio agrees with exact engines" `Quick
+        test_portfolio_agrees_with_exact;
+      Alcotest.test_case "portfolio deterministic across repeats and domains"
+        `Quick test_portfolio_determinism_repeats;
+      Alcotest.test_case "portfolio invariant under shuffled completion order"
+        `Quick test_portfolio_shuffled_completion_order;
+      Alcotest.test_case "reduce: permutation-invariant, rank tie-break"
+        `Quick test_reduce_order_and_ties;
+      Alcotest.test_case "parallel daemon under concurrent clients" `Quick
+        test_parallel_daemon_stress;
+      Alcotest.test_case "parallel daemon matches sequential answers" `Quick
+        test_parallel_daemon_matches_sequential;
+      Alcotest.test_case "shutdown drains the backlog before Bye" `Quick
+        test_shutdown_drains_backlog ] )
