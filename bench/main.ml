@@ -18,7 +18,10 @@
    BENCH_observability.json records what the Telemetry instrumentation
    costs on the heuristic hot path (enabled vs kill-switched).
    BENCH_parallel.json records the portfolio race's 1-domain vs
-   4-domain wall time on the H32Jump workload.
+   4-domain wall time on the H32Jump workload. BENCH_scenarios.json
+   records the dual (max-throughput) objective checked against an
+   independent scan of the min-cost curve, and single-cloud vs 3-book
+   multi-cloud cost on the fig7 workload.
 
    Randomness discipline: every workload and kernel seed derives from
    ONE root seed (RENTCOST_BENCH_SEED, default 2016) split in a fixed
@@ -99,24 +102,29 @@ let sample_measurements =
 
 (* Experiment kernels go through the unified [Solver] front door over
    pre-compiled instances, as the drivers do; only the ablation group
-   below reaches into [Ilp.solve] for knobs (warm start, cuts) the
+   below reaches into [Ilp.optimize] for knobs (warm start, cuts) the
    solver does not expose. *)
+
+let min_cost target = Rentcost.Objective.min_cost ~target
 
 let solver_nodes ?node_limit spec inst ~target () =
   let budget =
     match node_limit with Some n -> Rentcost.Budget.nodes n
     | None -> Rentcost.Budget.unlimited
   in
-  (S.solve_on ~budget ~spec (Lazy.force inst) ~target).S.telemetry.S.nodes
+  (S.run ~budget ~spec ~instance:(Lazy.force inst) ~objective:(min_cost target)
+     ())
+    .S.telemetry.S.nodes
 
 let ilp_nodes ?node_limit inst ~target =
   solver_nodes ?node_limit S.Exact_ilp inst ~target
 
 let ilp_ablation_nodes ?warm_start ?cut_rounds problem ~target () =
-  (Rentcost.Ilp.solve ?warm_start ?cut_rounds problem ~target).Rentcost.Ilp.nodes
+  (Rentcost.Ilp.optimize ?warm_start ?cut_rounds ~problem ~target ())
+    .Rentcost.Ilp.nodes
 
 let milp_engine engine problem ~target () =
-  let model, integer = Rentcost.Ilp.build problem ~target in
+  let model, integer = Rentcost.Ilp.model ~problem ~target () in
   let j = Rentcost.Problem.num_recipes problem in
   (Milp.Solver.solve ~integral_objective:true ~engine
      ~priority:[ List.init j Fun.id ]
@@ -124,8 +132,8 @@ let milp_engine engine problem ~target () =
     .Milp.Solver.nodes
 
 let heuristic name ?(params = H.default_params) inst ~target () =
-  (S.solve_on ~rng:(P.create kernel_seed) ~params ~spec:(S.Heuristic name)
-     (Lazy.force inst) ~target)
+  (S.run ~rng:(P.create kernel_seed) ~params ~spec:(S.Heuristic name)
+     ~instance:(Lazy.force inst) ~objective:(min_cost target) ())
     .S.telemetry.S.evaluations
 
 (* --- Table III: the illustrating example (§ VII) --- *)
@@ -244,7 +252,8 @@ let micro =
   let sim_alloc =
     lazy
       (Option.get
-         (Rentcost.Ilp.solve illustrating ~target:70).Rentcost.Ilp.allocation)
+         (Rentcost.Ilp.optimize ~problem:illustrating ~target:70 ())
+           .Rentcost.Ilp.allocation)
   in
   Test.make_grouped ~name:"micro"
     [ Test.make ~name:"bigint_divmod"
@@ -253,13 +262,15 @@ let micro =
         (Staged.stage (fun () -> Numeric.Rat.add rat_a rat_b));
       Test.make ~name:"simplex_illustrating_lp"
         (Staged.stage (fun () ->
-             Lp.Simplex.solve (fst (Rentcost.Ilp.build illustrating ~target:70))));
+             Lp.Simplex.solve
+               (fst (Rentcost.Ilp.model ~problem:illustrating ~target:70 ()))));
       Test.make ~name:"instance_compile_illustrating"
         (Staged.stage (fun () -> I.compile illustrating));
       Test.make ~name:"knapsack_cover_rho1000"
         (Staged.stage (fun () -> Knapsack.min_cost_cover ~items:cover_items ~demand:1000));
       Test.make ~name:"dp_disjoint_rho100"
-        (Staged.stage (fun () -> Rentcost.Dp_disjoint.solve disjoint_problem ~target:100));
+        (Staged.stage (fun () ->
+             Rentcost.Dp_disjoint.run ~problem:disjoint_problem ~target:100 ()));
       Test.make ~name:"streamsim_500_items"
         (Staged.stage (fun () ->
              Streamsim.Sim.run illustrating (Lazy.force sim_alloc)
@@ -277,7 +288,9 @@ let ablation =
         (Staged.stage (ilp_ablation_nodes ~cut_rounds:3 illustrating ~target:130));
       Test.make ~name:"gomory_root_strengthen"
         (Staged.stage (fun () ->
-             let model, integer = Rentcost.Ilp.build illustrating ~target:70 in
+             let model, integer =
+               Rentcost.Ilp.model ~problem:illustrating ~target:70 ()
+             in
              snd (Lp.Gomory.strengthen ~rounds:2 model ~integer)));
       Test.make ~name:"h32jump_step1_rho70"
         (Staged.stage
@@ -326,8 +339,9 @@ let solver_group =
            (solver_nodes ~node_limit:25 S.Auto illustrating_instance ~target:70));
       Test.make ~name:"budget_fallback_rho70"
         (Staged.stage (fun () ->
-             (S.solve_on ~budget:(Rentcost.Budget.nodes 0) ~spec:S.Exact_ilp
-                (Lazy.force illustrating_instance) ~target:70)
+             (S.run ~budget:(Rentcost.Budget.nodes 0) ~spec:S.Exact_ilp
+                ~instance:(Lazy.force illustrating_instance)
+                ~objective:(min_cost 70) ())
                .S.telemetry.S.evaluations)) ]
 
 (* --- the provisioning service: cache-hit vs cold-solve latency --- *)
@@ -336,8 +350,9 @@ module Svc = Rentcost_service
 
 let service_solve ~reuse ~target =
   Svc.Protocol.Solve
-    { id = None; source = Svc.Protocol.Ref "app"; target; spec = S.Auto;
-      budget = None; reuse }
+    { id = None; source = Svc.Protocol.Ref "app";
+      objective = Rentcost.Objective.min_cost ~target; pricebook = None;
+      spec = S.Auto; budget = None; reuse }
 
 let service_engine_with_app () =
   let e = Svc.Engine.create () in
@@ -411,21 +426,89 @@ let parallel_group =
                  Pl.run_list pool (List.init 8 (fun i () -> i * i)))));
       Test.make ~name:"portfolio_illustrating_d1"
         (Staged.stage (fun () ->
-             (Pf.solve_on ~rng:(P.create kernel_seed) ~params:params10
-                ~domains:1
-                (Lazy.force illustrating_instance) ~target:70)
+             (Pf.run ~rng:(P.create kernel_seed) ~params:params10 ~domains:1
+                ~instance:(Lazy.force illustrating_instance) ~target:70 ())
                .S.telemetry.S.evaluations));
       Test.make ~name:"portfolio_illustrating_d4"
         (Staged.stage (fun () ->
-             (Pf.solve_on ~rng:(P.create kernel_seed) ~params:params10
-                ~domains:4
-                (Lazy.force illustrating_instance) ~target:70)
+             (Pf.run ~rng:(P.create kernel_seed) ~params:params10 ~domains:4
+                ~instance:(Lazy.force illustrating_instance) ~target:70 ())
                .S.telemetry.S.evaluations)) ]
+
+(* --- scenarios: the dual objective and multi-cloud price books --- *)
+
+module Ob = Rentcost.Objective
+module Pb = Rentcost.Pricebook
+module Sc = Rentcost.Scenario
+
+(* Three books over a platform's own list prices: the platform itself,
+   a +25% region whose reserved tier still lands above list, and a
+   spot market at 60% of list — the effective price for every type. *)
+let multicloud_books platform =
+  let q = Rentcost.Platform.num_types platform in
+  let prices f =
+    Array.init q (fun i -> f (Rentcost.Platform.cost platform i))
+  in
+  Pb.create
+    [ { Pb.book_name = "on-prem"; region = None; prices = prices Fun.id;
+        tiers = [] };
+      { Pb.book_name = "us-east"; region = Some "us-east-1";
+        prices = prices (fun c -> (c * 5 / 4) + 1);
+        tiers = [ { Pb.tier_name = "reserved"; percent = 90 } ] };
+      { Pb.book_name = "ap-spot"; region = Some "ap-south-1";
+        prices = prices Fun.id;
+        tiers = [ { Pb.tier_name = "spot"; percent = 60 } ] } ]
+
+(* Three books that all quote exactly the platform vector; compiling
+   under this pricebook must be bit-identical to compiling without
+   one. *)
+let identical_books platform =
+  let q = Rentcost.Platform.num_types platform in
+  Pb.create
+    (List.map
+       (fun name ->
+         { Pb.book_name = name; region = None;
+           prices = Array.init q (Rentcost.Platform.cost platform);
+           tiers = [] })
+       [ "alpha"; "beta"; "gamma" ])
+
+let illustrating_maxthr_instance =
+  lazy (I.compile ~scenario:(Sc.max_throughput ~budget:120 ()) illustrating)
+
+let illustrating_multicloud_instance =
+  lazy
+    (I.compile
+       ~scenario:
+         (Sc.min_cost
+            ~pricebook:(multicloud_books (Rentcost.Problem.platform illustrating))
+            ~target:70 ())
+       illustrating)
+
+let scenarios_group =
+  Test.make_grouped ~name:"scenarios"
+    [ Test.make ~name:"dual_illustrating_b120"
+        (Staged.stage (fun () ->
+             (S.run ~instance:(Lazy.force illustrating_maxthr_instance)
+                ~objective:(Ob.max_throughput ~budget:120) ())
+               .S.throughput));
+      Test.make ~name:"multicloud_compile_illustrating"
+        (Staged.stage (fun () ->
+             I.compile
+               ~scenario:
+                 (Sc.min_cost
+                    ~pricebook:
+                      (multicloud_books (Rentcost.Problem.platform illustrating))
+                    ~target:70 ())
+               illustrating));
+      Test.make ~name:"multicloud_ilp_rho70"
+        (Staged.stage
+           (solver_nodes S.Exact_ilp illustrating_multicloud_instance
+              ~target:70)) ]
 
 let all_tests =
   Test.make_grouped ~name:"rentcost"
     [ table3; fig3; fig4; fig5; fig6; fig7; fig8; micro; ablation; solver_group;
-      service_group; observability_group; parallel_group ]
+      service_group; observability_group; parallel_group; scenarios_group ]
 
 (* --- BENCH_solver.json: machine-readable per-engine record --- *)
 
@@ -438,8 +521,8 @@ type engine_row = {
 
 let solve_row name spec inst ~target =
   let o =
-    S.solve_on ~rng:(P.create kernel_seed) ~params:params10 ~spec
-      (Lazy.force inst) ~target
+    S.run ~rng:(P.create kernel_seed) ~params:params10 ~spec
+      ~instance:(Lazy.force inst) ~objective:(min_cost target) ()
   in
   let cost =
     match o.S.allocation with
@@ -640,8 +723,9 @@ let observability_overhead ~reps =
   let inst = Lazy.force illustrating_instance in
   let run () =
     ignore
-      ((S.solve_on ~rng:(P.create kernel_seed) ~params:params10
-          ~spec:(S.Heuristic H.H32_jump) inst ~target:70)
+      ((S.run ~rng:(P.create kernel_seed) ~params:params10
+          ~spec:(S.Heuristic H.H32_jump) ~instance:inst
+          ~objective:(min_cost 70) ())
          .S.telemetry.S.evaluations)
   in
   let inner = 20 in
@@ -705,8 +789,8 @@ let portfolio_wall ~domains ~reps =
   for _ = 1 to reps do
     let t0 = Unix.gettimeofday () in
     let o =
-      Pf.solve_on ~rng:(P.create kernel_seed) ~params ~strategies ~domains inst
-        ~target:100
+      Pf.run ~rng:(P.create kernel_seed) ~params ~strategies ~domains
+        ~instance:inst ~target:100 ()
     in
     let dt = Unix.gettimeofday () -. t0 in
     if dt < !best then best := dt;
@@ -745,6 +829,121 @@ let emit_parallel_json ~reps =
     cores (wall1 *. 1e3) (wall4 *. 1e3)
     (wall1 /. Float.max wall4 1e-9);
   (cores, wall1, wall4, cost1, cost4)
+
+(* --- BENCH_scenarios.json: the dual objective checked against an
+   independent scan of the cost curve, and single-cloud vs 3-book
+   multi-cloud cost on the fig7 workload --- *)
+
+(* Largest t with optimal min-cost c(t) <= budget, by linear scan up
+   the monotone curve — the independent oracle the binary-search dual
+   is asserted against. *)
+let exact_dual_scan inst ~budget =
+  let cost_at t =
+    match (S.run ~instance:inst ~objective:(min_cost t) ()).S.allocation with
+    | Some a -> a.Rentcost.Allocation.cost
+    | None -> max_int
+  in
+  let rec go t = if cost_at (t + 1) <= budget then go (t + 1) else t in
+  go 0
+
+type scenarios_row = {
+  sc_budget : int;
+  sc_throughput : int;
+  sc_exact_dual : int;
+  sc_dual_cost : int;
+  sc_recheck_cost : int;
+  sc_cost_single : int;
+  sc_cost_multibook : int;
+  sc_bit_identical : bool;
+}
+
+let scenarios_data () =
+  (* The dual objective on the § VII illustrating instance. *)
+  let budget = 120 in
+  let dual =
+    S.run ~instance:(Lazy.force illustrating_maxthr_instance)
+      ~objective:(Ob.max_throughput ~budget) ()
+  in
+  let cost_of o =
+    match o.S.allocation with
+    | Some a -> a.Rentcost.Allocation.cost
+    | None -> -1
+  in
+  let exact = exact_dual_scan (Lazy.force illustrating_instance) ~budget in
+  let recheck =
+    S.run ~instance:(Lazy.force illustrating_instance)
+      ~objective:(min_cost dual.S.throughput) ()
+  in
+  (* Single-cloud vs 3-book multi-cloud on the fig7 workload. *)
+  let problem = problem_of large_instance in
+  let platform = Rentcost.Problem.platform problem in
+  let h32 inst =
+    S.run ~rng:(P.create kernel_seed) ~params:params10
+      ~spec:(S.Heuristic H.H32_jump) ~instance:inst ~objective:(min_cost 100)
+      ()
+  in
+  let single = h32 (Lazy.force large_instance) in
+  let multibook =
+    h32
+      (I.compile
+         ~scenario:
+           (Sc.min_cost ~pricebook:(multicloud_books platform) ~target:100 ())
+         problem)
+  in
+  let identical_inst =
+    I.compile
+      ~scenario:
+        (Sc.min_cost ~pricebook:(identical_books platform) ~target:100 ())
+      problem
+  in
+  let alloc_of o =
+    Option.map
+      (fun a ->
+        ( a.Rentcost.Allocation.rho, a.Rentcost.Allocation.machines,
+          a.Rentcost.Allocation.cost ))
+      o.S.allocation
+  in
+  let bit_identical =
+    I.canonical_encoding identical_inst
+    = I.canonical_encoding (Lazy.force large_instance)
+    && alloc_of (h32 identical_inst) = alloc_of single
+  in
+  { sc_budget = budget; sc_throughput = dual.S.throughput;
+    sc_exact_dual = exact; sc_dual_cost = cost_of dual;
+    sc_recheck_cost = cost_of recheck; sc_cost_single = cost_of single;
+    sc_cost_multibook = cost_of multibook; sc_bit_identical = bit_identical }
+
+let write_scenarios_json ~path r =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"schema\": \"rentcost-bench-scenarios/1\",\n";
+  Printf.fprintf oc "  \"seed\": %d,\n" root_seed;
+  Printf.fprintf oc
+    "  \"dual\": {\"budget\": %d, \"throughput\": %d, \"exact_dual\": %d, \
+     \"cost\": %d, \"min_cost_at_achieved\": %d},\n"
+    r.sc_budget r.sc_throughput r.sc_exact_dual r.sc_dual_cost
+    r.sc_recheck_cost;
+  Printf.fprintf oc
+    "  \"multicloud\": {\"workload\": \"fig7 h32jump rho100\", \"books\": 3, \
+     \"cost_single\": %d, \"cost_multibook\": %d, \"saving_pct\": %.1f, \
+     \"identical_books_bit_identical\": %b}\n"
+    r.sc_cost_single r.sc_cost_multibook
+    (100.
+    *. (1.
+       -. (float_of_int r.sc_cost_multibook
+          /. Float.max (float_of_int r.sc_cost_single) 1.)))
+    r.sc_bit_identical;
+  Printf.fprintf oc "}\n";
+  close_out oc
+
+let emit_scenarios_json () =
+  let r = scenarios_data () in
+  write_scenarios_json ~path:"BENCH_scenarios.json" r;
+  Printf.printf
+    "BENCH_scenarios.json written (dual: throughput %d at budget %d, exact \
+     %d; multicloud: cost %d vs %d single-cloud)\n"
+    r.sc_throughput r.sc_budget r.sc_exact_dual r.sc_cost_multibook
+    r.sc_cost_single;
+  r
 
 (* --- smoke mode: engine agreement + oracle consistency, no OLS --- *)
 
@@ -828,9 +1027,10 @@ let smoke () =
   let lat_frozen = hist_count Telemetry.service_latency_seconds in
   let spans_frozen = Telemetry.Span.recorded () in
   ignore
-    (S.solve_on ~rng:(P.create kernel_seed) ~params:params10
+    (S.run ~rng:(P.create kernel_seed) ~params:params10
        ~spec:(S.Heuristic H.H32_jump)
-       (Lazy.force illustrating_instance) ~target:70);
+       ~instance:(Lazy.force illustrating_instance) ~objective:(min_cost 70)
+       ());
   ignore
     (service_answer (Lazy.force cold_engine)
        (service_solve ~reuse:Svc.Protocol.No_reuse ~target:70));
@@ -857,32 +1057,53 @@ let smoke () =
     | None -> None
   in
   let p1 =
-    Pf.solve_on ~rng:(P.create kernel_seed) ~params:params10 ~domains:1
-      (Lazy.force illustrating_instance) ~target:70
+    Pf.run ~rng:(P.create kernel_seed) ~params:params10 ~domains:1
+      ~instance:(Lazy.force illustrating_instance) ~target:70 ()
   in
   let p4 =
-    Pf.solve_on ~rng:(P.create kernel_seed) ~params:params10 ~domains:4
-      (Lazy.force illustrating_instance) ~target:70
+    Pf.run ~rng:(P.create kernel_seed) ~params:params10 ~domains:4
+      ~instance:(Lazy.force illustrating_instance) ~target:70 ()
   in
   check "portfolio allocation is domain-count invariant" (alloc p1 = alloc p4);
   let seq =
-    S.solve_on ~rng:(P.create kernel_seed) ~params:params10
+    S.run ~rng:(P.create kernel_seed) ~params:params10
       ~spec:(S.Heuristic H.H32_jump)
-      (Lazy.force illustrating_instance) ~target:70
+      ~instance:(Lazy.force illustrating_instance) ~objective:(min_cost 70) ()
   in
   (match (p4.S.allocation, seq.S.allocation) with
    | Some pa, Some sa ->
      check "portfolio dominates sequential h32jump on the same seed"
        (pa.Rentcost.Allocation.cost <= sa.Rentcost.Allocation.cost)
    | _ -> check "portfolio and sequential h32jump both found allocations" false);
+  (* The speedup gate names the core count it ran on, and below 4
+     cores it is SKIPPED — never silently passed — so a 1-core runner
+     cannot launder an honest 0.6x into a green gate. *)
   if cores >= 4 then
-    check "4-domain portfolio at least 1.5x faster than 1-domain"
+    check
+      (Printf.sprintf
+         "4-domain portfolio at least 1.5x faster than 1-domain (cores=%d)"
+         cores)
       (wall1 /. Float.max wall4 1e-9 >= 1.5)
   else
     Printf.printf
-      "note: %d core(s) — skipping the 4-domain speedup assertion (needs >= \
-       4)\n"
+      "SKIP 4-domain speedup assertion (cores=%d, needs >= 4; not counted as \
+       a pass)\n"
       cores;
+  (* Scenario axes: the binary-search dual must land within one step
+     of the scanned exact dual, duality must hold at the achieved
+     throughput, three books must never price above single-cloud, and
+     identical-price books must be bit-identical to no book. *)
+  let sc = emit_scenarios_json () in
+  check "dual throughput within one step of the scanned exact dual"
+    (abs (sc.sc_throughput - sc.sc_exact_dual) <= 1);
+  check "dual allocation fits the monetary budget"
+    (sc.sc_dual_cost <= sc.sc_budget);
+  check "min-cost at the achieved dual throughput fits the budget"
+    (sc.sc_recheck_cost <= sc.sc_budget);
+  check "3-book multicloud no more expensive than single-cloud"
+    (sc.sc_cost_multibook <= sc.sc_cost_single);
+  check "identical-price books solve bit-identically to single-cloud"
+    sc.sc_bit_identical;
   if !failures = 0 then print_endline "smoke OK"
   else begin
     Printf.printf "smoke: %d failure(s)\n" !failures;
@@ -926,5 +1147,6 @@ let () =
     ignore (emit_solver_json ~evals:200_000);
     ignore (emit_service_json ~iters:200);
     ignore (emit_observability_json ~reps:9);
-    ignore (emit_parallel_json ~reps:5)
+    ignore (emit_parallel_json ~reps:5);
+    ignore (emit_scenarios_json ())
   end

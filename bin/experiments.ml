@@ -85,7 +85,8 @@ let cmd_validate targets items =
   List.iter
     (fun target ->
       match
-        (Rentcost.Solver.solve ~spec:Rentcost.Solver.Auto problem ~target)
+        (Rentcost.Solver.run ~spec:Rentcost.Solver.Auto ~problem
+           ~objective:(Rentcost.Objective.min_cost ~target) ())
           .Rentcost.Solver.allocation
       with
       | None -> Format.printf "%8d (no allocation)@." target

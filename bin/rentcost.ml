@@ -8,6 +8,10 @@
      dune exec bin/rentcost.exe -- solve app.rentcost --target 70 -a h32jump
      dune exec bin/rentcost.exe -- solve app.rentcost --target 70 --domains 4
      dune exec bin/rentcost.exe -- solve app.rentcost --target 70 --time-limit 5
+     dune exec bin/rentcost.exe -- solve app.rentcost \
+       --objective max-throughput --budget 120
+     dune exec bin/rentcost.exe -- solve app.rentcost --target 70 \
+       --pricebook clouds.pricebook
      dune exec bin/rentcost.exe -- validate app.rentcost --target 70
      dune exec bin/rentcost.exe -- serve --socket /tmp/rentcost.sock
      dune exec bin/rentcost.exe -- serve --workers 4 < requests.jsonl
@@ -23,6 +27,15 @@
    --domains N instead races the § VI heuristic portfolio
    (Rentcost_parallel.Portfolio) across N domains — same seed, same
    answer for any N; -a is ignored in portfolio mode.
+
+   --objective picks the scenario: "min-cost" (the default; --target
+   required) minimizes rental cost at a throughput target;
+   "max-throughput" (--budget required) maximizes throughput under a
+   monetary budget, by binary search over min-cost solves bracketed
+   by the fluid bound. --pricebook FILE prices machine types from a
+   multi-cloud price book (see Rentcost.Pricebook's text format); the
+   solve then reports which book and tier each rented type is
+   cheapest from.
 
    "serve" starts the provisioning daemon (Rentcost_service): a
    long-running solve loop speaking line-delimited JSON over a Unix
@@ -57,13 +70,35 @@ let load path =
   | Failure msg | Invalid_argument msg -> Error msg
   | Sys_error msg -> Error msg
 
-let print_allocation problem target (a : Rentcost.Allocation.t) =
+let load_pricebook = function
+  | None -> Ok None
+  | Some path -> (
+    try Ok (Some (Rentcost.Pricebook.load path)) with
+    | Failure msg | Invalid_argument msg -> Error msg
+    | Sys_error msg -> Error msg)
+
+let print_allocation ?pricebook problem target (a : Rentcost.Allocation.t) =
   Format.printf "cost %d@." a.Rentcost.Allocation.cost;
   Array.iteri
     (fun j r -> if r > 0 then Format.printf "recipe %d: throughput %d@." j r)
     a.Rentcost.Allocation.rho;
   Array.iteri
-    (fun q x -> if x > 0 then Format.printf "type %d: rent %d machine(s)@." q x)
+    (fun q x ->
+      if x > 0 then begin
+        Format.printf "type %d: rent %d machine(s)" q x;
+        (match pricebook with
+         | None -> ()
+         | Some pb ->
+           (* Provenance of the effective price this solve used. *)
+           let s = Rentcost.Pricebook.sourcing pb q in
+           Format.printf " from %s%s @@ %s (unit cost %d)"
+             s.Rentcost.Pricebook.src_book
+             (match s.Rentcost.Pricebook.src_region with
+              | Some r -> "/" ^ r
+              | None -> "")
+             s.Rentcost.Pricebook.src_tier s.Rentcost.Pricebook.src_cost);
+        Format.printf "@."
+      end)
     a.Rentcost.Allocation.machines;
   if not (Rentcost.Allocation.feasible problem ~target a) then
     Format.printf "WARNING: allocation does not reach the target@."
@@ -78,35 +113,56 @@ let print_telemetry status (t : S.telemetry) =
     Format.printf ", %d dominated recipe(s) pruned" t.S.pruned_recipes;
   Format.printf ")@."
 
-let solve_with problem ~target ~spec ~seed ~step ~budget ~domains =
+let solve_with problem ~objective ~pricebook ~spec ~seed ~step ~budget ~domains
+    =
   let params = { Rentcost.Heuristics.default_params with step } in
   let rng = Numeric.Prng.create seed in
   match
-    match domains with
-    | None -> S.solve ~budget ~rng ~params ~spec problem ~target
-    | Some n ->
+    match (domains, objective) with
+    | None, _ ->
+      S.run ~budget ~rng ~params ~spec ?pricebook ~problem ~objective ()
+    | Some n, Rentcost.Objective.Min_cost { target } ->
       (* Portfolio mode: race the § VI heuristics on [n] domains. The
          reduction is deterministic, so any [n] gives the same answer
          for a given seed. *)
-      Rentcost_parallel.Portfolio.solve ~budget ~rng ~params ~domains:n
-        problem ~target
+      Rentcost_parallel.Portfolio.run ~budget ~rng ~params ~domains:n
+        ?pricebook ~problem ~target ()
+    | Some _, Rentcost.Objective.Max_throughput _ ->
+      invalid_arg
+        "--domains races the min-cost heuristic portfolio; drop it for \
+         --objective max-throughput (the dual binary search runs its own \
+         engine per probe)"
   with
   | exception Invalid_argument msg -> Error msg
   | o ->
     print_telemetry o.S.status o.S.telemetry;
     (match o.S.allocation with
-     | Some a -> Ok a
+     | Some a -> Ok (a, o.S.throughput)
      | None -> Error "no allocation meets the target")
 
-let cmd_solve path target spec seed step budget domains =
+let cmd_solve path objective pricebook spec seed step budget domains =
   match load path with
   | Error msg -> `Error (false, msg)
-  | Ok problem ->
-    (match solve_with problem ~target ~spec ~seed ~step ~budget ~domains with
-     | Ok a ->
-       print_allocation problem target a;
-       `Ok ()
-     | Error msg -> `Error (false, msg))
+  | Ok problem -> (
+    match load_pricebook pricebook with
+    | Error msg -> `Error (false, msg)
+    | Ok pricebook -> (
+      match
+        solve_with problem ~objective ~pricebook ~spec ~seed ~step ~budget
+          ~domains
+      with
+      | Ok (a, achieved) ->
+        (* The feasibility check below prices the allocation against
+           the throughput it must reach: the requested target for
+           min-cost, the achieved throughput for max-throughput. *)
+        (match objective with
+         | Rentcost.Objective.Min_cost { target } ->
+           print_allocation ?pricebook problem target a
+         | Rentcost.Objective.Max_throughput { budget } ->
+           Format.printf "throughput %d (budget %d)@." achieved budget;
+           print_allocation ?pricebook problem achieved a);
+        `Ok ()
+      | Error msg -> `Error (false, msg)))
 
 let cmd_info path =
   match load path with
@@ -142,9 +198,12 @@ let cmd_validate path target items budget =
   match load path with
   | Error msg -> `Error (false, msg)
   | Ok problem ->
-    (match S.solve ~budget ~spec:S.Auto problem ~target with
+    (match
+       S.run ~budget ~problem
+         ~objective:(Rentcost.Objective.min_cost ~target) ()
+     with
      | { S.allocation = None; _ } -> `Error (false, "no solution")
-     | { S.allocation = Some a; status; telemetry } ->
+     | { S.allocation = Some a; status; telemetry; _ } ->
        print_telemetry status telemetry;
        print_allocation problem target a;
        let report =
@@ -276,12 +335,32 @@ let domains_arg =
          ~doc:"Solve by racing the heuristic portfolio on N domains \
                (deterministic for a fixed --seed, any N).")
 
+let objective_arg =
+  Arg.(value
+      & opt (enum [ ("min-cost", `Min_cost); ("max-throughput", `Max_throughput) ])
+          `Min_cost
+      & info [ "objective" ] ~docv:"OBJ"
+          ~doc:
+            "What to optimize: min-cost (reach --target at minimum rental \
+             cost, the default) or max-throughput (maximize throughput with \
+             rental cost at most --budget).")
+
+let money_arg =
+  Arg.(value & opt (some int) None & info [ "budget" ] ~docv:"COST"
+         ~doc:"Monetary budget for --objective max-throughput.")
+
+let pricebook_arg =
+  Arg.(value & opt (some file) None & info [ "pricebook" ] ~docv:"FILE"
+         ~doc:"Price machine types from a multi-cloud price-book file \
+               instead of the instance's own cost vector.")
+
 let workers_arg =
   Arg.(value & opt int 1 & info [ "workers" ] ~docv:"N"
          ~doc:"Worker domains draining the serve queue concurrently.")
 
 let main sub path target spec seed step time_limit node_limit max_evals items
-    socket cache_capacity queue_capacity trace text_mode domains workers =
+    socket cache_capacity queue_capacity trace text_mode domains workers
+    objective_kind money pricebook =
   let budget =
     { Rentcost.Budget.deadline = time_limit; node_cap = node_limit;
       eval_cap = max_evals }
@@ -296,11 +375,21 @@ let main sub path target spec seed step time_limit node_limit max_evals items
   | "serve", _, _ -> cmd_serve socket cache_capacity queue_capacity budget workers
   | "stats", _, _ -> cmd_stats socket text_mode
   | "info", Some path, _ -> cmd_info path
-  | "solve", Some path, Some target ->
-    cmd_solve path target spec seed step budget domains
+  | "solve", Some path, target -> (
+    match (objective_kind, target, money) with
+    | `Min_cost, Some target, _ ->
+      cmd_solve path
+        (Rentcost.Objective.min_cost ~target)
+        pricebook spec seed step budget domains
+    | `Min_cost, None, _ -> `Error (true, "--target is required")
+    | `Max_throughput, _, Some money ->
+      cmd_solve path
+        (Rentcost.Objective.max_throughput ~budget:money)
+        pricebook spec seed step budget domains
+    | `Max_throughput, _, None ->
+      `Error (true, "--objective max-throughput requires --budget"))
   | "validate", Some path, Some target -> cmd_validate path target items budget
-  | ("solve" | "validate"), Some _, None ->
-    `Error (true, "--target is required")
+  | "validate", Some _, None -> `Error (true, "--target is required")
   | ("info" | "solve" | "validate"), None, _ ->
     `Error (true, "a problem FILE is required")
   | (other, _, _) -> `Error (true, Printf.sprintf "unknown command %S" other)
@@ -318,6 +407,7 @@ let cmd =
                & info [ "target"; "t" ] ~docv:"N" ~doc:"Target throughput.")
         $ algorithm_arg $ seed_arg $ step_arg $ time_limit_arg $ node_limit_arg
         $ max_evals_arg $ items_arg $ socket_arg $ cache_arg $ queue_arg
-        $ trace_arg $ text_arg $ domains_arg $ workers_arg))
+        $ trace_arg $ text_arg $ domains_arg $ workers_arg $ objective_arg
+        $ money_arg $ pricebook_arg))
 
 let () = exit (Cmd.eval cmd)

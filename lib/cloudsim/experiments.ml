@@ -83,7 +83,11 @@ let table3 ?(seed = 42) () =
   let params = { Rentcost.Heuristics.default_params with step = 10 } in
   let targets = List.init 20 (fun i -> 10 * (i + 1)) in
   let row ~rng ~label spec ~target =
-    match (S.solve_on ?rng ~params ~spec instance ~target).S.allocation with
+    match
+      (S.run ?rng ~params ~spec ~instance
+         ~objective:(Rentcost.Objective.min_cost ~target) ())
+        .S.allocation
+    with
     | Some a -> (label, a.Rentcost.Allocation.rho, a.Rentcost.Allocation.cost)
     | None -> (label, [||], -1)
   in

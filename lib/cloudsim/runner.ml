@@ -33,10 +33,11 @@ type measurement = {
 
 let solve_one ~rng ~params instance ~target alg =
   (* All timing, node/evaluation accounting and ILP-timeout fallback
-     live in [Solver.solve_on]; the runner only labels rows. *)
+     live in [Solver.run]; the runner only labels rows. *)
   let o =
-    S.solve_on ~budget:(algorithm_budget alg) ~rng ~params
-      ~spec:(algorithm_spec alg) instance ~target
+    S.run ~budget:(algorithm_budget alg) ~rng ~params
+      ~spec:(algorithm_spec alg) ~instance
+      ~objective:(Rentcost.Objective.min_cost ~target) ()
   in
   match o.S.allocation with
   | Some a ->

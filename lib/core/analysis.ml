@@ -1,7 +1,7 @@
 type solver = Problem.t -> target:int -> Allocation.t
 
 let ilp_solver ?node_limit () problem ~target =
-  match (Ilp.solve ?node_limit problem ~target).Ilp.allocation with
+  match (Ilp.optimize ?node_limit ~problem ~target ()).Ilp.allocation with
   | Some a -> a
   | None ->
     (* Warm starts guarantee an incumbent even under a node cap. *)

@@ -42,4 +42,10 @@ let solve_on instance ~target =
     assert (alloc.Allocation.cost = best);
     alloc
 
-let solve problem ~target = solve_on (Instance.compile problem) ~target
+let run ?pricebook ?instance ?problem ~target () =
+  let instance =
+    Instance.for_solve ~who:"Dp_blackbox.run" ?pricebook ?instance ?problem ()
+  in
+  solve_on instance ~target
+
+let solve problem ~target = run ~problem ~target ()

@@ -6,7 +6,21 @@
     pseudo-polynomial DP of {!Knapsack.min_cost_cover} in
     [O(J·ρ)] time. *)
 
-(** [solve problem ~target] returns an optimal allocation. The
+(** [run ~target ()] returns an optimal allocation — the single entry
+    point for both calling conventions (pass [~instance] or
+    [~problem], never both; [~problem] is compiled, under [?pricebook]
+    when present).
+    @raise Invalid_argument per {!solve}, or when the
+      [?instance]/[?problem] convention is violated. *)
+val run :
+  ?pricebook:Pricebook.t ->
+  ?instance:Instance.t ->
+  ?problem:Problem.t ->
+  target:int ->
+  unit ->
+  Allocation.t
+
+(** @deprecated Use {!run}[ ~problem]. [solve problem ~target] returns an optimal allocation. The
     black-box check runs on the dominance-pruned compiled instance, so
     a problem whose only structure violations come from dominated
     recipes (e.g. duplicated single-task recipes) is still accepted.
@@ -14,6 +28,6 @@
     (use {!Instance.is_blackbox} to test) or [target < 0]. *)
 val solve : Problem.t -> target:int -> Allocation.t
 
-(** [solve_on instance ~target] is {!solve} on a pre-compiled
-    instance. *)
+(** @deprecated Use {!run}[ ~instance]. Kept one release for
+    out-of-tree callers. *)
 val solve_on : Instance.t -> target:int -> Allocation.t

@@ -47,4 +47,10 @@ let solve_on instance ~target =
   assert (alloc.Allocation.cost = dp.(j_count - 1).(target));
   alloc
 
-let solve problem ~target = solve_on (Instance.compile problem) ~target
+let run ?pricebook ?instance ?problem ~target () =
+  let instance =
+    Instance.for_solve ~who:"Dp_disjoint.run" ?pricebook ?instance ?problem ()
+  in
+  solve_on instance ~target
+
+let solve problem ~target = run ~problem ~target ()

@@ -17,7 +17,21 @@
     and the worked example, [cost_j] here sums over distinct types
     (see DESIGN.md § 1). *)
 
-(** [solve problem ~target] returns an optimal allocation together
+(** [run ~target ()] returns an optimal allocation — the single entry
+    point for both calling conventions (pass [~instance] or
+    [~problem], never both; [~problem] is compiled, under [?pricebook]
+    when present).
+    @raise Invalid_argument per {!solve}, or when the
+      [?instance]/[?problem] convention is violated. *)
+val run :
+  ?pricebook:Pricebook.t ->
+  ?instance:Instance.t ->
+  ?problem:Problem.t ->
+  target:int ->
+  unit ->
+  Allocation.t
+
+(** @deprecated Use {!run}[ ~problem]. [solve problem ~target] returns an optimal allocation together
     with the optimal throughput split. The disjointness check and the
     DP both run on the dominance-pruned compiled instance; the
     per-recipe cost table is filled with the sparse
@@ -26,8 +40,8 @@
     (use {!Instance.is_disjoint} to test) or [target < 0]. *)
 val solve : Problem.t -> target:int -> Allocation.t
 
-(** [solve_on instance ~target] is {!solve} on a pre-compiled
-    instance. *)
+(** @deprecated Use {!run}[ ~instance]. Kept one release for
+    out-of-tree callers. *)
 val solve_on : Instance.t -> target:int -> Allocation.t
 
 (** [recipe_cost problem ~j ~target] is the separable per-recipe cost

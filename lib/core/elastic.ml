@@ -7,7 +7,8 @@ let check_demand demand =
 
 let solve_one ?budget ?rng ?params ?warm_start ~spec instance ~target =
   match
-    (Solver.solve_on ?budget ?rng ?params ?warm_start ~spec instance ~target)
+    (Solver.run ?budget ?rng ?params ?warm_start ~spec ~instance
+       ~objective:(Objective.min_cost ~target) ())
       .Solver.allocation
   with
   | Some a -> a

@@ -36,7 +36,13 @@ let solve_on instance ~target =
   Allocation.of_rho (Instance.problem instance)
     ~rho:(Instance.expand_rho instance !best_rho)
 
-let solve problem ~target = solve_on (Instance.compile problem) ~target
+let run ?pricebook ?instance ?problem ~target () =
+  let instance =
+    Instance.for_solve ~who:"Exhaustive.run" ?pricebook ?instance ?problem ()
+  in
+  solve_on instance ~target
+
+let solve problem ~target = run ~problem ~target ()
 
 let count_compositions ~parts ~total =
   (* C(total + parts - 1, parts - 1) computed multiplicatively. *)

@@ -5,7 +5,21 @@
     test suite (validating the ILP, the DPs and heuristic bounds) —
     never in experiments. *)
 
-(** [solve problem ~target] enumerates all compositions of [target]
+(** [run ~target ()] returns an optimal allocation — the single entry
+    point for both calling conventions (pass [~instance] or
+    [~problem], never both; [~problem] is compiled, under [?pricebook]
+    when present).
+    @raise Invalid_argument per {!solve}, or when the
+      [?instance]/[?problem] convention is violated. *)
+val run :
+  ?pricebook:Pricebook.t ->
+  ?instance:Instance.t ->
+  ?problem:Problem.t ->
+  target:int ->
+  unit ->
+  Allocation.t
+
+(** @deprecated Use {!run}[ ~problem]. [solve problem ~target] enumerates all compositions of [target]
     into [J] non-negative parts and returns a cheapest allocation.
     Enumeration runs over the dominance-pruned compact recipe space of
     a compiled {!Instance.t}, pricing each assigned unit incrementally
@@ -14,8 +28,8 @@
     @raise Invalid_argument when [target < 0]. *)
 val solve : Problem.t -> target:int -> Allocation.t
 
-(** [solve_on instance ~target] is {!solve} on a pre-compiled
-    instance. *)
+(** @deprecated Use {!run}[ ~instance]. Kept one release for
+    out-of-tree callers. *)
 val solve_on : Instance.t -> target:int -> Allocation.t
 
 (** [count_compositions ~parts ~total] is the number of splits

@@ -394,8 +394,15 @@ let run_on ?(params = default_params) ?(budget = Budget.unlimited) ?rng
         Telemetry.observe run_evals_hist (float_of_int r.evaluations);
         r)
 
+let search ?params ?budget ?rng ?warm_start ?pricebook ?instance ?problem name
+    ~target =
+  let instance =
+    Instance.for_solve ~who:"Heuristics.search" ?pricebook ?instance ?problem ()
+  in
+  run_on ?params ?budget ?rng ?warm_start name instance ~target
+
 let run ?params ?budget ?rng name problem ~target =
-  run_on ?params ?budget ?rng name (Instance.compile problem) ~target
+  search ?params ?budget ?rng ~problem name ~target
 
 (* Per-heuristic entry points, kept for direct experimentation; each
    compiles the instance itself. *)

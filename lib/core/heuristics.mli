@@ -122,15 +122,44 @@ val h32_jump :
   target:int ->
   result
 
-(** [run name] dispatches to the heuristic. [rng] is only drawn from
-    by the stochastic heuristics (H0, H2, H31, H32Jump) and may be
-    omitted even for them, in which case a fixed-seed PRNG makes the
-    run deterministic; deterministic H1/H32 never touch it.
+(** [search name ~target] dispatches to the heuristic — the single
+    entry point for both calling conventions (pass [~instance] or
+    [~problem], never both; [~problem] is compiled, under [?pricebook]
+    when present). [rng] is only drawn from by the stochastic
+    heuristics (H0, H2, H31, H32Jump) and may be omitted even for
+    them, in which case a fixed-seed PRNG makes the run deterministic;
+    deterministic H1/H32 never touch it. This is the hook
+    {!Solver.run} uses so one compiled instance serves routing, the
+    ILP warm start and any heuristic fallback of a single solve.
 
-    @deprecated as an application entry point — prefer
-    {!Solver.solve} [~spec:(Heuristic name)], which wraps this
-    dispatch with budget fallback semantics and telemetry. [run]
-    remains the stable low-level hook the solver itself uses. *)
+    Applications should still prefer {!Solver.run}
+    [~spec:(Heuristic name)], which wraps this dispatch with budget
+    fallback semantics and telemetry.
+
+    @param warm_start an alternative start split for the search
+      heuristics (H2, H31, H32, H32Jump), in {e compact} recipe
+      numbering, non-negative, summing to at least [target] — the
+      caller is responsible for validity ({!Solver.run} checks before
+      delegating). The search starts from whichever of the warm split
+      and the H1 split prices cheaper (one extra evaluation); H0 and
+      H1 ignore it. Unseeded runs are bit-identical to the historical
+      trajectories.
+    @raise Invalid_argument when the [?instance]/[?problem] convention
+      is violated. *)
+val search :
+  ?params:params ->
+  ?budget:Budget.t ->
+  ?rng:Numeric.Prng.t ->
+  ?warm_start:int array ->
+  ?pricebook:Pricebook.t ->
+  ?instance:Instance.t ->
+  ?problem:Problem.t ->
+  name ->
+  target:int ->
+  result
+
+(** @deprecated Use {!search}[ ~problem]. Kept one release for
+    out-of-tree callers. *)
 val run :
   ?params:params ->
   ?budget:Budget.t ->
@@ -140,19 +169,8 @@ val run :
   target:int ->
   result
 
-(** [run_on name instance ~target] is {!run} on a pre-compiled
-    {!Instance.t}, skipping the per-call compile. This is the hook
-    {!Solver.solve} uses so one compiled instance serves routing, the
-    ILP warm start and any heuristic fallback of a single solve.
-
-    @param warm_start an alternative start split for the search
-      heuristics (H2, H31, H32, H32Jump), in {e compact} recipe
-      numbering, non-negative, summing to at least [target] — the
-      caller is responsible for validity ({!Solver.solve} checks
-      before delegating). The search starts from whichever of the warm
-      split and the H1 split prices cheaper (one extra evaluation);
-      H0 and H1 ignore it. Unseeded runs are bit-identical to the
-      historical trajectories. *)
+(** @deprecated Use {!search}[ ~instance]. Kept one release for
+    out-of-tree callers. *)
 val run_on :
   ?params:params ->
   ?budget:Budget.t ->

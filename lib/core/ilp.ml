@@ -16,8 +16,11 @@ let ceil_div a b = (a + b - 1) / b
    cheaper at equal throughput (see Instance), so dropping them leaves
    the optimal value of both the MILP and its LP relaxation
    unchanged while shrinking the tableau. *)
-let build_on instance ~target =
-  if target < 0 then invalid_arg "Ilp.build: negative target";
+let model_on ?budget_cap instance ~target =
+  if target < 0 then invalid_arg "Ilp.model: negative target";
+  (match budget_cap with
+   | Some cap when cap < 0 -> invalid_arg "Ilp.model: negative budget cap"
+   | _ -> ());
   let j_count = Instance.num_recipes instance in
   let q_count = Instance.num_types instance in
   let m = Lp.Model.create () in
@@ -65,9 +68,24 @@ let build_on instance ~target =
          (Array.mapi (fun q v -> (v, R.of_int (Instance.type_cost instance q))) x_vars))
   in
   Lp.Model.set_objective m Lp.Model.Minimize objective;
+  (* Budget-feasibility cut: Σ c_q·x_q <= cap. Turns the model into
+     the feasibility probe of the max-throughput binary search —
+     Infeasible here means exactly "target is unreachable within the
+     budget". *)
+  (match budget_cap with
+   | Some cap ->
+     Lp.Model.add_constraint m ~name:"budget" objective Lp.Model.Le (R.of_int cap)
+   | None -> ());
   (m, Array.to_list rho_vars @ Array.to_list x_vars)
 
-let build problem ~target = build_on (Instance.compile problem) ~target
+let model ?budget_cap ?pricebook ?instance ?problem ~target () =
+  let instance =
+    Instance.for_solve ~who:"Ilp.model" ?pricebook ?instance ?problem ()
+  in
+  model_on ?budget_cap instance ~target
+
+let build_on instance ~target = model_on instance ~target
+let build problem ~target = model_on (Instance.compile problem) ~target
 
 let decode instance solution =
   let j_count = Instance.num_recipes instance in
@@ -108,11 +126,16 @@ let valid_incumbent instance ~target alloc =
     !within
   end
 
-let solve_on ?time_limit ?node_limit ?(strategy = Milp.Solver.Best_bound)
-    ?(warm_start = true) ?incumbent ?(cut_rounds = 0) instance ~target =
+let optimize ?time_limit ?node_limit ?(strategy = Milp.Solver.Best_bound)
+    ?(warm_start = true) ?incumbent ?(cut_rounds = 0) ?budget_cap ?pricebook
+    ?instance ?problem ~target () =
+  let instance =
+    Instance.for_solve ~who:"Ilp.optimize" ?pricebook ?instance ?problem ()
+  in
   let t0 = Unix.gettimeofday () in
   let model, integer =
-    Telemetry.Span.with_span "ilp.build" (fun () -> build_on instance ~target)
+    Telemetry.Span.with_span "ilp.build" (fun () ->
+        model_on ?budget_cap instance ~target)
   in
   let j_count = Instance.num_recipes instance in
   let q_count = Instance.num_types instance in
@@ -125,6 +148,18 @@ let solve_on ?time_limit ?node_limit ?(strategy = Milp.Solver.Best_bound)
           R.of_int a.Allocation.rho.(Instance.original_index instance i)
         else R.of_int a.Allocation.machines.(i - j_count))
   in
+  (* With a budget row in the model, a warm point whose (re-minimized)
+     cost exceeds the cap is infeasible and Milp.Solver.solve rejects
+     it outright — drop it and start cold instead. *)
+  let within_cap a =
+    match budget_cap with
+    | None -> true
+    | Some cap ->
+      let minimal =
+        Allocation.of_rho (Instance.problem instance) ~rho:a.Allocation.rho
+      in
+      minimal.Allocation.cost <= cap
+  in
   (* Seed the branch-and-bound with a known feasible point: its cost is
      an upper cutoff that prunes most of the tree (the role played by
      Gurobi's internal primal heuristics in the paper's runs). A
@@ -135,7 +170,8 @@ let solve_on ?time_limit ?node_limit ?(strategy = Milp.Solver.Best_bound)
      floor — still seeds the search. *)
   let warm =
     match incumbent with
-    | Some a when valid_incumbent instance ~target a -> Some (point_of a)
+    | Some a when valid_incumbent instance ~target a && within_cap a ->
+      Some (point_of a)
     | _ ->
       if not warm_start then None
       else
@@ -146,10 +182,12 @@ let solve_on ?time_limit ?node_limit ?(strategy = Milp.Solver.Best_bound)
               | None -> Budget.unlimited
             in
             let res =
-              Heuristics.run_on ~budget ~rng:(Numeric.Prng.create 0x5EED)
-                Heuristics.H32_jump instance ~target
+              Heuristics.search ~budget ~rng:(Numeric.Prng.create 0x5EED)
+                ~instance Heuristics.H32_jump ~target
             in
-            Some (point_of res.Heuristics.allocation))
+            if within_cap res.Heuristics.allocation then
+              Some (point_of res.Heuristics.allocation)
+            else None)
   in
   let priority =
     [ List.init j_count Fun.id; List.init q_count (fun q -> j_count + q) ]
@@ -177,10 +215,15 @@ let solve_on ?time_limit ?node_limit ?(strategy = Milp.Solver.Best_bound)
     nodes = result.Milp.Solver.nodes;
     elapsed = Unix.gettimeofday () -. t0 }
 
+let solve_on ?time_limit ?node_limit ?strategy ?warm_start ?incumbent
+    ?cut_rounds instance ~target =
+  optimize ?time_limit ?node_limit ?strategy ?warm_start ?incumbent ?cut_rounds
+    ~instance ~target ()
+
 let solve ?time_limit ?node_limit ?strategy ?warm_start ?incumbent ?cut_rounds
     problem ~target =
-  solve_on ?time_limit ?node_limit ?strategy ?warm_start ?incumbent ?cut_rounds
-    (Instance.compile problem) ~target
+  optimize ?time_limit ?node_limit ?strategy ?warm_start ?incumbent ?cut_rounds
+    ~problem ~target ()
 
 let lp_lower_bound problem ~target =
   let model, _ = build problem ~target in

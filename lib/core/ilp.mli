@@ -24,21 +24,36 @@ type outcome = {
   elapsed : float;  (** seconds *)
 }
 
-(** [build problem ~target] constructs the MILP and returns it with
-    the list of integer variables — exposed for inspection, testing
-    and benchmarking. The model has one [ρ] column per {e surviving}
-    recipe of the dominance-pruned compiled instance (see
-    {!Instance}): variables [0..J'-1] are the [ρ_j] in compact
-    numbering and [J'..J'+Q-1] are the [x_q]. Dominated columns never
-    price cheaper at equal throughput, so both the MILP optimum and
-    its LP relaxation are unchanged. *)
-val build : Problem.t -> target:int -> Lp.Model.t * Lp.Model.var list
+(** [model ~target] constructs the MILP and returns it with the list
+    of integer variables — exposed for inspection, testing and
+    benchmarking. Exactly one of [?instance] and [?problem] must be
+    given ([?problem] is compiled, under [?pricebook] when present).
+    The model has one [ρ] column per {e surviving} recipe of the
+    dominance-pruned compiled instance (see {!Instance}): variables
+    [0..J'-1] are the [ρ_j] in compact numbering and [J'..J'+Q-1] are
+    the [x_q]. Dominated columns never price cheaper at equal
+    throughput, so both the MILP optimum and its LP relaxation are
+    unchanged.
 
-(** [build_on instance ~target] is {!build} on a pre-compiled
-    instance. *)
-val build_on : Instance.t -> target:int -> Lp.Model.t * Lp.Model.var list
+    [?budget_cap] adds the budget-feasibility cut
+    [Σ_q c_q·x_q <= cap]: the model then answers "is throughput
+    [target] reachable within [cap]?" — [Infeasible] means no. This is
+    the native probe of the max-throughput binary search
+    ({!Solver.run}).
+    @raise Invalid_argument when [target < 0], the cap is negative, or
+      the [?instance]/[?problem] convention is violated. *)
+val model :
+  ?budget_cap:int ->
+  ?pricebook:Pricebook.t ->
+  ?instance:Instance.t ->
+  ?problem:Problem.t ->
+  target:int ->
+  unit ->
+  Lp.Model.t * Lp.Model.var list
 
-(** [solve problem ~target] optimizes the MILP.
+(** [optimize ~target] solves the MILP — the single entry point for
+    both calling conventions (pass [~instance] or [~problem], never
+    both).
     @param time_limit wall-clock seconds (default: unlimited)
     @param node_limit maximum branch-and-bound nodes (default:
       unlimited); unlike a time limit, a node limit keeps capped runs
@@ -51,13 +66,43 @@ val build_on : Instance.t -> target:int -> Lp.Model.t * Lp.Model.var list
       previous-period solution) used as the initial incumbent instead
       of running the H32Jump warm-up. Silently ignored when it is
       infeasible for this target, routes throughput through a pruned
-      recipe, or falls outside the model's tightening bounds — the
-      solve then proceeds per [warm_start].
+      recipe, falls outside the model's tightening bounds, or costs
+      more than [?budget_cap] — the solve then proceeds per
+      [warm_start].
     @param cut_rounds Gomory cut rounds at the root (default 0:
       disabled — with a dense exact tableau the smaller tree does not
       repay the denser, slower node relaxations; see the
       [ilp_ablation] bench).
-    @raise Invalid_argument when [target < 0]. *)
+    @param budget_cap see {!model}; with the cut, [status = Infeasible]
+      in the outcome means "unreachable within the cap", and any warm
+      point over the cap is dropped rather than handed to the solver.
+    @raise Invalid_argument when [target < 0], the cap is negative, or
+      the [?instance]/[?problem] convention is violated. *)
+val optimize :
+  ?time_limit:float ->
+  ?node_limit:int ->
+  ?strategy:Milp.Solver.strategy ->
+  ?warm_start:bool ->
+  ?incumbent:Allocation.t ->
+  ?cut_rounds:int ->
+  ?budget_cap:int ->
+  ?pricebook:Pricebook.t ->
+  ?instance:Instance.t ->
+  ?problem:Problem.t ->
+  target:int ->
+  unit ->
+  outcome
+
+(** @deprecated Use {!model}[ ~problem]. Kept one release for
+    out-of-tree callers. *)
+val build : Problem.t -> target:int -> Lp.Model.t * Lp.Model.var list
+
+(** @deprecated Use {!model}[ ~instance]. Kept one release for
+    out-of-tree callers. *)
+val build_on : Instance.t -> target:int -> Lp.Model.t * Lp.Model.var list
+
+(** @deprecated Use {!optimize}[ ~problem]. Kept one release for
+    out-of-tree callers. *)
 val solve :
   ?time_limit:float ->
   ?node_limit:int ->
@@ -69,9 +114,8 @@ val solve :
   target:int ->
   outcome
 
-(** [solve_on instance ~target] is {!solve} on a pre-compiled
-    instance — the warm start reuses the instance too, so one compile
-    serves the whole solve. *)
+(** @deprecated Use {!optimize}[ ~instance]. Kept one release for
+    out-of-tree callers. *)
 val solve_on :
   ?time_limit:float ->
   ?node_limit:int ->

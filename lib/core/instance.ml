@@ -6,7 +6,10 @@ type support = {
 }
 
 type t = {
-  problem : Problem.t;
+  problem : Problem.t;  (* scenario-effective prices (pricebook applied) *)
+  source_problem : Problem.t;  (* as submitted, original platform prices *)
+  objective_kind : Objective.kind;
+  pricebook : Pricebook.t option;
   costs : int array;  (* c_q *)
   throughputs : int array;  (* r_q *)
   original : int array;  (* compact recipe index -> original index *)
@@ -36,7 +39,8 @@ let dominates rows j j' =
     cj;
   !le && (!strict || j < j')
 
-let compile_impl ?(prune = true) problem =
+let compile_impl ?(prune = true) ~source_problem ~objective_kind ~pricebook
+    problem =
   let j_orig = Problem.num_recipes problem in
   let q_count = Problem.num_types problem in
   let platform = Problem.platform problem in
@@ -105,14 +109,64 @@ let compile_impl ?(prune = true) problem =
         !acc)
       supports
   in
-  { problem; costs; throughputs; original; counts; supports; dropped;
-    unit_costs; blackbox; disjoint; canon = None }
+  { problem; source_problem; objective_kind; pricebook; costs; throughputs;
+    original; counts; supports; dropped; unit_costs; blackbox; disjoint;
+    canon = None }
 
-let compile ?prune problem =
+let compile ?prune ?scenario problem =
   Telemetry.Span.with_span "instance.compile" (fun () ->
-      compile_impl ?prune problem)
+      let objective_kind, pricebook =
+        match scenario with
+        | None -> (`Min_cost, None)
+        | Some s ->
+          (Objective.kind (Scenario.objective s), Scenario.pricebook s)
+      in
+      let effective =
+        match pricebook with
+        | None -> problem
+        | Some pb ->
+          Problem.create
+            (Pricebook.apply pb (Problem.platform problem))
+            (Problem.recipes problem)
+      in
+      compile_impl ?prune ~source_problem:problem ~objective_kind ~pricebook
+        effective)
 
 let problem t = t.problem
+let source_problem t = t.source_problem
+let objective_kind t = t.objective_kind
+let pricebook t = t.pricebook
+
+(* Resolve the `?instance / ?problem (+ scenario axes)` calling
+   convention every engine entry point shares. *)
+let for_solve ~who ?objective ?pricebook ?instance ?problem () =
+  match (instance, problem) with
+  | Some _, Some _ | None, None ->
+    invalid_arg (who ^ ": pass exactly one of ~instance and ~problem")
+  | Some inst, None ->
+    (match pricebook with
+     | Some _ ->
+       invalid_arg
+         (who
+        ^ ": ~pricebook applies only with ~problem (an instance bakes its \
+           pricebook at compile time)")
+     | None -> ());
+    (match objective with
+     | Some o when Objective.kind o <> inst.objective_kind ->
+       invalid_arg
+         (Printf.sprintf
+            "%s: instance was compiled for %s, not %s (recompile with the \
+             matching scenario)"
+            who
+            (Objective.kind_to_string inst.objective_kind)
+            (Objective.kind_to_string (Objective.kind o)))
+     | _ -> ());
+    inst
+  | None, Some p ->
+    let objective =
+      match objective with Some o -> o | None -> Objective.min_cost ~target:0
+    in
+    compile ~scenario:(Scenario.make ~objective ?pricebook ()) p
 let num_recipes t = Array.length t.original
 let num_types t = Array.length t.costs
 let original_index t j = t.original.(j)
@@ -143,6 +197,18 @@ let fluid_lower_bound t ~target =
   else begin
     let best = Array.fold_left R.min t.unit_costs.(0) t.unit_costs in
     Numeric.Bigint.to_int_exn (R.ceil (R.mul best (R.of_int target)))
+  end
+
+let fluid_upper_target t ~budget =
+  if budget < 0 then invalid_arg "Instance.fluid_upper_target: negative budget";
+  if num_recipes t = 0 then 0
+  else begin
+    (* fluid(t) = ⌈t·u⌉ <= budget ⟺ t <= ⌊budget/u⌋ with u the best
+       fluid unit cost; beyond that even the LP relaxation overspends,
+       so the true max-throughput optimum is <= this bracket. u > 0
+       because platform costs are strictly positive. *)
+    let best = Array.fold_left R.min t.unit_costs.(0) t.unit_costs in
+    Numeric.Bigint.to_int_exn (R.floor (R.div (R.of_int budget) best))
   end
 
 let expand_rho t rho =
@@ -199,6 +265,12 @@ let canon t =
   | None ->
     let torder, rorder = canonical_orders t in
     let b = Buffer.create 256 in
+    (* Objective tag: a max-throughput instance must never share a
+       cache entry with a min-cost one, so its encoding carries the
+       kind. Min-cost stays untagged — the historical encoding. *)
+    (match t.objective_kind with
+     | `Min_cost -> ()
+     | `Max_throughput -> Buffer.add_string b "max-throughput;");
     Buffer.add_string b
       (Printf.sprintf "Q%d J%d" (num_types t) (num_recipes t));
     Array.iter

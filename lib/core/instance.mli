@@ -42,10 +42,51 @@ type instance = t
 (** [compile problem] builds the instance. [O(J²·Q)] for the dominance
     filter plus [O(J·Q)] for the tables — negligible next to any
     search. [~prune:false] keeps dominated recipes (identity index
-    map); used by A/B tests and ablation benchmarks. *)
-val compile : ?prune:bool -> Problem.t -> t
+    map); used by A/B tests and ablation benchmarks.
 
+    [?scenario] bakes a {!Scenario.t} into the compiled view: a price
+    book rewrites the platform costs [c_q] to the effective multi-cloud
+    prices (so every engine, {!single_cost}, {!fluid_lower_bound} and
+    the {!module:Oracle} price with them), and the objective {e kind}
+    is folded into the canonical encoding, so min-cost and
+    max-throughput instances never share a fingerprint. Omitted — or
+    given as the default min-cost scenario with no book — the compile
+    is bit-identical to the historical one. *)
+val compile : ?prune:bool -> ?scenario:Scenario.t -> Problem.t -> t
+
+(** The problem the engines price: the submitted recipes over the
+    scenario-{e effective} platform (price book applied). Without a
+    pricebook this is the submitted problem itself. *)
 val problem : t -> Problem.t
+
+(** The problem as submitted, with its original platform prices —
+    what a service re-compiles under a different scenario. *)
+val source_problem : t -> Problem.t
+
+(** The objective family this instance was compiled for (baked into
+    the canonical encoding). [`Min_cost] without a scenario. *)
+val objective_kind : t -> Objective.kind
+
+(** The price book baked in at compile time, if any. *)
+val pricebook : t -> Pricebook.t option
+
+(** [for_solve ~who ?objective ?pricebook ?instance ?problem ()]
+    resolves the shared [?instance]/[?problem] calling convention of
+    the engine entry points: exactly one of the two must be given.
+    [~problem] compiles it under the scenario formed by [?objective]
+    (default min-cost) and [?pricebook]; [~instance] is returned as-is
+    after checking that [?pricebook] is absent (a compiled instance
+    already baked its book) and that [?objective]'s kind matches the
+    instance's.
+    @raise Invalid_argument on any violation, prefixed with [who]. *)
+val for_solve :
+  who:string ->
+  ?objective:Objective.t ->
+  ?pricebook:Pricebook.t ->
+  ?instance:t ->
+  ?problem:Problem.t ->
+  unit ->
+  t
 
 (** Number of surviving recipes [J'] (compact index space; [<= J]). *)
 val num_recipes : t -> int
@@ -98,6 +139,14 @@ val unit_cost : t -> int -> Numeric.Rat.t
     optimal cost, from the LP relaxation with the capacity ceilings
     dropped. *)
 val fluid_lower_bound : t -> target:int -> int
+
+(** [fluid_upper_target t ~budget] is [⌊budget / min_j unit_cost j⌋] —
+    an upper bound on any throughput achievable within [budget], from
+    the same LP relaxation as {!fluid_lower_bound}. The initial upper
+    bracket of the max-throughput binary search ({!Solver.run}). [0]
+    when the instance has no recipes.
+    @raise Invalid_argument when [budget < 0]. *)
+val fluid_upper_target : t -> budget:int -> int
 
 (** [expand_rho t rho] maps a compact split (length [J']) to the
     original numbering (length [J], zeros for dropped recipes). *)

@@ -1,0 +1,272 @@
+type tier = {
+  tier_name : string;
+  percent : int;
+}
+
+type book = {
+  book_name : string;
+  region : string option;
+  prices : int array;
+  tiers : tier list;
+}
+
+type sourcing = {
+  src_book : string;
+  src_region : string option;
+  src_tier : string;
+  src_cost : int;
+}
+
+type t = book array
+
+let ceil_div a b = (a + b - 1) / b
+
+let on_demand = { tier_name = "on-demand"; percent = 100 }
+
+let validate_book b =
+  if String.trim b.book_name = "" then
+    invalid_arg "Pricebook.create: empty book name";
+  Array.iter
+    (fun p ->
+      if p <= 0 then
+        invalid_arg
+          (Printf.sprintf "Pricebook.create: book %S has a non-positive price"
+             b.book_name))
+    b.prices;
+  List.iter
+    (fun t ->
+      if t.percent <= 0 then
+        invalid_arg
+          (Printf.sprintf
+             "Pricebook.create: tier %S of book %S has a non-positive percent"
+             t.tier_name b.book_name))
+    b.tiers
+
+let create books =
+  let books = Array.of_list books in
+  if Array.length books = 0 then invalid_arg "Pricebook.create: no books";
+  let n = Array.length books.(0).prices in
+  if n = 0 then invalid_arg "Pricebook.create: empty price vector";
+  Array.iter
+    (fun b ->
+      validate_book b;
+      if Array.length b.prices <> n then
+        invalid_arg
+          (Printf.sprintf
+             "Pricebook.create: book %S prices %d types, expected %d"
+             b.book_name (Array.length b.prices) n))
+    books;
+  Array.map (fun b -> { b with prices = Array.copy b.prices }) books
+
+let of_platform ?(name = "on-demand") platform =
+  create
+    [
+      {
+        book_name = name;
+        region = None;
+        prices =
+          Array.init (Platform.num_types platform) (Platform.cost platform);
+        tiers = [];
+      };
+    ]
+
+let num_books t = Array.length t
+let num_types t = Array.length t.(0).prices
+let books t = Array.to_list t
+
+(* A tier price never drops below 1: Platform costs are strictly
+   positive, so a 99%-off spot tier still rents at a unit price. *)
+let tier_price base tier = max 1 (ceil_div (base * tier.percent) 100)
+
+(* The cheapest (book, tier) for one machine type, scanning books in
+   declaration order and, within a book, on-demand before the discount
+   tiers — so ties resolve deterministically towards the first, least
+   surprising source. *)
+let sourcing t q =
+  if q < 0 || q >= num_types t then invalid_arg "Pricebook.sourcing: bad type";
+  let best = ref None in
+  Array.iter
+    (fun b ->
+      List.iter
+        (fun tier ->
+          let c = tier_price b.prices.(q) tier in
+          match !best with
+          | Some s when s.src_cost <= c -> ()
+          | _ ->
+            best :=
+              Some
+                {
+                  src_book = b.book_name;
+                  src_region = b.region;
+                  src_tier = tier.tier_name;
+                  src_cost = c;
+                })
+        (on_demand :: b.tiers))
+    t;
+  Option.get !best
+
+let effective_cost t q = (sourcing t q).src_cost
+
+let apply t platform =
+  if num_types t <> Platform.num_types platform then
+    invalid_arg
+      (Printf.sprintf
+         "Pricebook.apply: pricebook covers %d types, platform has %d"
+         (num_types t)
+         (Platform.num_types platform));
+  Platform.create
+    (Array.init (num_types t) (fun q ->
+         {
+           Platform.cost = effective_cost t q;
+           throughput = Platform.throughput platform q;
+         }))
+
+(* --- text format --- *)
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "pricebook version 1\n";
+  Array.iter
+    (fun b ->
+      Buffer.add_string buf (Printf.sprintf "book %s\n" b.book_name);
+      (match b.region with
+       | Some r -> Buffer.add_string buf (Printf.sprintf "  region %s\n" r)
+       | None -> ());
+      Array.iteri
+        (fun q p -> Buffer.add_string buf (Printf.sprintf "  price %d %d\n" q p))
+        b.prices;
+      List.iter
+        (fun tier ->
+          Buffer.add_string buf
+            (Printf.sprintf "  tier %s %d\n" tier.tier_name tier.percent))
+        b.tiers)
+    t;
+  Buffer.contents buf
+
+type partial_book = {
+  pb_name : string;
+  mutable pb_region : string option;
+  mutable pb_prices : (int * int) list;  (* (type, price), reversed *)
+  mutable pb_tiers : tier list;  (* reversed *)
+}
+
+let of_string text =
+  let fail line msg =
+    failwith (Printf.sprintf "Pricebook: line %d: %s" line msg)
+  in
+  let books = ref [] in
+  let current = ref None in
+  let parse_int line s =
+    match int_of_string_opt s with
+    | Some n -> n
+    | None -> fail line (Printf.sprintf "expected an integer, got %S" s)
+  in
+  let close () =
+    match !current with
+    | None -> ()
+    | Some pb ->
+      let n =
+        List.fold_left (fun acc (q, _) -> max acc (q + 1)) 0 pb.pb_prices
+      in
+      let prices = Array.make (max n 1) 0 in
+      List.iter (fun (q, p) -> prices.(q) <- p) pb.pb_prices;
+      Array.iteri
+        (fun q p ->
+          if p = 0 then
+            failwith
+              (Printf.sprintf "Pricebook: book %S: missing price for type %d"
+                 pb.pb_name q))
+        prices;
+      books :=
+        {
+          book_name = pb.pb_name;
+          region = pb.pb_region;
+          prices;
+          tiers = List.rev pb.pb_tiers;
+        }
+        :: !books;
+      current := None
+  in
+  List.iteri
+    (fun idx raw ->
+      let line = idx + 1 in
+      let no_comment =
+        match String.index_opt raw '#' with
+        | Some i -> String.sub raw 0 i
+        | None -> raw
+      in
+      let words =
+        String.split_on_char ' '
+          (String.map (fun c -> if c = '\t' then ' ' else c) no_comment)
+        |> List.filter (fun w -> w <> "")
+      in
+      match words with
+      | [] -> ()
+      | [ k; "version"; v ] when String.lowercase_ascii k = "pricebook" ->
+        let v = parse_int line v in
+        if v <> 1 then
+          fail line
+            (Printf.sprintf "unsupported pricebook version %d (supported: 1)" v)
+      | k :: name when String.lowercase_ascii k = "book" ->
+        (match name with
+         | [ name ] ->
+           close ();
+           current :=
+             Some
+               { pb_name = name; pb_region = None; pb_prices = []; pb_tiers = [] }
+         | _ -> fail line "'book' takes exactly one name")
+      | [ k; r ] when String.lowercase_ascii k = "region" -> (
+        match !current with
+        | None -> fail line "'region' outside a book block"
+        | Some pb -> pb.pb_region <- Some r)
+      | [ k; q; p ] when String.lowercase_ascii k = "price" -> (
+        match !current with
+        | None -> fail line "'price' outside a book block"
+        | Some pb ->
+          let q = parse_int line q and p = parse_int line p in
+          if q < 0 then fail line "negative type index";
+          if List.mem_assoc q pb.pb_prices then
+            fail line (Printf.sprintf "duplicate price for type %d" q);
+          pb.pb_prices <- (q, p) :: pb.pb_prices)
+      | [ k; name; pct ] when String.lowercase_ascii k = "tier" -> (
+        match !current with
+        | None -> fail line "'tier' outside a book block"
+        | Some pb ->
+          pb.pb_tiers <-
+            { tier_name = name; percent = parse_int line pct } :: pb.pb_tiers)
+      | w :: _ -> fail line (Printf.sprintf "unknown directive %S" w))
+    (String.split_on_char '\n' text);
+  close ();
+  if !books = [] then failwith "Pricebook: no books declared";
+  create (List.rev !books)
+
+let load path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  of_string text
+
+let save path t =
+  let oc = open_out path in
+  output_string oc (to_string t);
+  close_out oc
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>";
+  Array.iter
+    (fun b ->
+      Format.fprintf fmt "book %s%s: prices [%s]%s@," b.book_name
+        (match b.region with Some r -> " (" ^ r ^ ")" | None -> "")
+        (String.concat ";"
+           (Array.to_list (Array.map string_of_int b.prices)))
+        (match b.tiers with
+         | [] -> ""
+         | ts ->
+           " tiers "
+           ^ String.concat ","
+               (List.map
+                  (fun t -> Printf.sprintf "%s@%d%%" t.tier_name t.percent)
+                  ts)))
+    t;
+  Format.fprintf fmt "@]"

@@ -2,6 +2,7 @@ let to_string problem =
   let buf = Buffer.create 512 in
   let platform = Problem.platform problem in
   let q_count = Problem.num_types problem in
+  Buffer.add_string buf "version 1\n";
   Buffer.add_string buf (Printf.sprintf "types %d\n" q_count);
   for q = 0 to q_count - 1 do
     Buffer.add_string buf
@@ -51,6 +52,11 @@ let of_string text =
       in
       match words with
       | [] -> ()
+      | [ "version"; v ] ->
+        let v = parse_int line v in
+        if v <> 1 then
+          fail line
+            (Printf.sprintf "unsupported problem format version %d (supported: 1)" v)
       | [ "types"; n ] ->
         if !ntypes >= 0 then fail line "duplicate 'types' declaration";
         let n = parse_int line n in

@@ -4,6 +4,7 @@
     Grammar (line oriented, [#] starts a comment):
 
     {v
+    version 1                            # optional; version 1 implied
     types <Q>
     type <q> cost <c> throughput <r>     # one line per type, q in 0..Q-1
     recipe                               # starts a recipe block
@@ -16,7 +17,10 @@
     Whitespace is free-form; keywords are case-insensitive. Every
     validation of {!Platform.create}, {!Task_graph.create} and
     {!Problem.create} applies (positive costs/throughputs, acyclic
-    precedence, type ranges). *)
+    precedence, type ranges). A file without a [version] line is
+    version 1; unknown versions are rejected with a line-numbered
+    [Failure] naming the supported versions, so future fields stay
+    forward-compatible. *)
 
 (** [to_string problem] renders an instance; [of_string (to_string p)]
     reconstructs an equivalent instance. *)

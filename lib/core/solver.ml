@@ -54,8 +54,13 @@ type telemetry = {
 type outcome = {
   status : status;
   allocation : Allocation.t option;
+  throughput : int;
   telemetry : telemetry;
 }
+
+let sum_rho = function
+  | None -> 0
+  | Some a -> Array.fold_left ( + ) 0 a.Allocation.rho
 
 (* Routing reads the structure flags precomputed at instance compile
    time — and therefore sees the *pruned* structure: a shared-types
@@ -118,16 +123,16 @@ let heuristic_fallback ~budget ~rng ~params ~warm ~t0 instance ~target =
       let budget =
         Budget.remaining budget ~elapsed:(Unix.gettimeofday () -. t0)
       in
-      (Heuristics.run_on ~params ~budget ?rng ?warm_start:warm
-         Heuristics.H32_jump instance ~target)
+      (Heuristics.search ~params ~budget ?rng ?warm_start:warm ~instance
+         Heuristics.H32_jump ~target)
         .Heuristics.allocation)
 
 let run_engine ~budget ~rng ~params ~warm ~t0 engine instance ~target =
   match engine with
   | Auto -> assert false (* resolved by [solve] *)
-  | Dp_blackbox -> (Optimal, Some (Dp_blackbox.solve_on instance ~target))
-  | Dp_disjoint -> (Optimal, Some (Dp_disjoint.solve_on instance ~target))
-  | Exhaustive -> (Optimal, Some (Exhaustive.solve_on instance ~target))
+  | Dp_blackbox -> (Optimal, Some (Dp_blackbox.run ~instance ~target ()))
+  | Dp_disjoint -> (Optimal, Some (Dp_disjoint.run ~instance ~target ()))
+  | Exhaustive -> (Optimal, Some (Exhaustive.run ~instance ~target ()))
   | Exact_ilp ->
     let incumbent =
       Option.map
@@ -137,8 +142,8 @@ let run_engine ~budget ~rng ~params ~warm ~t0 engine instance ~target =
         warm
     in
     let o =
-      Ilp.solve_on ?time_limit:budget.Budget.deadline
-        ?node_limit:budget.Budget.node_cap ?incumbent instance ~target
+      Ilp.optimize ?time_limit:budget.Budget.deadline
+        ?node_limit:budget.Budget.node_cap ?incumbent ~instance ~target ()
     in
     (match (o.Ilp.status, o.Ilp.allocation) with
      | Milp.Solver.Optimal, (Some _ as a) -> (Optimal, a)
@@ -152,13 +157,13 @@ let run_engine ~budget ~rng ~params ~warm ~t0 engine instance ~target =
        ))
   | Heuristic name ->
     let r =
-      Heuristics.run_on ~params ~budget ?rng ?warm_start:warm name instance
+      Heuristics.search ~params ~budget ?rng ?warm_start:warm ~instance name
         ~target
     in
     ( (if r.Heuristics.exhausted then Budget_exhausted else Feasible),
       Some r.Heuristics.allocation )
 
-let solve_on ?(budget = Budget.unlimited) ?rng
+let min_cost_on ?(budget = Budget.unlimited) ?rng
     ?(params = Heuristics.default_params) ?warm_start ~spec instance ~target =
   if target < 0 then invalid_arg "Solver.solve: negative target";
   let t0 = Unix.gettimeofday () in
@@ -197,11 +202,163 @@ let solve_on ?(budget = Budget.unlimited) ?rng
       pruned_recipes = Instance.num_pruned instance;
       warm_started = warm <> None }
   in
-  { status; allocation; telemetry }
+  { status; allocation; throughput = sum_rho allocation; telemetry }
+
+(* The all-zero split: cost 0, so always within any monetary budget —
+   the trivially-feasible floor of the max-throughput search. *)
+let zero_allocation instance =
+  let problem = Instance.problem instance in
+  Allocation.of_rho problem ~rho:(Array.make (Problem.num_recipes problem) 0)
+
+(* Max-throughput via its dual: the optimal min-cost c(t) is
+   nondecreasing in t, so the optimum is the largest t with
+   c(t) <= money — found by binary search bracketed above by the fluid
+   relaxation ([Instance.fluid_upper_target], a valid bound because
+   the fluid cost lower-bounds the integer cost). Each probe asks "is
+   throughput t reachable within money?": natively for the ILP (a
+   budget-feasibility row, where Infeasible *proves* unreachability),
+   by comparing the exact optimum against the cap for the DPs and the
+   oracle, and by comparing the incumbent for heuristic engines —
+   whose "no" is not a proof, hence status [Feasible] rather than
+   [Optimal]. *)
+let max_throughput_on ~budget ~rng ~params ~warm_start ~spec instance ~money =
+  let t0 = Unix.gettimeofday () in
+  let evals0 = Telemetry.value Telemetry.heuristic_evals in
+  let pivots0 = Telemetry.value Telemetry.lp_pivots in
+  let nodes0 = Telemetry.value Telemetry.milp_nodes in
+  let engine = match spec with Auto -> auto_of_instance instance | s -> s in
+  let exact_engine =
+    match engine with
+    | Exact_ilp | Dp_blackbox | Dp_disjoint | Exhaustive -> true
+    | Heuristic _ -> false
+    | Auto -> assert false
+  in
+  let probe_exhausted = ref false in
+  let warm_used = ref false in
+  let remaining () =
+    Budget.remaining budget ~elapsed:(Unix.gettimeofday () -. t0)
+  in
+  (* [Some a]: proof that [target] is reachable within [money].
+     [None]: unreachable — a proof for exact engines (modulo
+     [probe_exhausted]), best-effort for heuristics. *)
+  let probe target =
+    let warm =
+      match warm_start with
+      | None -> None
+      | Some a -> normalize_warm_start instance ~target a
+    in
+    if warm <> None then warm_used := true;
+    let b = remaining () in
+    match engine with
+    | Auto -> assert false
+    | Dp_blackbox ->
+      let a = Dp_blackbox.run ~instance ~target () in
+      if a.Allocation.cost <= money then Some a else None
+    | Dp_disjoint ->
+      let a = Dp_disjoint.run ~instance ~target () in
+      if a.Allocation.cost <= money then Some a else None
+    | Exhaustive ->
+      let a = Exhaustive.run ~instance ~target () in
+      if a.Allocation.cost <= money then Some a else None
+    | Exact_ilp ->
+      let incumbent =
+        Option.map
+          (fun c ->
+            Allocation.of_rho (Instance.problem instance)
+              ~rho:(Instance.expand_rho instance c))
+          warm
+      in
+      let o =
+        Ilp.optimize ?time_limit:b.Budget.deadline
+          ?node_limit:b.Budget.node_cap ?incumbent ~budget_cap:money ~instance
+          ~target ()
+      in
+      (match o.Ilp.allocation with
+       | Some a -> Some a (* any incumbent satisfies the budget row *)
+       | None ->
+         (match o.Ilp.status with
+          | Milp.Solver.Infeasible -> ()
+          | _ -> probe_exhausted := true (* limit hit before a verdict *));
+         None)
+    | Heuristic name ->
+      let r =
+        Heuristics.search ~params ~budget:b ?rng ?warm_start:warm ~instance
+          name ~target
+      in
+      let a = r.Heuristics.allocation in
+      if a.Allocation.cost <= money then Some a
+      else begin
+        if r.Heuristics.exhausted then probe_exhausted := true;
+        None
+      end
+  in
+  let search () =
+    let best = ref (zero_allocation instance) in
+    let lo = ref 0 in
+    let hi = ref (Instance.fluid_upper_target instance ~budget:money) in
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      match probe mid with
+      | Some a ->
+        best := a;
+        lo := mid
+      | None -> hi := mid - 1
+    done;
+    !best
+  in
+  let allocation =
+    if not (Telemetry.enabled ()) then search ()
+    else
+      Telemetry.Span.with_span
+        ~attrs:
+          [ ("engine", spec_to_string engine);
+            ("money", string_of_int money) ]
+        "solver.max_throughput" search
+  in
+  let wall_time = Unix.gettimeofday () -. t0 in
+  Telemetry.observe wall_hist wall_time;
+  let status =
+    if !probe_exhausted then Budget_exhausted
+    else if exact_engine then Optimal
+    else Feasible
+  in
+  let telemetry =
+    { engine;
+      wall_time;
+      evaluations = Telemetry.value Telemetry.heuristic_evals - evals0;
+      pivots = Telemetry.value Telemetry.lp_pivots - pivots0;
+      nodes = Telemetry.value Telemetry.milp_nodes - nodes0;
+      pruned_recipes = Instance.num_pruned instance;
+      warm_started = !warm_used }
+  in
+  { status;
+    allocation = Some allocation;
+    throughput = sum_rho (Some allocation);
+    telemetry }
+
+let run ?budget ?rng ?params ?warm_start ?(spec = Auto) ?pricebook ?instance
+    ?problem ~objective () =
+  let inst =
+    Instance.for_solve ~who:"Solver.run" ~objective ?pricebook ?instance
+      ?problem ()
+  in
+  match objective with
+  | Objective.Min_cost { target } ->
+    min_cost_on ?budget ?rng ?params ?warm_start ~spec inst ~target
+  | Objective.Max_throughput { budget = money } ->
+    let budget = Option.value budget ~default:Budget.unlimited in
+    let params = Option.value params ~default:Heuristics.default_params in
+    max_throughput_on ~budget ~rng ~params ~warm_start ~spec inst ~money
+
+let solve_on ?budget ?rng ?params ?warm_start ~spec instance ~target =
+  if target < 0 then invalid_arg "Solver.solve: negative target";
+  run ?budget ?rng ?params ?warm_start ~spec ~instance
+    ~objective:(Objective.min_cost ~target) ()
 
 let solve ?budget ?rng ?params ?warm_start ~spec problem ~target =
-  solve_on ?budget ?rng ?params ?warm_start ~spec (Instance.compile problem)
-    ~target
+  if target < 0 then invalid_arg "Solver.solve: negative target";
+  run ?budget ?rng ?params ?warm_start ~spec ~problem
+    ~objective:(Objective.min_cost ~target) ()
 
 let pp_outcome fmt o =
   Format.fprintf fmt "@[<v>%s via %s in %.3f s" (status_to_string o.status)

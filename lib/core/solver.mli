@@ -86,6 +86,10 @@ type outcome = {
   status : status;
   allocation : Allocation.t option;
       (** [None] only when [status = Infeasible] *)
+  throughput : int;
+      (** total throughput [Σ_j ρ_j] of the allocation — the objective
+          value of a max-throughput solve, and at least the target of
+          a min-cost one ([0] without an allocation) *)
   telemetry : telemetry;
 }
 
@@ -98,8 +102,65 @@ val auto_spec : Problem.t -> spec
     already-compiled instance (no work beyond reading two flags). *)
 val auto_of_instance : Instance.t -> spec
 
-(** [solve ~spec problem ~target] runs the selected engine.
+(** [run ~objective ()] solves one scenario — the single entry point
+    for every engine and both objectives. Pass exactly one of
+    [~instance] and [~problem]: a problem is compiled under the
+    scenario formed by [~objective] and [?pricebook]; an instance must
+    already have been compiled for the matching objective kind (and
+    carries any pricebook from its own compile — combining
+    [?pricebook] with [~instance] is rejected).
 
+    Under {!Objective.Min_cost} this is the historical solve: the
+    selected engine (or the [Auto] routing) minimizes rental cost at
+    the target.
+
+    Under {!Objective.Max_throughput} the solver binary-searches the
+    largest throughput [t] whose min-cost fits the monetary budget,
+    bracketed above by the fluid relaxation
+    ({!Instance.fluid_upper_target}). Probes run on the selected
+    min-cost engine; the ILP answers natively through a
+    budget-feasibility row (see {!Ilp.optimize}[ ?budget_cap]), so its
+    Infeasible verdicts {e prove} unreachability and the search result
+    is exact — [status = Optimal]. Heuristic probes can only prove
+    reachability, so their result is a lower bound on the optimal
+    throughput and the status is [Feasible]. A probe cut short by the
+    {!Budget.t} yields [Budget_exhausted]; the allocation is still the
+    best feasible one found (at worst the zero allocation, which every
+    monetary budget affords).
+
+    @param budget caps the {e computation} (wall clock / nodes /
+      evals; default {!Budget.unlimited}) — not to be confused with
+      the monetary budget inside [Max_throughput]; see the budget
+      semantics above.
+    @param rng drives the stochastic heuristics; omitted, a fixed-seed
+      PRNG keeps runs deterministic. Exact engines ignore it.
+    @param params heuristic tuning (default
+      {!Heuristics.default_params}); exact engines ignore it.
+    @param warm_start as for {!solve}; under [Max_throughput] it is
+      re-validated per probe (a seed can only meet the probes at or
+      below its own throughput).
+    @raise Invalid_argument when the [?instance]/[?problem] convention
+      is violated, the instance's objective kind mismatches, or a DP
+      engine is forced (not via [Auto]) on a problem whose structure
+      it does not support. *)
+val run :
+  ?budget:Budget.t ->
+  ?rng:Numeric.Prng.t ->
+  ?params:Heuristics.params ->
+  ?warm_start:Allocation.t ->
+  ?spec:spec ->
+  ?pricebook:Pricebook.t ->
+  ?instance:Instance.t ->
+  ?problem:Problem.t ->
+  objective:Objective.t ->
+  unit ->
+  outcome
+
+(** [solve ~spec problem ~target] runs the selected engine on the
+    min-cost objective.
+
+    @deprecated Use {!run}[ ~problem ~objective:(Objective.min_cost
+      ~target) ()]. Kept one release for out-of-tree callers.
     @param budget caps the solve (default {!Budget.unlimited}); see
       the budget semantics above.
     @param rng drives the stochastic heuristics; omitted, a fixed-seed
@@ -134,7 +195,9 @@ val solve :
 (** [solve_on ~spec instance ~target] is {!solve} on a pre-compiled
     instance — the engines, the [Auto] routing and the ILP warm start
     all reuse it, so one {!Instance.compile} serves any number of
-    solves (e.g. a target sweep). *)
+    solves (e.g. a target sweep).
+    @deprecated Use {!run}[ ~instance ~objective:(Objective.min_cost
+      ~target) ()]. Kept one release for out-of-tree callers. *)
 val solve_on :
   ?budget:Budget.t ->
   ?rng:Numeric.Prng.t ->

@@ -67,12 +67,15 @@ let strategy_rngs ~rng n =
   done;
   rngs
 
-let solve_on ?budget ?rng ?params ?warm_start
-    ?(strategies = default_strategies) ?pool ?(domains = 1) instance ~target =
-  if strategies = [] then invalid_arg "Portfolio.solve_on: no strategies";
+let run ?budget ?rng ?params ?warm_start ?(strategies = default_strategies)
+    ?pool ?(domains = 1) ?pricebook ?instance ?problem ~target () =
+  let instance =
+    Instance.for_solve ~who:"Portfolio.run" ?pricebook ?instance ?problem ()
+  in
+  if strategies = [] then invalid_arg "Portfolio.run: no strategies";
   let rng = match rng with Some r -> r | None -> P.create 0x5EED in
   (* 0x5EED matches Heuristics.default_seed, so an rng-less portfolio
-     rank 0 retraces an rng-less Solver.solve_on. *)
+     rank 0 retraces an rng-less Solver.run. *)
   let n = List.length strategies in
   let rngs = strategy_rngs ~rng n in
   let t0 = Unix.gettimeofday () in
@@ -89,8 +92,9 @@ let solve_on ?budget ?rng ?params ?warm_start
                  ("rank", string_of_int rank) ]
              "parallel.task"
              (fun () ->
-               Solver.solve_on ?budget ~rng:rngs.(rank) ?params ?warm_start
-                 ~spec:(strategy_spec strat) instance ~target))
+               Solver.run ?budget ~rng:rngs.(rank) ?params ?warm_start
+                 ~spec:(strategy_spec strat) ~instance
+                 ~objective:(Rentcost.Objective.min_cost ~target) ()))
          strategies)
   in
   let run () =
@@ -126,6 +130,7 @@ let solve_on ?budget ?rng ?params ?warm_start
        non-negative target never does. *)
     { Solver.status = Solver.Infeasible;
       allocation = None;
+      throughput = 0;
       telemetry = telemetry_of (strategy_spec (List.hd strategies)) false }
   | Some (rank, winner) ->
     let strat = List.nth strategies rank in
@@ -161,11 +166,17 @@ let solve_on ?budget ?rng ?params ?warm_start
     in
     { Solver.status;
       allocation = winner.Solver.allocation;
+      throughput = winner.Solver.throughput;
       telemetry =
         telemetry_of winner.Solver.telemetry.Solver.engine
           winner.Solver.telemetry.Solver.warm_started }
 
+let solve_on ?budget ?rng ?params ?warm_start ?strategies ?pool ?domains
+    instance ~target =
+  run ?budget ?rng ?params ?warm_start ?strategies ?pool ?domains ~instance
+    ~target ()
+
 let solve ?budget ?rng ?params ?warm_start ?strategies ?pool ?domains problem
     ~target =
-  solve_on ?budget ?rng ?params ?warm_start ?strategies ?pool ?domains
-    (Instance.compile problem) ~target
+  run ?budget ?rng ?params ?warm_start ?strategies ?pool ?domains ~problem
+    ~target ()

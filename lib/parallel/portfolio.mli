@@ -3,7 +3,7 @@
 
     The heuristics are independent randomized searches over the same
     instance — a textbook algorithm portfolio. Each strategy runs as
-    one {!Rentcost.Solver.solve_on} call on its own domain, with its
+    one {!Rentcost.Solver.run} call on its own domain, with its
     own {!Rentcost.Instance.Oracle} (created inside the heuristic run)
     and an independently split PRNG, so strategies never share mutable
     state. The incumbents are then merged by {!reduce}: best cost
@@ -16,7 +16,7 @@
     Seed discipline: the caller's [?rng] is never advanced. Rank 0
     runs on a copy of it — so the portfolio's incumbent is always at
     least as good as the sequential
-    [Solver.solve_on ~rng ~spec:(strategy 0)] run on the same seed —
+    [Solver.run ~rng ~spec:(strategy 0)] call on the same seed —
     and ranks 1.. run on successive {!Numeric.Prng.split}s of another
     copy, derived in rank order.
 
@@ -56,14 +56,22 @@ val default_strategies : strategy list
 val reduce :
   (int * Rentcost.Solver.outcome) list -> (int * Rentcost.Solver.outcome) option
 
-(** [solve_on instance ~target] races the strategies and returns the
-    merged outcome. The merged [status] is [Optimal] when some
-    strategy proved the winning cost optimal, [Budget_exhausted] when
-    every strategy ran out of budget, and [Feasible] otherwise; the
-    [telemetry] is portfolio-level — wall time of the whole race and
-    counter deltas summed across all strategies (the per-strategy
-    deltas inside a concurrent race are not individually meaningful),
-    with [engine] reporting the winning strategy's spec.
+(** [run ~target ()] races the strategies on the min-cost objective
+    and returns the merged outcome — the single entry point for both
+    calling conventions (pass [~instance] or [~problem], never both;
+    [~problem] is compiled, under [?pricebook] when present). The
+    merged [status] is [Optimal] when some strategy proved the winning
+    cost optimal, [Budget_exhausted] when every strategy ran out of
+    budget, and [Feasible] otherwise; the [telemetry] is
+    portfolio-level — wall time of the whole race and counter deltas
+    summed across all strategies (the per-strategy deltas inside a
+    concurrent race are not individually meaningful), with [engine]
+    reporting the winning strategy's spec.
+
+    The racer is min-cost only: a max-throughput scenario is a binary
+    search {e over} min-cost solves, which belongs to
+    {!Rentcost.Solver.run} (each of whose probes could in principle
+    race a portfolio — not provided here).
 
     @param domains size of the pool the race runs on (default 1 =
       sequential on the caller); ignored when [?pool] is given.
@@ -72,8 +80,25 @@ val reduce :
     @param strategies defaults to {!default_strategies}; must be
       non-empty. Ranks are list positions.
     @param budget, rng, params, warm_start as in
-      {!Rentcost.Solver.solve_on}, applied to {e each} strategy ([rng]
-      per the seed discipline above; it is not advanced). *)
+      {!Rentcost.Solver.run}, applied to {e each} strategy ([rng] per
+      the seed discipline above; it is not advanced). *)
+val run :
+  ?budget:Rentcost.Budget.t ->
+  ?rng:Numeric.Prng.t ->
+  ?params:Rentcost.Heuristics.params ->
+  ?warm_start:Rentcost.Allocation.t ->
+  ?strategies:strategy list ->
+  ?pool:Pool.t ->
+  ?domains:int ->
+  ?pricebook:Rentcost.Pricebook.t ->
+  ?instance:Rentcost.Instance.t ->
+  ?problem:Rentcost.Problem.t ->
+  target:int ->
+  unit ->
+  Rentcost.Solver.outcome
+
+(** @deprecated Use {!run}[ ~instance]. Kept one release for
+    out-of-tree callers. *)
 val solve_on :
   ?budget:Rentcost.Budget.t ->
   ?rng:Numeric.Prng.t ->
@@ -86,8 +111,8 @@ val solve_on :
   target:int ->
   Rentcost.Solver.outcome
 
-(** [solve problem ~target] is {!solve_on} on a freshly compiled
-    instance. *)
+(** @deprecated Use {!run}[ ~problem]. Kept one release for
+    out-of-tree callers. *)
 val solve :
   ?budget:Rentcost.Budget.t ->
   ?rng:Numeric.Prng.t ->

@@ -80,6 +80,20 @@ let find_monotone t ~digest ~encoding ~target =
     touch t slot;
     Some slot.entry
 
+let find_monotone_le t ~digest ~encoding ~target =
+  let pick _key slot best =
+    if (not slot.entry.optimal) || slot.entry.target > target then best
+    else
+      match best with
+      | Some b when b.entry.target >= slot.entry.target -> best
+      | _ -> Some slot
+  in
+  match fold_struct t ~digest ~encoding pick None with
+  | None -> None
+  | Some slot ->
+    touch t slot;
+    Some slot.entry
+
 let find_nearest t ~digest ~encoding ~target =
   let pick _key slot best =
     if slot.entry.target < target then best

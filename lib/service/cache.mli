@@ -18,6 +18,12 @@
       it can answer a lower-target request immediately as a feasible
       (not optimality-proved) incumbent. Returns the optimal entry
       with the smallest such [t'], the cheapest cover available.
+    - {!find_monotone_le} — the dual rung for max-throughput entries,
+      whose scalar key is the {e monetary budget}: an optimal
+      allocation under a budget [b' <= b] also fits budget [b] (its
+      cost is [<= b' <= b]), so it answers a higher-budget request as
+      a feasible incumbent. Returns the optimal entry with the largest
+      such [b'], the closest throughput available.
     - {!find_nearest} — the nearest {e usable} cached split for the
       structure, to warm-start a cold solve. Usable means its target
       is [>= target]: the solver's warm-start validation drops any
@@ -62,6 +68,14 @@ val find_exact :
     for this structure with the smallest target [>= target], if any.
     Refreshes recency. *)
 val find_monotone :
+  t -> digest:string -> encoding:string -> target:int -> entry option
+
+(** [find_monotone_le t ~digest ~encoding ~target] is the optimal
+    entry for this structure with the largest target [<= target], if
+    any. The monotone rung read in the {e opposite} direction — used
+    when the scalar is a monetary budget, where feasibility carries
+    upward instead of downward. Refreshes recency. *)
+val find_monotone_le :
   t -> digest:string -> encoding:string -> target:int -> entry option
 
 (** [find_nearest t ~digest ~encoding ~target] is the entry for this

@@ -2,6 +2,9 @@ module Instance = Rentcost.Instance
 module Allocation = Rentcost.Allocation
 module Solver = Rentcost.Solver
 module Budget = Rentcost.Budget
+module Objective = Rentcost.Objective
+module Pricebook = Rentcost.Pricebook
+module Scenario = Rentcost.Scenario
 
 let c_requests = Telemetry.counter Telemetry.service_requests
 let c_hits = Telemetry.counter Telemetry.service_cache_hits
@@ -43,7 +46,8 @@ let default_config =
 type job = {
   id : int option;
   source : Protocol.source;
-  target : int;
+  objective : Objective.t;
+  pricebook : Pricebook.t option;
   spec : Solver.spec;
   budget : Budget.t;
   reuse : Protocol.reuse;
@@ -145,12 +149,44 @@ let register t ~name problem =
       Hashtbl.replace tbl digest (inst, fp));
   fp
 
+(* Compile [problem] under the request's scenario and dedup in the
+   instance table. Lookup and (on miss) insert happen under one stripe
+   lock, so two workers resolving the same problem agree on which
+   compiled instance is the shared one. The scenario is baked into the
+   canonical encoding, so objective kinds and price books land on
+   distinct digests and never share a compiled instance. *)
+let shared_compile t problem ~objective ~pricebook =
+  let scenario = Scenario.make ~objective ?pricebook () in
+  let inst = Instance.compile ~scenario problem in
+  let fp = Fingerprint.of_instance inst in
+  let digest = Fingerprint.digest fp in
+  let shared =
+    Striped.with_key t.instances ~key:digest (fun tbl ->
+        match Hashtbl.find_opt tbl digest with
+        | Some (inst0, fp0) when Fingerprint.equal fp fp0 -> `Reuse inst0
+        | _ ->
+          Hashtbl.replace tbl digest (inst, fp);
+          `Fresh)
+  in
+  match shared with
+  | `Reuse inst0 ->
+    Telemetry.bump c_reuse;
+    (inst0, inst, fp)
+  | `Fresh -> (inst, inst, fp)
+
 (* Resolve a solve source to [(solve_inst, client_inst, fp)]:
    [solve_inst] is the (possibly shared) instance engines run on,
    [client_inst] carries the submitted problem's numbering for the
    response. They differ only for an inline problem that
-   fingerprint-matched an already-compiled one. *)
-let resolve t source =
+   fingerprint-matched an already-compiled one. A [Ref] under the
+   default scenario (min-cost, no price book) is the registered
+   instance verbatim; any other scenario recompiles the registered
+   problem under it (deduped, so the recompile happens once per
+   scenario, not per request). *)
+let resolve t source ~objective ~pricebook =
+  let default_scenario =
+    Objective.kind objective = `Min_cost && Option.is_none pricebook
+  in
   match source with
   | Protocol.Ref name -> (
     match
@@ -159,28 +195,16 @@ let resolve t source =
     with
     | None -> Result.Error (Printf.sprintf "solve: unknown ref %S" name)
     | Some (inst, fp) ->
-      Telemetry.bump c_reuse;
-      Result.Ok (inst, inst, fp))
+      if default_scenario then begin
+        Telemetry.bump c_reuse;
+        Result.Ok (inst, inst, fp)
+      end
+      else
+        Result.Ok
+          (shared_compile t (Instance.source_problem inst) ~objective
+             ~pricebook))
   | Protocol.Inline problem ->
-    let inst = Instance.compile problem in
-    let fp = Fingerprint.of_instance inst in
-    let digest = Fingerprint.digest fp in
-    (* Lookup and (on miss) insert under one stripe lock, so two
-       workers resolving the same inline problem agree on which
-       compiled instance is the shared one. *)
-    let solve_inst =
-      Striped.with_key t.instances ~key:digest (fun tbl ->
-          match Hashtbl.find_opt tbl digest with
-          | Some (inst0, fp0) when Fingerprint.equal fp fp0 -> `Reuse inst0
-          | _ ->
-            Hashtbl.replace tbl digest (inst, fp);
-            `Fresh)
-    in
-    (match solve_inst with
-     | `Reuse inst0 ->
-       Telemetry.bump c_reuse;
-       Result.Ok (inst0, inst, fp)
-     | `Fresh -> Result.Ok (inst, inst, fp))
+    Result.Ok (shared_compile t problem ~objective ~pricebook)
 
 (* --- the reuse ladder --- *)
 
@@ -210,13 +234,19 @@ let run_solve_inner t ~now job =
     ~duration:(now -. job.arrived) ();
   match
     Telemetry.Span.with_span "service.resolve" (fun () ->
-        resolve t job.source)
+        resolve t job.source ~objective:job.objective
+          ~pricebook:job.pricebook)
   with
   | Result.Error message ->
     Protocol.Error { id = job.id; message }
   | Result.Ok (solve_inst, client_inst, fp) ->
     let digest = Fingerprint.digest fp
     and encoding = Fingerprint.encoding fp in
+    (* The cache scalar: the throughput target of a min-cost job, the
+       monetary budget of a max-throughput one. The two never collide —
+       the objective kind is baked into [encoding] (and [digest]). *)
+    let scalar = Objective.scalar job.objective in
+    let kind = Objective.kind job.objective in
     let spec =
       match job.spec with
       | Solver.Auto -> Solver.auto_of_instance solve_inst
@@ -239,8 +269,8 @@ let run_solve_inner t ~now job =
     let exact =
       if reuse_at_least Protocol.Exact_only then
         Telemetry.Span.with_span "service.rung.exact" (fun () ->
-            Shared_cache.find_exact t.solutions ~digest ~encoding ~target:job.target
-              ~spec:spec_s)
+            Shared_cache.find_exact t.solutions ~digest ~encoding
+              ~target:scalar ~spec:spec_s)
       else None
     in
     (match exact with
@@ -255,14 +285,22 @@ let run_solve_inner t ~now job =
        let monotone =
          if reuse_at_least Protocol.Monotone then
            Telemetry.Span.with_span "service.rung.monotone" (fun () ->
-               Shared_cache.find_monotone t.solutions ~digest ~encoding
-                 ~target:job.target)
+               (* Min-cost: an optimal split for a larger target covers
+                  this one. Max-throughput: an optimal split under a
+                  smaller budget still fits this one — the same rung
+                  read in the scalar's feasibility direction. *)
+               match kind with
+               | `Min_cost ->
+                 Shared_cache.find_monotone t.solutions ~digest ~encoding
+                   ~target:scalar
+               | `Max_throughput ->
+                 Shared_cache.find_monotone_le t.solutions ~digest ~encoding
+                   ~target:scalar)
          else None
        in
        match monotone with
        | Some entry ->
-         (* An optimal split for a larger target covers this one: a
-            feasible incumbent with zero solve work. *)
+         (* A feasible incumbent with zero solve work. *)
          Telemetry.bump c_hits;
          Telemetry.bump c_monotone;
          let alloc = alloc_of_canonical client_inst entry.Cache.canonical_rho in
@@ -271,11 +309,14 @@ let run_solve_inner t ~now job =
        | None ->
          Telemetry.bump c_misses;
          let warm_start =
-           if reuse_at_least Protocol.Warm then
+           (* Warm starts are a min-cost notion: a cached split at or
+              above the target seeds the engine. A max-throughput solve
+              re-brackets its own binary search, so it goes cold. *)
+           if kind = `Min_cost && reuse_at_least Protocol.Warm then
              Telemetry.Span.with_span "service.rung.warm" (fun () ->
                  match
                    Shared_cache.find_nearest t.solutions ~digest ~encoding
-                     ~target:job.target
+                     ~target:scalar
                  with
                  | Some entry ->
                    Some
@@ -287,8 +328,8 @@ let run_solve_inner t ~now job =
          let budget = Budget.remaining job.budget ~elapsed:(now -. job.arrived) in
          let outcome =
            Telemetry.Span.with_span "service.solve" (fun () ->
-               Solver.solve_on ~budget ?warm_start ~spec solve_inst
-                 ~target:job.target)
+               Solver.run ~budget ?warm_start ~spec ~instance:solve_inst
+                 ~objective:job.objective ())
          in
          (match outcome.Solver.allocation with
           | None ->
@@ -300,7 +341,7 @@ let run_solve_inner t ~now job =
             let canonical = canonical_rho_of solve_inst alloc in
             Shared_cache.insert t.solutions ~digest ~encoding
               {
-                Cache.target = job.target;
+                Cache.target = scalar;
                 spec = spec_s;
                 canonical_rho = canonical;
                 cost = alloc.Allocation.cost;
@@ -324,7 +365,8 @@ let run_solve t ~now job =
     Telemetry.Span.with_span
       ~attrs:
         [
-          ("target", string_of_int job.target);
+          ("objective", Objective.kind_to_string (Objective.kind job.objective));
+          ("target", string_of_int (Objective.scalar job.objective));
           ("reuse", Protocol.reuse_to_string job.reuse);
         ]
       "service.request"
@@ -391,11 +433,13 @@ let submit ?now t (request : Protocol.request) =
       (Protocol.Metrics_reply
          { metrics = Metrics.json ~stats:(stats t) (); text = Metrics.text () })
   | Protocol.Shutdown -> Some Protocol.Bye
-  | Protocol.Solve { id; source; target; spec; budget; reuse } ->
+  | Protocol.Solve { id; source; objective; pricebook; spec; budget; reuse } ->
     let budget =
       match budget with Some b -> b | None -> t.config.default_budget
     in
-    let job = { id; source; target; spec; budget; reuse; arrived = now } in
+    let job =
+      { id; source; objective; pricebook; spec; budget; reuse; arrived = now }
+    in
     let expires_at =
       Option.map (fun d -> now +. d) budget.Budget.deadline
     in

@@ -13,22 +13,38 @@
     A solve request walks down until something answers, stopping at
     the rung its [reuse] policy allows:
 
-    + {b exact hit} — a cached answer for the same structure, target
-      and engine (or any optimality-proved answer for that target):
-      replayed verbatim.
-    + {b monotone hit} — a cached {e optimal} answer for the same
-      structure at the smallest target [>= target]: its split meets
-      this target too, so it is served immediately as a feasible
+    + {b exact hit} — a cached answer for the same structure,
+      objective scalar and engine (or any optimality-proved answer for
+      that scalar): replayed verbatim.
+    + {b monotone hit} — a cached {e optimal} answer whose scalar
+      covers this one: for min-cost, the smallest target [>= target];
+      for max-throughput, the largest budget [<= budget] (its cost
+      fits this budget too). Served immediately as a feasible
       incumbent, without running an engine.
-    + {b warm start} — the nearest cached split at or above the
-      target (optimal or not) seeds {!Rentcost.Solver.solve_on}
-      ([?warm_start]); surplus throughput is trimmed by the solver.
+    + {b warm start} (min-cost only) — the nearest cached split at or
+      above the target (optimal or not) seeds {!Rentcost.Solver.run}
+      ([?warm_start]); surplus throughput is trimmed by the solver. A
+      max-throughput solve re-brackets its own binary search and goes
+      straight to
     + {b cold solve}.
 
     Cached splits are stored in canonical recipe order, so all three
     rungs serve fingerprint-equal requests whatever recipe numbering
     they were submitted in; responses are always translated back into
     the {e submitted} problem's numbering.
+
+    {2 Scenarios}
+
+    A request's {!Rentcost.Objective.t} and optional
+    {!Rentcost.Pricebook.t} are compiled into the instance the ladder
+    and engines see. The objective kind and the book's prices are part
+    of the canonical encoding, so cache keys — and the compiled
+    instances themselves — never cross objectives or price books: a
+    max-throughput entry cannot satisfy a min-cost probe and vice
+    versa. A [Ref] solve under the default scenario (min-cost, no
+    book) reuses the registered instance verbatim; any other scenario
+    recompiles the registered problem under it, deduped in the
+    instance table so the compile happens once per scenario.
 
     {2 Accounting}
 

@@ -1,5 +1,7 @@
 module Solver = Rentcost.Solver
 module Budget = Rentcost.Budget
+module Objective = Rentcost.Objective
+module Pricebook = Rentcost.Pricebook
 module Problem_format = Rentcost.Problem_format
 
 type reuse =
@@ -31,7 +33,8 @@ type request =
   | Solve of {
       id : int option;
       source : source;
-      target : int;
+      objective : Objective.t;
+      pricebook : Pricebook.t option;
       spec : Solver.spec;
       budget : Budget.t option;
       reuse : reuse;
@@ -135,6 +138,63 @@ let decode_budget j =
   | None, None, None -> Ok None
   | _ -> Ok (Some { Budget.deadline; node_cap; eval_cap })
 
+let parse_pricebook ~what text =
+  match Pricebook.of_string text with
+  | pb -> Ok pb
+  | exception Failure msg -> Result.Error (Printf.sprintf "%s: %s" what msg)
+  | exception Invalid_argument msg ->
+    Result.Error (Printf.sprintf "%s: %s" what msg)
+
+let load_pricebook path =
+  match Pricebook.load path with
+  | pb -> Ok pb
+  | exception Sys_error msg -> Result.Error (Printf.sprintf "solve: %s" msg)
+  | exception Failure msg -> Result.Error (Printf.sprintf "solve: %s: %s" path msg)
+  | exception Invalid_argument msg ->
+    Result.Error (Printf.sprintf "solve: %s: %s" path msg)
+
+let decode_objective j =
+  let* kind =
+    match Json.get_string "objective" j with
+    | None -> Ok `Min_cost
+    | Some s ->
+      Option.to_result
+        ~none:(Printf.sprintf "solve: unknown objective %S" s)
+        (Objective.kind_of_string s)
+  in
+  match kind with
+  | `Min_cost ->
+    let* target =
+      Option.to_result ~none:"solve: missing integer \"target\""
+        (Json.get_int "target" j)
+    in
+    let* () =
+      if target < 0 then Result.Error "solve: negative \"target\"" else Ok ()
+    in
+    Ok (Objective.min_cost ~target)
+  | `Max_throughput ->
+    let* budget =
+      Option.to_result
+        ~none:"solve: objective \"max-throughput\" needs integer \"budget\""
+        (Json.get_int "budget" j)
+    in
+    let* () =
+      if budget < 0 then Result.Error "solve: negative \"budget\"" else Ok ()
+    in
+    Ok (Objective.max_throughput ~budget)
+
+let decode_pricebook j =
+  match (Json.get_string "pricebook" j, Json.get_string "pricebook_path" j) with
+  | None, None -> Ok None
+  | Some text, None ->
+    let* pb = parse_pricebook ~what:"solve" text in
+    Ok (Some pb)
+  | None, Some path ->
+    let* pb = load_pricebook path in
+    Ok (Some pb)
+  | Some _, Some _ ->
+    Result.Error "solve: give \"pricebook\" or \"pricebook_path\", not both"
+
 let decode_solve j =
   let id = Json.get_int "id" j in
   let* source =
@@ -146,11 +206,8 @@ let decode_solve j =
     | Some _, Some _ -> Result.Error "solve: give \"ref\" or \"problem\", not both"
     | None, None -> Result.Error "solve: missing \"ref\" or \"problem\""
   in
-  let* target =
-    Option.to_result ~none:"solve: missing integer \"target\""
-      (Json.get_int "target" j)
-  in
-  let* () = if target < 0 then Result.Error "solve: negative \"target\"" else Ok () in
+  let* objective = decode_objective j in
+  let* pricebook = decode_pricebook j in
   let* spec =
     match Json.get_string "spec" j with
     | None -> Ok Solver.Auto
@@ -168,9 +225,23 @@ let decode_solve j =
         (reuse_of_string s)
   in
   let* budget = decode_budget j in
-  Ok (Solve { id; source; target; spec; budget; reuse })
+  Ok (Solve { id; source; objective; pricebook; spec; budget; reuse })
 
 let request_of_json j =
+  (* Every request is versioned; an absent "version" means 1. Unknown
+     versions are rejected up front with a structured error, so future
+     protocol fields stay forward-compatible. *)
+  let* () =
+    match Json.member "version" j with
+    | None -> Ok ()
+    | Some v ->
+      (match Json.to_int v with
+       | Some 1 -> Ok ()
+       | Some n ->
+         Result.Error
+           (Printf.sprintf "unsupported protocol version %d (supported: 1)" n)
+       | None -> Result.Error "bad \"version\": expected an integer")
+  in
   match Json.get_string "op" j with
   | None -> Result.Error "missing \"op\""
   | Some "register" -> decode_register j
@@ -192,11 +263,25 @@ let request_to_json = function
         ("name", Json.String name);
         ("problem", Json.String (Problem_format.to_string problem));
       ]
-  | Solve { id; source; target; spec; budget; reuse } ->
+  | Solve { id; source; objective; pricebook; spec; budget; reuse } ->
     let source_field =
       match source with
       | Ref name -> ("ref", Json.String name)
       | Inline p -> ("problem", Json.String (Problem_format.to_string p))
+    in
+    (* Min-cost keeps the historical shape (a bare "target"), so v1
+       clients and transcripts stay byte-compatible. *)
+    let objective_fields =
+      match objective with
+      | Objective.Min_cost { target } -> [ ("target", Json.Int target) ]
+      | Objective.Max_throughput { budget } ->
+        [ ("objective", Json.String "max-throughput");
+          ("budget", Json.Int budget) ]
+    in
+    let pricebook_field =
+      opt_field "pricebook"
+        (fun pb -> Json.String (Pricebook.to_string pb))
+        pricebook
     in
     let budget_fields =
       match budget with
@@ -209,9 +294,9 @@ let request_to_json = function
     Json.Obj
       ([ ("op", Json.String "solve") ]
       @ opt_field "id" (fun i -> Json.Int i) id
+      @ (source_field :: objective_fields)
+      @ pricebook_field
       @ [
-          source_field;
-          ("target", Json.Int target);
           ("spec", Json.String (Solver.spec_to_string spec));
           ("reuse", Json.String (reuse_to_string reuse));
         ]
@@ -234,6 +319,7 @@ let response_to_json = function
           ("cost", Json.Int cost);
           ("rho", int_array rho);
           ("machines", int_array machines);
+          ("throughput", Json.Int (Array.fold_left ( + ) 0 rho));
           ("served", Json.String (served_to_string served));
           ("engine", Json.String engine);
           ("wall_time", Json.Float wall_time);

@@ -9,23 +9,40 @@
     {"op":"solve","id":2,"problem":"types 2\n...","target":90,
      "spec":"ilp","reuse":"warm","deadline":1.5,"nodes":10000,
      "evals":50000}
+    {"op":"solve","id":3,"ref":"app",
+     "objective":"max-throughput","budget":120}
+    {"op":"solve","id":4,"ref":"app","target":70,
+     "pricebook":"book us-east\n  price 0 10\n..."}
     {"op":"stats"}
     {"op":"shutdown"}
     v}
 
-    Solve defaults: [spec] "auto", [reuse] "monotone", no budget caps
-    beyond the engine's configured default. [reuse] picks a rung of
-    the reuse ladder: ["none"] always solves cold, ["exact"] replays
-    identical requests only, ["warm"] additionally seeds cold solves
-    from the nearest cached split, ["monotone"] additionally answers
-    from a cached optimal at a higher target (feasible incumbent,
-    served without solving).
+    Every request may carry ["version"] (an integer; absent means 1).
+    Unknown versions are rejected with a structured [Error] naming the
+    supported versions, before the op is even dispatched.
+
+    Solve defaults: [objective] "min-cost" (with its required integer
+    ["target"]), [spec] "auto", [reuse] "monotone", no budget caps
+    beyond the engine's configured default. ["objective":
+    "max-throughput"] instead requires the monetary ["budget"] (not to
+    be confused with the compute-budget keys ["deadline"] / ["nodes"]
+    / ["evals"], which cap the solver's effort under either
+    objective). A price book rides along as inline ["pricebook"] text
+    ({!Rentcost.Pricebook.of_string} format) or a server-side
+    ["pricebook_path"]. [reuse] picks a rung of the reuse ladder:
+    ["none"] always solves cold, ["exact"] replays identical requests
+    only, ["warm"] additionally seeds cold solves from the nearest
+    cached split, ["monotone"] additionally answers from a cached
+    optimal at a higher target (feasible incumbent, served without
+    solving) — or, under max-throughput, from a cached optimal at a
+    lower monetary budget. The ladder never crosses objectives or
+    price books: both are baked into the instance fingerprint.
 
     {2 Responses}
 
     {v
     {"id":1,"ok":true,"status":"optimal","cost":44,"rho":[110,0,10],
-     "machines":[4,8],"served":"cold","engine":"ilp",
+     "machines":[4,8],"throughput":120,"served":"cold","engine":"ilp",
      "wall_time":0.0123}
     {"ok":true,"registered":"app","fingerprint":"d41d8cd98f00"}
     {"ok":true,"stats":{...}}
@@ -61,7 +78,11 @@ type request =
   | Solve of {
       id : int option;  (** echoed back, client-chosen *)
       source : source;
-      target : int;
+      objective : Rentcost.Objective.t;
+          (** what to optimize — a min-cost target or a max-throughput
+              monetary budget *)
+      pricebook : Rentcost.Pricebook.t option;
+          (** [None] = the problem's own platform prices *)
       spec : Rentcost.Solver.spec;
       budget : Rentcost.Budget.t option;  (** [None] = engine default *)
       reuse : reuse;
@@ -100,9 +121,10 @@ type response =
   | Error of { id : int option; message : string }
   | Bye
 
-(** [request_of_json j] decodes a request. ["path"] registers are read
-    from disk here; file and parse errors come back as [Error _]
-    results, never exceptions. *)
+(** [request_of_json j] decodes a request, first rejecting any
+    ["version"] other than 1 (absent means 1). ["path"] registers and
+    ["pricebook_path"] books are read from disk here; file and parse
+    errors come back as [Error _] results, never exceptions. *)
 val request_of_json : Json.t -> (request, string) result
 
 (** [request_to_json r] encodes a request (client side). An inline

@@ -32,6 +32,10 @@ let find_monotone t ~digest ~encoding ~target =
   Striped.with_key t.striped ~key:digest (fun c ->
       Cache.find_monotone c ~digest ~encoding ~target)
 
+let find_monotone_le t ~digest ~encoding ~target =
+  Striped.with_key t.striped ~key:digest (fun c ->
+      Cache.find_monotone_le c ~digest ~encoding ~target)
+
 let find_nearest t ~digest ~encoding ~target =
   Striped.with_key t.striped ~key:digest (fun c ->
       Cache.find_nearest c ~digest ~encoding ~target)

@@ -34,7 +34,7 @@ val length : t -> int
 (** Total evictions across stripes. *)
 val evictions : t -> int
 
-(** The four {!Cache} operations, each running under the lock of the
+(** The {!Cache} operations, each running under the lock of the
     digest's stripe. Semantics are {!Cache}'s. *)
 
 val find_exact :
@@ -42,6 +42,9 @@ val find_exact :
   Cache.entry option
 
 val find_monotone :
+  t -> digest:string -> encoding:string -> target:int -> Cache.entry option
+
+val find_monotone_le :
   t -> digest:string -> encoding:string -> target:int -> Cache.entry option
 
 val find_nearest :

@@ -70,7 +70,7 @@ let test_zero_target () =
   | None -> Alcotest.fail "no solution"
 
 let test_negative_target () =
-  Alcotest.check_raises "negative" (Invalid_argument "Ilp.build: negative target")
+  Alcotest.check_raises "negative" (Invalid_argument "Ilp.model: negative target")
     (fun () -> ignore (ILP.solve PB.illustrating ~target:(-1)))
 
 let test_lp_lower_bound () =

@@ -26,5 +26,6 @@ let () =
       Test_analysis.suite;
       Test_format.suite;
       Test_service.suite;
+      Test_scenario.suite;
       Test_telemetry.suite;
       Test_parallel.suite ]

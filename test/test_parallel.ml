@@ -196,8 +196,10 @@ let test_shared_cache_race () =
 (* --- Engine: the worker-loop building blocks --- *)
 
 let solve_req ?id ?(reuse = Pr.Monotone) target =
-  Pr.Solve { id; source = Pr.Ref "app"; target; spec = S.Auto; budget = None;
-             reuse }
+  Pr.Solve
+    { id; source = Pr.Ref "app";
+      objective = Rentcost.Objective.min_cost ~target; pricebook = None;
+      spec = S.Auto; budget = None; reuse }
 
 let fresh_engine ?(workers = test_domains) ?(queue_capacity = 64) () =
   let e =
@@ -432,6 +434,7 @@ let test_reduce_order_and_ties () =
   let mk rho =
     let a = AL.of_rho illustrating ~rho in
     { S.status = S.Feasible; allocation = Some a;
+      throughput = Array.fold_left ( + ) 0 a.AL.rho;
       telemetry =
         { S.engine = S.Heuristic H.H32_jump; wall_time = 0.0;
           evaluations = 0; pivots = 0; nodes = 0; pruned_recipes = 0;
@@ -463,7 +466,7 @@ let test_reduce_order_and_ties () =
     [ [ (0, lo); (3, lo) ]; [ (3, lo); (0, lo) ] ];
   (* Outcomes without an allocation are skipped, not winners. *)
   let infeasible =
-    { S.status = S.Infeasible; allocation = None;
+    { S.status = S.Infeasible; allocation = None; throughput = 0;
       telemetry = lo.S.telemetry }
   in
   (match Pf.reduce [ (0, infeasible); (1, hi) ] with

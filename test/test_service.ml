@@ -37,8 +37,10 @@ let permuted =
     (recipes [ [ 2; 0 ]; [ 1; 0 ]; [ 1; 2 ] ])
 
 let solve_req ?id ?(source = Pr.Ref "app") ?(spec = S.Auto) ?budget
-    ?(reuse = Pr.Monotone) target =
-  Pr.Solve { id; source; target; spec; budget; reuse }
+    ?(reuse = Pr.Monotone) ?pricebook target =
+  Pr.Solve
+    { id; source; objective = Rentcost.Objective.min_cost ~target; pricebook;
+      spec; budget; reuse }
 
 type solved = {
   s_status : S.status;
