@@ -29,7 +29,7 @@ let () =
     "machines per type";
   List.iter
     (fun target ->
-      let a = Rentcost.Dp_disjoint.solve problem ~target in
+      let a = Rentcost.Dp_disjoint.run ~problem ~target () in
       Format.printf "%8d %9d %9d %8d [%s]@." target a.Rentcost.Allocation.rho.(0)
         a.Rentcost.Allocation.rho.(1) a.Rentcost.Allocation.cost
         (String.concat ";"
@@ -38,8 +38,8 @@ let () =
   (* The DP is provably optimal here; cross-check one point against
      the general MILP. *)
   let target = 100 in
-  let dp = Rentcost.Dp_disjoint.solve problem ~target in
-  let ilp = Option.get (Rentcost.Ilp.solve problem ~target).Rentcost.Ilp.allocation in
+  let dp = Rentcost.Dp_disjoint.run ~problem ~target () in
+  let ilp = Option.get (Rentcost.Ilp.optimize ~problem ~target ()).Rentcost.Ilp.allocation in
   Format.printf "@.Cross-check at target %d: DP cost %d = ILP cost %d@." target
     dp.Rentcost.Allocation.cost ilp.Rentcost.Allocation.cost;
   assert (dp.Rentcost.Allocation.cost = ilp.Rentcost.Allocation.cost)

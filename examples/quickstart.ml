@@ -22,7 +22,7 @@ let () =
   let target = 70 in
 
   (* Exact optimum via the built-in branch-and-bound MILP solver. *)
-  let ilp = Rentcost.Ilp.solve problem ~target in
+  let ilp = Rentcost.Ilp.optimize ~problem ~target () in
   let best = Option.get ilp.Rentcost.Ilp.allocation in
   Format.printf "Cheapest rental sustaining %d results/t.u.:@.%a@.@." target
     Rentcost.Allocation.pp best;

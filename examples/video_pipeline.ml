@@ -44,7 +44,7 @@ let () =
     (fun fps ->
       let h1 = Rentcost.Heuristics.h1_best_graph problem ~target:fps in
       let single = h1.Rentcost.Heuristics.allocation.Rentcost.Allocation.cost in
-      let ilp = Rentcost.Ilp.solve problem ~target:fps in
+      let ilp = Rentcost.Ilp.optimize ~problem ~target:fps () in
       let best = Option.get ilp.Rentcost.Ilp.allocation in
       let saving =
         100.0 *. float_of_int (single - best.Rentcost.Allocation.cost)
@@ -59,7 +59,7 @@ let () =
   (* Frames must come out in order: size the reorder buffer when the
      optimal mix routes frames through recipes of different speeds. *)
   let fps = 240 in
-  let best = Option.get (Rentcost.Ilp.solve problem ~target:fps).Rentcost.Ilp.allocation in
+  let best = Option.get (Rentcost.Ilp.optimize ~problem ~target:fps ()).Rentcost.Ilp.allocation in
   let report =
     Streamsim.Sim.run problem best
       { Streamsim.Sim.default_config with

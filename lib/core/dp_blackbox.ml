@@ -1,8 +1,8 @@
 let solve_on instance ~target =
   if not (Instance.is_blackbox instance) then
-    invalid_arg "Dp_blackbox.solve: instance is not black-box (one task per \
+    invalid_arg "Dp_blackbox.run: instance is not black-box (one task per \
                  recipe, pairwise distinct types)";
-  if target < 0 then invalid_arg "Dp_blackbox.solve: negative target";
+  if target < 0 then invalid_arg "Dp_blackbox.run: negative target";
   let j_count = Instance.num_recipes instance in
   (* Surviving recipe j is a single task of some type q_j (its support
      is exactly {(q_j, 1)}); renting one machine of that type yields
@@ -47,5 +47,3 @@ let run ?pricebook ?instance ?problem ~target () =
     Instance.for_solve ~who:"Dp_blackbox.run" ?pricebook ?instance ?problem ()
   in
   solve_on instance ~target
-
-let solve problem ~target = run ~problem ~target ()

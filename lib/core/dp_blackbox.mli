@@ -9,8 +9,12 @@
 (** [run ~target ()] returns an optimal allocation — the single entry
     point for both calling conventions (pass [~instance] or
     [~problem], never both; [~problem] is compiled, under [?pricebook]
-    when present).
-    @raise Invalid_argument per {!solve}, or when the
+    when present). The black-box check runs on the dominance-pruned
+    compiled instance, so a problem whose only structure violations
+    come from dominated recipes (e.g. duplicated single-task recipes)
+    is still accepted.
+    @raise Invalid_argument when the pruned instance is not black-box
+      (use {!Instance.is_blackbox} to test), [target < 0], or the
       [?instance]/[?problem] convention is violated. *)
 val run :
   ?pricebook:Pricebook.t ->
@@ -20,14 +24,3 @@ val run :
   unit ->
   Allocation.t
 
-(** @deprecated Use {!run}[ ~problem]. [solve problem ~target] returns an optimal allocation. The
-    black-box check runs on the dominance-pruned compiled instance, so
-    a problem whose only structure violations come from dominated
-    recipes (e.g. duplicated single-task recipes) is still accepted.
-    @raise Invalid_argument when the pruned instance is not black-box
-    (use {!Instance.is_blackbox} to test) or [target < 0]. *)
-val solve : Problem.t -> target:int -> Allocation.t
-
-(** @deprecated Use {!run}[ ~instance]. Kept one release for
-    out-of-tree callers. *)
-val solve_on : Instance.t -> target:int -> Allocation.t

@@ -2,9 +2,9 @@ let recipe_cost problem ~j ~target = Costing.single_graph problem ~j ~target
 
 let solve_on instance ~target =
   if not (Instance.is_disjoint instance) then
-    invalid_arg "Dp_disjoint.solve: recipes share task types (general case, \
+    invalid_arg "Dp_disjoint.run: recipes share task types (general case, \
                  use Ilp or Heuristics)";
-  if target < 0 then invalid_arg "Dp_disjoint.solve: negative target";
+  if target < 0 then invalid_arg "Dp_disjoint.run: negative target";
   let j_count = Instance.num_recipes instance in
   (* Tabulate cost_j(t) for every surviving recipe and every
      sub-target, each entry the sparse § IV-A closed form over the
@@ -52,5 +52,3 @@ let run ?pricebook ?instance ?problem ~target () =
     Instance.for_solve ~who:"Dp_disjoint.run" ?pricebook ?instance ?problem ()
   in
   solve_on instance ~target
-
-let solve problem ~target = run ~problem ~target ()

@@ -1,5 +1,5 @@
 let solve_on instance ~target =
-  if target < 0 then invalid_arg "Exhaustive.solve: negative target";
+  if target < 0 then invalid_arg "Exhaustive.run: negative target";
   let j_count = Instance.num_recipes instance in
   let o = Instance.Oracle.create instance in
   let best_cost = ref max_int and best_rho = ref [||] in
@@ -41,8 +41,6 @@ let run ?pricebook ?instance ?problem ~target () =
     Instance.for_solve ~who:"Exhaustive.run" ?pricebook ?instance ?problem ()
   in
   solve_on instance ~target
-
-let solve problem ~target = run ~problem ~target ()
 
 let count_compositions ~parts ~total =
   (* C(total + parts - 1, parts - 1) computed multiplicatively. *)

@@ -5,11 +5,15 @@
     test suite (validating the ILP, the DPs and heuristic bounds) —
     never in experiments. *)
 
-(** [run ~target ()] returns an optimal allocation — the single entry
-    point for both calling conventions (pass [~instance] or
+(** [run ~target ()] enumerates all compositions of [target] into [J]
+    non-negative parts and returns a cheapest allocation — the single
+    entry point for both calling conventions (pass [~instance] or
     [~problem], never both; [~problem] is compiled, under [?pricebook]
-    when present).
-    @raise Invalid_argument per {!solve}, or when the
+    when present). Enumeration runs over the dominance-pruned compact
+    recipe space of a compiled {!Instance.t}, pricing each assigned
+    unit incrementally with {!Instance.Oracle.apply} — pruning never
+    changes the optimal cost (see {!Instance}).
+    @raise Invalid_argument when [target < 0] or the
       [?instance]/[?problem] convention is violated. *)
 val run :
   ?pricebook:Pricebook.t ->
@@ -19,20 +23,7 @@ val run :
   unit ->
   Allocation.t
 
-(** @deprecated Use {!run}[ ~problem]. [solve problem ~target] enumerates all compositions of [target]
-    into [J] non-negative parts and returns a cheapest allocation.
-    Enumeration runs over the dominance-pruned compact recipe space of
-    a compiled {!Instance.t}, pricing each assigned unit incrementally
-    with {!Instance.Oracle.apply} — pruning never changes the optimal
-    cost (see {!Instance}).
-    @raise Invalid_argument when [target < 0]. *)
-val solve : Problem.t -> target:int -> Allocation.t
-
-(** @deprecated Use {!run}[ ~instance]. Kept one release for
-    out-of-tree callers. *)
-val solve_on : Instance.t -> target:int -> Allocation.t
-
 (** [count_compositions ~parts ~total] is the number of splits
-    enumerated by {!solve} (binomial [total+parts-1 choose parts-1]);
+    enumerated by {!run} (binomial [total+parts-1 choose parts-1]);
     useful to guard test sizes. *)
 val count_compositions : parts:int -> total:int -> int

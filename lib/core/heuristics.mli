@@ -158,25 +158,3 @@ val search :
   target:int ->
   result
 
-(** @deprecated Use {!search}[ ~problem]. Kept one release for
-    out-of-tree callers. *)
-val run :
-  ?params:params ->
-  ?budget:Budget.t ->
-  ?rng:Numeric.Prng.t ->
-  name ->
-  Problem.t ->
-  target:int ->
-  result
-
-(** @deprecated Use {!search}[ ~instance]. Kept one release for
-    out-of-tree callers. *)
-val run_on :
-  ?params:params ->
-  ?budget:Budget.t ->
-  ?rng:Numeric.Prng.t ->
-  ?warm_start:int array ->
-  name ->
-  Instance.t ->
-  target:int ->
-  result

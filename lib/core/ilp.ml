@@ -1,5 +1,23 @@
 module R = Numeric.Rat
 
+(* The Fix64-first driver: run the solve on the native-int fast kernel
+   and transparently restart it on exact Rat when the fast kernel
+   overflows. Kernels agree bit-for-bit wherever they complete (see
+   Numeric.Kernel), so which kernel answered is unobservable in the
+   result — only in the counters below and the [lp.kernel] span
+   attribute. *)
+let fast_solves_counter = Telemetry.counter Telemetry.numeric_fast_solves
+let fallbacks_counter = Telemetry.counter Telemetry.numeric_fallbacks
+
+let with_rat_fallback ~fast ~exact =
+  match fast () with
+  | result ->
+    Telemetry.bump fast_solves_counter;
+    result
+  | exception Numeric.Kernel.Overflow ->
+    Telemetry.bump fallbacks_counter;
+    exact ()
+
 type outcome = {
   allocation : Allocation.t option;
   proved_optimal : bool;
@@ -83,9 +101,6 @@ let model ?budget_cap ?pricebook ?instance ?problem ~target () =
     Instance.for_solve ~who:"Ilp.model" ?pricebook ?instance ?problem ()
   in
   model_on ?budget_cap instance ~target
-
-let build_on instance ~target = model_on instance ~target
-let build problem ~target = model_on (Instance.compile problem) ~target
 
 let decode instance solution =
   let j_count = Instance.num_recipes instance in
@@ -199,8 +214,20 @@ let optimize ?time_limit ?node_limit ?(strategy = Milp.Solver.Best_bound)
       time_limit
   in
   let result =
-    Milp.Solver.solve ?time_limit ?node_limit ~integral_objective:true ~strategy
-      ?warm_start:warm ~priority ~cut_rounds model ~integer
+    with_rat_fallback
+      ~fast:(fun () ->
+        Milp.Solver.Fast.solve ?time_limit ?node_limit ~integral_objective:true
+          ~strategy ?warm_start:warm ~priority ~cut_rounds model ~integer)
+      ~exact:(fun () ->
+        (* Charge the overflowed fast attempt against the same
+           wall-clock budget so a capped solve still honours it. *)
+        let time_limit =
+          Option.map
+            (fun d -> Float.max 0.0 (d -. (Unix.gettimeofday () -. t0)))
+            time_limit
+        in
+        Milp.Solver.solve ?time_limit ?node_limit ~integral_objective:true
+          ~strategy ?warm_start:warm ~priority ~cut_rounds model ~integer)
   in
   let allocation = Option.map (decode instance) result.Milp.Solver.solution in
   let best_bound =
@@ -215,19 +242,14 @@ let optimize ?time_limit ?node_limit ?(strategy = Milp.Solver.Best_bound)
     nodes = result.Milp.Solver.nodes;
     elapsed = Unix.gettimeofday () -. t0 }
 
-let solve_on ?time_limit ?node_limit ?strategy ?warm_start ?incumbent
-    ?cut_rounds instance ~target =
-  optimize ?time_limit ?node_limit ?strategy ?warm_start ?incumbent ?cut_rounds
-    ~instance ~target ()
-
-let solve ?time_limit ?node_limit ?strategy ?warm_start ?incumbent ?cut_rounds
-    problem ~target =
-  optimize ?time_limit ?node_limit ?strategy ?warm_start ?incumbent ?cut_rounds
-    ~problem ~target ()
-
 let lp_lower_bound problem ~target =
-  let model, _ = build problem ~target in
-  match Lp.Simplex.solve model with
+  let m, _ = model_on (Instance.compile problem) ~target in
+  let relaxation =
+    with_rat_fallback
+      ~fast:(fun () -> Lp.Simplex.Fast.solve m)
+      ~exact:(fun () -> Lp.Simplex.solve m)
+  in
+  match relaxation with
   | Lp.Simplex.Optimal { objective; _ } -> Numeric.Bigint.to_int_exn (R.ceil objective)
   | Lp.Simplex.Infeasible | Lp.Simplex.Unbounded ->
     (* The MILP is always feasible (rent enough machines) and bounded

@@ -10,7 +10,15 @@
     100-second cap of the paper's Figure 8 experiment. The MILP is
     tightened with the valid bounds [ρ_j <= ρ] and
     [x_q <= ⌈max_j n^j_q · ρ / r_q⌉], and with objective-integrality
-    bound strengthening (all costs are integers). *)
+    bound strengthening (all costs are integers).
+
+    {b Numeric kernels.} Solves run Fix64-first: the branch-and-bound
+    pivots on the native-int {!Numeric.Fix64} kernel and is restarted
+    transparently on exact {!Numeric.Rat} when the fast kernel raises
+    [Numeric.Kernel.Overflow]. Kernels agree bit-for-bit wherever they
+    complete, so results are identical either way; the
+    [numeric.fast_solves] / [numeric.fallbacks] telemetry counters and
+    the [lp.kernel] span attribute record which kernel answered. *)
 
 type outcome = {
   allocation : Allocation.t option;  (** best integer solution found *)
@@ -91,40 +99,6 @@ val optimize :
   ?problem:Problem.t ->
   target:int ->
   unit ->
-  outcome
-
-(** @deprecated Use {!model}[ ~problem]. Kept one release for
-    out-of-tree callers. *)
-val build : Problem.t -> target:int -> Lp.Model.t * Lp.Model.var list
-
-(** @deprecated Use {!model}[ ~instance]. Kept one release for
-    out-of-tree callers. *)
-val build_on : Instance.t -> target:int -> Lp.Model.t * Lp.Model.var list
-
-(** @deprecated Use {!optimize}[ ~problem]. Kept one release for
-    out-of-tree callers. *)
-val solve :
-  ?time_limit:float ->
-  ?node_limit:int ->
-  ?strategy:Milp.Solver.strategy ->
-  ?warm_start:bool ->
-  ?incumbent:Allocation.t ->
-  ?cut_rounds:int ->
-  Problem.t ->
-  target:int ->
-  outcome
-
-(** @deprecated Use {!optimize}[ ~instance]. Kept one release for
-    out-of-tree callers. *)
-val solve_on :
-  ?time_limit:float ->
-  ?node_limit:int ->
-  ?strategy:Milp.Solver.strategy ->
-  ?warm_start:bool ->
-  ?incumbent:Allocation.t ->
-  ?cut_rounds:int ->
-  Instance.t ->
-  target:int ->
   outcome
 
 (** [lp_lower_bound problem ~target] is the plain LP-relaxation bound

@@ -165,7 +165,7 @@ let run_engine ~budget ~rng ~params ~warm ~t0 engine instance ~target =
 
 let min_cost_on ?(budget = Budget.unlimited) ?rng
     ?(params = Heuristics.default_params) ?warm_start ~spec instance ~target =
-  if target < 0 then invalid_arg "Solver.solve: negative target";
+  if target < 0 then invalid_arg "Solver.run: negative target";
   let t0 = Unix.gettimeofday () in
   let evals0 = Telemetry.value Telemetry.heuristic_evals in
   let pivots0 = Telemetry.value Telemetry.lp_pivots in
@@ -349,16 +349,6 @@ let run ?budget ?rng ?params ?warm_start ?(spec = Auto) ?pricebook ?instance
     let budget = Option.value budget ~default:Budget.unlimited in
     let params = Option.value params ~default:Heuristics.default_params in
     max_throughput_on ~budget ~rng ~params ~warm_start ~spec inst ~money
-
-let solve_on ?budget ?rng ?params ?warm_start ~spec instance ~target =
-  if target < 0 then invalid_arg "Solver.solve: negative target";
-  run ?budget ?rng ?params ?warm_start ~spec ~instance
-    ~objective:(Objective.min_cost ~target) ()
-
-let solve ?budget ?rng ?params ?warm_start ~spec problem ~target =
-  if target < 0 then invalid_arg "Solver.solve: negative target";
-  run ?budget ?rng ?params ?warm_start ~spec ~problem
-    ~objective:(Objective.min_cost ~target) ()
 
 let pp_outcome fmt o =
   Format.fprintf fmt "@[<v>%s via %s in %.3f s" (status_to_string o.status)

@@ -4,8 +4,8 @@
     disjoint-types DP, the § V-C exact ILP, the § VI heuristics and
     the brute-force test oracle — historically had unrelated entry
     points, result records and budget knobs, so every driver
-    reimplemented timing, fallback and plumbing. [Solver.solve] is the
-    single engine-agnostic call: pick an engine (or let [Auto] route
+    reimplemented timing, fallback and plumbing. {!run} is the single
+    engine-agnostic call: pick an engine (or let [Auto] route
     on problem structure), cap the solve with a {!Budget.t}, and get
     back one {!outcome} carrying a uniform {!status}, the best
     allocation found, and per-solve {!telemetry}.
@@ -24,9 +24,9 @@
     outer layers stays correct.
 
     Every solve runs over a compiled {!Instance.t} — built once per
-    [solve] call, or supplied by the caller via [solve_on] to amortize
-    compilation across repeated solves of the same problem (sweeps,
-    benchmarks). *)
+    {!run} call, or supplied by the caller via [run ~instance] to
+    amortize compilation across repeated solves of the same problem
+    (sweeps, benchmarks). *)
 
 (** Which engine to run. [Auto] routes on the structure flags
     precomputed at instance compile time: black-box instances
@@ -136,9 +136,20 @@ val auto_of_instance : Instance.t -> spec
       PRNG keeps runs deterministic. Exact engines ignore it.
     @param params heuristic tuning (default
       {!Heuristics.default_params}); exact engines ignore it.
-    @param warm_start as for {!solve}; under [Max_throughput] it is
-      re-validated per probe (a seed can only meet the probes at or
-      below its own throughput).
+    @param warm_start a known allocation (a cached solution, the
+      previous billing period's fleet) used to seed the solve. It is
+      feasibility-checked against the instance and {e silently
+      dropped} when unusable (wrong shape, misses the target, or
+      routes throughput through a dominance-pruned recipe); when it
+      passes, surplus throughput beyond the target is shed from the
+      most expensive recipes and the trimmed split seeds the search
+      heuristics' start point and the ILP's initial incumbent. The
+      DPs and the exhaustive oracle ignore it. Results can only
+      improve: engines keep whichever of the seed and their own start
+      prices cheaper, and exact engines still prove optimality.
+      {!telemetry}[.warm_started] records whether the seed was used.
+      Under [Max_throughput] it is re-validated per probe (a seed can
+      only meet the probes at or below its own throughput).
     @raise Invalid_argument when the [?instance]/[?problem] convention
       is violated, the instance's objective kind mismatches, or a DP
       engine is forced (not via [Auto]) on a problem whose structure
@@ -154,58 +165,6 @@ val run :
   ?problem:Problem.t ->
   objective:Objective.t ->
   unit ->
-  outcome
-
-(** [solve ~spec problem ~target] runs the selected engine on the
-    min-cost objective.
-
-    @deprecated Use {!run}[ ~problem ~objective:(Objective.min_cost
-      ~target) ()]. Kept one release for out-of-tree callers.
-    @param budget caps the solve (default {!Budget.unlimited}); see
-      the budget semantics above.
-    @param rng drives the stochastic heuristics; omitted, a fixed-seed
-      PRNG keeps runs deterministic. Exact engines ignore it.
-    @param params heuristic tuning (default
-      {!Heuristics.default_params}); exact engines ignore it.
-    @param warm_start a known allocation (a cached solution, the
-      previous billing period's fleet) used to seed the solve. It is
-      feasibility-checked against the instance and {e silently
-      dropped} when unusable (wrong shape, misses the target, or
-      routes throughput through a dominance-pruned recipe); when it
-      passes, surplus throughput beyond the target is shed from the
-      most expensive recipes and the trimmed split seeds the search
-      heuristics' start point and the ILP's initial incumbent. The
-      DPs and the exhaustive oracle ignore it. Results can only
-      improve: engines keep whichever of the seed and their own start
-      prices cheaper, and exact engines still prove optimality.
-      {!telemetry}[.warm_started] records whether the seed was used.
-    @raise Invalid_argument when [target < 0], or when a DP engine is
-      forced (not via [Auto]) on a problem whose structure it does not
-      support. *)
-val solve :
-  ?budget:Budget.t ->
-  ?rng:Numeric.Prng.t ->
-  ?params:Heuristics.params ->
-  ?warm_start:Allocation.t ->
-  spec:spec ->
-  Problem.t ->
-  target:int ->
-  outcome
-
-(** [solve_on ~spec instance ~target] is {!solve} on a pre-compiled
-    instance — the engines, the [Auto] routing and the ILP warm start
-    all reuse it, so one {!Instance.compile} serves any number of
-    solves (e.g. a target sweep).
-    @deprecated Use {!run}[ ~instance ~objective:(Objective.min_cost
-      ~target) ()]. Kept one release for out-of-tree callers. *)
-val solve_on :
-  ?budget:Budget.t ->
-  ?rng:Numeric.Prng.t ->
-  ?params:Heuristics.params ->
-  ?warm_start:Allocation.t ->
-  spec:spec ->
-  Instance.t ->
-  target:int ->
   outcome
 
 val pp_outcome : Format.formatter -> outcome -> unit

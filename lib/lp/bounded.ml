@@ -1,4 +1,6 @@
-(* Bounded-variable primal simplex on a dense rational tableau.
+(* Bounded-variable primal simplex on a dense tableau, functorized
+   over the numeric kernel (see {!Numeric.Kernel} and the determinism
+   argument in {!Simplex}).
 
    Normal form: every model row becomes [Σ a_j·x̂_j (+ s) (+ a) = b̂]
    after (1) shifting each structural variable by its lower bound
@@ -31,325 +33,344 @@ let pivots_counter = Telemetry.counter Telemetry.lp_pivots
 
 type loc = Basic of int | Lower | Upper
 
-type tableau = {
-  tab : R.t array array;  (* m rows of (ncols + 1); last entry = rhs *)
-  loc : loc array;  (* ncols *)
-  ub : R.t option array;  (* shifted upper bound per column; None = ∞ *)
-  basis : int array;  (* m: column basic in each row *)
-  ncols : int;
-  art_start : int;
-}
+module type ENGINE = sig
+  val solve : Model.t -> Simplex.result
+end
 
-(* x_B values under the current nonbasic locations. *)
-let basic_values t =
-  let m = Array.length t.basis in
-  let xb = Array.init m (fun i -> t.tab.(i).(t.ncols)) in
-  Array.iteri
-    (fun j l ->
-      match (l, t.ub.(j)) with
-      | Upper, Some u when not (R.is_zero u) ->
-        for i = 0 to m - 1 do
-          let a = t.tab.(i).(j) in
-          if not (R.is_zero a) then xb.(i) <- R.sub xb.(i) (R.mul a u)
-        done
-      | _ -> ())
-    t.loc;
-  xb
+module Make (K : Numeric.Kernel.S) = struct
+  let span_attrs = [ ("lp.kernel", K.name) ]
 
-let pivot t z r c =
-  incr pivot_count;
-  Telemetry.bump pivots_counter;
-  let row_r = t.tab.(r) in
-  let piv = row_r.(c) in
-  if not (R.equal piv R.one) then begin
-    let inv = R.inv piv in
-    for j = 0 to t.ncols do
-      if not (R.is_zero row_r.(j)) then row_r.(j) <- R.mul row_r.(j) inv
-    done
-  end;
-  let eliminate row =
-    let f = row.(c) in
-    if not (R.is_zero f) then
+  type tableau = {
+    tab : K.t array array;  (* m rows of (ncols + 1); last entry = rhs *)
+    loc : loc array;  (* ncols *)
+    ub : K.t option array;  (* shifted upper bound per column; None = ∞ *)
+    basis : int array;  (* m: column basic in each row *)
+    ncols : int;
+    art_start : int;
+  }
+
+  (* x_B values under the current nonbasic locations. *)
+  let basic_values t =
+    let m = Array.length t.basis in
+    let xb = Array.init m (fun i -> t.tab.(i).(t.ncols)) in
+    Array.iteri
+      (fun j l ->
+        match (l, t.ub.(j)) with
+        | Upper, Some u when not (K.is_zero u) ->
+          for i = 0 to m - 1 do
+            let a = t.tab.(i).(j) in
+            if not (K.is_zero a) then xb.(i) <- K.sub xb.(i) (K.mul a u)
+          done
+        | _ -> ())
+      t.loc;
+    xb
+
+  let pivot t z r c =
+    incr pivot_count;
+    Telemetry.bump pivots_counter;
+    let row_r = t.tab.(r) in
+    let piv = row_r.(c) in
+    if not (K.equal piv K.one) then begin
+      let inv = K.inv piv in
       for j = 0 to t.ncols do
-        if not (R.is_zero row_r.(j)) then
-          row.(j) <- R.sub row.(j) (R.mul f row_r.(j))
+        if not (K.is_zero row_r.(j)) then row_r.(j) <- K.mul row_r.(j) inv
       done
-  in
-  Array.iteri (fun i row -> if i <> r then eliminate row) t.tab;
-  eliminate z;
-  t.basis.(r) <- c
-
-let init_cost_row t costs =
-  let z = Array.make (t.ncols + 1) R.zero in
-  Array.blit costs 0 z 0 t.ncols;
-  Array.iteri
-    (fun i row ->
-      let cb = costs.(t.basis.(i)) in
-      if not (R.is_zero cb) then
+    end;
+    let eliminate row =
+      let f = row.(c) in
+      if not (K.is_zero f) then
         for j = 0 to t.ncols do
-          if not (R.is_zero row.(j)) then z.(j) <- R.sub z.(j) (R.mul cb row.(j))
-        done)
-    t.tab;
-  z
+          if not (K.is_zero row_r.(j)) then
+            row.(j) <- K.sub row.(j) (K.mul f row_r.(j))
+        done
+    in
+    Array.iteri (fun i row -> if i <> r then eliminate row) t.tab;
+    eliminate z;
+    t.basis.(r) <- c
 
-type phase_result = Phase_optimal | Phase_unbounded
+  let init_cost_row t costs =
+    let z = Array.make (t.ncols + 1) K.zero in
+    Array.blit costs 0 z 0 t.ncols;
+    Array.iteri
+      (fun i row ->
+        let cb = costs.(t.basis.(i)) in
+        if not (K.is_zero cb) then
+          for j = 0 to t.ncols do
+            if not (K.is_zero row.(j)) then z.(j) <- K.sub z.(j) (K.mul cb row.(j))
+          done)
+      t.tab;
+    z
 
-let run_phase t z ~banned =
-  let m = Array.length t.basis in
-  let rec loop () =
-    (* Entering: Bland — smallest index improving in its free direction.
-       Columns fixed at a zero-width domain never enter. *)
-    let entering = ref None in
-    (try
-       for j = 0 to t.ncols - 1 do
-         if not (banned j) then begin
-           let fixed = match t.ub.(j) with Some u -> R.is_zero u | None -> false in
-           if not fixed then begin
-             match t.loc.(j) with
-             | Basic _ -> ()
-             | Lower ->
-               if R.sign z.(j) < 0 then begin
-                 entering := Some (j, 1);
-                 raise Exit
-               end
-             | Upper ->
-               if R.sign z.(j) > 0 then begin
-                 entering := Some (j, -1);
-                 raise Exit
-               end
+  type phase_result = Phase_optimal | Phase_unbounded
+
+  let run_phase t z ~banned =
+    let m = Array.length t.basis in
+    let rec loop () =
+      (* Entering: Bland — smallest index improving in its free direction.
+         Columns fixed at a zero-width domain never enter. *)
+      let entering = ref None in
+      (try
+         for j = 0 to t.ncols - 1 do
+           if not (banned j) then begin
+             let fixed = match t.ub.(j) with Some u -> K.is_zero u | None -> false in
+             if not fixed then begin
+               match t.loc.(j) with
+               | Basic _ -> ()
+               | Lower ->
+                 if K.sign z.(j) < 0 then begin
+                   entering := Some (j, 1);
+                   raise Exit
+                 end
+               | Upper ->
+                 if K.sign z.(j) > 0 then begin
+                   entering := Some (j, -1);
+                   raise Exit
+                 end
+             end
            end
-         end
-       done
-     with Exit -> ());
-    match !entering with
-    | None -> Phase_optimal
-    | Some (c, dir) ->
-      let xb = basic_values t in
-      (* candidates: (limit t, leaving var index, action) *)
-      let best : (R.t * int * [ `Flip | `Row of int ]) option ref = ref None in
-      let consider limit var action =
-        match !best with
-        | Some (bt, bv, _) when
-            R.compare bt limit < 0 || (R.equal bt limit && bv <= var) -> ()
-        | _ -> best := Some (limit, var, action)
-      in
-      (match t.ub.(c) with
-       | Some u -> consider u c `Flip
-       | None -> ());
-      for i = 0 to m - 1 do
-        let a =
-          if dir = 1 then t.tab.(i).(c) else R.neg t.tab.(i).(c)
+         done
+       with Exit -> ());
+      match !entering with
+      | None -> Phase_optimal
+      | Some (c, dir) ->
+        let xb = basic_values t in
+        (* candidates: (limit t, leaving var index, action) *)
+        let best : (K.t * int * [ `Flip | `Row of int ]) option ref = ref None in
+        let consider limit var action =
+          match !best with
+          | Some (bt, bv, _) when
+              K.compare bt limit < 0 || (K.equal bt limit && bv <= var) -> ()
+          | _ -> best := Some (limit, var, action)
         in
-        (* x_B(i) moves by −a·t as the entering variable moves by t. *)
-        if R.sign a > 0 then
-          (* decreasing toward its lower bound 0 *)
-          consider (R.div xb.(i) a) t.basis.(i) (`Row i)
-        else if R.sign a < 0 then begin
-          match t.ub.(t.basis.(i)) with
-          | Some u ->
-            consider (R.div (R.sub u xb.(i)) (R.neg a)) t.basis.(i) (`Row i)
-          | None -> ()
-        end
-      done;
-      (match !best with
-       | None -> Phase_unbounded
-       | Some (tstar, _, `Flip) ->
-         ignore tstar;
-         t.loc.(c) <- (match t.loc.(c) with Lower -> Upper | _ -> Lower);
-         loop ()
-       | Some (tstar, _, `Row r) ->
-         (* Leaving variable lands on the bound it hit. *)
-         let leaving = t.basis.(r) in
-         let a = if dir = 1 then t.tab.(r).(c) else R.neg t.tab.(r).(c) in
-         let leaving_loc = if R.sign a > 0 then Lower else Upper in
-         (* The entering variable's new value is implied by the tableau
-            identity once locations are updated; record the entering
-            column's previous location so the rhs interpretation stays
-            consistent: pivoting keeps the algebraic identity, and the
-            entering column simply stops being a nonbasic-at-bound. *)
-         ignore tstar;
-         pivot t z r c;
-         t.loc.(c) <- Basic r;
-         t.loc.(leaving) <- leaving_loc;
-         loop ())
-  in
-  loop ()
-
-let solve_impl model =
-  pivot_count := 0;
-  let nstruct = Model.num_vars model in
-  (* Shifted domains; crossing bounds are infeasible outright. *)
-  let lo = Array.make nstruct R.zero in
-  let shifted_ub = Array.make nstruct None in
-  let crossing = ref false in
-  for v = 0 to nstruct - 1 do
-    let l, u = Model.bounds model v in
-    lo.(v) <- l;
-    match u with
-    | Some u ->
-      let w = R.sub u l in
-      if R.sign w < 0 then crossing := true;
-      shifted_ub.(v) <- Some w
-    | None -> ()
-  done;
-  if !crossing then Simplex.Infeasible
-  else begin
-    let constrs = Model.constraints model in
-    let m = List.length constrs in
-    (* Shift rhs by A·lo, convert Ge to Le, then orient so the initial
-       basic variable starts feasible. *)
-    let prepared =
-      List.map
-        (fun { Model.expr; cmp; rhs; _ } ->
-          let shift =
-            List.fold_left
-              (fun acc (v, c) -> R.add acc (R.mul c lo.(v)))
-              R.zero (Linexpr.terms expr)
+        (match t.ub.(c) with
+         | Some u -> consider u c `Flip
+         | None -> ());
+        for i = 0 to m - 1 do
+          let a =
+            if dir = 1 then t.tab.(i).(c) else K.neg t.tab.(i).(c)
           in
-          let rhs = R.sub rhs shift in
-          match cmp with
-          | Model.Ge -> (Linexpr.neg expr, Model.Le, R.neg rhs)
-          | Model.Le -> (expr, Model.Le, rhs)
-          | Model.Eq -> (expr, Model.Eq, rhs))
-        constrs
+          (* x_B(i) moves by −a·t as the entering variable moves by t. *)
+          if K.sign a > 0 then
+            (* decreasing toward its lower bound 0 *)
+            consider (K.div xb.(i) a) t.basis.(i) (`Row i)
+          else if K.sign a < 0 then begin
+            match t.ub.(t.basis.(i)) with
+            | Some u ->
+              consider (K.div (K.sub u xb.(i)) (K.neg a)) t.basis.(i) (`Row i)
+            | None -> ()
+          end
+        done;
+        (match !best with
+         | None -> Phase_unbounded
+         | Some (tstar, _, `Flip) ->
+           ignore tstar;
+           t.loc.(c) <- (match t.loc.(c) with Lower -> Upper | _ -> Lower);
+           loop ()
+         | Some (tstar, _, `Row r) ->
+           (* Leaving variable lands on the bound it hit. *)
+           let leaving = t.basis.(r) in
+           let a = if dir = 1 then t.tab.(r).(c) else K.neg t.tab.(r).(c) in
+           let leaving_loc = if K.sign a > 0 then Lower else Upper in
+           (* The entering variable's new value is implied by the tableau
+              identity once locations are updated; record the entering
+              column's previous location so the rhs interpretation stays
+              consistent: pivoting keeps the algebraic identity, and the
+              entering column simply stops being a nonbasic-at-bound. *)
+           ignore tstar;
+           pivot t z r c;
+           t.loc.(c) <- Basic r;
+           t.loc.(leaving) <- leaving_loc;
+           loop ())
     in
-    (* Column layout: structurals, slacks for Le rows, artificials for
-       rows whose slack would start infeasible (Le with negative rhs)
-       and for all Eq rows. *)
-    let nslack =
-      List.fold_left
-        (fun acc (_, cmp, _) -> if cmp = Model.Le then acc + 1 else acc)
-        0 prepared
-    in
-    let nart =
-      List.fold_left
-        (fun acc (_, cmp, rhs) ->
-          match cmp with
-          | Model.Le -> if R.sign rhs < 0 then acc + 1 else acc
-          | Model.Eq -> acc + 1
-          | Model.Ge -> acc)
-        0 prepared
-    in
-    let art_start = nstruct + nslack in
-    let ncols = art_start + nart in
-    let tab = Array.init m (fun _ -> Array.make (ncols + 1) R.zero) in
-    let basis = Array.make m (-1) in
-    let loc = Array.make ncols Lower in
-    let ub = Array.make ncols None in
-    Array.blit shifted_ub 0 ub 0 nstruct;
-    let slack_idx = ref nstruct and art_idx = ref art_start in
-    List.iteri
-      (fun i (expr, cmp, rhs) ->
-        let row = tab.(i) in
-        (* Negate the whole row when the rhs is negative so the initial
-           basic variable (artificial) is non-negative. *)
-        let negate = R.sign rhs < 0 in
-        let put v c = row.(v) <- (if negate then R.neg c else c) in
-        List.iter (fun (v, c) -> put v c) (Linexpr.terms expr);
-        row.(ncols) <- (if negate then R.neg rhs else rhs);
-        (match cmp with
-         | Model.Le ->
-           put !slack_idx R.one;
-           if negate then begin
-             (* slack coefficient is now -1; an artificial provides the
-                feasible start *)
-             row.(!art_idx) <- R.one;
+    loop ()
+
+  let solve_impl model =
+    pivot_count := 0;
+    let nstruct = Model.num_vars model in
+    (* Shifted domains; crossing bounds are infeasible outright. The
+       shift itself runs in Rat — it is part of the model contract —
+       and the shifted data enters the kernel afterwards. *)
+    let lo = Array.make nstruct R.zero in
+    let shifted_ub = Array.make nstruct None in
+    let crossing = ref false in
+    for v = 0 to nstruct - 1 do
+      let l, u = Model.bounds model v in
+      lo.(v) <- l;
+      match u with
+      | Some u ->
+        let w = R.sub u l in
+        if R.sign w < 0 then crossing := true;
+        shifted_ub.(v) <- Some w
+      | None -> ()
+    done;
+    if !crossing then Simplex.Infeasible
+    else begin
+      let constrs = Model.constraints model in
+      let m = List.length constrs in
+      (* Shift rhs by A·lo, convert Ge to Le, then orient so the initial
+         basic variable starts feasible. *)
+      let prepared =
+        List.map
+          (fun { Model.expr; cmp; rhs; _ } ->
+            let shift =
+              List.fold_left
+                (fun acc (v, c) -> R.add acc (R.mul c lo.(v)))
+                R.zero (Linexpr.terms expr)
+            in
+            let rhs = R.sub rhs shift in
+            match cmp with
+            | Model.Ge -> (Linexpr.neg expr, Model.Le, R.neg rhs)
+            | Model.Le -> (expr, Model.Le, rhs)
+            | Model.Eq -> (expr, Model.Eq, rhs))
+          constrs
+      in
+      (* Column layout: structurals, slacks for Le rows, artificials for
+         rows whose slack would start infeasible (Le with negative rhs)
+         and for all Eq rows. *)
+      let nslack =
+        List.fold_left
+          (fun acc (_, cmp, _) -> if cmp = Model.Le then acc + 1 else acc)
+          0 prepared
+      in
+      let nart =
+        List.fold_left
+          (fun acc (_, cmp, rhs) ->
+            match cmp with
+            | Model.Le -> if R.sign rhs < 0 then acc + 1 else acc
+            | Model.Eq -> acc + 1
+            | Model.Ge -> acc)
+          0 prepared
+      in
+      let art_start = nstruct + nslack in
+      let ncols = art_start + nart in
+      let tab = Array.init m (fun _ -> Array.make (ncols + 1) K.zero) in
+      let basis = Array.make m (-1) in
+      let loc = Array.make ncols Lower in
+      let ub = Array.make ncols None in
+      for v = 0 to nstruct - 1 do
+        ub.(v) <- Option.map K.of_rat shifted_ub.(v)
+      done;
+      let slack_idx = ref nstruct and art_idx = ref art_start in
+      List.iteri
+        (fun i (expr, cmp, rhs) ->
+          let row = tab.(i) in
+          (* Negate the whole row when the rhs is negative so the initial
+             basic variable (artificial) is non-negative. *)
+          let negate = R.sign rhs < 0 in
+          let put v c = row.(v) <- K.of_rat (if negate then R.neg c else c) in
+          List.iter (fun (v, c) -> put v c) (Linexpr.terms expr);
+          row.(ncols) <- K.of_rat (if negate then R.neg rhs else rhs);
+          (match cmp with
+           | Model.Le ->
+             put !slack_idx R.one;
+             if negate then begin
+               (* slack coefficient is now -1; an artificial provides the
+                  feasible start *)
+               row.(!art_idx) <- K.one;
+               basis.(i) <- !art_idx;
+               loc.(!art_idx) <- Basic i;
+               incr art_idx
+             end
+             else begin
+               basis.(i) <- !slack_idx;
+               loc.(!slack_idx) <- Basic i
+             end;
+             incr slack_idx
+           | Model.Eq ->
+             row.(!art_idx) <- K.one;
              basis.(i) <- !art_idx;
              loc.(!art_idx) <- Basic i;
              incr art_idx
-           end
-           else begin
-             basis.(i) <- !slack_idx;
-             loc.(!slack_idx) <- Basic i
-           end;
-           incr slack_idx
-         | Model.Eq ->
-           row.(!art_idx) <- R.one;
-           basis.(i) <- !art_idx;
-           loc.(!art_idx) <- Basic i;
-           incr art_idx
-         | Model.Ge -> assert false))
-      prepared;
-    let t = { tab; loc; ub; basis; ncols; art_start } in
-    (* Phase 1 *)
-    let feasible =
-      if nart = 0 then true
-      else begin
-        let costs = Array.make ncols R.zero in
-        for j = art_start to ncols - 1 do
-          costs.(j) <- R.one
-        done;
-        let z = init_cost_row t costs in
-        (match run_phase t z ~banned:(fun _ -> false) with
-         | Phase_unbounded -> assert false (* bounded below by zero *)
-         | Phase_optimal -> ());
-        let xb = basic_values t in
-        let infeasibility = ref R.zero in
-        Array.iteri
-          (fun i bv ->
-            if bv >= art_start then infeasibility := R.add !infeasibility xb.(i))
-          t.basis;
-        if R.sign !infeasibility > 0 then false
+           | Model.Ge -> assert false))
+        prepared;
+      let t = { tab; loc; ub; basis; ncols; art_start } in
+      (* Phase 1 *)
+      let feasible =
+        if nart = 0 then true
         else begin
-          (* Drive residual zero-valued artificials out where a
-             non-artificial column is available in their row. *)
+          let costs = Array.make ncols K.zero in
+          for j = art_start to ncols - 1 do
+            costs.(j) <- K.one
+          done;
+          let z = init_cost_row t costs in
+          (match run_phase t z ~banned:(fun _ -> false) with
+           | Phase_unbounded -> assert false (* bounded below by zero *)
+           | Phase_optimal -> ());
+          let xb = basic_values t in
+          let infeasibility = ref K.zero in
           Array.iteri
             (fun i bv ->
-              if bv >= art_start then begin
-                let found = ref (-1) in
-                (try
-                   for j = 0 to art_start - 1 do
-                     if not (R.is_zero tab.(i).(j)) then begin
-                       found := j;
-                       raise Exit
-                     end
-                   done
-                 with Exit -> ());
-                if !found >= 0 then begin
-                  let j = !found in
-                  let old_loc = t.loc.(j) in
-                  pivot t z i j;
-                  t.loc.(j) <- Basic i;
-                  t.loc.(bv) <- Lower;
-                  (* A nonbasic previously at Upper keeps the identity
-                     consistent only through its location; entering at
-                     value û is fine — the pivot is degenerate because
-                     the artificial sat at zero. *)
-                  ignore old_loc
-                end
-              end)
+              if bv >= art_start then infeasibility := K.add !infeasibility xb.(i))
             t.basis;
-          true
+          if K.sign !infeasibility > 0 then false
+          else begin
+            (* Drive residual zero-valued artificials out where a
+               non-artificial column is available in their row. *)
+            Array.iteri
+              (fun i bv ->
+                if bv >= art_start then begin
+                  let found = ref (-1) in
+                  (try
+                     for j = 0 to art_start - 1 do
+                       if not (K.is_zero tab.(i).(j)) then begin
+                         found := j;
+                         raise Exit
+                       end
+                     done
+                   with Exit -> ());
+                  if !found >= 0 then begin
+                    let j = !found in
+                    let old_loc = t.loc.(j) in
+                    pivot t z i j;
+                    t.loc.(j) <- Basic i;
+                    t.loc.(bv) <- Lower;
+                    (* A nonbasic previously at Upper keeps the identity
+                       consistent only through its location; entering at
+                       value û is fine — the pivot is degenerate because
+                       the artificial sat at zero. *)
+                    ignore old_loc
+                  end
+                end)
+              t.basis;
+            true
+          end
         end
+      in
+      if not feasible then Simplex.Infeasible
+      else begin
+        let sense, obj = Model.objective model in
+        let costs = Array.make ncols K.zero in
+        List.iter
+          (fun (v, c) ->
+            costs.(v) <-
+              K.of_rat (match sense with Model.Minimize -> c | Maximize -> R.neg c))
+          (Linexpr.terms obj);
+        let z = init_cost_row t costs in
+        match run_phase t z ~banned:(fun j -> j >= t.art_start) with
+        | Phase_unbounded -> Simplex.Unbounded
+        | Phase_optimal ->
+          let xb = basic_values t in
+          let values = Array.make nstruct R.zero in
+          for v = 0 to nstruct - 1 do
+            let shifted =
+              match t.loc.(v) with
+              | Basic i -> xb.(i)
+              | Lower -> K.zero
+              | Upper -> (match t.ub.(v) with Some u -> u | None -> assert false)
+            in
+            values.(v) <- R.add lo.(v) (K.to_rat shifted)
+          done;
+          let objective = Linexpr.eval obj values in
+          Simplex.Optimal { Simplex.objective; values }
       end
-    in
-    if not feasible then Simplex.Infeasible
-    else begin
-      let sense, obj = Model.objective model in
-      let costs = Array.make ncols R.zero in
-      List.iter
-        (fun (v, c) ->
-          costs.(v) <- (match sense with Model.Minimize -> c | Maximize -> R.neg c))
-        (Linexpr.terms obj);
-      let z = init_cost_row t costs in
-      match run_phase t z ~banned:(fun j -> j >= t.art_start) with
-      | Phase_unbounded -> Simplex.Unbounded
-      | Phase_optimal ->
-        let xb = basic_values t in
-        let values = Array.make nstruct R.zero in
-        for v = 0 to nstruct - 1 do
-          let shifted =
-            match t.loc.(v) with
-            | Basic i -> xb.(i)
-            | Lower -> R.zero
-            | Upper -> (match t.ub.(v) with Some u -> u | None -> assert false)
-          in
-          values.(v) <- R.add lo.(v) shifted
-        done;
-        let objective = Linexpr.eval obj values in
-        Simplex.Optimal { Simplex.objective; values }
     end
-  end
 
-let solve model =
-  Telemetry.Span.with_span "lp.bounded" (fun () -> solve_impl model)
+  let solve model =
+    Telemetry.Span.with_span ~attrs:span_attrs "lp.bounded" (fun () ->
+        solve_impl model)
+end
+
+module Exact = Make (Numeric.Kernel.Exact)
+module Fast = Make (Numeric.Fix64)
+
+let solve = Exact.solve

@@ -20,3 +20,24 @@ val solve : Model.t -> Simplex.result
 
 (** Pivots performed by the last [solve] (statistics). *)
 val last_pivot_count : unit -> int
+
+(** {1 Kernel-parameterized engines}
+
+    Like {!Simplex.Make}: the pivoting core runs on the kernel, the
+    result is delivered in exact {!Numeric.Rat}, and all kernels are
+    bit-identical wherever they complete. *)
+
+module type ENGINE = sig
+  (** May raise [Numeric.Kernel.Overflow] when the kernel is
+      range-restricted; {!Exact} never does. *)
+  val solve : Model.t -> Simplex.result
+end
+
+module Make (K : Numeric.Kernel.S) : ENGINE
+
+(** {!Make} over {!Numeric.Kernel.Exact}; the top-level {!solve}. *)
+module Exact : ENGINE
+
+(** {!Make} over {!Numeric.Fix64} — the fast path {!Milp.Solver}'s
+    Fix64 instance runs node relaxations on. *)
+module Fast : ENGINE

@@ -9,7 +9,18 @@
     Complexity is exponential in the worst case but the models built by
     this project stay small (tens of rows/columns), where exact simplex
     is fast and — unlike floating-point codes — never returns a
-    slightly-infeasible or slightly-suboptimal basis. *)
+    slightly-infeasible or slightly-suboptimal basis.
+
+    The pivoting core is functorized over a {!Numeric.Kernel}: every
+    entering/leaving decision depends only on exact signs and
+    comparisons, so all kernels walk the same pivot sequence and the
+    result is bit-identical across kernels — a range-restricted kernel
+    ({!Numeric.Fix64}) merely raises [Numeric.Kernel.Overflow] partway
+    instead of completing. The production fast path ({!Fast}) is not a
+    kernel instance but a fraction-free engine over native-int rows;
+    it makes the same pivot decisions, so its results are bit-identical
+    too. The top-level {!solve} is the exact-kernel instance and never
+    raises. *)
 
 (** An optimal point: [objective] includes any constant term of the
     model's objective; [values] has one entry per model variable. *)
@@ -52,3 +63,34 @@ type details = {
 (** [solve_detailed model] is {!solve} plus the final tableau when the
     model has a finite optimum. *)
 val solve_detailed : Model.t -> details option
+
+(** {1 Kernel-parameterized engines}
+
+    Results (including {!details}) are always delivered in exact
+    {!Numeric.Rat} regardless of the kernel computing them. *)
+
+module type ENGINE = sig
+  (** May raise [Numeric.Kernel.Overflow] when the kernel is
+      range-restricted; {!Exact} never does. *)
+  val solve : Model.t -> result
+
+  val solve_detailed : Model.t -> details option
+end
+
+module Make (K : Numeric.Kernel.S) : ENGINE
+
+(** {!Make} over {!Numeric.Kernel.Exact}; the top-level {!solve}. *)
+module Exact : ENGINE
+
+(** The fraction-free fast path. Each tableau row is a native-int
+    vector carrying an implicit positive scale (its entry under its
+    own basic column), so a pivot is two integer multiplies and a
+    subtract per entry — no division, no gcd, no allocation on the hot
+    loop. Reduced-cost signs are confirmed in exact {!Numeric.Rat}
+    arithmetic, so the engine walks the same Bland pivot sequence as
+    {!Exact} and returns bit-identical results. Raises
+    [Numeric.Kernel.Overflow] when a row outgrows the native range
+    even after gcd reduction (or when an input coefficient cannot be
+    integerized within it) — callers fall back to {!Exact} (see
+    [Rentcost.Ilp]). *)
+module Fast : ENGINE

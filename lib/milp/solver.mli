@@ -86,6 +86,48 @@ val solve :
   integer:Lp.Model.var list ->
   outcome
 
+(** {1 Kernel-parameterized search}
+
+    The search is functorized over the {!Numeric.Kernel} its LP
+    relaxations pivot on. Kernels agree bit-for-bit wherever they
+    complete, so every instance explores the same tree and returns the
+    same outcome; a range-restricted kernel instead lets
+    [Numeric.Kernel.Overflow] escape from [solve], leaving the caller
+    to restart on {!Exact} (the protocol [Rentcost.Ilp] implements). *)
+
+module type SEARCH = sig
+  (** Same contract as the top-level {!solve}; additionally may raise
+      [Numeric.Kernel.Overflow] when the kernel is range-restricted. *)
+  val solve :
+    ?time_limit:float ->
+    ?node_limit:int ->
+    ?integral_objective:bool ->
+    ?strategy:strategy ->
+    ?branching:branching ->
+    ?warm_start:Numeric.Rat.t array ->
+    ?priority:Lp.Model.var list list ->
+    ?cut_rounds:int ->
+    ?engine:engine ->
+    Lp.Model.t ->
+    integer:Lp.Model.var list ->
+    outcome
+end
+
+module Make (K : Numeric.Kernel.S) : SEARCH
+
+(** {!Make} over {!Numeric.Kernel.Exact}; the top-level {!solve}.
+    Never raises [Overflow]. *)
+module Exact : SEARCH
+
+(** The fast search: node relaxations pivot on native ints, through
+    the {!Numeric.Fix64}-kernel bounded simplex under the [Bounds]
+    engine and [Lp.Simplex.Fast]'s fraction-free engine under [Rows].
+    Same branching decisions as {!Exact} (relaxation results are
+    bit-identical), so the node walk and the answer coincide. Raises
+    [Numeric.Kernel.Overflow] as soon as any relaxation leaves the
+    fast range. *)
+module Fast : SEARCH
+
 (** [gap outcome] is the relative optimality gap
     [(incumbent - bound) / max(1, |incumbent|)] when both are known. *)
 val gap : outcome -> float option

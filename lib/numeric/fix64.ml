@@ -1,0 +1,149 @@
+(* The overflow-checked native-int fast kernel.
+
+   A value is one OCaml immediate int packing a canonical rational:
+   numerator in the high bits ([asr 30]), denominator in the low 30
+   bits, with |n| < 2^30 and 0 < d < 2^30 — exactly the range of
+   {!Rat}'s small representation, so any cross product (n1*d2, n1*n2,
+   ...) fits the 63-bit native int and the sum of two such products
+   still fits. Where [Rat] would leave this range and promote to
+   Bigint, [Fix64] raises {!Kernel.Overflow} instead; inside the range
+   every operation is the same reduction [Rat] performs, so a
+   computation that completes on this kernel produces bit-identical
+   values to the exact one.
+
+   What makes it fast is what it does NOT do: no heap block per value
+   (Rat's small path still allocates a two-field constructor per
+   result), no write barrier pressure from arrays of pointers, no
+   representation dispatch. Simplex tableaus over [t] are flat int
+   arrays and pivoting allocates nothing. *)
+
+(* 2^30, the exclusive bound on |numerator| and denominator (matches
+   Rat's small range so overflow fires exactly where Rat goes big). *)
+let bound = 1 lsl 30
+let dmask = bound - 1
+
+type t = int
+
+let pack n d = (n lsl 30) lor d
+let num t = t asr 30
+let den t = t land dmask
+
+let name = "fix64"
+let zero = pack 0 1
+let one = pack 1 1
+let minus_one = pack (-1) 1
+
+let rec gcd_int a b = if b = 0 then a else gcd_int b (a mod b)
+
+(* Canonicalize n/d from 63-bit-safe ints (d <> 0). The same
+   normalization as [Rat.make_small], with [raise Overflow] standing
+   in for the Bigint promotion. *)
+let make n d =
+  let n, d = if d < 0 then (-n, -d) else (n, d) in
+  if n = 0 then zero
+  else begin
+    let g = gcd_int (abs n) d in
+    let n = n / g and d = d / g in
+    if abs n < bound && d < bound then pack n d else raise Kernel.Overflow
+  end
+
+(* Pack an already-canonical n/d, raising where it leaves the range.
+   Callers guarantee coprimality and d > 0, so no gcd runs here. *)
+let check_pack n d =
+  if abs n < bound && d < bound then pack n d else raise Kernel.Overflow
+
+let of_int n = if abs n < bound then pack n 1 else raise Kernel.Overflow
+let of_ints n d = if d = 0 then raise Division_by_zero else make n d
+
+let of_rat r =
+  (* Rat's small representation has exactly this range and canonical
+     form, so injection is a repack — no Bigint round trip, no gcd. *)
+  match Rat.to_small r with
+  | Some (n, d) -> pack n d
+  | None -> raise Kernel.Overflow
+
+let to_rat t = Rat.of_ints (num t) (den t)
+
+let sign t = compare (num t) 0
+let is_zero t = num t = 0
+let is_integer t = den t = 1
+
+(* Cross products stay under 2^60 by the range invariant. *)
+let compare a b = compare (num a * den b) (num b * den a)
+let equal (a : t) (b : t) = a = b
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let neg t = pack (- num t) (den t)
+let abs t = if num t < 0 then neg t else t
+
+(* The arithmetic below never runs a gcd on cross products. Because
+   both operands are canonical, the reduced result can be built from
+   gcds of the (small) inputs alone — Knuth, TAOCP 4.5.1 — and the
+   canonical form is unique, so results and the overflow condition are
+   identical to reducing the full products the way [Rat] does; the
+   small gcds just converge in far fewer iterations. Integer operands
+   (d = 1, the bulk of simplex traffic before a pivot introduces
+   fractions) skip the gcd entirely. *)
+
+let add a b =
+  if is_zero a then b
+  else if is_zero b then a
+  else
+    let n1 = num a and d1 = den a and n2 = num b and d2 = den b in
+    if d1 = 1 && d2 = 1 then check_pack (n1 + n2) 1
+    else
+      (* |n*d| < 2^60, sum < 2^61: no native overflow below. *)
+      let g = gcd_int d1 d2 in
+      if g = 1 then begin
+        (* Coprime denominators: gcd (n1 d2 + n2 d1, d1 d2) = 1. *)
+        let n = (n1 * d2) + (n2 * d1) in
+        if n = 0 then zero else check_pack n (d1 * d2)
+      end
+      else begin
+        let d1' = d1 / g and d2' = d2 / g in
+        let t = (n1 * d2') + (n2 * d1') in
+        if t = 0 then zero
+        else begin
+          (* t is coprime to d1' and d2'; only g can divide it.
+             [Stdlib.abs]: t is a raw int here, not a packed value. *)
+          let h = gcd_int (Stdlib.abs t) g in
+          check_pack (t / h) (d1' * (d2 / h))
+        end
+      end
+
+let sub a b = add a (neg b)
+
+let mul a b =
+  if is_zero a || is_zero b then zero
+  else
+    let n1 = num a and d1 = den a and n2 = num b and d2 = den b in
+    if d1 = 1 && d2 = 1 then check_pack (n1 * n2) 1
+    else
+      (* Cross-reduce: gcd (n1 n2, d1 d2) = gcd (n1, d2) gcd (n2, d1)
+         when both operands are canonical. *)
+      let g1 = gcd_int (Stdlib.abs n1) d2
+      and g2 = gcd_int (Stdlib.abs n2) d1 in
+      check_pack (n1 / g1 * (n2 / g2)) (d1 / g2 * (d2 / g1))
+
+let inv t =
+  let n = num t in
+  if n = 0 then raise Division_by_zero
+  else if n < 0 then pack (- den t) (-n)
+  else pack (den t) n
+
+let div a b = mul a (inv b)
+
+(* Floor division on native ints (round toward negative infinity). *)
+let fdiv_int a b =
+  let q = a / b and r = a mod b in
+  if r <> 0 && (r < 0) <> (b < 0) then q - 1 else q
+
+(* |floor t| <= |num t| < bound: rounding never overflows. *)
+let floor t = pack (fdiv_int (num t) (den t)) 1
+let ceil t = pack (- fdiv_int (- num t) (den t)) 1
+let frac t = sub t (floor t)
+
+let to_string t =
+  let n = num t and d = den t in
+  if d = 1 then string_of_int n else string_of_int n ^ "/" ^ string_of_int d

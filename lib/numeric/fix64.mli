@@ -1,0 +1,20 @@
+(** The overflow-checked native-int fast kernel.
+
+    A {!Kernel.S} implementation that packs a canonical rational —
+    numerator and denominator both bounded by {!bound} — into a single
+    unboxed OCaml int. The range mirrors {!Rat}'s small
+    representation exactly, so {!Kernel.Overflow} fires precisely
+    where [Rat] would fall back to Bigint arithmetic; inside the range
+    the two kernels compute identical canonical values. Arithmetic
+    allocates nothing, which is where the fast path's speedup over
+    [Rat] (one heap block per result) comes from — see the [numeric]
+    bench group and DESIGN.md, "Numeric kernels".
+
+    Raises {!Kernel.Overflow} whenever an exact result (or an injected
+    constant) has |numerator| or denominator [>= bound]. *)
+
+include Kernel.S
+
+(** The exclusive magnitude bound on numerator and denominator
+    ([2{^30}]) — the overflow boundary directed tests probe. *)
+val bound : int

@@ -63,6 +63,7 @@ let of_ints n d = if d = 0 then raise Division_by_zero else make_small n d
 
 let num = function S (n, _) -> Bi.of_int n | B (n, _) -> n
 let den = function S (_, d) -> Bi.of_int d | B (_, d) -> d
+let to_small = function S (n, d) -> Some (n, d) | B _ -> None
 
 let sign = function S (n, _) -> compare n 0 | B (n, _) -> Bi.sign n
 let is_zero = function S (0, _) -> true | S _ -> false | B (n, _) -> Bi.is_zero n

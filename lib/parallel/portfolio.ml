@@ -170,13 +170,3 @@ let run ?budget ?rng ?params ?warm_start ?(strategies = default_strategies)
       telemetry =
         telemetry_of winner.Solver.telemetry.Solver.engine
           winner.Solver.telemetry.Solver.warm_started }
-
-let solve_on ?budget ?rng ?params ?warm_start ?strategies ?pool ?domains
-    instance ~target =
-  run ?budget ?rng ?params ?warm_start ?strategies ?pool ?domains ~instance
-    ~target ()
-
-let solve ?budget ?rng ?params ?warm_start ?strategies ?pool ?domains problem
-    ~target =
-  run ?budget ?rng ?params ?warm_start ?strategies ?pool ?domains ~problem
-    ~target ()

@@ -96,31 +96,3 @@ val run :
   target:int ->
   unit ->
   Rentcost.Solver.outcome
-
-(** @deprecated Use {!run}[ ~instance]. Kept one release for
-    out-of-tree callers. *)
-val solve_on :
-  ?budget:Rentcost.Budget.t ->
-  ?rng:Numeric.Prng.t ->
-  ?params:Rentcost.Heuristics.params ->
-  ?warm_start:Rentcost.Allocation.t ->
-  ?strategies:strategy list ->
-  ?pool:Pool.t ->
-  ?domains:int ->
-  Rentcost.Instance.t ->
-  target:int ->
-  Rentcost.Solver.outcome
-
-(** @deprecated Use {!run}[ ~problem]. Kept one release for
-    out-of-tree callers. *)
-val solve :
-  ?budget:Rentcost.Budget.t ->
-  ?rng:Numeric.Prng.t ->
-  ?params:Rentcost.Heuristics.params ->
-  ?warm_start:Rentcost.Allocation.t ->
-  ?strategies:strategy list ->
-  ?pool:Pool.t ->
-  ?domains:int ->
-  Rentcost.Problem.t ->
-  target:int ->
-  Rentcost.Solver.outcome

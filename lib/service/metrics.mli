@@ -9,9 +9,13 @@
     snapshot through [?stats]. *)
 
 (** [json ?stats ()] is the metrics object served by the [metrics]
-    request: [{"counters": {...}, "histograms": [...], "spans": [...]}]
-    plus a ["service"] member when [stats] is given. Spans are the
-    ring-buffer contents, oldest first. *)
+    request: [{"counters": {...}, "histograms": [...], "spans": [...],
+    "numeric": {...}}] plus a ["service"] member when [stats] is
+    given. Spans are the ring-buffer contents, oldest first. The
+    ["numeric"] member names the fast and exact kernels of the LP/MILP
+    stack and carries the [numeric.fast_solves] / [numeric.fallbacks]
+    counter values, so a scrape can read the fallback rate without
+    knowing the counter names. *)
 val json : ?stats:(string * Json.t) list -> unit -> Json.t
 
 (** Prometheus-style text rendering of counters and histograms

@@ -311,6 +311,8 @@ let text_exposition () =
 (* --- well-known counter names --- *)
 
 let lp_pivots = "lp.pivots"
+let numeric_fast_solves = "numeric.fast_solves"
+let numeric_fallbacks = "numeric.fallbacks"
 let milp_nodes = "milp.nodes"
 let milp_incumbents = "milp.incumbents"
 let heuristic_evals = "heuristics.evaluations"

@@ -188,6 +188,16 @@ val sanitize : string -> string
     engines ({!Lp.Simplex}, {!Lp.Bounded}). *)
 val lp_pivots : string
 
+(** Solves completed on the overflow-checked fast numeric kernel
+    ({!Numeric.Fix64}) by the Fix64-first driver in [Rentcost.Ilp]. *)
+val numeric_fast_solves : string
+
+(** Solves restarted on the exact {!Numeric.Rat} kernel after the fast
+    kernel raised [Numeric.Kernel.Overflow]. Zero on the default
+    paper-scale workload; a growing value means instances exceed the
+    fast path's range. *)
+val numeric_fallbacks : string
+
 (** Branch-and-bound nodes evaluated by {!Milp.Solver}. *)
 val milp_nodes : string
 

@@ -19,26 +19,26 @@ let single_task_problem =
 
 let test_blackbox_hand () =
   (* target 30: cheapest is one type-2 machine (25). *)
-  let a = DPB.solve single_task_problem ~target:30 in
+  let a = DPB.run ~problem:single_task_problem ~target:30 () in
   Alcotest.(check int) "cost 25" 25 a.AL.cost;
   Alcotest.(check bool) "feasible" true (AL.feasible single_task_problem ~target:30 a);
   (* target 50: type2 + type1 = 43 vs 2x type2 = 50 vs ... 43 best *)
-  let a50 = DPB.solve single_task_problem ~target:50 in
+  let a50 = DPB.run ~problem:single_task_problem ~target:50 () in
   Alcotest.(check int) "cost 43" 43 a50.AL.cost
 
 let test_blackbox_zero_target () =
-  let a = DPB.solve single_task_problem ~target:0 in
+  let a = DPB.run ~problem:single_task_problem ~target:0 () in
   Alcotest.(check int) "free" 0 a.AL.cost
 
 let test_blackbox_guards () =
   Alcotest.check_raises "non blackbox"
     (Invalid_argument
-       "Dp_blackbox.solve: instance is not black-box (one task per recipe, \
+       "Dp_blackbox.run: instance is not black-box (one task per recipe, \
         pairwise distinct types)") (fun () ->
-      ignore (DPB.solve PB.illustrating ~target:10));
+      ignore (DPB.run ~problem:PB.illustrating ~target:10 ()));
   Alcotest.check_raises "negative target"
-    (Invalid_argument "Dp_blackbox.solve: negative target") (fun () ->
-      ignore (DPB.solve single_task_problem ~target:(-1)))
+    (Invalid_argument "Dp_blackbox.run: negative target") (fun () ->
+      ignore (DPB.run ~problem:single_task_problem ~target:(-1) ()))
 
 let disjoint_problem =
   (* Recipe 0 over types {0,1}, recipe 1 over types {2,3}; no sharing. *)
@@ -50,21 +50,21 @@ let test_disjoint_hand () =
   (* target 30: all on recipe 1 -> x2 = 1 (25) + x3 = 1 (33) = 58;
      all on recipe 0 -> 3*10 + 2*18 = 66; split 10/20 ->
      (10+18) + (25+33) = 86. Optimum 58. *)
-  let a = DPD.solve disjoint_problem ~target:30 in
+  let a = DPD.run ~problem:disjoint_problem ~target:30 () in
   Alcotest.(check int) "cost 58" 58 a.AL.cost;
   Alcotest.(check (array int)) "split" [| 0; 30 |] a.AL.rho
 
 let test_disjoint_guards () =
   Alcotest.check_raises "shared types"
     (Invalid_argument
-       "Dp_disjoint.solve: recipes share task types (general case, use Ilp or \
-        Heuristics)") (fun () -> ignore (DPD.solve PB.illustrating ~target:10));
+       "Dp_disjoint.run: recipes share task types (general case, use Ilp or \
+        Heuristics)") (fun () -> ignore (DPD.run ~problem:PB.illustrating ~target:10 ()));
   Alcotest.check_raises "negative target"
-    (Invalid_argument "Dp_disjoint.solve: negative target") (fun () ->
-      ignore (DPD.solve disjoint_problem ~target:(-3)))
+    (Invalid_argument "Dp_disjoint.run: negative target") (fun () ->
+      ignore (DPD.run ~problem:disjoint_problem ~target:(-3) ()))
 
 let test_disjoint_zero_target () =
-  let a = DPD.solve disjoint_problem ~target:0 in
+  let a = DPD.run ~problem:disjoint_problem ~target:0 () in
   Alcotest.(check int) "free" 0 a.AL.cost
 
 let test_disjoint_single_recipe_equals_closed_form () =
@@ -76,7 +76,7 @@ let test_disjoint_single_recipe_equals_closed_form () =
     Alcotest.(check int)
       (Printf.sprintf "target %d" target)
       (Rentcost.Costing.single_graph p ~j:0 ~target)
-      (DPD.solve p ~target).AL.cost
+      (DPD.run ~problem:p ~target ()).AL.cost
   done
 
 (* --- exhaustive oracle --- *)
@@ -84,8 +84,8 @@ let test_disjoint_single_recipe_equals_closed_form () =
 let test_exhaustive_matches_ilp_on_illustrating () =
   List.iter
     (fun target ->
-      let ex = EX.solve PB.illustrating ~target in
-      let ilp = ILP.solve PB.illustrating ~target in
+      let ex = EX.run ~problem:PB.illustrating ~target () in
+      let ilp = ILP.optimize ~problem:PB.illustrating ~target () in
       match ilp.ILP.allocation with
       | Some a ->
         Alcotest.(check int) (Printf.sprintf "target %d" target) ex.AL.cost a.AL.cost
@@ -127,22 +127,22 @@ let blackbox_gen =
 let props =
   [ prop "disjoint DP matches exhaustive" disjoint_gen (fun input ->
         let p, target = build_disjoint input in
-        (DPD.solve p ~target).AL.cost = (EX.solve p ~target).AL.cost);
+        (DPD.run ~problem:p ~target ()).AL.cost = (EX.run ~problem:p ~target ()).AL.cost);
     prop "disjoint DP matches ILP" disjoint_gen (fun input ->
         let p, target = build_disjoint input in
-        match (ILP.solve p ~target).ILP.allocation with
-        | Some a -> (DPD.solve p ~target).AL.cost = a.AL.cost
+        match (ILP.optimize ~problem:p ~target ()).ILP.allocation with
+        | Some a -> (DPD.run ~problem:p ~target ()).AL.cost = a.AL.cost
         | None -> false);
     prop "disjoint DP allocation is feasible" disjoint_gen (fun input ->
         let p, target = build_disjoint input in
-        AL.feasible p ~target (DPD.solve p ~target));
+        AL.feasible p ~target (DPD.run ~problem:p ~target ()));
     prop "blackbox DP matches exhaustive" blackbox_gen (fun (machines, target) ->
         let platform = PF.of_list machines in
         let p =
           PB.create platform
             (Array.init 3 (fun q -> TG.create ~ntypes:3 ~types:[| q |] ~edges:[]))
         in
-        (DPB.solve p ~target).AL.cost = (EX.solve p ~target).AL.cost);
+        (DPB.run ~problem:p ~target ()).AL.cost = (EX.run ~problem:p ~target ()).AL.cost);
     prop "blackbox DP equals disjoint DP on blackbox instances" blackbox_gen
       (fun (machines, target) ->
         let platform = PF.of_list machines in
@@ -150,7 +150,7 @@ let props =
           PB.create platform
             (Array.init 3 (fun q -> TG.create ~ntypes:3 ~types:[| q |] ~edges:[]))
         in
-        (DPB.solve p ~target).AL.cost = (DPD.solve p ~target).AL.cost) ]
+        (DPB.run ~problem:p ~target ()).AL.cost = (DPD.run ~problem:p ~target ()).AL.cost) ]
 
 let suite =
   ( "dp",

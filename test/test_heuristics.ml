@@ -44,7 +44,7 @@ let test_all_heuristics_feasible () =
     (fun name ->
       List.iter
         (fun target ->
-          let res = H.run ~params:params10 name ~rng:(rng ()) PB.illustrating ~target in
+          let res = H.search ~params:params10 ~rng:(rng ()) ~problem:PB.illustrating name ~target in
           Alcotest.(check bool)
             (Printf.sprintf "%s feasible at %d" (H.name_to_string name) target)
             true
@@ -61,13 +61,17 @@ let test_heuristics_never_beat_ilp () =
   List.iter
     (fun target ->
       let opt =
-        match (ILP.solve PB.illustrating ~target).ILP.allocation with
+        match (ILP.optimize ~problem:PB.illustrating ~target ()).ILP.allocation with
         | Some a -> a.AL.cost
         | None -> Alcotest.fail "ilp failed"
       in
       List.iter
         (fun name ->
-          let c = cost (H.run ~params:params10 name ~rng:(rng ()) PB.illustrating ~target) in
+          let c =
+            cost
+              (H.search ~params:params10 ~rng:(rng ()) ~problem:PB.illustrating
+                 name ~target)
+          in
           Alcotest.(check bool)
             (Printf.sprintf "%s >= ILP at %d" (H.name_to_string name) target)
             true (c >= opt))
@@ -83,7 +87,11 @@ let test_improvers_never_worse_than_h1 () =
       let h1 = cost (H.h1_best_graph PB.illustrating ~target) in
       List.iter
         (fun name ->
-          let c = cost (H.run ~params:params10 name ~rng:(rng ()) PB.illustrating ~target) in
+          let c =
+            cost
+              (H.search ~params:params10 ~rng:(rng ()) ~problem:PB.illustrating
+                 name ~target)
+          in
           Alcotest.(check bool)
             (Printf.sprintf "%s <= H1 at %d" (H.name_to_string name) target)
             true (c <= h1))
@@ -107,7 +115,8 @@ let test_determinism_by_seed () =
   List.iter
     (fun name ->
       let run () =
-        H.run ~params:params10 name ~rng:(Prng.create 99) PB.illustrating ~target:120
+        H.search ~params:params10 ~rng:(Prng.create 99) ~problem:PB.illustrating
+          name ~target:120
       in
       let a = run () and b = run () in
       Alcotest.(check int)
@@ -176,8 +185,8 @@ let props =
         List.for_all
           (fun name ->
             let res =
-              H.run ~params:params10 name ~rng:(Prng.create seed) PB.illustrating
-                ~target
+              H.search ~params:params10 ~rng:(Prng.create seed)
+                ~problem:PB.illustrating name ~target
             in
             AL.feasible PB.illustrating ~target res.H.allocation
             && AL.total_rho res.H.allocation = target)

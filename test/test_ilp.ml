@@ -23,7 +23,7 @@ let table3_ilp =
 let test_table3_costs () =
   List.iter
     (fun (target, _, cost) ->
-      match (ILP.solve PB.illustrating ~target).ILP.allocation with
+      match (ILP.optimize ~problem:PB.illustrating ~target ()).ILP.allocation with
       | Some a ->
         Alcotest.(check int) (Printf.sprintf "cost at rho=%d" target) cost a.AL.cost
       | None -> Alcotest.fail "no solution")
@@ -41,13 +41,13 @@ let test_table3_splits_are_optimal () =
     table3_ilp
 
 let test_proved_optimal () =
-  let o = ILP.solve PB.illustrating ~target:70 in
+  let o = ILP.optimize ~problem:PB.illustrating ~target:70 () in
   Alcotest.(check bool) "proved" true o.ILP.proved_optimal;
   Alcotest.(check (option int)) "bound = incumbent" (Some 124) o.ILP.best_bound;
   Alcotest.(check bool) "some nodes" true (o.ILP.nodes >= 1)
 
 let test_build_structure () =
-  let model, integer = ILP.build PB.illustrating ~target:70 in
+  let model, integer = ILP.model ~problem:PB.illustrating ~target:70 () in
   (* 3 rho vars + 4 x vars *)
   Alcotest.(check int) "vars" 7 (Lp.Model.num_vars model);
   Alcotest.(check int) "integer vars" 7 (List.length integer);
@@ -65,13 +65,13 @@ let test_build_structure () =
   Alcotest.(check string) "x name" "x_0" (Lp.Model.var_name model 3)
 
 let test_zero_target () =
-  match (ILP.solve PB.illustrating ~target:0).ILP.allocation with
+  match (ILP.optimize ~problem:PB.illustrating ~target:0 ()).ILP.allocation with
   | Some a -> Alcotest.(check int) "free" 0 a.AL.cost
   | None -> Alcotest.fail "no solution"
 
 let test_negative_target () =
   Alcotest.check_raises "negative" (Invalid_argument "Ilp.model: negative target")
-    (fun () -> ignore (ILP.solve PB.illustrating ~target:(-1)))
+    (fun () -> ignore (ILP.optimize ~problem:PB.illustrating ~target:(-1) ()))
 
 let test_lp_lower_bound () =
   List.iter
@@ -85,15 +85,15 @@ let test_lp_lower_bound () =
 
 let test_time_limit_returns_quickly () =
   (* An exhausted budget must still return, with a valid bound. *)
-  let o = ILP.solve ~time_limit:(-1.0) PB.illustrating ~target:70 in
+  let o = ILP.optimize ~time_limit:(-1.0) ~problem:PB.illustrating ~target:70 () in
   Alcotest.(check bool) "not proved optimal" true (not o.ILP.proved_optimal);
   Alcotest.(check int) "no nodes" 0 o.ILP.nodes
 
 let test_strategies_agree () =
   List.iter
     (fun target ->
-      let a = ILP.solve ~strategy:Milp.Solver.Best_bound PB.illustrating ~target in
-      let b = ILP.solve ~strategy:Milp.Solver.Depth_first PB.illustrating ~target in
+      let a = ILP.optimize ~strategy:Milp.Solver.Best_bound ~problem:PB.illustrating ~target () in
+      let b = ILP.optimize ~strategy:Milp.Solver.Depth_first ~problem:PB.illustrating ~target () in
       match (a.ILP.allocation, b.ILP.allocation) with
       | Some x, Some y ->
         Alcotest.(check int) (Printf.sprintf "target %d" target) x.AL.cost y.AL.cost
@@ -125,18 +125,18 @@ let props =
   [ prop "ILP matches exhaustive on random shared instances" shared_gen
       (fun input ->
         let p, target = build_shared input in
-        match (ILP.solve p ~target).ILP.allocation with
-        | Some a -> a.AL.cost = (EX.solve p ~target).AL.cost
+        match (ILP.optimize ~problem:p ~target ()).ILP.allocation with
+        | Some a -> a.AL.cost = (EX.run ~problem:p ~target ()).AL.cost
         | None -> false);
     prop "ILP allocation is feasible" shared_gen (fun input ->
         let p, target = build_shared input in
-        match (ILP.solve p ~target).ILP.allocation with
+        match (ILP.optimize ~problem:p ~target ()).ILP.allocation with
         | Some a -> AL.feasible p ~target a
         | None -> false);
     prop "LP bound sandwiches the optimum" shared_gen (fun input ->
         let p, target = build_shared input in
         let lb = ILP.lp_lower_bound p ~target in
-        match (ILP.solve p ~target).ILP.allocation with
+        match (ILP.optimize ~problem:p ~target ()).ILP.allocation with
         | Some a -> lb <= a.AL.cost
         | None -> false) ]
 

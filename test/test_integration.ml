@@ -21,14 +21,16 @@ let test_full_stack_agreement () =
     (fun seed ->
       let p = small_instance seed in
       let target = 15 in
-      let opt = (Rentcost.Exhaustive.solve p ~target).AL.cost in
+      let opt = (Rentcost.Exhaustive.run ~problem:p ~target ()).AL.cost in
       (* ILP finds the same optimum. *)
-      let ilp = Option.get (Rentcost.Ilp.solve p ~target).Rentcost.Ilp.allocation in
+      let ilp =
+        Option.get (Rentcost.Ilp.optimize ~problem:p ~target ()).Rentcost.Ilp.allocation
+      in
       Alcotest.(check int) (Printf.sprintf "ILP=brute seed %d" seed) opt ilp.AL.cost;
       (* Heuristics are feasible and no better than the optimum. *)
       List.iter
         (fun name ->
-          let res = H.run name ~rng:(P.create 1) p ~target in
+          let res = H.search ~rng:(P.create 1) ~problem:p name ~target in
           Alcotest.(check bool)
             (Printf.sprintf "%s feasible" (H.name_to_string name))
             true
@@ -52,10 +54,12 @@ let test_gomory_preserves_optimum () =
     (fun seed ->
       let p = small_instance seed in
       let target = 12 in
-      let plain = Option.get (Rentcost.Ilp.solve p ~target).Rentcost.Ilp.allocation in
+      let plain =
+        Option.get (Rentcost.Ilp.optimize ~problem:p ~target ()).Rentcost.Ilp.allocation
+      in
       let cuts =
         Option.get
-          (Rentcost.Ilp.solve ~cut_rounds:3 p ~target).Rentcost.Ilp.allocation
+          (Rentcost.Ilp.optimize ~cut_rounds:3 ~problem:p ~target ()).Rentcost.Ilp.allocation
       in
       Alcotest.(check int) (Printf.sprintf "seed %d" seed) plain.AL.cost cuts.AL.cost)
     [ 1; 2; 3; 4; 5; 6; 7; 8 ]
@@ -65,7 +69,9 @@ let test_gomory_tightens_root_bound () =
      a minimization, and never past the integer optimum. *)
   List.iter
     (fun target ->
-      let model, integer = Rentcost.Ilp.build Rentcost.Problem.illustrating ~target in
+      let model, integer =
+    Rentcost.Ilp.model ~problem:Rentcost.Problem.illustrating ~target ()
+  in
       let bound m =
         match Lp.Simplex.solve m with
         | Lp.Simplex.Optimal { objective; _ } -> objective
@@ -79,7 +85,7 @@ let test_gomory_tightens_root_bound () =
         true
         (Numeric.Rat.compare strengthened plain >= 0);
       let opt =
-        (Option.get (Rentcost.Ilp.solve Rentcost.Problem.illustrating ~target)
+        (Option.get (Rentcost.Ilp.optimize ~problem:Rentcost.Problem.illustrating ~target ())
            .Rentcost.Ilp.allocation).AL.cost
       in
       Alcotest.(check bool)
@@ -107,8 +113,11 @@ let test_dp_vs_ilp_on_disjoint_generated () =
            G.random_dag ~rng ~ntypes:4 ~types:types2 |]
     in
     let target = 20 in
-    let dp = (Rentcost.Dp_disjoint.solve p ~target).AL.cost in
-    let ilp = (Option.get (Rentcost.Ilp.solve p ~target).Rentcost.Ilp.allocation).AL.cost in
+    let dp = (Rentcost.Dp_disjoint.run ~problem:p ~target ()).AL.cost in
+    let ilp =
+      (Option.get (Rentcost.Ilp.optimize ~problem:p ~target ()).Rentcost.Ilp.allocation)
+        .AL.cost
+    in
     Alcotest.(check int) "DP = ILP" ilp dp
   done
 
@@ -117,8 +126,11 @@ let test_warm_start_ablation_equal_cost () =
      identical (only the node count changes). *)
   List.iter
     (fun target ->
-      let w = Rentcost.Ilp.solve Rentcost.Problem.illustrating ~target in
-      let c = Rentcost.Ilp.solve ~warm_start:false Rentcost.Problem.illustrating ~target in
+      let w = Rentcost.Ilp.optimize ~problem:Rentcost.Problem.illustrating ~target () in
+      let c =
+        Rentcost.Ilp.optimize ~warm_start:false
+          ~problem:Rentcost.Problem.illustrating ~target ()
+      in
       Alcotest.(check int)
         (Printf.sprintf "target %d" target)
         (Option.get c.Rentcost.Ilp.allocation).AL.cost
@@ -130,7 +142,7 @@ let test_node_limited_ilp_still_good () =
      worse than H32Jump run standalone with the same internal seed. *)
   let p = small_instance 2 in
   let target = 25 in
-  let o = Rentcost.Ilp.solve ~node_limit:1 p ~target in
+  let o = Rentcost.Ilp.optimize ~node_limit:1 ~problem:p ~target () in
   match o.Rentcost.Ilp.allocation with
   | None -> Alcotest.fail "warm start should provide an incumbent"
   | Some a ->

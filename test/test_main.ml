@@ -5,6 +5,7 @@ let () =
     [ Test_bigint.suite;
       Test_pqueue.suite;
       Test_rat.suite;
+      Test_numeric.suite;
       Test_prng.suite;
       Test_lp.suite;
       Test_simplex_oracle.suite;

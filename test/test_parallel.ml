@@ -340,14 +340,15 @@ let prop_portfolio_dominates =
     (fun (seed, target) ->
       let problem = G.problem ~rng:(P.create seed) gen_params gen_cloud in
       let sequential =
-        S.solve ~rng:(P.create seed) ~params:small_params
-          ~spec:(S.Heuristic H.H32_jump) problem ~target
+        S.run ~rng:(P.create seed) ~params:small_params
+          ~spec:(S.Heuristic H.H32_jump) ~problem
+          ~objective:(Rentcost.Objective.min_cost ~target) ()
       in
       List.for_all
         (fun domains ->
           let o =
-            Pf.solve ~rng:(P.create seed) ~params:small_params ~domains
-              problem ~target
+            Pf.run ~rng:(P.create seed) ~params:small_params ~domains
+              ~problem ~target ()
           in
           (match o.S.allocation with
            | Some a -> AL.feasible problem ~target a
@@ -372,16 +373,20 @@ let test_portfolio_agrees_with_exact () =
   List.iter
     (fun (label, problem, oracle_spec, target) ->
       let exact =
-        match (S.solve ~spec:oracle_spec problem ~target).S.allocation with
+        match
+          (S.run ~spec:oracle_spec ~problem
+             ~objective:(Rentcost.Objective.min_cost ~target) ())
+            .S.allocation
+        with
         | Some a -> a.AL.cost
         | None -> Alcotest.fail (label ^ ": oracle found no allocation")
       in
       List.iter
         (fun domains ->
           let o =
-            Pf.solve ~rng:(P.create 11)
+            Pf.run ~rng:(P.create 11)
               ~strategies:[ Pf.Heuristic H.H32_jump; Pf.Milp ]
-              ~domains problem ~target
+              ~domains ~problem ~target ()
           in
           Alcotest.(check int)
             (Printf.sprintf "%s: portfolio = %s (domains %d)" label
@@ -397,8 +402,8 @@ let test_portfolio_agrees_with_exact () =
 (* --- Portfolio: determinism --- *)
 
 let portfolio_on ?pool ~domains seed =
-  Pf.solve ~rng:(P.create seed) ~params:small_params ?pool ~domains
-    illustrating ~target:70
+  Pf.run ~rng:(P.create seed) ~params:small_params ?pool ~domains
+    ~problem:illustrating ~target:70 ()
 
 let test_portfolio_determinism_repeats () =
   let reference = alloc_key (portfolio_on ~domains:1 0x5EED) in

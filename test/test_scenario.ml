@@ -253,24 +253,6 @@ let test_for_solve_guard_rails () =
     (raises (fun () ->
          S.run ~instance:inst ~objective:(Ob.max_throughput ~budget:100) ()))
 
-(* --- deprecated aliases: one caller stays on the old pair on
-   purpose, proving the aliases still answer identically --- *)
-
-let test_aliases_equivalent () =
-  let inst = I.compile illustrating in
-  let via_run = S.run ~instance:inst ~objective:(Ob.min_cost ~target:70) () in
-  let via_alias = S.solve_on ~spec:S.Auto inst ~target:70 in
-  Alcotest.(check bool) "Solver.solve_on matches Solver.run" true
-    (alloc_sig via_run = alloc_sig via_alias);
-  Alcotest.(check int) "Exhaustive.solve matches Exhaustive.run"
-    (Rentcost.Exhaustive.run ~problem:illustrating ~target:40 ()).AL.cost
-    (Rentcost.Exhaustive.solve illustrating ~target:40).AL.cost;
-  let model_vars =
-    snd (Rentcost.Ilp.model ~problem:illustrating ~target:70 ())
-  and build_vars = snd (Rentcost.Ilp.build illustrating ~target:70) in
-  Alcotest.(check int) "Ilp.build matches Ilp.model"
-    (List.length model_vars) (List.length build_vars)
-
 (* --- problem_format and protocol versioning --- *)
 
 let test_problem_format_version () =
@@ -492,8 +474,6 @@ let suite =
         test_fluid_bound_brackets;
       Alcotest.test_case "for_solve guard rails" `Quick
         test_for_solve_guard_rails;
-      Alcotest.test_case "deprecated aliases equivalent" `Quick
-        test_aliases_equivalent;
       Alcotest.test_case "problem_format version" `Quick
         test_problem_format_version;
       Alcotest.test_case "protocol version" `Quick test_protocol_version;

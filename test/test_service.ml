@@ -387,6 +387,23 @@ let test_metrics_reply () =
        Alcotest.(check bool) "uptime included" true
          (J.member "uptime" svc <> None)
      | None -> Alcotest.fail "metrics carry no service stats");
+    (match J.member "numeric" metrics with
+     | Some numeric ->
+       Alcotest.(check (option string)) "fast kernel named"
+         (Some Numeric.Fix64.name)
+         (J.get_string "fast_kernel" numeric);
+       Alcotest.(check (option string)) "exact kernel named"
+         (Some Numeric.Kernel.Exact.name)
+         (J.get_string "exact_kernel" numeric);
+       (* The solve above ran the Fix64-first driver, so the fast-path
+          counter registers and the fallback count is exposed. *)
+       Alcotest.(check bool) "fast solves counted" true
+         (match J.get_int "fast_solves" numeric with
+          | Some n -> n >= 1
+          | None -> false);
+       Alcotest.(check bool) "fallbacks exposed" true
+         (J.get_int "fallbacks" numeric <> None)
+     | None -> Alcotest.fail "metrics carry no numeric section");
     Alcotest.(check bool) "text exposition covers service counters" true
       (contains ~sub:"service_requests_total" text);
     Alcotest.(check bool) "text exposition covers histogram buckets" true

@@ -21,15 +21,20 @@ let disjoint_problem =
 (* § V-C: the paper's illustrating instance (recipes share types). *)
 let shared_problem = Rentcost.Problem.illustrating
 
+(* Every test here is a min-cost solve; shorthand over {!S.run}. *)
+let solve ?budget ?rng ~spec problem ~target =
+  S.run ?budget ?rng ~spec ~problem
+    ~objective:(Rentcost.Objective.min_cost ~target) ()
+
 let solve_cost ?budget ~spec problem ~target =
-  match (S.solve ?budget ~spec problem ~target).S.allocation with
+  match (solve ?budget ~spec problem ~target).S.allocation with
   | Some a -> a.Rentcost.Allocation.cost
   | None -> Alcotest.fail "solver returned no allocation"
 
 (* --- Auto dispatch --- *)
 
 let check_route problem expected name =
-  let o = S.solve ~spec:S.Auto problem ~target:20 in
+  let o = solve ~spec:S.Auto problem ~target:20 in
   Alcotest.(check string) name
     (S.spec_to_string expected)
     (S.spec_to_string o.S.telemetry.S.engine);
@@ -80,7 +85,7 @@ let test_heuristics_bounded_by_optimum () =
       let target = 15 in
       let optimal = solve_cost ~spec:S.Exhaustive shared_problem ~target in
       let o =
-        S.solve ~rng:(Numeric.Prng.create 7) ~spec:(S.Heuristic name)
+        solve ~rng:(Numeric.Prng.create 7) ~spec:(S.Heuristic name)
           shared_problem ~target
       in
       Alcotest.(check bool)
@@ -102,14 +107,14 @@ let test_forced_dp_raises_on_shared () =
   (* Forcing a structure-specific DP on an unsupported instance is a
      programmer error, not a budget condition: it raises. *)
   Alcotest.(check bool) "dp-disjoint on shared types raises" true
-    (match S.solve ~spec:S.Dp_disjoint shared_problem ~target:10 with
+    (match solve ~spec:S.Dp_disjoint shared_problem ~target:10 with
      | _ -> false
      | exception Invalid_argument _ -> true)
 
 let test_negative_target_raises () =
   Alcotest.check_raises "negative target"
-    (Invalid_argument "Solver.solve: negative target") (fun () ->
-      ignore (S.solve ~spec:S.Auto shared_problem ~target:(-1)))
+    (Invalid_argument "Objective.min_cost: negative target") (fun () ->
+      ignore (solve ~spec:S.Auto shared_problem ~target:(-1)))
 
 (* --- budget degradation --- *)
 
@@ -119,7 +124,7 @@ let test_zero_deadline_degrades () =
      budget-exhausted, not raise or return nothing. *)
   let target = 70 in
   let o =
-    S.solve ~budget:(B.deadline 0.0) ~spec:S.Auto shared_problem ~target
+    solve ~budget:(B.deadline 0.0) ~spec:S.Auto shared_problem ~target
   in
   Alcotest.(check bool) "status" true (o.S.status = S.Budget_exhausted);
   (match o.S.allocation with
@@ -135,7 +140,7 @@ let test_node_budget_degrades () =
      start incumbent (H32Jump) is returned as budget-exhausted. *)
   let target = 70 in
   let o =
-    S.solve ~budget:(B.nodes 0) ~spec:S.Exact_ilp shared_problem ~target
+    solve ~budget:(B.nodes 0) ~spec:S.Exact_ilp shared_problem ~target
   in
   Alcotest.(check bool) "status" true (o.S.status = S.Budget_exhausted);
   (match o.S.allocation with
@@ -149,11 +154,11 @@ let test_eval_budget_on_heuristic () =
      still returning a feasible incumbent. *)
   let target = 70 in
   let unbounded =
-    S.solve ~rng:(Numeric.Prng.create 3) ~spec:(S.Heuristic H.H32_jump)
+    solve ~rng:(Numeric.Prng.create 3) ~spec:(S.Heuristic H.H32_jump)
       shared_problem ~target
   in
   let capped =
-    S.solve
+    solve
       ~budget:(B.evals 10)
       ~rng:(Numeric.Prng.create 3)
       ~spec:(S.Heuristic H.H32_jump) shared_problem ~target
@@ -173,7 +178,7 @@ let test_eval_budget_on_heuristic () =
 (* --- telemetry accounting --- *)
 
 let test_telemetry_ilp () =
-  let o = S.solve ~spec:S.Exact_ilp shared_problem ~target:70 in
+  let o = solve ~spec:S.Exact_ilp shared_problem ~target:70 in
   let t = o.S.telemetry in
   Alcotest.(check bool) "optimal" true (o.S.status = S.Optimal);
   Alcotest.(check bool) "nonzero wall time" true (t.S.wall_time > 0.0);
@@ -184,7 +189,7 @@ let test_telemetry_ilp () =
   Alcotest.(check bool) "warm start evaluations" true (t.S.evaluations > 0)
 
 let test_telemetry_heuristic () =
-  let o = S.solve ~spec:(S.Heuristic H.H1) shared_problem ~target:70 in
+  let o = solve ~spec:(S.Heuristic H.H1) shared_problem ~target:70 in
   let t = o.S.telemetry in
   (* H1 probes each of the 3 recipes exactly once. *)
   Alcotest.(check int) "H1 evaluations" 3 t.S.evaluations;
@@ -192,7 +197,7 @@ let test_telemetry_heuristic () =
   Alcotest.(check int) "no pivots" 0 t.S.pivots
 
 let test_telemetry_dp () =
-  let o = S.solve ~spec:S.Auto disjoint_problem ~target:25 in
+  let o = solve ~spec:S.Auto disjoint_problem ~target:25 in
   let t = o.S.telemetry in
   Alcotest.(check bool) "dp engine" true (t.S.engine = S.Dp_disjoint);
   Alcotest.(check int) "no nodes" 0 t.S.nodes;
@@ -201,8 +206,8 @@ let test_telemetry_dp () =
 let test_telemetry_isolated_per_solve () =
   (* Telemetry is a delta around each solve, not a cumulative global:
      two identical solves report identical (deterministic) counts. *)
-  let t1 = (S.solve ~spec:S.Exact_ilp shared_problem ~target:40).S.telemetry in
-  let t2 = (S.solve ~spec:S.Exact_ilp shared_problem ~target:40).S.telemetry in
+  let t1 = (solve ~spec:S.Exact_ilp shared_problem ~target:40).S.telemetry in
+  let t2 = (solve ~spec:S.Exact_ilp shared_problem ~target:40).S.telemetry in
   Alcotest.(check int) "same nodes" t1.S.nodes t2.S.nodes;
   Alcotest.(check int) "same pivots" t1.S.pivots t2.S.pivots;
   Alcotest.(check int) "same evaluations" t1.S.evaluations t2.S.evaluations
