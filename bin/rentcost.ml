@@ -13,6 +13,9 @@
      dune exec bin/rentcost.exe -- solve app.rentcost --target 70 \
        --pricebook clouds.pricebook
      dune exec bin/rentcost.exe -- validate app.rentcost --target 70
+     dune exec bin/rentcost.exe -- trace --pattern diurnal --ticks 96 > load.trace
+     dune exec bin/rentcost.exe -- track app.rentcost --load load.trace
+     dune exec bin/rentcost.exe -- track app.rentcost --ticks 96 --deadband 0.15
      dune exec bin/rentcost.exe -- serve --socket /tmp/rentcost.sock
      dune exec bin/rentcost.exe -- serve --workers 4 < requests.jsonl
      dune exec bin/rentcost.exe -- serve < requests.jsonl
@@ -47,6 +50,13 @@
    "stats" scrapes a running daemon: it sends {"op":"metrics"} over
    the socket and prints the reply — raw JSON by default, the
    Prometheus-style text exposition with --text.
+
+   "trace" prints a synthetic traffic trace (Rentcost_autoscale.Trace
+   text format) to stdout; "track" replays a trace — loaded with
+   --load or synthesized from the same generator flags — through the
+   drift-watching elastic controller and compares its hourly-billed
+   rental bill against static-peak provisioning and the clairvoyant
+   per-hour oracle (Rentcost_autoscale.Policy).
 
    --trace FILE (any command) appends every completed Telemetry span
    to FILE as JSON lines while the command runs. *)
@@ -219,6 +229,109 @@ let cmd_validate path target items budget =
 let cmd_example () =
   print_string (Rentcost.Problem_format.to_string Rentcost.Problem.illustrating)
 
+(* --- autoscaling --- *)
+
+module A = Rentcost_autoscale
+
+type autoscale_opts = {
+  load_trace : string option;
+  pattern : [ `Diurnal | `Burst | `Flash_crowd ];
+  ticks : int;
+  base : int;
+  amplitude : int;
+  period : int;
+  noise : float;
+  ticks_per_hour : int;
+  deadband : float;
+  headroom : float;
+}
+
+(* Burst and flash-crowd derive their shape from the shared flags:
+   the event peaks [amplitude] above [base], starts a third of the way
+   in, and spans on the order of one [period]. *)
+let make_trace opts ~seed =
+  match opts.load_trace with
+  | Some path -> A.Trace.load path
+  | None -> (
+    let { ticks; base; amplitude; period; noise; _ } = opts in
+    match opts.pattern with
+    | `Diurnal -> A.Trace.diurnal ~noise ~ticks ~base ~amplitude ~period ~seed ()
+    | `Burst ->
+      A.Trace.burst ~noise ~ticks ~base ~height:amplitude ~at:(ticks / 3)
+        ~width:(max 1 (period / 2)) ~seed ()
+    | `Flash_crowd ->
+      A.Trace.flash_crowd ~noise ~ticks ~base ~peak:(base + amplitude)
+        ~at:(ticks / 3) ~ramp:(max 1 (period / 8)) ~decay:(max 1 (period / 4))
+        ~seed ())
+
+let with_trace opts ~seed k =
+  match make_trace opts ~seed with
+  | exception (Failure msg | Invalid_argument msg | Sys_error msg) ->
+    `Error (false, msg)
+  | trace -> k trace
+
+let cmd_trace opts seed = with_trace opts ~seed (fun trace ->
+    print_string (A.Trace.to_string trace);
+    `Ok ())
+
+let int_row a =
+  "[" ^ String.concat "," (List.map string_of_int (Array.to_list a)) ^ "]"
+
+let cmd_track path opts spec seed budget =
+  match load path with
+  | Error msg -> `Error (false, msg)
+  | Ok problem ->
+    with_trace opts ~seed (fun trace ->
+        let { ticks_per_hour; deadband; headroom; _ } = opts in
+        let config =
+          { A.Controller.ticks_per_hour; deadband; headroom; spec; budget }
+        in
+        match A.Policy.elastic ~config problem trace with
+        | exception Invalid_argument msg -> `Error (false, msg)
+        | elastic, plans ->
+          Format.printf "trace: %d ticks, peak demand %d, %d ticks/hour@."
+            (A.Trace.length trace) (A.Trace.peak trace) ticks_per_hour;
+          List.iter
+            (fun (p : A.Controller.plan) ->
+              (* Quiet holds are the common case; print the ticks where
+                 money moved or the controller acted. *)
+              if p.A.Controller.action = A.Controller.Reconfigure
+                 || p.A.Controller.charged > 0 then
+                Format.printf
+                  "tick %4d: demand %4d %-11s target %4d rent %s renew %s \
+                   release %s charged %4d%s@."
+                  p.A.Controller.tick p.A.Controller.demand
+                  (A.Controller.action_to_string p.A.Controller.action)
+                  p.A.Controller.target
+                  (int_row p.A.Controller.rent)
+                  (int_row p.A.Controller.renew)
+                  (int_row p.A.Controller.release)
+                  p.A.Controller.charged
+                  (if p.A.Controller.violation then " (SLO violation)" else ""))
+            plans;
+          let static =
+            A.Policy.static_peak ~budget ~spec ~ticks_per_hour problem trace
+          in
+          let oracle =
+            A.Policy.oracle ~budget ~spec ~ticks_per_hour problem trace
+          in
+          Format.printf "elastic:     cost %5d, %d replans, %d SLO violations@."
+            elastic.A.Policy.total_cost elastic.A.Policy.replans
+            elastic.A.Policy.violations;
+          Format.printf "static-peak: cost %5d@." static.A.Policy.total_cost;
+          Format.printf "oracle:      cost %5d@." oracle.A.Policy.total_cost;
+          Format.printf
+            "elastic saves %.1f%% vs static-peak, pays %.1f%% over the \
+             clairvoyant oracle@."
+            (100. *. A.Policy.savings ~of_:elastic ~over:static)
+            (if oracle.A.Policy.total_cost = 0 then 0.
+             else
+               100.
+               *. float_of_int
+                    (elastic.A.Policy.total_cost - oracle.A.Policy.total_cost)
+               /. float_of_int oracle.A.Policy.total_cost);
+          `Ok ())
+
 let cmd_stats socket text_mode =
   match socket with
   | None -> `Error (true, "stats requires --socket PATH")
@@ -308,7 +421,48 @@ let items_arg =
 
 let subcommand =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"COMMAND"
-         ~doc:"solve, info, validate, serve, stats, or example.")
+         ~doc:"solve, info, validate, track, trace, serve, stats, or example.")
+
+let autoscale_term =
+  let make load_trace pattern ticks base amplitude period noise ticks_per_hour
+      deadband headroom =
+    { load_trace; pattern; ticks; base; amplitude; period; noise;
+      ticks_per_hour; deadband; headroom }
+  in
+  Term.(
+    const make
+    $ Arg.(value & opt (some file) None
+           & info [ "load" ] ~docv:"FILE"
+               ~doc:"Replay a saved traffic trace instead of generating one.")
+    $ Arg.(value
+           & opt (enum [ ("diurnal", `Diurnal); ("burst", `Burst);
+                         ("flash-crowd", `Flash_crowd) ]) `Diurnal
+           & info [ "pattern" ] ~docv:"SHAPE"
+               ~doc:"Synthetic trace shape: diurnal, burst, or flash-crowd.")
+    $ Arg.(value & opt int 96
+           & info [ "ticks" ] ~docv:"N" ~doc:"Trace length in ticks.")
+    $ Arg.(value & opt int 20
+           & info [ "base" ] ~docv:"N" ~doc:"Baseline demand per tick.")
+    $ Arg.(value & opt int 60
+           & info [ "amplitude" ] ~docv:"N"
+               ~doc:"Demand swing above the baseline.")
+    $ Arg.(value & opt int 48
+           & info [ "period" ] ~docv:"N"
+               ~doc:"Diurnal period (ticks); also scales the burst and \
+                     flash-crowd event lengths.")
+    $ Arg.(value & opt float 0.08
+           & info [ "noise" ] ~docv:"F"
+               ~doc:"Multiplicative demand noise in [0,1] (seeded).")
+    $ Arg.(value & opt int 12
+           & info [ "ticks-per-hour" ] ~docv:"N"
+               ~doc:"Billing granularity: ticks per paid machine-hour.")
+    $ Arg.(value & opt float 0.25
+           & info [ "deadband" ] ~docv:"F"
+               ~doc:"Controller hysteresis: no downscale re-solve while \
+                     demand stays above (1-F) x the solved target.")
+    $ Arg.(value & opt float 0.15
+           & info [ "headroom" ] ~docv:"F"
+               ~doc:"Over-provisioning applied to each re-solve target."))
 
 let socket_arg =
   Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH"
@@ -360,7 +514,7 @@ let workers_arg =
 
 let main sub path target spec seed step time_limit node_limit max_evals items
     socket cache_capacity queue_capacity trace text_mode domains workers
-    objective_kind money pricebook =
+    objective_kind money pricebook auto_opts =
   let budget =
     { Rentcost.Budget.deadline = time_limit; node_cap = node_limit;
       eval_cap = max_evals }
@@ -390,7 +544,9 @@ let main sub path target spec seed step time_limit node_limit max_evals items
       `Error (true, "--objective max-throughput requires --budget"))
   | "validate", Some path, Some target -> cmd_validate path target items budget
   | "validate", Some _, None -> `Error (true, "--target is required")
-  | ("info" | "solve" | "validate"), None, _ ->
+  | "trace", _, _ -> cmd_trace auto_opts seed
+  | "track", Some path, _ -> cmd_track path auto_opts spec seed budget
+  | ("info" | "solve" | "validate" | "track"), None, _ ->
     `Error (true, "a problem FILE is required")
   | (other, _, _) -> `Error (true, Printf.sprintf "unknown command %S" other)
 
@@ -408,6 +564,6 @@ let cmd =
         $ algorithm_arg $ seed_arg $ step_arg $ time_limit_arg $ node_limit_arg
         $ max_evals_arg $ items_arg $ socket_arg $ cache_arg $ queue_arg
         $ trace_arg $ text_arg $ domains_arg $ workers_arg $ objective_arg
-        $ money_arg $ pricebook_arg))
+        $ money_arg $ pricebook_arg $ autoscale_term))
 
 let () = exit (Cmd.eval cmd)

@@ -20,10 +20,9 @@ let solve_one ?budget ?rng ?params ?warm_start ~spec instance ~target =
 (* One compile serves the whole trace; each period's solve is seeded
    with the previous period's fleet (trimmed/validated inside the
    solver, dropped when demand rose past it). *)
-let provision ?budget ?rng ?params ?(spec = Solver.Auto) ?(warm = true) problem
-    ~demand =
+let provision_on ?budget ?rng ?params ?(spec = Solver.Auto) ?(warm = true)
+    instance ~demand =
   check_demand demand;
-  let instance = Instance.compile problem in
   let previous = ref None in
   Array.map
     (fun target ->
@@ -32,6 +31,10 @@ let provision ?budget ?rng ?params ?(spec = Solver.Auto) ?(warm = true) problem
       previous := Some a;
       a)
     demand
+
+let provision ?budget ?rng ?params ?spec ?warm problem ~demand =
+  provision_on ?budget ?rng ?params ?spec ?warm (Instance.compile problem)
+    ~demand
 
 let static_peak ?budget ?rng ?params ?(spec = Solver.Auto) problem ~demand =
   check_demand demand;

@@ -11,7 +11,15 @@
     (the same amortization PR 2 gave {!Cloudsim.Runner}), and each
     period's solve is seeded with the previous period's fleet as a
     {!Solver.solve} warm start — consecutive demands are close, so the
-    previous optimum is usually a near-optimal incumbent. *)
+    previous optimum is usually a near-optimal incumbent.
+
+    This module bills every period in full and re-solves every period —
+    a clairvoyant per-period planner. The online counterpart lives in
+    the [Rentcost_autoscale] library: its controller watches demand
+    drift with a deadband, re-solves only when the drift warrants it,
+    and charges rentals at hour granularity (a machine rented mid-hour
+    is paid through its hour boundary), reusing {!provision_on} for its
+    clairvoyant oracle baseline. *)
 
 (** One allocation per billing period. *)
 type plan = Allocation.t array
@@ -35,6 +43,21 @@ val provision :
   ?spec:Solver.spec ->
   ?warm:bool ->
   Problem.t ->
+  demand:int array ->
+  plan
+
+(** [provision_on instance ~demand] is {!provision} over an already
+    compiled instance, so callers planning many traces (or mixing
+    per-period planning with other solves — the autoscale layer's
+    clairvoyant oracle does both) amortize one compile. The instance
+    must be compiled under the default min-cost scenario. *)
+val provision_on :
+  ?budget:Budget.t ->
+  ?rng:Numeric.Prng.t ->
+  ?params:Heuristics.params ->
+  ?spec:Solver.spec ->
+  ?warm:bool ->
+  Instance.t ->
   demand:int array ->
   plan
 

@@ -5,6 +5,7 @@ module Budget = Rentcost.Budget
 module Objective = Rentcost.Objective
 module Pricebook = Rentcost.Pricebook
 module Scenario = Rentcost.Scenario
+module Controller = Rentcost_autoscale.Controller
 
 let c_requests = Telemetry.counter Telemetry.service_requests
 let c_hits = Telemetry.counter Telemetry.service_cache_hits
@@ -16,7 +17,9 @@ let c_shed = Telemetry.counter Telemetry.service_shed
 
 (* Per-op request counters, pre-registered so [submit] never touches
    the registry mutex. *)
-let op_names = [ "register"; "solve"; "stats"; "metrics"; "shutdown" ]
+let op_names =
+  [ "register"; "solve"; "track"; "tick"; "untrack"; "stats"; "metrics";
+    "shutdown" ]
 
 let op_counters =
   List.map (fun op -> (op, Telemetry.counter (Telemetry.service_op op))) op_names
@@ -24,6 +27,9 @@ let op_counters =
 let op_name = function
   | Protocol.Register _ -> "register"
   | Protocol.Solve _ -> "solve"
+  | Protocol.Track _ -> "track"
+  | Protocol.Tick _ -> "tick"
+  | Protocol.Untrack _ -> "untrack"
   | Protocol.Stats -> "stats"
   | Protocol.Metrics -> "metrics"
   | Protocol.Shutdown -> "shutdown"
@@ -81,6 +87,9 @@ type t = {
       (* striped by name *)
   instances : (string, Instance.t * Fingerprint.t) Hashtbl.t Striped.t;
       (* striped by digest; Fingerprint.equal checked on reuse *)
+  trackers : (string, Controller.t) Hashtbl.t Striped.t;
+      (* autoscale sessions, striped by session name; ticks run under
+         the stripe lock, which serializes a session's controller *)
   started_at : float;
 }
 
@@ -102,6 +111,7 @@ let create ?(config = default_config) () =
     qc = Condition.create ();
     registry = Striped.create ~stripes (fun _ -> Hashtbl.create 16);
     instances = Striped.create ~stripes (fun _ -> Hashtbl.create 16);
+    trackers = Striped.create ~stripes (fun _ -> Hashtbl.create 16);
     started_at = Unix.gettimeofday ();
   }
 
@@ -205,6 +215,100 @@ let resolve t source ~objective ~pricebook =
              ~pricebook))
   | Protocol.Inline problem ->
     Result.Ok (shared_compile t problem ~objective ~pricebook)
+
+(* --- autoscale sessions ---
+
+   Track/Tick/Untrack are immediate ops (like Register): a tick is a
+   cheap deadband check unless the controller actually re-solves, and
+   queuing ticks behind solves would let demand observations go stale.
+   A session's controller lives in [t.trackers]; running the tick
+   under its stripe lock serializes each session while independent
+   sessions on other stripes proceed concurrently. *)
+
+(* The controller always runs on an instance compiled from the
+   submitted problem itself (the registered instance for a [Ref],
+   never a fingerprint-equal stand-in), so plan arrays are in the
+   submitted problem's own numbering. *)
+let resolve_track t source =
+  match source with
+  | Protocol.Ref name -> (
+    match
+      Striped.with_key t.registry ~key:name (fun tbl ->
+          Hashtbl.find_opt tbl name)
+    with
+    | None -> Result.Error (Printf.sprintf "track: unknown ref %S" name)
+    | Some (inst, fp) ->
+      Telemetry.bump c_reuse;
+      Result.Ok (inst, fp))
+  | Protocol.Inline problem ->
+    let inst = Instance.compile problem in
+    Result.Ok (inst, Fingerprint.of_instance inst)
+
+let track t ~session ~source ~ticks_per_hour ~deadband ~headroom ~spec =
+  match resolve_track t source with
+  | Result.Error message -> Protocol.Error { id = None; message }
+  | Result.Ok (inst, fp) ->
+    let config =
+      {
+        Controller.ticks_per_hour;
+        deadband;
+        headroom;
+        spec;
+        budget = t.config.default_budget;
+      }
+    in
+    let controller = Controller.create_on ~config inst in
+    Striped.with_key t.trackers ~key:session (fun tbl ->
+        Hashtbl.replace tbl session controller);
+    Protocol.Tracking { session; fingerprint = Fingerprint.short fp }
+
+let track_tick t ~id ~session ~demand =
+  let result =
+    Striped.with_key t.trackers ~key:session (fun tbl ->
+        match Hashtbl.find_opt tbl session with
+        | None -> None
+        | Some controller ->
+          let plan =
+            Telemetry.Span.with_span
+              ~attrs:[ ("session", session); ("demand", string_of_int demand) ]
+              "service.tick"
+              (fun () -> Controller.tick controller ~demand)
+          in
+          Some (plan, Controller.total_charged controller))
+  in
+  match result with
+  | None ->
+    Protocol.Error
+      { id; message = Printf.sprintf "tick: no tracked session %S" session }
+  | Some (plan, total_charged) ->
+    Protocol.Plan { id; session; plan; total_charged }
+
+let untrack t ~session =
+  let removed =
+    Striped.with_key t.trackers ~key:session (fun tbl ->
+        match Hashtbl.find_opt tbl session with
+        | None -> None
+        | Some controller ->
+          Hashtbl.remove tbl session;
+          Some controller)
+  in
+  match removed with
+  | None ->
+    Protocol.Error
+      {
+        id = None;
+        message = Printf.sprintf "untrack: no tracked session %S" session;
+      }
+  | Some c ->
+    Protocol.Untracked
+      {
+        session;
+        ticks = Controller.ticks c;
+        replans = Controller.replans c;
+        holds = Controller.holds c;
+        violations = Controller.violations c;
+        total_charged = Controller.total_charged c;
+      }
 
 (* --- the reuse ladder --- *)
 
@@ -414,6 +518,10 @@ let stats t =
       Json.Int
         (Striped.fold t.registry ~init:0 ~f:(fun acc tbl ->
              acc + Hashtbl.length tbl)) );
+    ( "tracked",
+      Json.Int
+        (Striped.fold t.trackers ~init:0 ~f:(fun acc tbl ->
+             acc + Hashtbl.length tbl)) );
   ]
 
 (* --- request dispatch --- *)
@@ -433,6 +541,12 @@ let submit ?now t (request : Protocol.request) =
       (Protocol.Metrics_reply
          { metrics = Metrics.json ~stats:(stats t) (); text = Metrics.text () })
   | Protocol.Shutdown -> Some Protocol.Bye
+  | Protocol.Track { session; source; ticks_per_hour; deadband; headroom; spec }
+    ->
+    Some (track t ~session ~source ~ticks_per_hour ~deadband ~headroom ~spec)
+  | Protocol.Tick { id; session; demand } ->
+    Some (track_tick t ~id ~session ~demand)
+  | Protocol.Untrack { session } -> Some (untrack t ~session)
   | Protocol.Solve { id; source; objective; pricebook; spec; budget; reuse } ->
     let budget =
       match budget with Some b -> b | None -> t.config.default_budget

@@ -46,6 +46,20 @@
     recompiles the registered problem under it, deduped in the
     instance table so the compile happens once per scenario.
 
+    {2 Autoscale sessions}
+
+    [Track] opens a named {!Rentcost_autoscale.Controller} session
+    over a registered or inline problem (default min-cost scenario);
+    [Tick] feeds it one demand observation and answers with the
+    tick's reconfiguration plan; [Untrack] closes it with a summary.
+    All three are immediate ops — a tick is a deadband check unless
+    the controller re-solves, and queueing it behind solves would let
+    the observation go stale. Controller re-solves run under the
+    engine's [default_budget]; so a daemon started with a deadline
+    budget bounds every autoscale re-solve the same way it bounds
+    cold solves. Sessions are striped like the registry: ticks of one
+    session are serialized, distinct sessions proceed concurrently.
+
     {2 Accounting}
 
     Every outcome bumps the [service.*] counters in {!Telemetry}
@@ -97,8 +111,8 @@ val config : t -> config
     and returns its fingerprint. *)
 val register : t -> name:string -> Rentcost.Problem.t -> Fingerprint.t
 
-(** [submit t request] runs [Register]/[Stats]/[Metrics]/[Shutdown]
-    immediately
+(** [submit t request] runs [Register]/[Track]/[Tick]/[Untrack]/
+    [Stats]/[Metrics]/[Shutdown] immediately
     ([Some response]) and enqueues [Solve] requests — [None] when
     admitted (answers come from {!drain}), [Some (Overloaded _)] when
     shed at the door. [~now] is the admission clock (defaults to the
@@ -136,8 +150,8 @@ val handle : ?now:float -> t -> Protocol.request -> Protocol.response list
 
 (** Snapshot for [Stats_reply] and the shutdown dump: uptime, every
     registered {!Telemetry} counter, per-op request counts, cache
-    occupancy/evictions, queue depth/shed count, and the latency
-    histogram buckets. *)
+    occupancy/evictions, queue depth/shed count, the latency
+    histogram buckets, and the registered / tracked-session counts. *)
 val stats : t -> (string * Json.t) list
 
 (** The engine's solution cache (tests observe occupancy and eviction

@@ -3,6 +3,7 @@ module Budget = Rentcost.Budget
 module Objective = Rentcost.Objective
 module Pricebook = Rentcost.Pricebook
 module Problem_format = Rentcost.Problem_format
+module Controller = Rentcost_autoscale.Controller
 
 type reuse =
   | No_reuse
@@ -39,6 +40,16 @@ type request =
       budget : Budget.t option;
       reuse : reuse;
     }
+  | Track of {
+      session : string;
+      source : source;
+      ticks_per_hour : int;
+      deadband : float;
+      headroom : float;
+      spec : Solver.spec;
+    }
+  | Tick of { id : int option; session : string; demand : int }
+  | Untrack of { session : string }
   | Stats
   | Metrics
   | Shutdown
@@ -74,6 +85,21 @@ type response =
       wall_time : float;
     }
   | Registered of { name : string; fingerprint : string }
+  | Tracking of { session : string; fingerprint : string }
+  | Plan of {
+      id : int option;
+      session : string;
+      plan : Controller.plan;
+      total_charged : int;
+    }
+  | Untracked of {
+      session : string;
+      ticks : int;
+      replans : int;
+      holds : int;
+      violations : int;
+      total_charged : int;
+    }
   | Stats_reply of (string * Json.t) list
   | Metrics_reply of { metrics : Json.t; text : string }
   | Overloaded of { id : int option }
@@ -227,6 +253,58 @@ let decode_solve j =
   let* budget = decode_budget j in
   Ok (Solve { id; source; objective; pricebook; spec; budget; reuse })
 
+let decode_session j = Option.value ~default:"default" (Json.get_string "session" j)
+
+let decode_track j =
+  let session = decode_session j in
+  let* source =
+    match (Json.get_string "ref" j, Json.get_string "problem" j) with
+    | Some name, None -> Ok (Ref name)
+    | None, Some text ->
+      let* p = parse_problem ~what:"track" text in
+      Ok (Inline p)
+    | Some _, Some _ -> Result.Error "track: give \"ref\" or \"problem\", not both"
+    | None, None -> Result.Error "track: missing \"ref\" or \"problem\""
+  in
+  let* ticks_per_hour =
+    match Json.get_int "ticks_per_hour" j with
+    | None -> Ok Controller.default_config.Controller.ticks_per_hour
+    | Some n when n > 0 -> Ok n
+    | Some _ -> Result.Error "track: \"ticks_per_hour\" must be > 0"
+  in
+  let* deadband =
+    match Json.get_float "deadband" j with
+    | None -> Ok Controller.default_config.Controller.deadband
+    | Some d when Float.is_finite d && d >= 0. && d < 1. -> Ok d
+    | Some _ -> Result.Error "track: \"deadband\" must lie in [0, 1)"
+  in
+  let* headroom =
+    match Json.get_float "headroom" j with
+    | None -> Ok Controller.default_config.Controller.headroom
+    | Some h when Float.is_finite h && h >= 0. -> Ok h
+    | Some _ -> Result.Error "track: \"headroom\" must be >= 0"
+  in
+  let* spec =
+    match Json.get_string "spec" j with
+    | None -> Ok Solver.Auto
+    | Some s ->
+      Option.to_result
+        ~none:(Printf.sprintf "track: unknown spec %S" s)
+        (Solver.spec_of_string s)
+  in
+  Ok (Track { session; source; ticks_per_hour; deadband; headroom; spec })
+
+let decode_tick j =
+  let id = Json.get_int "id" j in
+  let session = decode_session j in
+  let* demand =
+    match Json.get_int "demand" j with
+    | Some d when d >= 0 -> Ok d
+    | Some _ -> Result.Error "tick: negative \"demand\""
+    | None -> Result.Error "tick: missing integer \"demand\""
+  in
+  Ok (Tick { id; session; demand })
+
 let request_of_json j =
   (* Every request is versioned; an absent "version" means 1. Unknown
      versions are rejected up front with a structured error, so future
@@ -246,6 +324,9 @@ let request_of_json j =
   | None -> Result.Error "missing \"op\""
   | Some "register" -> decode_register j
   | Some "solve" -> decode_solve j
+  | Some "track" -> decode_track j
+  | Some "tick" -> decode_tick j
+  | Some "untrack" -> Ok (Untrack { session = decode_session j })
   | Some "stats" -> Ok Stats
   | Some "metrics" -> Ok Metrics
   | Some "shutdown" -> Ok Shutdown
@@ -301,6 +382,30 @@ let request_to_json = function
           ("reuse", Json.String (reuse_to_string reuse));
         ]
       @ budget_fields)
+  | Track { session; source; ticks_per_hour; deadband; headroom; spec } ->
+    let source_field =
+      match source with
+      | Ref name -> ("ref", Json.String name)
+      | Inline p -> ("problem", Json.String (Problem_format.to_string p))
+    in
+    Json.Obj
+      [
+        ("op", Json.String "track");
+        ("session", Json.String session);
+        source_field;
+        ("ticks_per_hour", Json.Int ticks_per_hour);
+        ("deadband", Json.Float deadband);
+        ("headroom", Json.Float headroom);
+        ("spec", Json.String (Solver.spec_to_string spec));
+      ]
+  | Tick { id; session; demand } ->
+    Json.Obj
+      ([ ("op", Json.String "tick") ]
+      @ opt_field "id" (fun i -> Json.Int i) id
+      @ [ ("session", Json.String session); ("demand", Json.Int demand) ])
+  | Untrack { session } ->
+    Json.Obj
+      [ ("op", Json.String "untrack"); ("session", Json.String session) ]
   | Stats -> Json.Obj [ ("op", Json.String "stats") ]
   | Metrics -> Json.Obj [ ("op", Json.String "metrics") ]
   | Shutdown -> Json.Obj [ ("op", Json.String "shutdown") ]
@@ -330,6 +435,44 @@ let response_to_json = function
         ("ok", Json.Bool true);
         ("registered", Json.String name);
         ("fingerprint", Json.String fingerprint);
+      ]
+  | Tracking { session; fingerprint } ->
+    Json.Obj
+      [
+        ("ok", Json.Bool true);
+        ("tracking", Json.String session);
+        ("fingerprint", Json.String fingerprint);
+      ]
+  | Plan { id; session; plan; total_charged } ->
+    Json.Obj
+      (opt_field "id" (fun i -> Json.Int i) id
+      @ [
+          ("ok", Json.Bool true);
+          ("session", Json.String session);
+          ("tick", Json.Int plan.Controller.tick);
+          ("demand", Json.Int plan.Controller.demand);
+          ("target", Json.Int plan.Controller.target);
+          ( "action",
+            Json.String (Controller.action_to_string plan.Controller.action) );
+          ("rent", int_array plan.Controller.rent);
+          ("renew", int_array plan.Controller.renew);
+          ("release", int_array plan.Controller.release);
+          ("machines", int_array plan.Controller.machines);
+          ("rho", int_array plan.Controller.rho);
+          ("charged", Json.Int plan.Controller.charged);
+          ("total_charged", Json.Int total_charged);
+          ("violation", Json.Bool plan.Controller.violation);
+        ])
+  | Untracked { session; ticks; replans; holds; violations; total_charged } ->
+    Json.Obj
+      [
+        ("ok", Json.Bool true);
+        ("untracked", Json.String session);
+        ("ticks", Json.Int ticks);
+        ("replans", Json.Int replans);
+        ("holds", Json.Int holds);
+        ("violations", Json.Int violations);
+        ("total_charged", Json.Int total_charged);
       ]
   | Stats_reply fields ->
     Json.Obj [ ("ok", Json.Bool true); ("stats", Json.Obj fields) ]
@@ -364,7 +507,7 @@ let decode_int_array = function
     go [] items
   | _ -> None
 
-let response_of_json j =
+let rec response_of_json j =
   let id = Json.get_int "id" j in
   match Json.get_string "error" j with
   | Some message -> Ok (Error { id; message })
@@ -412,5 +555,75 @@ let response_of_json j =
               (Json.get_string "text" j)
           in
           Ok (Metrics_reply { metrics; text })
-        | None -> Result.Error "unrecognized response shape")
+        | None -> decode_track_response ~id j)
       | _ -> Result.Error "unrecognized response shape"))
+
+and decode_track_response ~id j =
+  let field name coerce =
+    Option.to_result
+      ~none:(Printf.sprintf "missing or bad %S" name)
+      (Option.bind (Json.member name j) coerce)
+  in
+  match
+    (Json.get_string "tracking" j, Json.get_string "untracked" j,
+     Json.get_string "action" j)
+  with
+  | Some session, _, _ ->
+    let* fingerprint =
+      Option.to_result ~none:"missing \"fingerprint\""
+        (Json.get_string "fingerprint" j)
+    in
+    Ok (Tracking { session; fingerprint })
+  | None, Some session, _ ->
+    let* ticks = field "ticks" Json.to_int in
+    let* replans = field "replans" Json.to_int in
+    let* holds = field "holds" Json.to_int in
+    let* violations = field "violations" Json.to_int in
+    let* total_charged = field "total_charged" Json.to_int in
+    Ok (Untracked { session; ticks; replans; holds; violations; total_charged })
+  | None, None, Some action_s ->
+    let* action =
+      Option.to_result
+        ~none:(Printf.sprintf "unknown action %S" action_s)
+        (Controller.action_of_string action_s)
+    in
+    let* session =
+      Option.to_result ~none:"missing \"session\""
+        (Json.get_string "session" j)
+    in
+    let* tick = field "tick" Json.to_int in
+    let* demand = field "demand" Json.to_int in
+    let* target = field "target" Json.to_int in
+    let* rent = field "rent" decode_int_array in
+    let* renew = field "renew" decode_int_array in
+    let* release = field "release" decode_int_array in
+    let* machines = field "machines" decode_int_array in
+    let* rho = field "rho" decode_int_array in
+    let* charged = field "charged" Json.to_int in
+    let* total_charged = field "total_charged" Json.to_int in
+    let* violation =
+      Option.to_result ~none:"missing or bad \"violation\""
+        (Option.bind (Json.member "violation" j) Json.to_bool)
+    in
+    Ok
+      (Plan
+         {
+           id;
+           session;
+           total_charged;
+           plan =
+             {
+               Controller.tick;
+               demand;
+               target;
+               action;
+               rent;
+               renew;
+               release;
+               machines;
+               rho;
+               charged;
+               violation;
+             };
+         })
+  | None, None, None -> Result.Error "unrecognized response shape"

@@ -13,6 +13,10 @@
      "objective":"max-throughput","budget":120}
     {"op":"solve","id":4,"ref":"app","target":70,
      "pricebook":"book us-east\n  price 0 10\n..."}
+    {"op":"track","session":"app-fleet","ref":"app",
+     "ticks_per_hour":12,"deadband":0.1,"headroom":0.05}
+    {"op":"tick","session":"app-fleet","id":7,"demand":55}
+    {"op":"untrack","session":"app-fleet"}
     {"op":"stats"}
     {"op":"shutdown"}
     v}
@@ -38,6 +42,18 @@
     lower monetary budget. The ladder never crosses objectives or
     price books: both are baked into the instance fingerprint.
 
+    ["track"] opens (or replaces) an autoscale session: a
+    {!Rentcost_autoscale.Controller} over the referenced or inline
+    problem (default min-cost scenario only). Each subsequent ["tick"]
+    streams one demand observation and answers with that tick's
+    reconfiguration plan; ["untrack"] closes the session and returns
+    its summary. [session] defaults to ["default"] on all three ops.
+    Defaults mirror {!Rentcost_autoscale.Controller.default_config}:
+    [ticks_per_hour] 60, [deadband] 0.1, [headroom] 0, [spec] "auto";
+    re-solves run under the engine's default compute budget. Track
+    sessions are handled inline (never queued), so ticks stay cheap
+    unless the controller actually re-solves.
+
     {2 Responses}
 
     {v
@@ -46,6 +62,13 @@
      "wall_time":0.0123}
     {"ok":true,"registered":"app","fingerprint":"d41d8cd98f00"}
     {"ok":true,"stats":{...}}
+    {"ok":true,"tracking":"app-fleet","fingerprint":"d41d8cd98f00"}
+    {"id":7,"ok":true,"session":"app-fleet","tick":3,"demand":55,
+     "target":55,"action":"reconfigure","rent":[1,0],"renew":[0,0],
+     "release":[0,0],"machines":[4,2],"rho":[40,15],"charged":34,
+     "total_charged":120,"violation":true}
+    {"ok":true,"untracked":"app-fleet","ticks":10,"replans":3,
+     "holds":7,"violations":2,"total_charged":123}
     {"id":7,"ok":false,"status":"overloaded"}
     {"ok":false,"error":"solve: unknown ref \"nope\""}
     {"ok":true,"status":"bye"}
@@ -87,6 +110,17 @@ type request =
       budget : Rentcost.Budget.t option;  (** [None] = engine default *)
       reuse : reuse;
     }
+  | Track of {
+      session : string;  (** replaces any session with the same name *)
+      source : source;
+      ticks_per_hour : int;  (** billing granularity of the session *)
+      deadband : float;
+      headroom : float;
+      spec : Rentcost.Solver.spec;  (** engine for re-solves *)
+    }  (** open an autoscale session (see the module doc) *)
+  | Tick of { id : int option; session : string; demand : int }
+      (** one demand observation; answered with a [Plan] *)
+  | Untrack of { session : string }
   | Stats
   | Metrics  (** full telemetry exposition: counters, histograms, spans *)
   | Shutdown
@@ -112,6 +146,23 @@ type response =
       wall_time : float;  (** seconds spent handling this request *)
     }
   | Registered of { name : string; fingerprint : string }
+  | Tracking of { session : string; fingerprint : string }
+  | Plan of {
+      id : int option;
+      session : string;
+      plan : Rentcost_autoscale.Controller.plan;
+          (** the tick's reconfiguration plan, in the tracked
+              problem's own numbering *)
+      total_charged : int;  (** session bill so far, this tick included *)
+    }
+  | Untracked of {
+      session : string;
+      ticks : int;
+      replans : int;
+      holds : int;
+      violations : int;
+      total_charged : int;
+    }  (** closing summary of an autoscale session *)
   | Stats_reply of (string * Json.t) list
   | Metrics_reply of {
       metrics : Json.t;  (** {!Metrics.json}: counters, histograms, spans *)

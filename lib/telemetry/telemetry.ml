@@ -325,6 +325,10 @@ let service_compile_reuse = "service.compile_reuse"
 let service_shed = "service.shed"
 
 let service_op op = "service.op." ^ op
+let autoscale_ticks = "autoscale.ticks"
+let autoscale_replans = "autoscale.replans"
+let autoscale_holds = "autoscale.holds"
+let autoscale_violations = "autoscale.violations"
 
 let parallel_tasks = "parallel.tasks"
 let parallel_steals = "parallel.steals"
@@ -340,3 +344,4 @@ let heuristic_run_evals = "heuristics.run_evals"
 let milp_solve_nodes = "milp.solve_nodes"
 let parallel_queue_depth = "parallel.queue_depth"
 let parallel_portfolio_seconds = "parallel.portfolio_seconds"
+let autoscale_resolve_seconds = "autoscale.resolve_seconds"

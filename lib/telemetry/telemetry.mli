@@ -242,6 +242,21 @@ val service_shed : string
     service engine for every protocol operation it is handed. *)
 val service_op : string -> string
 
+(** {2 Autoscale counters ([Rentcost_autoscale])} *)
+
+(** Demand ticks fed to an elastic controller. *)
+val autoscale_ticks : string
+
+(** Controller ticks that triggered a warm-started re-solve. *)
+val autoscale_replans : string
+
+(** Controller ticks held inside the deadband (no re-solve). *)
+val autoscale_holds : string
+
+(** Ticks whose demand exceeded the provisioned throughput before the
+    controller could react (SLO violations). *)
+val autoscale_violations : string
+
 (** {2 Parallel-execution counters ([Rentcost_parallel])} *)
 
 (** Tasks submitted to a {!Rentcost_parallel.Pool}. *)
@@ -279,3 +294,6 @@ val parallel_queue_depth : string
 
 (** End-to-end portfolio race wall time, seconds. *)
 val parallel_portfolio_seconds : string
+
+(** Wall time of each elastic-controller re-solve, seconds. *)
+val autoscale_resolve_seconds : string

@@ -264,6 +264,168 @@ let test_admission_deadline_shed () =
   | [ Pr.Overloaded { id = Some 9 } ] -> ()
   | _ -> Alcotest.fail "expected the expired request shed at dispatch"
 
+(* A request whose deadline has nearly — but not — expired by the time
+   it is drained must still be answered: the engine derives the solve
+   budget from the remaining slack, so the solver degrades to its
+   heuristic incumbent instead of missing the deadline. *)
+let test_deadline_slack_degrades () =
+  let e = engine_with base in
+  Alcotest.(check bool) "admitted" true
+    (E.submit ~now:0.0 e
+       (solve_req ~id:4 ~reuse:Pr.No_reuse ~budget:(B.deadline 10.0) 110)
+     = None);
+  match E.drain ~now:9.999999 e with
+  | [ Pr.Solved { id = Some 4; status; cost; rho; machines; _ } ] ->
+    Alcotest.(check string) "budget exhausted, not missed" "budget-exhausted"
+      (S.status_to_string status);
+    let a = AL.make base ~rho ~machines in
+    Alcotest.(check bool) "incumbent still feasible" true
+      (AL.feasible base ~target:110 a);
+    let cold = solved1 (engine_with base) (solve_req ~reuse:Pr.No_reuse 110) in
+    Alcotest.(check bool) "incumbent upper-bounds the optimum" true
+      (cold.s_cost <= cost)
+  | [ Pr.Overloaded _ ] ->
+    Alcotest.fail "request with remaining slack was shed as overloaded"
+  | _ -> Alcotest.fail "expected one solved response"
+
+(* --- autoscale sessions: protocol codec and the engine ops --- *)
+
+let track_req ?(session = "fleet") ?(source = Pr.Ref "app")
+    ?(ticks_per_hour = 4) ?(deadband = 0.25) ?(headroom = 0.) () =
+  Pr.Track
+    { session; source; ticks_per_hour; deadband; headroom; spec = S.Auto }
+
+let test_track_protocol_roundtrip () =
+  let roundtrip r =
+    match Pr.request_of_json (Pr.request_to_json r) with
+    | Ok r' -> r'
+    | Error e -> Alcotest.fail ("request did not survive the codec: " ^ e)
+  in
+  (match roundtrip (track_req ()) with
+   | Pr.Track { session = "fleet"; source = Pr.Ref "app"; ticks_per_hour = 4;
+                deadband = 0.25; headroom = 0.; spec = S.Auto } -> ()
+   | _ -> Alcotest.fail "track request mangled");
+  (match roundtrip (Pr.Tick { id = Some 7; session = "fleet"; demand = 55 }) with
+   | Pr.Tick { id = Some 7; session = "fleet"; demand = 55 } -> ()
+   | _ -> Alcotest.fail "tick request mangled");
+  (match roundtrip (Pr.Untrack { session = "fleet" }) with
+   | Pr.Untrack { session = "fleet" } -> ()
+   | _ -> Alcotest.fail "untrack request mangled");
+  (* Defaults mirror Controller.default_config when the knobs are
+     absent. *)
+  match
+    Pr.request_of_json
+      (J.Obj
+         [ ("op", J.String "track");
+           ("problem", J.String (Rentcost.Problem_format.to_string base)) ])
+  with
+  | Ok (Pr.Track { session = "default"; source = Pr.Inline _;
+                   ticks_per_hour; deadband; headroom; _ }) ->
+    let d = Rentcost_autoscale.Controller.default_config in
+    Alcotest.(check int) "default ticks_per_hour"
+      d.Rentcost_autoscale.Controller.ticks_per_hour ticks_per_hour;
+    Alcotest.(check (float 0.)) "default deadband"
+      d.Rentcost_autoscale.Controller.deadband deadband;
+    Alcotest.(check (float 0.)) "default headroom"
+      d.Rentcost_autoscale.Controller.headroom headroom
+  | Ok _ -> Alcotest.fail "track defaults mangled"
+  | Error e -> Alcotest.fail ("track with defaults rejected: " ^ e)
+
+let test_track_response_roundtrip () =
+  let roundtrip r =
+    match Pr.response_of_json (Pr.response_to_json r) with
+    | Ok r' ->
+      Alcotest.(check string) "stable encoding"
+        (J.to_string (Pr.response_to_json r))
+        (J.to_string (Pr.response_to_json r'));
+      r'
+    | Error e -> Alcotest.fail ("response did not survive the codec: " ^ e)
+  in
+  (match roundtrip (Pr.Tracking { session = "fleet"; fingerprint = "abc123" })
+   with
+   | Pr.Tracking { session = "fleet"; fingerprint = "abc123" } -> ()
+   | _ -> Alcotest.fail "tracking response mangled");
+  let plan =
+    { Rentcost_autoscale.Controller.tick = 3; demand = 55; target = 55;
+      action = Rentcost_autoscale.Controller.Reconfigure; rent = [| 1; 0 |];
+      renew = [| 0; 2 |]; release = [| 0; 1 |]; machines = [| 4; 2 |];
+      rho = [| 40; 15; 0 |]; charged = 34; violation = true }
+  in
+  (match
+     roundtrip
+       (Pr.Plan { id = Some 7; session = "fleet"; plan; total_charged = 120 })
+   with
+   | Pr.Plan { id = Some 7; session = "fleet"; plan = p; total_charged = 120 }
+     ->
+     Alcotest.(check int) "tick" 3 p.Rentcost_autoscale.Controller.tick;
+     Alcotest.(check (array int)) "rent" [| 1; 0 |]
+       p.Rentcost_autoscale.Controller.rent;
+     Alcotest.(check (array int)) "rho" [| 40; 15; 0 |]
+       p.Rentcost_autoscale.Controller.rho;
+     Alcotest.(check bool) "violation" true
+       p.Rentcost_autoscale.Controller.violation
+   | _ -> Alcotest.fail "plan response mangled");
+  match
+    roundtrip
+      (Pr.Untracked
+         { session = "fleet"; ticks = 10; replans = 3; holds = 7;
+           violations = 2; total_charged = 123 })
+  with
+  | Pr.Untracked { session = "fleet"; ticks = 10; replans = 3; holds = 7;
+                   violations = 2; total_charged = 123 } -> ()
+  | _ -> Alcotest.fail "untracked response mangled"
+
+let test_track_session_end_to_end () =
+  let e = engine_with base in
+  (match E.handle e (track_req ()) with
+   | [ Pr.Tracking { session = "fleet"; fingerprint } ] ->
+     Alcotest.(check bool) "fingerprint non-empty" true
+       (String.length fingerprint > 0)
+   | _ -> Alcotest.fail "expected a tracking response");
+  (* First observation: empty fleet, so the plan must rent. *)
+  (match E.handle e (Pr.Tick { id = Some 1; session = "fleet"; demand = 60 })
+   with
+   | [ Pr.Plan { id = Some 1; session = "fleet"; plan; total_charged } ] ->
+     Alcotest.(check string) "first tick reconfigures" "reconfigure"
+       (Rentcost_autoscale.Controller.action_to_string
+          plan.Rentcost_autoscale.Controller.action);
+     Alcotest.(check bool) "first tick rents machines" true
+       (Array.fold_left ( + ) 0 plan.Rentcost_autoscale.Controller.rent > 0);
+     Alcotest.(check int) "bill matches the plan"
+       plan.Rentcost_autoscale.Controller.charged total_charged
+   | _ -> Alcotest.fail "expected a plan response");
+  (* Same demand again: inside the deadband, the controller holds. *)
+  (match E.handle e (Pr.Tick { id = Some 2; session = "fleet"; demand = 60 })
+   with
+   | [ Pr.Plan { plan; _ } ] ->
+     Alcotest.(check string) "repeat demand holds" "hold"
+       (Rentcost_autoscale.Controller.action_to_string
+          plan.Rentcost_autoscale.Controller.action)
+   | _ -> Alcotest.fail "expected a plan response");
+  (match E.handle e Pr.Stats with
+   | [ Pr.Stats_reply stats ] ->
+     Alcotest.(check (option int)) "stats count the session" (Some 1)
+       (J.get_int "tracked" (J.Obj stats))
+   | _ -> Alcotest.fail "expected a stats reply");
+  (match E.handle e (Pr.Untrack { session = "fleet" }) with
+   | [ Pr.Untracked { session = "fleet"; ticks = 2; replans = 1; holds = 1;
+                      violations = 1; total_charged } ] ->
+     Alcotest.(check bool) "session was billed" true (total_charged > 0)
+   | _ -> Alcotest.fail "expected an untracked summary");
+  match E.handle e (Pr.Tick { id = Some 3; session = "fleet"; demand = 10 }) with
+  | [ Pr.Error { id = Some 3; message } ] ->
+    Alcotest.(check bool) "names the missing session" true
+      (String.length message > 0)
+  | _ -> Alcotest.fail "tick after untrack must error"
+
+let test_track_unknown_ref_errors () =
+  let e = E.create () in
+  match E.handle e (track_req ~source:(Pr.Ref "nope") ()) with
+  | [ Pr.Error { message; _ } ] ->
+    Alcotest.(check bool) "mentions track" true
+      (String.length message > 0)
+  | _ -> Alcotest.fail "expected an error response"
+
 (* --- end to end: a daemon session over a pipe --- *)
 
 let write_all fd s =
@@ -435,6 +597,16 @@ let suite =
         test_admission_door_shed;
       Alcotest.test_case "admission sheds expired deadlines" `Quick
         test_admission_deadline_shed;
+      Alcotest.test_case "deadline slack degrades to the incumbent" `Quick
+        test_deadline_slack_degrades;
+      Alcotest.test_case "track protocol roundtrip" `Quick
+        test_track_protocol_roundtrip;
+      Alcotest.test_case "track response roundtrip" `Quick
+        test_track_response_roundtrip;
+      Alcotest.test_case "track session end to end" `Quick
+        test_track_session_end_to_end;
+      Alcotest.test_case "track unknown ref errors" `Quick
+        test_track_unknown_ref_errors;
       Alcotest.test_case "metrics reply" `Quick test_metrics_reply;
       Alcotest.test_case "daemon session over a pipe" `Quick
         test_daemon_over_pipe ] )
