@@ -16,7 +16,8 @@
    cache-hit latency and the cache statistics of a replayed request
    trace — for tracking across commits without parsing the OLS table.
    BENCH_observability.json records what the Telemetry instrumentation
-   costs on the heuristic hot path (enabled vs kill-switched).
+   costs on the heuristic hot path — including the engine-style
+   labelled per-request counter bump — enabled vs kill-switched.
    BENCH_parallel.json records the portfolio race's 1-domain vs
    4-domain wall time on the H32Jump workload. BENCH_scenarios.json
    records the dual (max-throughput) objective checked against an
@@ -358,7 +359,7 @@ module Svc = Rentcost_service
 
 let service_solve ~reuse ~target =
   Svc.Protocol.Solve
-    { id = None; source = Svc.Protocol.Ref "app";
+    { id = None; trace_id = None; tenant = None; source = Svc.Protocol.Ref "app";
       objective = Rentcost.Objective.min_cost ~target; pricebook = None;
       spec = S.Auto; budget = None; reuse }
 
@@ -403,8 +404,14 @@ let bench_hist =
 
 let observability_group =
   let c = Telemetry.counter "bench.bump" in
+  let vec = Telemetry.counter_vec "bench.bump_vec" ~labels:[ "tenant"; "rung" ] in
   Test.make_grouped ~name:"observability"
     [ Test.make ~name:"counter_bump" (Staged.stage (fun () -> Telemetry.bump c));
+      (* Find-or-create cell lookup + bump: the per-request cost of a
+         labelled series, registry mutex included. *)
+      Test.make ~name:"counter_vec_bump"
+        (Staged.stage (fun () ->
+             Telemetry.bump (Telemetry.counter_with vec [ "default"; "cold" ])));
       Test.make ~name:"histogram_observe"
         (Staged.stage (fun () -> Telemetry.observe (Lazy.force bench_hist) 0.05));
       Test.make ~name:"span_enabled"
@@ -837,6 +844,9 @@ let emit_service_json ~iters =
    H32Jump solve. Alternation plus best-of defends against frequency
    drift and one-off scheduler hiccups: the minimum of each side is
    the honest "how fast can this go" comparison. *)
+let bench_requests_vec =
+  Telemetry.counter_vec "bench.requests" ~labels:[ "tenant"; "rung" ]
+
 let observability_overhead ~reps =
   let inst = Lazy.force illustrating_instance in
   let run () =
@@ -844,7 +854,14 @@ let observability_overhead ~reps =
       ((S.run ~rng:(P.create kernel_seed) ~params:params10
           ~spec:(S.Heuristic H.H32_jump) ~instance:inst
           ~objective:(min_cost 70) ())
-         .S.telemetry.S.evaluations)
+         .S.telemetry.S.evaluations);
+    (* The labelled path, exactly as the service engine bumps it per
+       request: cell lookup guarded by the kill switch, so the
+       disabled side measures the hot path with zero instrumentation
+       and the enabled side carries the per-request label cost too. *)
+    if Telemetry.enabled () then
+      Telemetry.bump
+        (Telemetry.counter_with bench_requests_vec [ "default"; "cold" ])
   in
   let inner = 20 in
   let time_one enabled =
@@ -865,10 +882,10 @@ let observability_overhead ~reps =
 
 let write_observability_json ~path ~on ~off =
   let oc = open_out path in
-  Printf.fprintf oc "{\n  \"schema\": \"rentcost-bench-observability/1\",\n";
+  Printf.fprintf oc "{\n  \"schema\": \"rentcost-bench-observability/2\",\n";
   Printf.fprintf oc "  \"seed\": %d,\n" root_seed;
   Printf.fprintf oc
-    "  \"hot_path\": {\"kernel\": \"h32jump_illustrating_rho70\", \
+    "  \"hot_path\": {\"kernel\": \"h32jump_labelled_rho70\", \
      \"enabled_us\": %.3f, \"disabled_us\": %.3f, \"overhead_pct\": %.2f}\n"
     (on *. 1e6) (off *. 1e6)
     (100.0 *. ((on /. Float.max off 1e-9) -. 1.0));
@@ -1348,11 +1365,22 @@ let smoke () =
     | Some h -> h.Telemetry.h_count
     | None -> 0
   in
+  let labelled_total name =
+    match
+      List.find_opt (fun (n, _, _) -> n = name) (Telemetry.counter_vecs ())
+    with
+    | Some (_, _, cells) -> List.fold_left (fun acc (_, v) -> acc + v) 0 cells
+    | None -> 0
+  in
   Telemetry.set_enabled false;
   let evals_frozen = Telemetry.value Telemetry.heuristic_evals in
   let hist_frozen = hist_count Telemetry.heuristic_run_evals in
   let lat_frozen = hist_count Telemetry.service_latency_seconds in
   let spans_frozen = Telemetry.Span.recorded () in
+  let labelled_frozen = labelled_total Telemetry.service_requests in
+  let audit_frozen =
+    Svc.Audit.recorded (Svc.Engine.audit (Lazy.force cold_engine))
+  in
   ignore
     (S.run ~rng:(P.create kernel_seed) ~params:params10
        ~spec:(S.Heuristic H.H32_jump)
@@ -1369,9 +1397,14 @@ let smoke () =
     (hist_count Telemetry.service_latency_seconds = lat_frozen);
   check "disabled mode records no spans"
     (Telemetry.Span.recorded () = spans_frozen);
+  check "disabled mode freezes labelled request counters"
+    (labelled_total Telemetry.service_requests = labelled_frozen);
+  check "disabled mode freezes the audit journal"
+    (Svc.Audit.recorded (Svc.Engine.audit (Lazy.force cold_engine))
+    = audit_frozen);
   Telemetry.set_enabled true;
   let on, off = emit_observability_json ~reps:7 in
-  check "instrumentation overhead under 5% on the heuristic hot path"
+  check "labelled instrumentation overhead under 5% on the heuristic hot path"
     (on <= (off *. 1.05) +. 2.5e-4);
   (* The portfolio race: bit-identical across domain counts, never
      worse than its rank-0 sequential run, and — when the machine has

@@ -21,6 +21,10 @@
      dune exec bin/rentcost.exe -- serve < requests.jsonl
      dune exec bin/rentcost.exe -- stats --socket /tmp/rentcost.sock
      dune exec bin/rentcost.exe -- stats --socket /tmp/rentcost.sock --text
+     dune exec bin/rentcost.exe -- serve --socket /tmp/rentcost.sock \
+       --audit audit.jsonl
+     dune exec bin/rentcost.exe -- audit --socket /tmp/rentcost.sock --last 20
+     dune exec bin/rentcost.exe -- explain app.rentcost --target 70 -a ilp
      dune exec bin/rentcost.exe -- solve app.rentcost --target 70 --trace t.jsonl
 
    Every solve goes through the unified [Rentcost.Solver] engine; the
@@ -49,7 +53,16 @@
 
    "stats" scrapes a running daemon: it sends {"op":"metrics"} over
    the socket and prints the reply — raw JSON by default, the
-   Prometheus-style text exposition with --text.
+   Prometheus-style text exposition with --text. "audit" queries the
+   daemon's solve journal ({"op":"audit"}): one line per completed
+   request with its trace id, reuse rung, cost, timings and
+   convergence summary; serve --audit FILE additionally mirrors the
+   journal to FILE as JSON lines.
+
+   "explain" runs one solve like "solve" and prints its convergence
+   timeline — every incumbent improvement and (for the ILP) dual-bound
+   advance the engines emitted, ending with the final optimality
+   gap.
 
    "trace" prints a synthetic traffic trace (Rentcost_autoscale.Trace
    text format) to stdout; "track" replays a trace — loaded with
@@ -332,26 +345,135 @@ let cmd_track path opts spec seed budget =
                /. float_of_int oracle.A.Policy.total_cost);
           `Ok ())
 
+(* One request over the daemon socket, one reply line back. *)
+let scrape_socket path request =
+  let module J = Rentcost_service.Json in
+  let module Pr = Rentcost_service.Protocol in
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect sock (Unix.ADDR_UNIX path);
+      let oc = Unix.out_channel_of_descr sock in
+      output_string oc (J.to_string (Pr.request_to_json request));
+      output_char oc '\n';
+      flush oc;
+      input_line (Unix.in_channel_of_descr sock))
+
+let print_audit_record (r : Rentcost_service.Audit.record) =
+  Format.printf "#%-4d %s tenant=%s %s@@%d %s/%s cost %d wall %.4fs queue %.4fs%s%s@."
+    r.Rentcost_service.Audit.seq r.trace_id r.tenant r.objective r.scalar
+    r.served r.status r.cost r.wall r.queue_wait
+    (if r.engine = "" then "" else " engine=" ^ r.engine)
+    (match r.convergence with
+     | None -> ""
+     | Some c ->
+       Printf.sprintf " (%d events%s%s)" c.Rentcost_service.Audit.events
+         (match c.Rentcost_service.Audit.time_to_first with
+          | Some t -> Printf.sprintf ", ttf %.4fs" t
+          | None -> "")
+         (match c.Rentcost_service.Audit.final_gap with
+          | Some g -> Printf.sprintf ", gap %.2f%%" (100. *. g)
+          | None -> ""))
+
+(* Query a running daemon's audit journal: the last N records (all
+   held, without --last), one human-readable line each. *)
+let cmd_audit socket last =
+  match socket with
+  | None -> `Error (true, "audit requires --socket PATH")
+  | Some path -> (
+    let module J = Rentcost_service.Json in
+    let module Pr = Rentcost_service.Protocol in
+    match scrape_socket path (Pr.Audit { last }) with
+    | exception Unix.Unix_error (err, fn, _) ->
+      `Error (false, Printf.sprintf "audit: %s: %s" fn (Unix.error_message err))
+    | exception End_of_file ->
+      `Error (false, "audit: daemon closed the connection")
+    | line -> (
+      match J.of_string line with
+      | Error msg -> `Error (false, "audit: bad reply: " ^ msg)
+      | Ok reply -> (
+        match Pr.response_of_json reply with
+        | Ok (Pr.Audit_reply records) ->
+          if records = [] then Format.printf "audit journal is empty@."
+          else List.iter print_audit_record records;
+          `Ok ()
+        | Ok (Pr.Error { message; _ }) -> `Error (false, "audit: " ^ message)
+        | Ok _ -> `Error (false, "audit: unexpected reply shape")
+        | Error msg -> `Error (false, "audit: bad reply: " ^ msg))))
+
+(* Run one solve with the convergence timeline switched on and print
+   it: every incumbent improvement and dual-bound advance the engines
+   emitted, with the final optimality gap. *)
+let cmd_explain path objective pricebook spec seed step budget =
+  match load path with
+  | Error msg -> `Error (false, msg)
+  | Ok problem -> (
+    match load_pricebook pricebook with
+    | Error msg -> `Error (false, msg)
+    | Ok pricebook -> (
+      let params = { Rentcost.Heuristics.default_params with step } in
+      let rng = Numeric.Prng.create seed in
+      match
+        S.run ~budget ~rng ~params ~spec ?pricebook ~problem ~objective ()
+      with
+      | exception Invalid_argument msg -> `Error (false, msg)
+      | o ->
+        print_telemetry o.S.status o.S.telemetry;
+        (match o.S.allocation with
+         | Some a -> Format.printf "cost %d@." a.Rentcost.Allocation.cost
+         | None -> ());
+        let events = o.S.convergence in
+        if events = [] then
+          Format.printf
+            "no convergence events (cache hit, closed-form solve, or \
+             telemetry disabled)@."
+        else begin
+          Format.printf "convergence timeline (%d events):@."
+            (List.length events);
+          List.iter
+            (fun (e : Telemetry.Progress.event) ->
+              let what =
+                match
+                  (e.Telemetry.Progress.incumbent, e.Telemetry.Progress.bound)
+                with
+                | Some i, Some b ->
+                  Printf.sprintf "incumbent %d, bound %.2f" (int_of_float i) b
+                | Some i, None -> Printf.sprintf "incumbent %d" (int_of_float i)
+                | None, Some b -> Printf.sprintf "bound %.2f" b
+                | None, None -> "-"
+              in
+              Format.printf "  t+%8.4fs  %-30s [%s]@."
+                e.Telemetry.Progress.elapsed what e.Telemetry.Progress.source)
+            events;
+          match Rentcost_service.Audit.summarize events with
+          | None -> ()
+          | Some c ->
+            let part label = function
+              | None -> ""
+              | Some v -> Printf.sprintf ", %s %.2f" label v
+            in
+            Format.printf "final: incumbent %s%s%s%s@."
+              (match c.Rentcost_service.Audit.last_incumbent with
+               | Some v -> string_of_int (int_of_float v)
+               | None -> "-")
+              (part "bound" c.Rentcost_service.Audit.final_bound)
+              (match c.Rentcost_service.Audit.final_gap with
+               | Some g -> Printf.sprintf ", gap %.2f%%" (100. *. g)
+               | None -> "")
+              (match c.Rentcost_service.Audit.time_to_first with
+               | Some t -> Printf.sprintf ", first feasible at %.4fs" t
+               | None -> "")
+        end;
+        `Ok ()))
+
 let cmd_stats socket text_mode =
   match socket with
   | None -> `Error (true, "stats requires --socket PATH")
   | Some path -> (
     let module J = Rentcost_service.Json in
     let module Pr = Rentcost_service.Protocol in
-    let scrape () =
-      let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-      Fun.protect
-        ~finally:(fun () ->
-          try Unix.close sock with Unix.Unix_error _ -> ())
-        (fun () ->
-          Unix.connect sock (Unix.ADDR_UNIX path);
-          let oc = Unix.out_channel_of_descr sock in
-          output_string oc (J.to_string (Pr.request_to_json Pr.Metrics));
-          output_char oc '\n';
-          flush oc;
-          input_line (Unix.in_channel_of_descr sock))
-    in
-    match scrape () with
+    match scrape_socket path Pr.Metrics with
     | exception Unix.Unix_error (err, fn, _) ->
       `Error (false, Printf.sprintf "stats: %s: %s" fn (Unix.error_message err))
     | exception End_of_file ->
@@ -371,7 +493,7 @@ let cmd_stats socket text_mode =
             `Ok ()
           | None -> `Error (false, "stats: reply carries no text exposition"))))
 
-let cmd_serve socket cache_capacity queue_capacity budget workers =
+let cmd_serve socket cache_capacity queue_capacity budget workers audit =
   if cache_capacity <= 0 then `Error (true, "--cache must be positive")
   else if queue_capacity <= 0 then `Error (true, "--queue must be positive")
   else if workers < 1 then `Error (true, "--workers must be at least 1")
@@ -382,11 +504,12 @@ let cmd_serve socket cache_capacity queue_capacity budget workers =
     in
     match socket with
     | Some path ->
-      (match Rentcost_service.Daemon.serve_socket ~config ~path () with
+      (match Rentcost_service.Daemon.serve_socket ~config ?audit ~path () with
        | () -> `Ok ()
        | exception Unix.Unix_error (err, fn, _) ->
          `Error (false, Printf.sprintf "serve: %s: %s" fn (Unix.error_message err)))
-    | None -> `Ok (Rentcost_service.Daemon.serve_channels ~config stdin stdout)
+    | None ->
+      `Ok (Rentcost_service.Daemon.serve_channels ~config ?audit stdin stdout)
   end
 
 (* --- cmdliner plumbing --- *)
@@ -421,7 +544,8 @@ let items_arg =
 
 let subcommand =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"COMMAND"
-         ~doc:"solve, info, validate, track, trace, serve, stats, or example.")
+         ~doc:"solve, explain, info, validate, track, trace, serve, stats, \
+               audit, or example.")
 
 let autoscale_term =
   let make load_trace pattern ticks base amplitude period noise ticks_per_hour
@@ -484,6 +608,15 @@ let text_arg =
   Arg.(value & flag & info [ "text" ]
          ~doc:"Print the Prometheus-style text exposition (stats).")
 
+let audit_file_arg =
+  Arg.(value & opt (some string) None & info [ "audit" ] ~docv:"FILE"
+         ~doc:"Append one audit record per completed request to FILE as \
+               JSON lines (serve).")
+
+let last_arg =
+  Arg.(value & opt (some int) None & info [ "last" ] ~docv:"N"
+         ~doc:"Only the last N audit records (audit).")
+
 let domains_arg =
   Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N"
          ~doc:"Solve by racing the heuristic portfolio on N domains \
@@ -514,7 +647,7 @@ let workers_arg =
 
 let main sub path target spec seed step time_limit node_limit max_evals items
     socket cache_capacity queue_capacity trace text_mode domains workers
-    objective_kind money pricebook auto_opts =
+    objective_kind money pricebook audit_file last auto_opts =
   let budget =
     { Rentcost.Budget.deadline = time_limit; node_cap = node_limit;
       eval_cap = max_evals }
@@ -524,29 +657,33 @@ let main sub path target spec seed step time_limit node_limit max_evals items
    | Some path ->
      Rentcost_service.Metrics.install_trace ~path;
      at_exit Rentcost_service.Metrics.close_trace);
-  match (sub, path, target) with
-  | "example", _, _ -> `Ok (cmd_example ())
-  | "serve", _, _ -> cmd_serve socket cache_capacity queue_capacity budget workers
-  | "stats", _, _ -> cmd_stats socket text_mode
-  | "info", Some path, _ -> cmd_info path
-  | "solve", Some path, target -> (
+  let with_objective k =
     match (objective_kind, target, money) with
-    | `Min_cost, Some target, _ ->
-      cmd_solve path
-        (Rentcost.Objective.min_cost ~target)
-        pricebook spec seed step budget domains
+    | `Min_cost, Some target, _ -> k (Rentcost.Objective.min_cost ~target)
     | `Min_cost, None, _ -> `Error (true, "--target is required")
     | `Max_throughput, _, Some money ->
-      cmd_solve path
-        (Rentcost.Objective.max_throughput ~budget:money)
-        pricebook spec seed step budget domains
+      k (Rentcost.Objective.max_throughput ~budget:money)
     | `Max_throughput, _, None ->
-      `Error (true, "--objective max-throughput requires --budget"))
+      `Error (true, "--objective max-throughput requires --budget")
+  in
+  match (sub, path, target) with
+  | "example", _, _ -> `Ok (cmd_example ())
+  | "serve", _, _ ->
+    cmd_serve socket cache_capacity queue_capacity budget workers audit_file
+  | "stats", _, _ -> cmd_stats socket text_mode
+  | "audit", _, _ -> cmd_audit socket last
+  | "info", Some path, _ -> cmd_info path
+  | "solve", Some path, _ ->
+    with_objective (fun objective ->
+        cmd_solve path objective pricebook spec seed step budget domains)
+  | "explain", Some path, _ ->
+    with_objective (fun objective ->
+        cmd_explain path objective pricebook spec seed step budget)
   | "validate", Some path, Some target -> cmd_validate path target items budget
   | "validate", Some _, None -> `Error (true, "--target is required")
   | "trace", _, _ -> cmd_trace auto_opts seed
   | "track", Some path, _ -> cmd_track path auto_opts spec seed budget
-  | ("info" | "solve" | "validate" | "track"), None, _ ->
+  | ("info" | "solve" | "explain" | "validate" | "track"), None, _ ->
     `Error (true, "a problem FILE is required")
   | (other, _, _) -> `Error (true, Printf.sprintf "unknown command %S" other)
 
@@ -564,6 +701,7 @@ let cmd =
         $ algorithm_arg $ seed_arg $ step_arg $ time_limit_arg $ node_limit_arg
         $ max_evals_arg $ items_arg $ socket_arg $ cache_arg $ queue_arg
         $ trace_arg $ text_arg $ domains_arg $ workers_arg $ objective_arg
-        $ money_arg $ pricebook_arg $ autoscale_term))
+        $ money_arg $ pricebook_arg $ audit_file_arg $ last_arg
+        $ autoscale_term))
 
 let () = exit (Cmd.eval cmd)

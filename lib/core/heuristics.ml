@@ -51,18 +51,32 @@ let run_evals_hist =
 type oracle = {
   inst : Instance.t;
   state : Instance.Oracle.t;
+  src : string;  (* convergence-event source, e.g. "h32jump" *)
   mutable evals : int;
   eval_cap : int option;
   deadline_at : float option;  (* absolute Unix time *)
   mutable exhausted : bool;
+  mutable best_seen : int;
+      (* cheapest cost priced so far, across phases (H1 start, walk,
+         descents) — the monotone filter for convergence events *)
 }
 
-let make_oracle inst (budget : Budget.t) =
-  { inst; state = Instance.Oracle.create inst; evals = 0;
+let make_oracle ?(src = "heuristic") inst (budget : Budget.t) =
+  { inst; state = Instance.Oracle.create inst; src; evals = 0;
     eval_cap = budget.Budget.eval_cap;
     deadline_at =
       Option.map (fun d -> Unix.gettimeofday () +. d) budget.Budget.deadline;
-    exhausted = false }
+    exhausted = false;
+    best_seen = max_int }
+
+(* Feed a priced feasible cost to the convergence timeline. One int
+   compare per call; the emit (and its allocation) only happens on
+   strict improvement, which is rare on any search trajectory. *)
+let observe_best oracle c =
+  if c < oracle.best_seen then begin
+    oracle.best_seen <- c;
+    Telemetry.Progress.emit ~incumbent:(float_of_int c) ~source:oracle.src ()
+  end
 
 (* Sticky out-of-budget test: once tripped, stays tripped. *)
 let stopped oracle =
@@ -149,7 +163,7 @@ let random_composition rng j_count target =
   rho
 
 let h0_on ?params:_ budget ~rng inst ~target =
-  let oracle = make_oracle inst budget in
+  let oracle = make_oracle ~src:"h0" inst budget in
   let j_count = Instance.num_recipes inst in
   let rho =
     if j_count = 1 then [| target |] else random_composition rng j_count target
@@ -179,10 +193,11 @@ let h1_start oracle target =
   let rho = Array.make j_count 0 in
   rho.(!best_j) <- target;
   Instance.Oracle.reset oracle.state ~rho;
+  observe_best oracle !best_cost;
   !best_cost
 
 let h1_on ?params:_ budget inst ~target =
-  let oracle = make_oracle inst budget in
+  let oracle = make_oracle ~src:"h1" inst budget in
   ignore (h1_start oracle target);
   finish oracle
 
@@ -200,6 +215,7 @@ let start_point oracle ~warm_start target =
     let h1_rho = Instance.Oracle.rho oracle.state in
     Instance.Oracle.reset oracle.state ~rho;
     let cw = current_cost oracle in
+    observe_best oracle cw;
     if cw <= c1 then cw
     else begin
       Instance.Oracle.reset oracle.state ~rho:h1_rho;
@@ -215,7 +231,7 @@ let random_pair rng j_count =
   (j1, j2)
 
 let h2_on ~params budget ~rng ~warm_start inst ~target =
-  let oracle = make_oracle inst budget in
+  let oracle = make_oracle ~src:"h2" inst budget in
   let j_count = Instance.num_recipes inst in
   let c0 = start_point oracle ~warm_start target in
   if j_count > 1 then begin
@@ -230,7 +246,8 @@ let h2_on ~params budget ~rng ~warm_start inst ~target =
       let c = current_cost oracle in
       if c < !best_cost then begin
         best_cost := c;
-        best := Instance.Oracle.rho st
+        best := Instance.Oracle.rho st;
+        observe_best oracle c
       end;
       (* The walk continues from the new point whether or not it
          improved (contrast with H31). *)
@@ -244,7 +261,7 @@ let h2_on ~params budget ~rng ~warm_start inst ~target =
 (* ----- H31: stochastic descent ----- *)
 
 let h31_on ~params budget ~rng ~warm_start inst ~target =
-  let oracle = make_oracle inst budget in
+  let oracle = make_oracle ~src:"h31" inst budget in
   let j_count = Instance.num_recipes inst in
   let c0 = start_point oracle ~warm_start target in
   if j_count > 1 then begin
@@ -261,7 +278,8 @@ let h31_on ~params budget ~rng ~warm_start inst ~target =
       if c < !current_cost_r then begin
         current_cost_r := c;
         stale := 0;
-        Instance.Oracle.commit st
+        Instance.Oracle.commit st;
+        observe_best oracle c
       end
       else begin
         (* Revert: descent only keeps improving moves. *)
@@ -324,12 +342,13 @@ let descend oracle params cost0 =
   let block_start = ref (Telemetry.now ()) in
   while (not (stopped oracle)) && steepest_step oracle params current_cost do
     incr steps;
+    observe_best oracle !current_cost;
     sample_block ~name:"heuristics.h32.block" oracle ~iter:!steps ~block_start
   done;
   !current_cost
 
 let h32_on ~params budget ~warm_start inst ~target =
-  let oracle = make_oracle inst budget in
+  let oracle = make_oracle ~src:"h32" inst budget in
   let c0 = start_point oracle ~warm_start target in
   ignore (descend oracle params c0);
   finish oracle
@@ -337,7 +356,7 @@ let h32_on ~params budget ~warm_start inst ~target =
 (* ----- H32Jump: steepest gradient with random restarts nearby ----- *)
 
 let h32_jump_on ~params budget ~rng ~warm_start inst ~target =
-  let oracle = make_oracle inst budget in
+  let oracle = make_oracle ~src:"h32jump" inst budget in
   let st = oracle.state in
   let j_count = Instance.num_recipes inst in
   let c0 = start_point oracle ~warm_start target in

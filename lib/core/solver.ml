@@ -56,7 +56,14 @@ type outcome = {
   allocation : Allocation.t option;
   throughput : int;
   telemetry : telemetry;
+  convergence : Telemetry.Progress.event list;
 }
+
+(* Collect the convergence timeline emitted by the engines while [f]
+   runs. Skipped entirely when telemetry is off — the emitters are
+   no-ops then, so collecting would only cost the clock reads. *)
+let collected f =
+  if Telemetry.enabled () then Telemetry.Progress.collect f else (f (), [])
 
 let sum_rho = function
   | None -> 0
@@ -181,15 +188,16 @@ let min_cost_on ?(budget = Budget.unlimited) ?rng
   let dispatch () =
     run_engine ~budget ~rng ~params ~warm ~t0 engine instance ~target
   in
-  let status, allocation =
-    if not (Telemetry.enabled ()) then dispatch ()
-    else
-      Telemetry.Span.with_span
-        ~attrs:
-          [ ("engine", spec_to_string engine);
-            ("target", string_of_int target);
-            ("warm", if warm <> None then "true" else "false") ]
-        "solver.solve" dispatch
+  let (status, allocation), convergence =
+    collected (fun () ->
+        if not (Telemetry.enabled ()) then dispatch ()
+        else
+          Telemetry.Span.with_span
+            ~attrs:
+              [ ("engine", spec_to_string engine);
+                ("target", string_of_int target);
+                ("warm", if warm <> None then "true" else "false") ]
+            "solver.solve" dispatch)
   in
   let wall_time = Unix.gettimeofday () -. t0 in
   Telemetry.observe wall_hist wall_time;
@@ -202,7 +210,8 @@ let min_cost_on ?(budget = Budget.unlimited) ?rng
       pruned_recipes = Instance.num_pruned instance;
       warm_started = warm <> None }
   in
-  { status; allocation; throughput = sum_rho allocation; telemetry }
+  { status; allocation; throughput = sum_rho allocation; telemetry;
+    convergence }
 
 (* The all-zero split: cost 0, so always within any monetary budget —
    the trivially-feasible floor of the max-throughput search. *)
@@ -306,14 +315,15 @@ let max_throughput_on ~budget ~rng ~params ~warm_start ~spec instance ~money =
     done;
     !best
   in
-  let allocation =
-    if not (Telemetry.enabled ()) then search ()
-    else
-      Telemetry.Span.with_span
-        ~attrs:
-          [ ("engine", spec_to_string engine);
-            ("money", string_of_int money) ]
-        "solver.max_throughput" search
+  let allocation, convergence =
+    collected (fun () ->
+        if not (Telemetry.enabled ()) then search ()
+        else
+          Telemetry.Span.with_span
+            ~attrs:
+              [ ("engine", spec_to_string engine);
+                ("money", string_of_int money) ]
+            "solver.max_throughput" search)
   in
   let wall_time = Unix.gettimeofday () -. t0 in
   Telemetry.observe wall_hist wall_time;
@@ -334,7 +344,8 @@ let max_throughput_on ~budget ~rng ~params ~warm_start ~spec instance ~money =
   { status;
     allocation = Some allocation;
     throughput = sum_rho (Some allocation);
-    telemetry }
+    telemetry;
+    convergence }
 
 let run ?budget ?rng ?params ?warm_start ?(spec = Auto) ?pricebook ?instance
     ?problem ~objective () =

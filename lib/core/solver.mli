@@ -91,6 +91,14 @@ type outcome = {
           value of a max-throughput solve, and at least the target of
           a min-cost one ([0] without an allocation) *)
   telemetry : telemetry;
+  convergence : Telemetry.Progress.event list;
+      (** the convergence timeline collected while the engines ran —
+          incumbent improvements and (for the MILP) dual-bound
+          advances, in emission order; empty when telemetry is
+          disabled. See {!Telemetry.Progress}. Events emitted on
+          portfolio worker domains are collected per-worker and
+          surfaced by [Rentcost_parallel.Portfolio] for the winning
+          strategy only. *)
 }
 
 (** The engine [Auto] picks for this problem (routing only — no

@@ -228,7 +228,24 @@ struct
        let o = Lp.Linexpr.eval obj values in
        let o = match sense with Lp.Model.Minimize -> o | Maximize -> R.neg o in
        Telemetry.bump incumbents_counter;
+       Telemetry.Progress.emit
+         ~incumbent:(R.to_float (denorm_obj o))
+         ~source:"milp.warm" ();
        incumbent := Some (o, Array.copy values));
+    (* Last dual bound handed to the convergence timeline, in the
+       normalized (minimization) sense. Bound events are emitted only
+       on strict improvement, so the timeline stays monotone. *)
+    let last_bound = ref None in
+    let emit_bound k =
+      let improved =
+        match !last_bound with None -> true | Some b -> R.compare k b > 0
+      in
+      if improved then begin
+        last_bound := Some k;
+        Telemetry.Progress.emit ~bound:(R.to_float (denorm_obj k))
+          ~source:"milp" ()
+      end
+    in
     let nodes = ref 0 in
     let seq = ref 0 in
     let out_of_budget () =
@@ -263,6 +280,14 @@ struct
           else begin
             incr nodes;
             Telemetry.bump nodes_counter;
+            (* Under best-bound ordering the popped key is the least
+               over all open subtrees, hence a valid global dual
+               bound. Sampled like the node spans to keep timelines
+               sparse on big trees. *)
+            (match queue with
+            | Qbest _ when (not is_root) && node_sampled !nodes ->
+              emit_bound (strengthen ~integral:integral_objective node.key)
+            | _ -> ());
             let relax () = lp_solve (apply_extras base node.extra) in
             let relaxation =
               if Telemetry.enabled () && node_sampled !nodes then
@@ -283,11 +308,17 @@ struct
                interrupted := true
              | Lp.Simplex.Optimal { objective = lp_obj; values } ->
                let bound = strengthen ~integral:integral_objective lp_obj in
+               (* The root relaxation is a global dual bound under
+                  either search strategy. *)
+               if is_root then emit_bound bound;
                if better_than_incumbent bound then begin
                  match choose_branch_var branching values groups with
                  | None ->
                    (* Integral relaxation: new incumbent. *)
                    Telemetry.bump incumbents_counter;
+                   Telemetry.Progress.emit
+                     ~incumbent:(R.to_float (denorm_obj lp_obj))
+                     ~source:"milp" ();
                    incumbent := Some (lp_obj, values)
                  | Some v ->
                    let x = values.(v) in
@@ -325,6 +356,12 @@ struct
       if not !interrupted then begin
         match solution with
         | Some sol ->
+          (* Close the timeline: the proof pins the dual bound to the
+             incumbent, so both sequences end at the optimum. *)
+          Telemetry.Progress.emit
+            ~incumbent:(R.to_float sol.objective)
+            ~bound:(R.to_float sol.objective)
+            ~source:"milp.proved" ();
           { status = Optimal; solution = Some sol; best_bound = Some sol.objective;
             nodes = !nodes; elapsed }
         | None ->

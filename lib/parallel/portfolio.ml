@@ -131,7 +131,8 @@ let run ?budget ?rng ?params ?warm_start ?(strategies = default_strategies)
     { Solver.status = Solver.Infeasible;
       allocation = None;
       throughput = 0;
-      telemetry = telemetry_of (strategy_spec (List.hd strategies)) false }
+      telemetry = telemetry_of (strategy_spec (List.hd strategies)) false;
+      convergence = [] }
   | Some (rank, winner) ->
     let strat = List.nth strategies rank in
     Telemetry.bump
@@ -169,4 +170,7 @@ let run ?budget ?rng ?params ?warm_start ?(strategies = default_strategies)
       throughput = winner.Solver.throughput;
       telemetry =
         telemetry_of winner.Solver.telemetry.Solver.engine
-          winner.Solver.telemetry.Solver.warm_started }
+          winner.Solver.telemetry.Solver.warm_started;
+      (* Each worker's Solver.run collected on its own domain; surface
+         the winning strategy's timeline. *)
+      convergence = winner.Solver.convergence }

@@ -1,0 +1,272 @@
+(* The solve audit journal: one record per completed request, kept in
+   a bounded in-memory ring and optionally appended to a JSONL file.
+   The ring answers the daemon's [audit] op; the file survives the
+   daemon. Everything in a record is a plain string / int / float so
+   this module sits below Protocol in the dependency order and the
+   CLI can decode records without the solver stack. *)
+
+let ( let* ) = Result.bind
+
+type convergence_summary = {
+  events : int;
+  first_incumbent : float option;
+  last_incumbent : float option;
+  time_to_first : float option;
+  final_bound : float option;
+  final_gap : float option;
+}
+
+type record = {
+  seq : int;
+  at : float;
+  trace_id : string;
+  id : int option;
+  tenant : string;
+  fingerprint : string;
+  objective : string;
+  scalar : int;
+  served : string;
+  engine : string;
+  status : string;
+  cost : int;
+  throughput : int;
+  queue_wait : float;
+  wall : float;
+  evaluations : int;
+  pivots : int;
+  nodes : int;
+  convergence : convergence_summary option;
+}
+
+type t = {
+  ring : record option array;
+  mutable next : int;  (* total records ever accepted *)
+  mutable out : out_channel option;
+  mutex : Mutex.t;
+}
+
+let default_capacity = 256
+
+let create ?(capacity = default_capacity) () =
+  if capacity < 1 then invalid_arg "Audit.create: capacity < 1";
+  { ring = Array.make capacity None; next = 0; out = None; mutex = Mutex.create () }
+
+let capacity t = Array.length t.ring
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let recorded t = locked t (fun () -> t.next)
+
+(* --- convergence summaries --- *)
+
+(* Fold a Progress timeline down to what the journal keeps: how fast a
+   first feasible point appeared, where the incumbent ended, and the
+   final optimality gap — the |inc - bound| / max(1, |inc|) measure the
+   MILP itself reports. *)
+let summarize (events : Telemetry.Progress.event list) =
+  match events with
+  | [] -> None
+  | events ->
+    let first_inc = ref None
+    and last_inc = ref None
+    and time_first = ref None
+    and last_bound = ref None in
+    List.iter
+      (fun (e : Telemetry.Progress.event) ->
+        (match e.Telemetry.Progress.incumbent with
+         | Some v ->
+           if !first_inc = None then begin
+             first_inc := Some v;
+             time_first := Some e.Telemetry.Progress.elapsed
+           end;
+           last_inc := Some v
+         | None -> ());
+        match e.Telemetry.Progress.bound with
+        | Some b -> last_bound := Some b
+        | None -> ())
+      events;
+    let final_gap =
+      match (!last_inc, !last_bound) with
+      | Some inc, Some b -> Some (Float.abs (inc -. b) /. Float.max 1.0 (Float.abs inc))
+      | _ -> None
+    in
+    Some
+      {
+        events = List.length events;
+        first_incumbent = !first_inc;
+        last_incumbent = !last_inc;
+        time_to_first = !time_first;
+        final_bound = !last_bound;
+        final_gap;
+      }
+
+(* --- JSON codec --- *)
+
+let opt enc = function None -> Json.Null | Some v -> enc v
+
+let summary_to_json s =
+  Json.Obj
+    [
+      ("events", Json.Int s.events);
+      ("first_incumbent", opt (fun v -> Json.Float v) s.first_incumbent);
+      ("last_incumbent", opt (fun v -> Json.Float v) s.last_incumbent);
+      ("time_to_first", opt (fun v -> Json.Float v) s.time_to_first);
+      ("final_bound", opt (fun v -> Json.Float v) s.final_bound);
+      ("final_gap", opt (fun v -> Json.Float v) s.final_gap);
+    ]
+
+let record_to_json r =
+  Json.Obj
+    ([
+       ("seq", Json.Int r.seq);
+       ("at", Json.Float r.at);
+       ("trace_id", Json.String r.trace_id);
+       ("id", opt (fun i -> Json.Int i) r.id);
+       ("tenant", Json.String r.tenant);
+       ("fingerprint", Json.String r.fingerprint);
+       ("objective", Json.String r.objective);
+       ("scalar", Json.Int r.scalar);
+       ("served", Json.String r.served);
+       ("engine", Json.String r.engine);
+       ("status", Json.String r.status);
+       ("cost", Json.Int r.cost);
+       ("throughput", Json.Int r.throughput);
+       ("queue_wait", Json.Float r.queue_wait);
+       ("wall", Json.Float r.wall);
+       ("evaluations", Json.Int r.evaluations);
+       ("pivots", Json.Int r.pivots);
+       ("nodes", Json.Int r.nodes);
+     ]
+    @
+    match r.convergence with
+    | None -> []
+    | Some s -> [ ("convergence", summary_to_json s) ])
+
+let summary_of_json j =
+  let field name =
+    Option.to_result
+      ~none:(Printf.sprintf "audit: missing or bad %S" name)
+      (Option.bind (Json.member name j) Json.to_int)
+  in
+  let fopt name =
+    match Json.member name j with
+    | None | Some Json.Null -> Ok None
+    | Some v ->
+      Option.to_result
+        ~none:(Printf.sprintf "audit: bad %S" name)
+        (Option.map Option.some (Json.to_float v))
+  in
+  let* events = field "events" in
+  let* first_incumbent = fopt "first_incumbent" in
+  let* last_incumbent = fopt "last_incumbent" in
+  let* time_to_first = fopt "time_to_first" in
+  let* final_bound = fopt "final_bound" in
+  let* final_gap = fopt "final_gap" in
+  Ok { events; first_incumbent; last_incumbent; time_to_first; final_bound; final_gap }
+
+let record_of_json j =
+  let need name coerce =
+    Option.to_result
+      ~none:(Printf.sprintf "audit: missing or bad %S" name)
+      (Option.bind (Json.member name j) coerce)
+  in
+  let* seq = need "seq" Json.to_int in
+  let* at = need "at" Json.to_float in
+  let* trace_id = need "trace_id" Json.to_str in
+  let id = Option.bind (Json.member "id" j) Json.to_int in
+  let* tenant = need "tenant" Json.to_str in
+  let* fingerprint = need "fingerprint" Json.to_str in
+  let* objective = need "objective" Json.to_str in
+  let* scalar = need "scalar" Json.to_int in
+  let* served = need "served" Json.to_str in
+  let* engine = need "engine" Json.to_str in
+  let* status = need "status" Json.to_str in
+  let* cost = need "cost" Json.to_int in
+  let* throughput = need "throughput" Json.to_int in
+  let* queue_wait = need "queue_wait" Json.to_float in
+  let* wall = need "wall" Json.to_float in
+  let* evaluations = need "evaluations" Json.to_int in
+  let* pivots = need "pivots" Json.to_int in
+  let* nodes = need "nodes" Json.to_int in
+  let* convergence =
+    match Json.member "convergence" j with
+    | None | Some Json.Null -> Ok None
+    | Some s -> Result.map Option.some (summary_of_json s)
+  in
+  Ok
+    {
+      seq;
+      at;
+      trace_id;
+      id;
+      tenant;
+      fingerprint;
+      objective;
+      scalar;
+      served;
+      engine;
+      status;
+      cost;
+      throughput;
+      queue_wait;
+      wall;
+      evaluations;
+      pivots;
+      nodes;
+      convergence;
+    }
+
+(* --- recording --- *)
+
+(* The journal obeys the same kill switch as the metrics: a disabled
+   Telemetry freezes it entirely — no ring writes, no file writes —
+   so the switch's zero-overhead contract extends to auditing. *)
+let record t r =
+  if Telemetry.enabled () then
+    locked t (fun () ->
+        let r = { r with seq = t.next } in
+        t.ring.(t.next mod Array.length t.ring) <- Some r;
+        t.next <- t.next + 1;
+        match t.out with
+        | None -> ()
+        | Some oc -> (
+          (* Flush per line so a killed daemon still leaves a readable
+             journal; audits are not a hot path. *)
+          try
+            output_string oc (Json.to_string (record_to_json r));
+            output_char oc '\n';
+            flush oc
+          with Sys_error _ -> ()))
+
+(* Oldest-first among the last [last] records (default: whole ring). *)
+let recent ?last t =
+  locked t (fun () ->
+      let cap = Array.length t.ring in
+      let held = min t.next cap in
+      let want = match last with None -> held | Some n -> max 0 (min n held) in
+      let rec take k acc =
+        if k < t.next - want then acc
+        else
+          match t.ring.(k mod cap) with
+          | Some r -> take (k - 1) (r :: acc)
+          | None -> acc
+      in
+      take (t.next - 1) [])
+
+let open_file t path =
+  let oc = open_out_gen [ Open_wronly; Open_creat; Open_append ] 0o644 path in
+  locked t (fun () ->
+      (match t.out with
+       | Some old -> ( try close_out old with Sys_error _ -> ())
+       | None -> ());
+      t.out <- Some oc)
+
+let close t =
+  locked t (fun () ->
+      match t.out with
+      | None -> ()
+      | Some oc ->
+        t.out <- None;
+        (try close_out oc with Sys_error _ -> ()))

@@ -24,12 +24,12 @@ let serve_line engine oc line =
   else
     match Json.of_string line with
     | Error msg ->
-      respond oc (Protocol.Error { id = None; message = "bad json: " ^ msg });
+      respond oc (Protocol.Error { id = None; trace_id = None; message = "bad json: " ^ msg });
       `Continue
     | Ok j -> (
       match Protocol.request_of_json j with
       | Error message ->
-        respond oc (Protocol.Error { id = None; message });
+        respond oc (Protocol.Error { id = None; trace_id = None; message });
         `Continue
       | Ok request ->
         List.iter (respond oc) (Engine.handle engine request);
@@ -114,12 +114,12 @@ let serve_connection_parallel engine ~workers ic oc =
         match Json.of_string line with
         | Error msg ->
           respond_locked
-            (Protocol.Error { id = None; message = "bad json: " ^ msg });
+            (Protocol.Error { id = None; trace_id = None; message = "bad json: " ^ msg });
           loop ()
         | Ok j -> (
           match Protocol.request_of_json j with
           | Error message ->
-            respond_locked (Protocol.Error { id = None; message });
+            respond_locked (Protocol.Error { id = None; trace_id = None; message });
             loop ()
           | Ok request -> (
             match serve_request request with
@@ -135,10 +135,12 @@ let serve_connection_parallel engine ~workers ic oc =
     join_workers ();
     raise e
 
-let make_engine engine config =
-  match engine with
-  | Some e -> e
-  | None -> Engine.create ?config ()
+let make_engine ?audit engine config =
+  let e = match engine with Some e -> e | None -> Engine.create ?config () in
+  (match audit with
+   | Some path -> Audit.open_file (Engine.audit e) path
+   | None -> ());
+  e
 
 let worker_count engine workers =
   match workers with
@@ -151,14 +153,15 @@ let serve engine ~workers ic oc =
   if workers <= 1 then serve_connection engine ic oc
   else serve_connection_parallel engine ~workers ic oc
 
-let serve_channels ?engine ?config ?(dump = stderr) ?workers ic oc =
-  let engine = make_engine engine config in
+let serve_channels ?engine ?config ?(dump = stderr) ?workers ?audit ic oc =
+  let engine = make_engine ?audit engine config in
   let workers = worker_count engine workers in
   let (_ : [ `Eof | `Stop ]) = serve engine ~workers ic oc in
-  dump_stats dump engine
+  dump_stats dump engine;
+  Audit.close (Engine.audit engine)
 
-let serve_socket ?engine ?config ?(dump = stderr) ?workers ~path () =
-  let engine = make_engine engine config in
+let serve_socket ?engine ?config ?(dump = stderr) ?workers ?audit ~path () =
+  let engine = make_engine ?audit engine config in
   let workers = worker_count engine workers in
   (match Sys.signal Sys.sigpipe Sys.Signal_ignore with
    | (_ : Sys.signal_behavior) -> ()
@@ -169,7 +172,8 @@ let serve_socket ?engine ?config ?(dump = stderr) ?workers ~path () =
     ~finally:(fun () ->
       (try Unix.close sock with Unix.Unix_error _ -> ());
       (try Sys.remove path with Sys_error _ -> ());
-      dump_stats dump engine)
+      dump_stats dump engine;
+      Audit.close (Engine.audit engine))
     (fun () ->
       Unix.bind sock (Unix.ADDR_UNIX path);
       Unix.listen sock 8;

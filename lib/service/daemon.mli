@@ -26,12 +26,15 @@
     until a [shutdown] request or EOF. Unparseable lines get an
     [Error] response; blank lines are ignored. Pass [?engine] to share
     or inspect the engine (e.g. across calls, or from tests);
-    otherwise a fresh one is built from [?config]. *)
+    otherwise a fresh one is built from [?config]. [?audit] names a
+    JSONL file the engine's {!Audit} journal is appended to for the
+    lifetime of the serve (closed when it returns). *)
 val serve_channels :
   ?engine:Engine.t ->
   ?config:Engine.config ->
   ?dump:out_channel ->
   ?workers:int ->
+  ?audit:string ->
   in_channel ->
   out_channel ->
   unit
@@ -48,6 +51,7 @@ val serve_socket :
   ?config:Engine.config ->
   ?dump:out_channel ->
   ?workers:int ->
+  ?audit:string ->
   path:string ->
   unit ->
   unit

@@ -15,11 +15,23 @@ let c_warm = Telemetry.counter Telemetry.service_warm_starts
 let c_reuse = Telemetry.counter Telemetry.service_compile_reuse
 let c_shed = Telemetry.counter Telemetry.service_shed
 
+(* The labelled view of the request counter: same family name as
+   [c_requests], broken out by tenant and reuse rung. Bumps are guarded
+   by [Telemetry.enabled] at the call sites — the per-request cell
+   lookup is not free, so the kill switch skips it entirely. *)
+let requests_vec =
+  Telemetry.counter_vec Telemetry.service_requests
+    ~labels:[ "tenant"; "rung" ]
+
+let ticks_vec =
+  Telemetry.counter_vec ~help:"Autoscale ticks by session and plan action."
+    "autoscale.session_ticks" ~labels:[ "session"; "action" ]
+
 (* Per-op request counters, pre-registered so [submit] never touches
    the registry mutex. *)
 let op_names =
   [ "register"; "solve"; "track"; "tick"; "untrack"; "stats"; "metrics";
-    "shutdown" ]
+    "audit"; "shutdown" ]
 
 let op_counters =
   List.map (fun op -> (op, Telemetry.counter (Telemetry.service_op op))) op_names
@@ -32,6 +44,7 @@ let op_name = function
   | Protocol.Untrack _ -> "untrack"
   | Protocol.Stats -> "stats"
   | Protocol.Metrics -> "metrics"
+  | Protocol.Audit _ -> "audit"
   | Protocol.Shutdown -> "shutdown"
 
 type config = {
@@ -51,6 +64,8 @@ let default_config =
 
 type job = {
   id : int option;
+  trace_id : string;  (* client-supplied or assigned at admission *)
+  tenant : string;
   source : Protocol.source;
   objective : Objective.t;
   pricebook : Pricebook.t option;
@@ -90,6 +105,11 @@ type t = {
   trackers : (string, Controller.t) Hashtbl.t Striped.t;
       (* autoscale sessions, striped by session name; ticks run under
          the stripe lock, which serializes a session's controller *)
+  audit : Audit.t;
+  trace_seq : int Atomic.t;
+      (* with [trace_nonce], makes assigned trace ids unique per engine
+         and stable within it *)
+  trace_nonce : int;
   started_at : float;
 }
 
@@ -102,6 +122,7 @@ let stripes_for config = max 1 (min config.workers 8)
 let create ?(config = default_config) () =
   if config.workers < 1 then invalid_arg "Engine.create: workers < 1";
   let stripes = stripes_for config in
+  let started_at = Unix.gettimeofday () in
   {
     config;
     solutions =
@@ -112,12 +133,23 @@ let create ?(config = default_config) () =
     registry = Striped.create ~stripes (fun _ -> Hashtbl.create 16);
     instances = Striped.create ~stripes (fun _ -> Hashtbl.create 16);
     trackers = Striped.create ~stripes (fun _ -> Hashtbl.create 16);
-    started_at = Unix.gettimeofday ();
+    audit = Audit.create ();
+    trace_seq = Atomic.make 0;
+    trace_nonce = int_of_float (Float.rem (started_at *. 1e3) 16777216.0);
+    started_at;
   }
 
 let cache t = t.solutions
 
 let config t = t.config
+
+let audit t = t.audit
+
+(* Assigned trace ids: unique within the engine (the atomic sequence),
+   distinguishable across engine restarts (the start-time nonce). *)
+let fresh_trace_id t =
+  Printf.sprintf "req-%06x-%d" t.trace_nonce
+    (Atomic.fetch_and_add t.trace_seq 1)
 
 let locked_queue t f =
   Mutex.lock t.qm;
@@ -246,7 +278,7 @@ let resolve_track t source =
 
 let track t ~session ~source ~ticks_per_hour ~deadband ~headroom ~spec =
   match resolve_track t source with
-  | Result.Error message -> Protocol.Error { id = None; message }
+  | Result.Error message -> Protocol.Error { id = None; trace_id = None; message }
   | Result.Ok (inst, fp) ->
     let config =
       {
@@ -279,8 +311,16 @@ let track_tick t ~id ~session ~demand =
   match result with
   | None ->
     Protocol.Error
-      { id; message = Printf.sprintf "tick: no tracked session %S" session }
+      {
+        id;
+        trace_id = None;
+        message = Printf.sprintf "tick: no tracked session %S" session;
+      }
   | Some (plan, total_charged) ->
+    if Telemetry.enabled () then
+      Telemetry.bump
+        (Telemetry.counter_with ticks_vec
+           [ session; Controller.action_to_string plan.Controller.action ]);
     Protocol.Plan { id; session; plan; total_charged }
 
 let untrack t ~session =
@@ -297,6 +337,7 @@ let untrack t ~session =
     Protocol.Error
       {
         id = None;
+        trace_id = None;
         message = Printf.sprintf "untrack: no tracked session %S" session;
       }
   | Some c ->
@@ -316,6 +357,7 @@ let solved ~job ~status ~(alloc : Allocation.t) ~served ~engine ~wall =
   Protocol.Solved
     {
       id = job.id;
+      trace_id = Some job.trace_id;
       status;
       cost = alloc.Allocation.cost;
       rho = Array.copy alloc.Allocation.rho;
@@ -336,13 +378,40 @@ let run_solve_inner t ~now job =
   Telemetry.observe queue_wait_hist (now -. job.arrived);
   Telemetry.Span.record ~name:"service.queue_wait" ~start:job.arrived
     ~duration:(now -. job.arrived) ();
+  (* A failed request still leaves an audit record — trace id, how far
+     it got, and how long it took — so journals account for every
+     completed request, not just the happy path. *)
+  let errored ~fingerprint message =
+    Audit.record t.audit
+      {
+        Audit.seq = 0;
+        at = Unix.gettimeofday ();
+        trace_id = job.trace_id;
+        id = job.id;
+        tenant = job.tenant;
+        fingerprint;
+        objective = Objective.kind_to_string (Objective.kind job.objective);
+        scalar = Objective.scalar job.objective;
+        served = "none";
+        engine = "";
+        status = "error";
+        cost = 0;
+        throughput = 0;
+        queue_wait = now -. job.arrived;
+        wall = Unix.gettimeofday () -. started;
+        evaluations = 0;
+        pivots = 0;
+        nodes = 0;
+        convergence = None;
+      };
+    Protocol.Error { id = job.id; trace_id = Some job.trace_id; message }
+  in
   match
     Telemetry.Span.with_span "service.resolve" (fun () ->
         resolve t job.source ~objective:job.objective
           ~pricebook:job.pricebook)
   with
-  | Result.Error message ->
-    Protocol.Error { id = job.id; message }
+  | Result.Error message -> errored ~fingerprint:"" message
   | Result.Ok (solve_inst, client_inst, fp) ->
     let digest = Fingerprint.digest fp
     and encoding = Fingerprint.encoding fp in
@@ -365,9 +434,41 @@ let run_solve_inner t ~now job =
       | Protocol.Warm, _ -> r <> Protocol.Monotone
       | Protocol.Monotone, _ -> true
     in
-    let finish ~status ~alloc ~served ~engine =
+    let finish ?outcome ~status ~(alloc : Allocation.t) ~served ~engine () =
       let wall = Unix.gettimeofday () -. started in
       Telemetry.observe latency_hist wall;
+      let rung = Protocol.served_to_string served in
+      if Telemetry.enabled () then
+        Telemetry.bump (Telemetry.counter_with requests_vec [ job.tenant; rung ]);
+      let effort, convergence =
+        match outcome with
+        | None -> (None, [])
+        | Some (o : Solver.outcome) ->
+          (Some o.Solver.telemetry, o.Solver.convergence)
+      in
+      Audit.record t.audit
+        {
+          Audit.seq = 0;
+          at = Unix.gettimeofday ();
+          trace_id = job.trace_id;
+          id = job.id;
+          tenant = job.tenant;
+          fingerprint = Fingerprint.short fp;
+          objective = Objective.kind_to_string kind;
+          scalar;
+          served = rung;
+          engine;
+          status = Solver.status_to_string status;
+          cost = alloc.Allocation.cost;
+          throughput = Array.fold_left ( + ) 0 alloc.Allocation.rho;
+          queue_wait = now -. job.arrived;
+          wall;
+          evaluations =
+            (match effort with None -> 0 | Some e -> e.Solver.evaluations);
+          pivots = (match effort with None -> 0 | Some e -> e.Solver.pivots);
+          nodes = (match effort with None -> 0 | Some e -> e.Solver.nodes);
+          convergence = Audit.summarize convergence;
+        };
       solved ~job ~status ~alloc ~served ~engine ~wall
     in
     let exact =
@@ -385,6 +486,7 @@ let run_solve_inner t ~now job =
          if entry.Cache.optimal then Solver.Optimal else Solver.Feasible
        in
        finish ~status ~alloc ~served:Protocol.Exact_hit ~engine:entry.Cache.spec
+         ()
      | None -> (
        let monotone =
          if reuse_at_least Protocol.Monotone then
@@ -409,7 +511,7 @@ let run_solve_inner t ~now job =
          Telemetry.bump c_monotone;
          let alloc = alloc_of_canonical client_inst entry.Cache.canonical_rho in
          finish ~status:Solver.Feasible ~alloc ~served:Protocol.Monotone_hit
-           ~engine:entry.Cache.spec
+           ~engine:entry.Cache.spec ()
        | None ->
          Telemetry.bump c_misses;
          let warm_start =
@@ -437,8 +539,8 @@ let run_solve_inner t ~now job =
          in
          (match outcome.Solver.allocation with
           | None ->
-            Protocol.Error
-              { id = job.id; message = "solve: no allocation found" }
+            errored ~fingerprint:(Fingerprint.short fp)
+              "solve: no allocation found"
           | Some alloc ->
             if outcome.Solver.telemetry.Solver.warm_started then
               Telemetry.bump c_warm;
@@ -460,21 +562,29 @@ let run_solve_inner t ~now job =
                 Protocol.Warm_started
               else Protocol.Cold
             in
-            finish ~status:outcome.Solver.status ~alloc:client_alloc ~served
-              ~engine:(Solver.spec_to_string outcome.Solver.telemetry.Solver.engine))))
+            finish ~outcome ~status:outcome.Solver.status ~alloc:client_alloc
+              ~served
+              ~engine:(Solver.spec_to_string outcome.Solver.telemetry.Solver.engine)
+              ())))
 
 let run_solve t ~now job =
   if not (Telemetry.enabled ()) then run_solve_inner t ~now job
   else
-    Telemetry.Span.with_span
-      ~attrs:
-        [
-          ("objective", Objective.kind_to_string (Objective.kind job.objective));
-          ("target", string_of_int (Objective.scalar job.objective));
-          ("reuse", Protocol.reuse_to_string job.reuse);
-        ]
-      "service.request"
-      (fun () -> run_solve_inner t ~now job)
+    (* The ambient trace id stamps every span the request records —
+       the request span here, the rung and solve spans below it, and
+       whatever the engines emit — as a [trace_id] attribute, tying
+       the trace to the response and the audit record. *)
+    Telemetry.Span.with_trace_id job.trace_id (fun () ->
+        Telemetry.Span.with_span
+          ~attrs:
+            [
+              ( "objective",
+                Objective.kind_to_string (Objective.kind job.objective) );
+              ("target", string_of_int (Objective.scalar job.objective));
+              ("reuse", Protocol.reuse_to_string job.reuse);
+            ]
+          "service.request"
+          (fun () -> run_solve_inner t ~now job))
 
 (* --- stats --- *)
 
@@ -514,6 +624,12 @@ let stats t =
           ("shed", Json.Int (locked_queue t Admission.shed_count));
         ] );
     ("latency", Json.Obj latency);
+    ( "audit",
+      Json.Obj
+        [
+          ("recorded", Json.Int (Audit.recorded t.audit));
+          ("capacity", Json.Int (Audit.capacity t.audit));
+        ] );
     ( "registered",
       Json.Int
         (Striped.fold t.registry ~init:0 ~f:(fun acc tbl ->
@@ -547,12 +663,31 @@ let submit ?now t (request : Protocol.request) =
   | Protocol.Tick { id; session; demand } ->
     Some (track_tick t ~id ~session ~demand)
   | Protocol.Untrack { session } -> Some (untrack t ~session)
-  | Protocol.Solve { id; source; objective; pricebook; spec; budget; reuse } ->
+  | Protocol.Audit { last } ->
+    Some (Protocol.Audit_reply (Audit.recent ?last t.audit))
+  | Protocol.Solve
+      { id; trace_id; tenant; source; objective; pricebook; spec; budget; reuse }
+    ->
     let budget =
       match budget with Some b -> b | None -> t.config.default_budget
     in
+    let trace_id =
+      match trace_id with Some s -> s | None -> fresh_trace_id t
+    in
+    let tenant = Option.value ~default:"default" tenant in
     let job =
-      { id; source; objective; pricebook; spec; budget; reuse; arrived = now }
+      {
+        id;
+        trace_id;
+        tenant;
+        source;
+        objective;
+        pricebook;
+        spec;
+        budget;
+        reuse;
+        arrived = now;
+      }
     in
     let expires_at =
       Option.map (fun d -> now +. d) budget.Budget.deadline
@@ -566,7 +701,7 @@ let submit ?now t (request : Protocol.request) =
     if admitted then None
     else begin
       Telemetry.bump c_shed;
-      Some (Protocol.Overloaded { id })
+      Some (Protocol.Overloaded { id; trace_id = Some trace_id })
     end
 
 (* Take one job under the queue lock; run it outside (solves are the
@@ -579,7 +714,7 @@ let drain_one ?now t =
   | `Empty -> None
   | `Shed job ->
     Telemetry.bump c_shed;
-    Some (Protocol.Overloaded { id = job.id })
+    Some (Protocol.Overloaded { id = job.id; trace_id = Some job.trace_id })
   | `Job job -> Some (run_solve t ~now job)
 
 let drain ?now t =
@@ -589,7 +724,9 @@ let drain ?now t =
     | `Empty -> List.rev acc
     | `Shed job ->
       Telemetry.bump c_shed;
-      go (Protocol.Overloaded { id = job.id } :: acc)
+      go
+        (Protocol.Overloaded { id = job.id; trace_id = Some job.trace_id }
+        :: acc)
     | `Job job -> go (run_solve t ~now job :: acc)
   in
   go []

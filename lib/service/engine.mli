@@ -68,9 +68,27 @@
     [service.latency_seconds] and [service.queue_wait_seconds]
     histograms; each drained request runs under a [service.request]
     span whose children trace the ladder rungs and the engine solve.
-    {!stats} snapshots all of it for the [stats] request and the
-    shutdown dump; the [metrics] request serves the full
-    {!Metrics.json} exposition.
+    Completed requests additionally bump the labelled
+    [service.requests] family — one series per [(tenant, rung)] pair —
+    and autoscale ticks the [autoscale.session_ticks] family by
+    [(session, action)]; both bumps are skipped entirely while the
+    telemetry kill switch is off. {!stats} snapshots all of it for the
+    [stats] request and the shutdown dump; the [metrics] request
+    serves the full {!Metrics.json} exposition.
+
+    {2 Tracing and auditing}
+
+    Every admitted solve carries a trace id — the request's
+    ["trace_id"] when supplied, an engine-assigned [req-...] id
+    otherwise. It is set as the ambient {!Telemetry.Span} trace
+    context for the whole request (so every span the request records
+    carries a [trace_id] attribute), echoed in the [Solved] /
+    [Overloaded] / [Error] response, and written to the request's
+    {!Audit} record together with the reuse rung, timings, solver
+    effort and a summary of the solve's convergence timeline
+    ({!Rentcost.Solver.outcome}[.convergence]). The journal ring
+    answers the [Audit] request; {!audit} exposes it so the daemon can
+    attach a JSONL file ({!Audit.open_file}).
 
     {2 Concurrency}
 
@@ -106,13 +124,18 @@ val create : ?config:config -> unit -> t
 
 val config : t -> config
 
+(** The engine's audit journal — one record per completed solve. The
+    daemon calls {!Audit.open_file} on it to mirror records to a JSONL
+    file; tests read it back via {!Audit.recent}. *)
+val audit : t -> Audit.t
+
 (** [register t ~name problem] compiles [problem], stores it under
     [name] (replacing any previous binding) and in the instance table,
     and returns its fingerprint. *)
 val register : t -> name:string -> Rentcost.Problem.t -> Fingerprint.t
 
 (** [submit t request] runs [Register]/[Track]/[Tick]/[Untrack]/
-    [Stats]/[Metrics]/[Shutdown] immediately
+    [Stats]/[Metrics]/[Audit]/[Shutdown] immediately
     ([Some response]) and enqueues [Solve] requests — [None] when
     admitted (answers come from {!drain}), [Some (Overloaded _)] when
     shed at the door. [~now] is the admission clock (defaults to the

@@ -76,6 +76,9 @@ let json ?stats () =
   let counters =
     List.map (fun (name, v) -> (name, Json.Int v)) (Telemetry.all ())
   in
+  let gauges =
+    List.map (fun (name, v) -> (name, Json.Float v)) (Telemetry.gauges ())
+  in
   let histograms = List.map histogram_to_json (Telemetry.histograms ()) in
   let spans = List.map span_to_json (Telemetry.Span.recent ()) in
   (* Numeric-kernel health at a glance: which kernel answers first and
@@ -94,6 +97,7 @@ let json ?stats () =
   Json.Obj
     ([
        ("counters", Json.Obj counters);
+       ("gauges", Json.Obj gauges);
        ("histograms", Json.List histograms);
        ("spans", Json.List spans);
        ("numeric", numeric);

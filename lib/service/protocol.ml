@@ -33,6 +33,10 @@ type request =
   | Register of { name : string; problem : Rentcost.Problem.t }
   | Solve of {
       id : int option;
+      trace_id : string option;
+          (* client-supplied request trace id; the engine assigns one
+             when absent and echoes it in every response *)
+      tenant : string option;  (* labels the per-tenant request counters *)
       source : source;
       objective : Objective.t;
       pricebook : Pricebook.t option;
@@ -52,6 +56,7 @@ type request =
   | Untrack of { session : string }
   | Stats
   | Metrics
+  | Audit of { last : int option }
   | Shutdown
 
 type served =
@@ -76,6 +81,7 @@ let served_of_string = function
 type response =
   | Solved of {
       id : int option;
+      trace_id : string option;
       status : Solver.status;
       cost : int;
       rho : int array;
@@ -102,8 +108,9 @@ type response =
     }
   | Stats_reply of (string * Json.t) list
   | Metrics_reply of { metrics : Json.t; text : string }
-  | Overloaded of { id : int option }
-  | Error of { id : int option; message : string }
+  | Audit_reply of Audit.record list
+  | Overloaded of { id : int option; trace_id : string option }
+  | Error of { id : int option; trace_id : string option; message : string }
   | Bye
 
 let status_of_string = function
@@ -223,6 +230,8 @@ let decode_pricebook j =
 
 let decode_solve j =
   let id = Json.get_int "id" j in
+  let trace_id = Json.get_string "trace_id" j in
+  let tenant = Json.get_string "tenant" j in
   let* source =
     match (Json.get_string "ref" j, Json.get_string "problem" j) with
     | Some name, None -> Ok (Ref name)
@@ -251,7 +260,16 @@ let decode_solve j =
         (reuse_of_string s)
   in
   let* budget = decode_budget j in
-  Ok (Solve { id; source; objective; pricebook; spec; budget; reuse })
+  Ok (Solve { id; trace_id; tenant; source; objective; pricebook; spec; budget; reuse })
+
+let decode_audit j =
+  match Json.member "last" j with
+  | None -> Ok (Audit { last = None })
+  | Some v -> (
+    match Json.to_int v with
+    | Some n when n >= 0 -> Ok (Audit { last = Some n })
+    | Some _ -> Result.Error "audit: negative \"last\""
+    | None -> Result.Error "audit: bad \"last\": expected an integer")
 
 let decode_session j = Option.value ~default:"default" (Json.get_string "session" j)
 
@@ -329,6 +347,7 @@ let request_of_json j =
   | Some "untrack" -> Ok (Untrack { session = decode_session j })
   | Some "stats" -> Ok Stats
   | Some "metrics" -> Ok Metrics
+  | Some "audit" -> decode_audit j
   | Some "shutdown" -> Ok Shutdown
   | Some op -> Result.Error (Printf.sprintf "unknown op %S" op)
 
@@ -344,7 +363,8 @@ let request_to_json = function
         ("name", Json.String name);
         ("problem", Json.String (Problem_format.to_string problem));
       ]
-  | Solve { id; source; objective; pricebook; spec; budget; reuse } ->
+  | Solve { id; trace_id; tenant; source; objective; pricebook; spec; budget; reuse }
+    ->
     let source_field =
       match source with
       | Ref name -> ("ref", Json.String name)
@@ -375,6 +395,8 @@ let request_to_json = function
     Json.Obj
       ([ ("op", Json.String "solve") ]
       @ opt_field "id" (fun i -> Json.Int i) id
+      @ opt_field "trace_id" (fun s -> Json.String s) trace_id
+      @ opt_field "tenant" (fun s -> Json.String s) tenant
       @ (source_field :: objective_fields)
       @ pricebook_field
       @ [
@@ -408,6 +430,10 @@ let request_to_json = function
       [ ("op", Json.String "untrack"); ("session", Json.String session) ]
   | Stats -> Json.Obj [ ("op", Json.String "stats") ]
   | Metrics -> Json.Obj [ ("op", Json.String "metrics") ]
+  | Audit { last } ->
+    Json.Obj
+      ([ ("op", Json.String "audit") ]
+      @ opt_field "last" (fun n -> Json.Int n) last)
   | Shutdown -> Json.Obj [ ("op", Json.String "shutdown") ]
 
 (* --- response encoding --- *)
@@ -415,9 +441,12 @@ let request_to_json = function
 let int_array a = Json.List (Array.to_list (Array.map (fun i -> Json.Int i) a))
 
 let response_to_json = function
-  | Solved { id; status; cost; rho; machines; served; engine; wall_time } ->
+  | Solved
+      { id; trace_id; status; cost; rho; machines; served; engine; wall_time }
+    ->
     Json.Obj
       (opt_field "id" (fun i -> Json.Int i) id
+      @ opt_field "trace_id" (fun s -> Json.String s) trace_id
       @ [
           ("ok", Json.Bool true);
           ("status", Json.String (Solver.status_to_string status));
@@ -483,13 +512,21 @@ let response_to_json = function
         ("metrics", metrics);
         ("text", Json.String text);
       ]
-  | Overloaded { id } ->
+  | Audit_reply records ->
+    Json.Obj
+      [
+        ("ok", Json.Bool true);
+        ("audit", Json.List (List.map Audit.record_to_json records));
+      ]
+  | Overloaded { id; trace_id } ->
     Json.Obj
       (opt_field "id" (fun i -> Json.Int i) id
+      @ opt_field "trace_id" (fun s -> Json.String s) trace_id
       @ [ ("ok", Json.Bool false); ("status", Json.String "overloaded") ])
-  | Error { id; message } ->
+  | Error { id; trace_id; message } ->
     Json.Obj
       (opt_field "id" (fun i -> Json.Int i) id
+      @ opt_field "trace_id" (fun s -> Json.String s) trace_id
       @ [ ("ok", Json.Bool false); ("error", Json.String message) ])
   | Bye -> Json.Obj [ ("ok", Json.Bool true); ("status", Json.String "bye") ]
 
@@ -509,11 +546,12 @@ let decode_int_array = function
 
 let rec response_of_json j =
   let id = Json.get_int "id" j in
+  let trace_id = Json.get_string "trace_id" j in
   match Json.get_string "error" j with
-  | Some message -> Ok (Error { id; message })
+  | Some message -> Ok (Error { id; trace_id; message })
   | None -> (
     match (Json.get_string "status" j, Json.member "cost" j) with
-    | Some "overloaded", _ -> Ok (Overloaded { id })
+    | Some "overloaded", _ -> Ok (Overloaded { id; trace_id })
     | Some "bye", _ -> Ok Bye
     | Some status_s, Some _ ->
       let* status =
@@ -537,7 +575,9 @@ let rec response_of_json j =
       in
       let* engine = field "engine" Json.to_str in
       let* wall_time = field "wall_time" Json.to_float in
-      Ok (Solved { id; status; cost; rho; machines; served; engine; wall_time })
+      Ok
+        (Solved
+           { id; trace_id; status; cost; rho; machines; served; engine; wall_time })
     | _ -> (
       match (Json.get_string "registered" j, Json.member "stats" j) with
       | Some name, _ ->
@@ -555,7 +595,21 @@ let rec response_of_json j =
               (Json.get_string "text" j)
           in
           Ok (Metrics_reply { metrics; text })
-        | None -> decode_track_response ~id j)
+        | None -> (
+          match Json.member "audit" j with
+          | Some (Json.List items) ->
+            let* records =
+              List.fold_left
+                (fun acc item ->
+                  let* acc = acc in
+                  let* r = Audit.record_of_json item in
+                  Ok (r :: acc))
+                (Ok []) items
+              |> Result.map List.rev
+            in
+            Ok (Audit_reply records)
+          | Some _ -> Result.Error "bad \"audit\": expected a list"
+          | None -> decode_track_response ~id j))
       | _ -> Result.Error "unrecognized response shape"))
 
 and decode_track_response ~id j =

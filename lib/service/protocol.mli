@@ -17,6 +17,9 @@
      "ticks_per_hour":12,"deadband":0.1,"headroom":0.05}
     {"op":"tick","session":"app-fleet","id":7,"demand":55}
     {"op":"untrack","session":"app-fleet"}
+    {"op":"solve","id":5,"ref":"app","target":120,
+     "trace_id":"req-042","tenant":"acme"}
+    {"op":"audit","last":20}
     {"op":"stats"}
     {"op":"shutdown"}
     v}
@@ -57,9 +60,10 @@
     {2 Responses}
 
     {v
-    {"id":1,"ok":true,"status":"optimal","cost":44,"rho":[110,0,10],
-     "machines":[4,8],"throughput":120,"served":"cold","engine":"ilp",
-     "wall_time":0.0123}
+    {"id":1,"trace_id":"req-000001","ok":true,"status":"optimal",
+     "cost":44,"rho":[110,0,10],"machines":[4,8],"throughput":120,
+     "served":"cold","engine":"ilp","wall_time":0.0123}
+    {"ok":true,"audit":[{"seq":0,"trace_id":"req-000001",...},...]}
     {"ok":true,"registered":"app","fingerprint":"d41d8cd98f00"}
     {"ok":true,"stats":{...}}
     {"ok":true,"tracking":"app-fleet","fingerprint":"d41d8cd98f00"}
@@ -100,6 +104,14 @@ type request =
   | Register of { name : string; problem : Rentcost.Problem.t }
   | Solve of {
       id : int option;  (** echoed back, client-chosen *)
+      trace_id : string option;
+          (** client-supplied request trace id (["trace_id"] key); the
+              engine assigns one when absent, stamps it on every span
+              the request records (see {!Telemetry.Span.with_trace_id})
+              and echoes it in the response and the audit record *)
+      tenant : string option;
+          (** labels the per-tenant request counters; defaults to
+              ["default"] *)
       source : source;
       objective : Rentcost.Objective.t;
           (** what to optimize — a min-cost target or a max-throughput
@@ -123,6 +135,9 @@ type request =
   | Untrack of { session : string }
   | Stats
   | Metrics  (** full telemetry exposition: counters, histograms, spans *)
+  | Audit of { last : int option }
+      (** the last [last] audit records (default: the whole ring),
+          oldest first; see {!Audit} *)
   | Shutdown
 
 (** How a solve response was produced. *)
@@ -137,6 +152,7 @@ val served_to_string : served -> string
 type response =
   | Solved of {
       id : int option;
+      trace_id : string option;  (** the request's trace id, always set *)
       status : Rentcost.Solver.status;
       cost : int;
       rho : int array;  (** submitted problem's recipe numbering *)
@@ -168,8 +184,11 @@ type response =
       metrics : Json.t;  (** {!Metrics.json}: counters, histograms, spans *)
       text : string;  (** Prometheus-style exposition *)
     }
-  | Overloaded of { id : int option }
-  | Error of { id : int option; message : string }
+  | Audit_reply of Audit.record list
+      (** answers [Audit], oldest first, encoded as an ["audit"] list
+          of {!Audit.record_to_json} objects *)
+  | Overloaded of { id : int option; trace_id : string option }
+  | Error of { id : int option; trace_id : string option; message : string }
   | Bye
 
 (** [request_of_json j] decodes a request, first rejecting any

@@ -1,7 +1,7 @@
-(* The observability substrate: counters, histograms and spans shared
-   by every layer of the solver stack. See telemetry.mli for the
-   contract; the implementation notes below cover what the interface
-   does not promise.
+(* The observability substrate: counters, histograms, gauges and spans
+   shared by every layer of the solver stack. See telemetry.mli for
+   the contract; the implementation notes below cover what the
+   interface does not promise.
 
    Thread-safety: every instrument is safe under parallel writers
    since the multicore PR. Counters are [Atomic.t]s (bump/add are
@@ -12,7 +12,9 @@
    open-span context (parent id, depth) is domain-local state, and the
    sink is called under its own mutex so a JSONL trace writer never
    interleaves lines. The registries (name -> instrument) keep their
-   original single mutex. *)
+   original single mutex; labelled families find-or-create their cells
+   under the same mutex, and a cell, once returned, is the same
+   wait-free instrument as its unlabelled sibling. *)
 
 let enabled_flag = ref true
 
@@ -34,14 +36,84 @@ let locked f =
   Mutex.lock registry_mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock registry_mutex) f
 
+(* --- exposition spelling helpers (used throughout) --- *)
+
+(* Metric names sanitize "." (and any other non-identifier byte) to
+   "_": "service.cache_hits" -> "service_cache_hits". *)
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c | _ -> '_')
+    name
+
+let float_text f = Printf.sprintf "%.9g" f
+
+(* Prometheus text-format escaping: label values escape backslash,
+   double quote and newline; HELP text escapes backslash and
+   newline. *)
+let escape_label_value v =
+  let b = Buffer.create (String.length v + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
+let escape_help v =
+  let b = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
+(* [render_labels [(k, v); ...]] is [{k="v",...}] with sanitized label
+   names and escaped values; [""] for the empty list. *)
+let render_labels = function
+  | [] -> ""
+  | pairs ->
+    let b = Buffer.create 32 in
+    Buffer.add_char b '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b (sanitize k);
+        Buffer.add_string b "=\"";
+        Buffer.add_string b (escape_label_value v);
+        Buffer.add_char b '"')
+      pairs;
+    Buffer.add_char b '}';
+    Buffer.contents b
+
+(* --- help strings --- *)
+
+(* One help string per metric family name, shared by the labelled and
+   unlabelled series. Written under the registry mutex; exposition
+   snapshots it in one locked section. *)
+let help_registry : (string, string) Hashtbl.t = Hashtbl.create 16
+
+let record_help name = function
+  | None -> ()
+  | Some h -> Hashtbl.replace help_registry name h
+
+let set_help name h = locked (fun () -> Hashtbl.replace help_registry name h)
+
 (* --- counters --- *)
 
 type counter = int Atomic.t
 
 let registry : (string, counter) Hashtbl.t = Hashtbl.create 16
 
-let counter name =
+let counter ?help name =
   locked (fun () ->
+      record_help name help;
       match Hashtbl.find_opt registry name with
       | Some c -> c
       | None ->
@@ -67,6 +139,64 @@ let all () =
          Hashtbl.fold
            (fun name c acc -> (name, Atomic.get c) :: acc)
            registry []))
+
+(* --- labelled counter families --- *)
+
+type counter_vec = {
+  cv_name : string;
+  cv_labels : string list;
+  cv_cells : (string list, counter) Hashtbl.t;
+      (* key: label values, same arity as cv_labels *)
+}
+
+let counter_vec_registry : (string, counter_vec) Hashtbl.t = Hashtbl.create 8
+
+let counter_vec ?help name ~labels =
+  if labels = [] then invalid_arg "Telemetry.counter_vec: empty label list";
+  locked (fun () ->
+      record_help name help;
+      match Hashtbl.find_opt counter_vec_registry name with
+      | Some v ->
+        if v.cv_labels <> labels then
+          invalid_arg
+            (Printf.sprintf
+               "Telemetry.counter_vec: %S already registered with different \
+                labels"
+               name);
+        v
+      | None ->
+        let v =
+          { cv_name = name; cv_labels = labels; cv_cells = Hashtbl.create 8 }
+        in
+        Hashtbl.add counter_vec_registry name v;
+        v)
+
+let counter_with v values =
+  if List.length values <> List.length v.cv_labels then
+    invalid_arg
+      (Printf.sprintf "Telemetry.counter_with: %S expects %d label values"
+         v.cv_name
+         (List.length v.cv_labels));
+  locked (fun () ->
+      match Hashtbl.find_opt v.cv_cells values with
+      | Some c -> c
+      | None ->
+        let c = Atomic.make 0 in
+        Hashtbl.add v.cv_cells values c;
+        c)
+
+let counter_vecs () =
+  List.sort compare
+    (locked (fun () ->
+         Hashtbl.fold
+           (fun name v acc ->
+             let cells =
+               Hashtbl.fold
+                 (fun values c acc -> (values, Atomic.get c) :: acc)
+                 v.cv_cells []
+             in
+             (name, v.cv_labels, List.sort compare cells) :: acc)
+           counter_vec_registry []))
 
 (* --- histograms --- *)
 
@@ -99,9 +229,34 @@ let check_bounds bounds =
       invalid_arg "Telemetry.histogram: bounds must be strictly increasing"
   done
 
-let histogram name ~bounds =
+let make_histogram name bounds =
+  { hist_name = name;
+    bounds = Array.copy bounds;
+    counts = Array.make (Array.length bounds + 1) 0;
+    sum = 0.0;
+    observations = 0;
+    hist_lock = Mutex.create () }
+
+(* Forward-declared so [histogram] can enforce the shared-buckets
+   invariant against a labelled family registered first; filled in by
+   the labelled-histogram section below. *)
+let histogram_vec_bounds : (string -> float array option) ref = ref (fun _ -> None)
+
+let histogram ?help name ~bounds =
   check_bounds bounds;
   locked (fun () ->
+      record_help name help;
+      (* Labelled and unlabelled series of one name share buckets (the
+         merged exposition renders them under one # TYPE); reject a
+         mismatch whichever side registers first. *)
+      (match !histogram_vec_bounds name with
+      | Some b when b <> bounds ->
+        invalid_arg
+          (Printf.sprintf
+             "Telemetry.histogram: %S already registered (labelled) with \
+              different bounds"
+             name)
+      | _ -> ());
       match Hashtbl.find_opt histogram_registry name with
       | Some h ->
         if h.bounds <> bounds then
@@ -112,14 +267,7 @@ let histogram name ~bounds =
                name);
         h
       | None ->
-        let h =
-          { hist_name = name;
-            bounds = Array.copy bounds;
-            counts = Array.make (Array.length bounds + 1) 0;
-            sum = 0.0;
-            observations = 0;
-            hist_lock = Mutex.create () }
-        in
+        let h = make_histogram name bounds in
         Hashtbl.add histogram_registry name h;
         h)
 
@@ -160,6 +308,129 @@ let histograms () =
            (fun _name h acc -> snapshot h :: acc)
            histogram_registry []))
 
+(* --- labelled histogram families --- *)
+
+type histogram_vec = {
+  hv_name : string;
+  hv_labels : string list;
+  hv_bounds : float array;
+  hv_cells : (string list, histogram) Hashtbl.t;
+}
+
+let histogram_vec_registry : (string, histogram_vec) Hashtbl.t =
+  Hashtbl.create 8
+
+(* Called with the registry lock already held (from [histogram]), so
+   it must read the table directly rather than re-lock. *)
+let () =
+  histogram_vec_bounds :=
+    fun name ->
+      Option.map
+        (fun v -> v.hv_bounds)
+        (Hashtbl.find_opt histogram_vec_registry name)
+
+let histogram_vec ?help name ~labels ~bounds =
+  if labels = [] then invalid_arg "Telemetry.histogram_vec: empty label list";
+  check_bounds bounds;
+  locked (fun () ->
+      record_help name help;
+      (* A labelled family sharing a name with a plain histogram must
+         share its buckets, or the merged exposition would be
+         nonsense. *)
+      (match Hashtbl.find_opt histogram_registry name with
+      | Some h when h.bounds <> bounds ->
+        invalid_arg
+          (Printf.sprintf
+             "Telemetry.histogram_vec: %S already registered (unlabelled) \
+              with different bounds"
+             name)
+      | _ -> ());
+      match Hashtbl.find_opt histogram_vec_registry name with
+      | Some v ->
+        if v.hv_labels <> labels then
+          invalid_arg
+            (Printf.sprintf
+               "Telemetry.histogram_vec: %S already registered with \
+                different labels"
+               name);
+        if v.hv_bounds <> bounds then
+          invalid_arg
+            (Printf.sprintf
+               "Telemetry.histogram_vec: %S already registered with \
+                different bounds"
+               name);
+        v
+      | None ->
+        let v =
+          { hv_name = name;
+            hv_labels = labels;
+            hv_bounds = Array.copy bounds;
+            hv_cells = Hashtbl.create 8 }
+        in
+        Hashtbl.add histogram_vec_registry name v;
+        v)
+
+let histogram_with v values =
+  if List.length values <> List.length v.hv_labels then
+    invalid_arg
+      (Printf.sprintf "Telemetry.histogram_with: %S expects %d label values"
+         v.hv_name
+         (List.length v.hv_labels));
+  locked (fun () ->
+      match Hashtbl.find_opt v.hv_cells values with
+      | Some h -> h
+      | None ->
+        let h = make_histogram v.hv_name v.hv_bounds in
+        Hashtbl.add v.hv_cells values h;
+        h)
+
+let histogram_vecs () =
+  List.sort compare
+    (locked (fun () ->
+         Hashtbl.fold
+           (fun name v acc ->
+             let cells =
+               Hashtbl.fold
+                 (fun values h acc -> (values, snapshot h) :: acc)
+                 v.hv_cells []
+             in
+             (name, v.hv_labels, List.sort compare cells) :: acc)
+           histogram_vec_registry []))
+
+(* --- gauges --- *)
+
+(* Gauges are read-at-scrape callbacks, not recorded state, so the
+   kill switch does not apply: a scrape always sees live values. *)
+type gauge_cell = { g_name : string; g_read : unit -> float }
+
+let gauge_registry : (string, gauge_cell) Hashtbl.t = Hashtbl.create 8
+
+let gauge ?help name read =
+  locked (fun () ->
+      record_help name help;
+      Hashtbl.replace gauge_registry name { g_name = name; g_read = read })
+
+let gauges () =
+  (* Snapshot the callback list under the mutex, evaluate outside it,
+     so a callback may itself use the registry without deadlocking. *)
+  let cells =
+    locked (fun () ->
+        Hashtbl.fold (fun _ g acc -> g :: acc) gauge_registry [])
+  in
+  List.sort compare (List.map (fun g -> (g.g_name, g.g_read ())) cells)
+
+let process_start_time = Unix.gettimeofday ()
+
+let () =
+  gauge ~help:"Seconds since process start." "process.uptime_seconds"
+    (fun () -> Unix.gettimeofday () -. process_start_time);
+  gauge ~help:"Major-heap words currently allocated (Gc.quick_stat)."
+    "process.heap_words" (fun () ->
+      float_of_int (Gc.quick_stat ()).Gc.heap_words);
+  gauge ~help:"Completed major collections (Gc.quick_stat)."
+    "process.major_collections" (fun () ->
+      float_of_int (Gc.quick_stat ()).Gc.major_collections)
+
 (* --- spans --- *)
 
 module Span = struct
@@ -193,6 +464,28 @@ module Span = struct
      to have open. *)
   let context : (int * int) Domain.DLS.key =
     Domain.DLS.new_key (fun () -> (0, 0))
+
+  (* Ambient request identity of the current domain. When set, every
+     completed span is stamped with a ["trace_id"] attribute, so the
+     spans of one daemon request can be filtered out of a shared ring
+     or trace file. Domain-local: parallel workers each carry their
+     own request's id. *)
+  let trace_context : string option Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> None)
+
+  let set_trace_id t = Domain.DLS.set trace_context t
+
+  let trace_id () = Domain.DLS.get trace_context
+
+  let with_trace_id id f =
+    let prev = Domain.DLS.get trace_context in
+    Domain.DLS.set trace_context (Some id);
+    Fun.protect ~finally:(fun () -> Domain.DLS.set trace_context prev) f
+
+  let stamp attrs =
+    match Domain.DLS.get trace_context with
+    | None -> attrs
+    | Some t -> ("trace_id", t) :: attrs
 
   let sink : (t -> unit) option ref = ref None
 
@@ -232,7 +525,9 @@ module Span = struct
   let record ?(attrs = []) ~name ~start ~duration () =
     if !enabled_flag then begin
       let parent, depth = Domain.DLS.get context in
-      push { id = fresh_id (); parent; depth; name; attrs; start; duration }
+      push
+        { id = fresh_id (); parent; depth; name; attrs = stamp attrs;
+          start; duration }
     end
 
   let with_span ?(attrs = []) name f =
@@ -245,7 +540,9 @@ module Span = struct
       let finish () =
         let duration = !clock () -. t0 in
         Domain.DLS.set context (parent, depth);
-        push { id; parent; depth; name; attrs; start = t0; duration }
+        push
+          { id; parent; depth; name; attrs = stamp attrs; start = t0;
+            duration }
       in
       match f () with
       | v ->
@@ -267,45 +564,165 @@ module Span = struct
     List.init n (fun i -> r.((first + i) mod cap))
 end
 
-(* --- Prometheus-style text exposition --- *)
+(* --- convergence progress events --- *)
 
-(* Metric names sanitize "." (and any other non-identifier byte) to
-   "_": "service.cache_hits" -> "service_cache_hits". *)
-let sanitize name =
-  String.map
-    (fun c ->
-      match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c | _ -> '_')
-    name
+module Progress = struct
+  type event = {
+    elapsed : float;  (* seconds since the enclosing collect started *)
+    incumbent : float option;
+    bound : float option;
+    source : string;
+  }
 
-let float_text f = Printf.sprintf "%.9g" f
+  (* Stack of active collectors of the current domain: (start time,
+     reversed accumulator). Nested collects each see every event
+     emitted inside their window, stamped with their own elapsed
+     origin. Domain-local, like the span context: a portfolio worker
+     domain does not feed the driver's collector. *)
+  let collectors : (float * event list ref) list Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> [])
+
+  let collecting () = Domain.DLS.get collectors <> []
+
+  let emit ?incumbent ?bound ~source () =
+    if !enabled_flag then begin
+      match Domain.DLS.get collectors with
+      | [] -> ()
+      | frames ->
+        let t = now () in
+        List.iter
+          (fun (t0, acc) ->
+            acc := { elapsed = t -. t0; incumbent; bound; source } :: !acc)
+          frames;
+        (* The sampled hook into the span sink: each event doubles as a
+           zero-duration span, so --trace files and the ring carry the
+           timeline alongside the structural spans. *)
+        let attrs = [ ("source", source) ] in
+        let attrs =
+          match bound with
+          | Some v -> ("bound", float_text v) :: attrs
+          | None -> attrs
+        in
+        let attrs =
+          match incumbent with
+          | Some v -> ("incumbent", float_text v) :: attrs
+          | None -> attrs
+        in
+        Span.record ~attrs ~name:"solver.progress" ~start:t ~duration:0.0 ()
+    end
+
+  let collect f =
+    let acc = ref [] in
+    let prev = Domain.DLS.get collectors in
+    Domain.DLS.set collectors ((now (), acc) :: prev);
+    let restore () = Domain.DLS.set collectors prev in
+    match f () with
+    | v ->
+      restore ();
+      (v, List.rev !acc)
+    | exception e ->
+      restore ();
+      raise e
+end
+
+(* --- Prometheus text exposition --- *)
+
+(* Families are rendered grouped by name: one optional # HELP line,
+   one # TYPE line, then the unlabelled sample (when a plain
+   instrument of that name exists) followed by the labelled samples
+   sorted by label values. *)
 
 let text_exposition () =
   let b = Buffer.create 1024 in
+  let helps =
+    locked (fun () ->
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) help_registry [])
+  in
+  let help_line exposition_name family_name =
+    match List.assoc_opt family_name helps with
+    | Some h ->
+      Buffer.add_string b
+        (Printf.sprintf "# HELP %s %s\n" exposition_name (escape_help h))
+    | None -> ()
+  in
+  (* counters: merge the plain and labelled registries by name *)
+  let plain = all () in
+  let vecs = counter_vecs () in
+  let family_names =
+    List.sort_uniq compare
+      (List.map fst plain @ List.map (fun (n, _, _) -> n) vecs)
+  in
+  List.iter
+    (fun name ->
+      let n = sanitize name ^ "_total" in
+      help_line n name;
+      Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n" n);
+      (match List.assoc_opt name plain with
+      | Some v -> Buffer.add_string b (Printf.sprintf "%s %d\n" n v)
+      | None -> ());
+      List.iter
+        (fun (vec_name, labels, cells) ->
+          if vec_name = name then
+            List.iter
+              (fun (values, v) ->
+                let pairs = List.combine labels values in
+                Buffer.add_string b
+                  (Printf.sprintf "%s%s %d\n" n (render_labels pairs) v))
+              cells)
+        vecs)
+    family_names;
+  (* gauges *)
   List.iter
     (fun (name, v) ->
       let n = sanitize name in
-      Buffer.add_string b (Printf.sprintf "# TYPE %s_total counter\n" n);
-      Buffer.add_string b (Printf.sprintf "%s_total %d\n" n v))
-    (all ());
+      help_line n name;
+      Buffer.add_string b (Printf.sprintf "# TYPE %s gauge\n" n);
+      Buffer.add_string b (Printf.sprintf "%s %s\n" n (float_text v)))
+    (gauges ());
+  (* histograms: merge the plain and labelled registries by name *)
+  let plain_h = histograms () in
+  let vec_h = histogram_vecs () in
+  let family_names =
+    List.sort_uniq compare
+      (List.map (fun s -> s.h_name) plain_h
+      @ List.map (fun (n, _, _) -> n) vec_h)
+  in
+  let render_cell n pairs s =
+    let cumulative = ref 0 in
+    Array.iteri
+      (fun i c ->
+        cumulative := !cumulative + c;
+        let le =
+          if i < Array.length s.h_bounds then float_text s.h_bounds.(i)
+          else "+Inf"
+        in
+        Buffer.add_string b
+          (Printf.sprintf "%s_bucket%s %d\n" n
+             (render_labels (pairs @ [ ("le", le) ]))
+             !cumulative))
+      s.h_counts;
+    Buffer.add_string b
+      (Printf.sprintf "%s_sum%s %s\n" n (render_labels pairs)
+         (float_text s.h_sum));
+    Buffer.add_string b
+      (Printf.sprintf "%s_count%s %d\n" n (render_labels pairs) s.h_count)
+  in
   List.iter
-    (fun s ->
-      let n = sanitize s.h_name in
+    (fun name ->
+      let n = sanitize name in
+      help_line n name;
       Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" n);
-      let cumulative = ref 0 in
-      Array.iteri
-        (fun i c ->
-          cumulative := !cumulative + c;
-          let le =
-            if i < Array.length s.h_bounds then float_text s.h_bounds.(i)
-            else "+Inf"
-          in
-          Buffer.add_string b
-            (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" n le !cumulative))
-        s.h_counts;
-      Buffer.add_string b
-        (Printf.sprintf "%s_sum %s\n" n (float_text s.h_sum));
-      Buffer.add_string b (Printf.sprintf "%s_count %d\n" n s.h_count))
-    (histograms ());
+      (match List.find_opt (fun s -> s.h_name = name) plain_h with
+      | Some s -> render_cell n [] s
+      | None -> ());
+      List.iter
+        (fun (vec_name, labels, cells) ->
+          if vec_name = name then
+            List.iter
+              (fun (values, s) -> render_cell n (List.combine labels values) s)
+              cells)
+        vec_h)
+    family_names;
   Buffer.contents b
 
 (* --- well-known counter names --- *)
@@ -345,3 +762,28 @@ let milp_solve_nodes = "milp.solve_nodes"
 let parallel_queue_depth = "parallel.queue_depth"
 let parallel_portfolio_seconds = "parallel.portfolio_seconds"
 let autoscale_resolve_seconds = "autoscale.resolve_seconds"
+
+(* --- default help strings for the well-known families --- *)
+
+let () =
+  List.iter
+    (fun (name, help) ->
+      locked (fun () ->
+          if not (Hashtbl.mem help_registry name) then
+            Hashtbl.replace help_registry name help))
+    [ (lp_pivots, "Simplex pivots across both LP engines.");
+      (milp_nodes, "Branch-and-bound nodes evaluated.");
+      (milp_incumbents, "Incumbent improvements (warm starts included).");
+      (heuristic_evals, "Cost-oracle evaluations by the heuristics.");
+      (service_requests, "Solve requests admitted (sheds excluded).");
+      (service_cache_hits, "Requests answered from the solution cache.");
+      (service_cache_misses, "Solve requests that went to an engine.");
+      (service_shed, "Requests shed by admission control.");
+      (autoscale_ticks, "Demand ticks fed to elastic controllers.");
+      ( service_latency_seconds,
+        "Request handling latency in the service engine, seconds." );
+      ( service_queue_wait_seconds,
+        "Queue wait of drained solve jobs, seconds." );
+      (solver_wall_seconds, "End-to-end solver wall time, seconds.");
+      ( autoscale_resolve_seconds,
+        "Wall time of each elastic-controller re-solve, seconds." ) ]

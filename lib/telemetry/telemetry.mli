@@ -57,8 +57,9 @@ type counter
 (** [counter name] finds or creates the counter registered under
     [name]. Calls with equal names return the same counter, which is
     how independent libraries share one counter without depending on
-    each other. *)
-val counter : string -> counter
+    each other. [help] records the family's exposition help string
+    (see {!set_help}). *)
+val counter : ?help:string -> string -> counter
 
 (** [bump c] adds 1 to [c] (no-op when recording is disabled). *)
 val bump : counter -> unit
@@ -78,6 +79,34 @@ val value : string -> int
     registered is safe. *)
 val all : unit -> (string * int) list
 
+(** {1 Labelled counter families}
+
+    A counter family is one metric name carrying many series, one per
+    label-value vector — [service.requests{tenant="a",rung="cold"}].
+    Cells are found-or-created under the registry mutex and are
+    ordinary {!counter}s afterwards: {!bump}/{!add} stay wait-free and
+    honour the kill switch. Hot paths should resolve the cell once and
+    cache it (or guard the lookup with {!enabled}) — {!counter_with}
+    itself takes the registry mutex. *)
+
+type counter_vec
+
+(** [counter_vec name ~labels] finds or creates the counter family
+    registered under [name] with the given label {e names}.
+    Re-registering with different label names raises
+    [Invalid_argument]. A family may share its name with a plain
+    {!counter}; the exposition renders both under one [# TYPE]. *)
+val counter_vec : ?help:string -> string -> labels:string list -> counter_vec
+
+(** [counter_with vec values] is the cell of [vec] for the label
+    {e values} (arity must match the family's labels, else
+    [Invalid_argument]). Equal values return the same cell. *)
+val counter_with : counter_vec -> string list -> counter
+
+(** All registered counter families, sorted by name:
+    [(name, label names, cells)] with cells sorted by label values. *)
+val counter_vecs : unit -> (string * string list * (string list * int) list) list
+
 (** {1 Histograms} *)
 
 type histogram
@@ -85,9 +114,10 @@ type histogram
 (** [histogram name ~bounds] finds or creates the histogram registered
     under [name]. [bounds] are strictly increasing bucket upper
     bounds; an implicit overflow bucket catches everything above the
-    last. Re-registering with different bounds raises
-    [Invalid_argument]. *)
-val histogram : string -> bounds:float array -> histogram
+    last. Re-registering with different bounds — including against a
+    {!histogram_vec} family of the same name, whose series share these
+    buckets — raises [Invalid_argument]. *)
+val histogram : ?help:string -> string -> bounds:float array -> histogram
 
 (** [observe h v] adds one observation (no-op when recording is
     disabled). [v] lands in the first bucket whose bound is [>= v]
@@ -108,6 +138,56 @@ val snapshot : histogram -> histogram_snapshot
 
 (** All registered histograms, snapshotted, sorted by name. *)
 val histograms : unit -> histogram_snapshot list
+
+(** {1 Labelled histogram families}
+
+    The histogram analogue of {!counter_vec}: one name, one shared
+    bucket layout, many cells keyed by label values. *)
+
+type histogram_vec
+
+(** [histogram_vec name ~labels ~bounds] finds or creates the family.
+    Raises [Invalid_argument] on a label-name or bounds mismatch with
+    an earlier registration, including a plain {!histogram} of the
+    same name (labelled and unlabelled series share buckets so the
+    merged exposition stays coherent). *)
+val histogram_vec :
+  ?help:string ->
+  string ->
+  labels:string list ->
+  bounds:float array ->
+  histogram_vec
+
+(** The cell for the given label values — an ordinary {!histogram}
+    afterwards ({!observe} under the cell's own mutex, kill switch
+    honoured). Arity mismatches raise [Invalid_argument]. *)
+val histogram_with : histogram_vec -> string list -> histogram
+
+(** All registered histogram families, sorted by name, cells sorted by
+    label values. *)
+val histogram_vecs :
+  unit -> (string * string list * (string list * histogram_snapshot) list) list
+
+(** {1 Gauges}
+
+    Gauges are read-at-scrape callbacks, not recorded state: the
+    registered function is evaluated whenever {!gauges} or
+    {!text_exposition} runs, so the kill switch does not apply.
+    Callbacks must be cheap and must not register instruments. *)
+
+(** [gauge name f] registers (or replaces) the gauge [name]. The
+    process gauges [process.uptime_seconds], [process.heap_words] and
+    [process.major_collections] (from [Gc.quick_stat]) are registered
+    at module initialisation. *)
+val gauge : ?help:string -> string -> (unit -> float) -> unit
+
+(** Current value of every registered gauge, sorted by name. *)
+val gauges : unit -> (string * float) list
+
+(** [set_help name help] records the exposition help string for the
+    metric family [name] (also settable at registration time via the
+    [?help] arguments). *)
+val set_help : string -> string -> unit
 
 (** {1 Spans} *)
 
@@ -165,19 +245,85 @@ module Span : sig
       trace writer in [Rentcost_service.Metrics] installs itself
       here. [None] (the default) disables forwarding. *)
   val set_sink : (t -> unit) option -> unit
+
+  (** {2 Trace ids}
+
+      The ambient request identity of the current domain. While set,
+      every completed span (from {!with_span} and {!record}) carries a
+      [("trace_id", id)] attribute, so one request's spans can be
+      filtered out of the shared ring or a trace file. Domain-local:
+      parallel daemon workers each stamp their own request's id. *)
+
+  (** [with_trace_id id f] runs [f] with the trace id set, restoring
+      the previous value on exit (exceptions included). *)
+  val with_trace_id : string -> (unit -> 'a) -> 'a
+
+  (** Imperatively set or clear the current domain's trace id
+      ({!with_trace_id} is usually what you want). *)
+  val set_trace_id : string option -> unit
+
+  val trace_id : unit -> string option
+end
+
+(** {1 Convergence progress}
+
+    Incremental solvers ({!Milp.Solver}, the heuristics) emit
+    [(elapsed, incumbent, bound, source)] events as their search
+    advances; an enclosing {!Progress.collect} — installed by
+    [Rentcost.Solver.run] — gathers them into a convergence timeline.
+    Each event is also recorded as a zero-duration ["solver.progress"]
+    span, so trace files carry the timeline alongside the structural
+    spans. Emission is a no-op when recording is disabled or no
+    collector is active, and emitters only fire on strict improvement,
+    so timelines stay sparse and monotone (incumbents non-increasing,
+    bounds non-decreasing for a minimisation). *)
+module Progress : sig
+  type event = {
+    elapsed : float;  (** seconds since the enclosing collect started *)
+    incumbent : float option;  (** best feasible objective so far *)
+    bound : float option;  (** proved lower bound (minimisation) *)
+    source : string;  (** emitting engine, e.g. ["milp"], ["h32jump"] *)
+  }
+
+  (** Whether a collector is active on this domain. *)
+  val collecting : unit -> bool
+
+  (** [emit ~incumbent ~bound ~source ()] appends one event to every
+      active collector of this domain (each stamps its own [elapsed])
+      and records the progress span. No-op when disabled or when no
+      collector is active. *)
+  val emit : ?incumbent:float -> ?bound:float -> source:string -> unit -> unit
+
+  (** [collect f] runs [f] with a fresh collector installed and
+      returns its result alongside the events emitted during the run,
+      in emission order. Collectors nest; like the span context, the
+      collector is domain-local, so events from worker domains spawned
+      inside [f] are not captured. *)
+  val collect : (unit -> 'a) -> 'a * event list
 end
 
 (** {1 Text exposition}
 
-    A Prometheus-style rendering of every counter and histogram:
-    [name_total] lines for counters, [name_bucket{le="..."}] (with
-    cumulative counts), [name_sum] and [name_count] lines for
-    histograms. Metric names have non-identifier characters replaced
-    by ["_"]. *)
+    A Prometheus text-format rendering of every counter, gauge and
+    histogram. Each family gets an optional [# HELP] line (when a help
+    string is registered), a [# TYPE] line, then its samples: the
+    unlabelled series first, then labelled series sorted by label
+    values. Counters render as [name_total]; histograms as
+    [name_bucket{le="..."}] (cumulative counts), [name_sum] and
+    [name_count]; gauges as bare [name]. Metric and label names have
+    non-identifier characters replaced by ["_"]; label values and help
+    strings are escaped per the Prometheus exposition format. *)
 val text_exposition : unit -> string
 
 (** [sanitize name] is the exposition spelling of a metric name. *)
 val sanitize : string -> string
+
+(** Prometheus label-value escaping: backslash, double quote and
+    newline. *)
+val escape_label_value : string -> string
+
+(** Prometheus HELP-text escaping: backslash and newline. *)
+val escape_help : string -> string
 
 (** {1 Well-known counter names}
 

@@ -197,7 +197,7 @@ let test_shared_cache_race () =
 
 let solve_req ?id ?(reuse = Pr.Monotone) target =
   Pr.Solve
-    { id; source = Pr.Ref "app";
+    { id; trace_id = None; tenant = None; source = Pr.Ref "app";
       objective = Rentcost.Objective.min_cost ~target; pricebook = None;
       spec = S.Auto; budget = None; reuse }
 
@@ -443,7 +443,8 @@ let test_reduce_order_and_ties () =
       telemetry =
         { S.engine = S.Heuristic H.H32_jump; wall_time = 0.0;
           evaluations = 0; pivots = 0; nodes = 0; pruned_recipes = 0;
-          warm_started = false } }
+          warm_started = false };
+      convergence = [] }
   in
   let cheap = mk [| 70; 0; 0 |]
   and dear = mk [| 0; 70; 0 |] in
@@ -472,7 +473,7 @@ let test_reduce_order_and_ties () =
   (* Outcomes without an allocation are skipped, not winners. *)
   let infeasible =
     { S.status = S.Infeasible; allocation = None; throughput = 0;
-      telemetry = lo.S.telemetry }
+      telemetry = lo.S.telemetry; convergence = [] }
   in
   (match Pf.reduce [ (0, infeasible); (1, hi) ] with
    | Some (1, _) -> ()

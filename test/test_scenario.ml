@@ -295,7 +295,8 @@ let test_protocol_objective_roundtrip () =
   in
   let solve objective pricebook =
     Pr.Solve
-      { id = Some 3; source = Pr.Ref "app"; objective; pricebook;
+      { id = Some 3; trace_id = None; tenant = None;
+        source = Pr.Ref "app"; objective; pricebook;
         spec = S.Auto; budget = None; reuse = Pr.Monotone }
   in
   (match roundtrip (solve (Ob.max_throughput ~budget:120) (Some clouds)) with
@@ -349,7 +350,8 @@ let test_find_monotone_le () =
 
 let solve_req ?(objective = Ob.min_cost ~target:70) ?pricebook () =
   Pr.Solve
-    { id = None; source = Pr.Ref "app"; objective; pricebook; spec = S.Auto;
+    { id = None; trace_id = None; tenant = None;
+      source = Pr.Ref "app"; objective; pricebook; spec = S.Auto;
       budget = None; reuse = Pr.Monotone }
 
 let solved1 engine req =

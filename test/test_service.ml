@@ -39,7 +39,8 @@ let permuted =
 let solve_req ?id ?(source = Pr.Ref "app") ?(spec = S.Auto) ?budget
     ?(reuse = Pr.Monotone) ?pricebook target =
   Pr.Solve
-    { id; source; objective = Rentcost.Objective.min_cost ~target; pricebook;
+    { id; trace_id = None; tenant = None; source;
+      objective = Rentcost.Objective.min_cost ~target; pricebook;
       spec; budget; reuse }
 
 type solved = {
@@ -244,7 +245,7 @@ let test_admission_door_shed () =
   Alcotest.(check bool) "second admitted" true
     (E.submit ~now:0.0 e (solve_req ~id:2 60) = None);
   (match E.submit ~now:0.0 e (solve_req ~id:3 70) with
-   | Some (Pr.Overloaded { id = Some 3 }) -> ()
+   | Some (Pr.Overloaded { id = Some 3; _ }) -> ()
    | _ -> Alcotest.fail "expected the third request shed at the door");
   Alcotest.(check int) "two queued" 2 (E.queue_length e);
   let responses = E.drain ~now:0.0 e in
@@ -261,7 +262,7 @@ let test_admission_deadline_shed () =
        (solve_req ~id:9 ~budget:(B.deadline 0.5) 50)
      = None);
   match E.drain ~now:10.0 e with
-  | [ Pr.Overloaded { id = Some 9 } ] -> ()
+  | [ Pr.Overloaded { id = Some 9; _ } ] -> ()
   | _ -> Alcotest.fail "expected the expired request shed at dispatch"
 
 (* A request whose deadline has nearly — but not — expired by the time
@@ -413,7 +414,7 @@ let test_track_session_end_to_end () =
      Alcotest.(check bool) "session was billed" true (total_charged > 0)
    | _ -> Alcotest.fail "expected an untracked summary");
   match E.handle e (Pr.Tick { id = Some 3; session = "fleet"; demand = 10 }) with
-  | [ Pr.Error { id = Some 3; message } ] ->
+  | [ Pr.Error { id = Some 3; message; _ } ] ->
     Alcotest.(check bool) "names the missing session" true
       (String.length message > 0)
   | _ -> Alcotest.fail "tick after untrack must error"
@@ -572,6 +573,181 @@ let test_metrics_reply () =
       (contains ~sub:"service_latency_seconds_bucket" text)
   | _ -> Alcotest.fail "expected a metrics reply"
 
+(* --- trace ids and the audit journal --- *)
+
+type traced = { t_trace_id : string option; t_cost : int }
+
+let solve_traced ?trace_id ?tenant ?(id = 1) e target =
+  match
+    E.handle e
+      (Pr.Solve
+         { id = Some id; trace_id; tenant; source = Pr.Ref "app";
+           objective = Rentcost.Objective.min_cost ~target; pricebook = None;
+           spec = S.Auto; budget = None; reuse = Pr.Monotone })
+  with
+  | [ Pr.Solved { trace_id; cost; _ } ] -> { t_trace_id = trace_id; t_cost = cost }
+  | [ Pr.Error { message; _ } ] -> Alcotest.fail ("engine error: " ^ message)
+  | _ -> Alcotest.fail "expected exactly one solved response"
+
+let test_trace_id_roundtrip () =
+  let e = engine_with base in
+  (* A client-supplied id is echoed verbatim... *)
+  let r1 = solve_traced ~trace_id:"req-client-7" e 110 in
+  Alcotest.(check (option string)) "client id echoed" (Some "req-client-7")
+    r1.t_trace_id;
+  (* ...and an omitted one is engine-assigned, unique per request. *)
+  let r2 = solve_traced ~id:2 e 120 in
+  let r3 = solve_traced ~id:3 e 120 in
+  let assigned r =
+    match r.t_trace_id with
+    | Some t when String.length t > 4 && String.sub t 0 4 = "req-" -> t
+    | Some t -> Alcotest.failf "assigned id %S lacks the req- prefix" t
+    | None -> Alcotest.fail "no trace id assigned"
+  in
+  Alcotest.(check bool) "assigned ids distinct" true
+    (assigned r2 <> assigned r3);
+  (* The matching audit records carry the same ids, newest last. *)
+  match E.handle e (Pr.Audit { last = Some 3 }) with
+  | [ Pr.Audit_reply records ] ->
+    Alcotest.(check (list string)) "audit records carry the ids"
+      [ "req-client-7"; assigned r2; assigned r3 ]
+      (List.map (fun (r : Svc.Audit.record) -> r.Svc.Audit.trace_id) records)
+  | _ -> Alcotest.fail "expected an audit reply"
+
+let test_trace_id_on_spans () =
+  Telemetry.Span.clear ();
+  let e = engine_with base in
+  ignore (solve_traced ~trace_id:"req-spans" e 110);
+  let spans = Telemetry.Span.recent () in
+  let stamped =
+    List.filter
+      (fun s ->
+        List.assoc_opt "trace_id" s.Telemetry.Span.attrs = Some "req-spans")
+      spans
+  in
+  (* Every span of the request is stamped, from the service.request
+     root down to the engine's own spans. *)
+  let names = List.map (fun s -> s.Telemetry.Span.name) stamped in
+  Alcotest.(check bool) "request root stamped" true
+    (List.mem "service.request" names);
+  Alcotest.(check bool) "engine solve spans stamped" true
+    (List.exists (fun n -> n = "service.solve" || n = "solver.run") names
+    || List.length stamped > 1)
+
+let test_audit_journal () =
+  let e = engine_with base in
+  let r1 = solve_traced ~tenant:"acme" e 110 in
+  let _r2 = solve_traced ~id:2 ~tenant:"acme" e 110 in
+  (match E.handle e (Pr.Audit { last = None }) with
+  | [ Pr.Audit_reply [ cold; hit ] ] ->
+    Alcotest.(check string) "tenant recorded" "acme" cold.Svc.Audit.tenant;
+    Alcotest.(check bool) "fingerprint digest recorded" true
+      (String.length cold.Svc.Audit.fingerprint > 0);
+    Alcotest.(check string) "fingerprints agree" cold.Svc.Audit.fingerprint
+      hit.Svc.Audit.fingerprint;
+    Alcotest.(check string) "cold rung" "cold" cold.Svc.Audit.served;
+    Alcotest.(check string) "exact rung" "exact-hit" hit.Svc.Audit.served;
+    Alcotest.(check int) "cost recorded" r1.t_cost cold.Svc.Audit.cost;
+    Alcotest.(check bool) "queue wait sane" true
+      (cold.Svc.Audit.queue_wait >= 0.0);
+    Alcotest.(check bool) "wall time measured" true
+      (cold.Svc.Audit.wall >= 0.0);
+    (* The cold solve ran an engine, so its record folds a convergence
+       timeline; the cache hit ran nothing. *)
+    (match cold.Svc.Audit.convergence with
+    | None -> Alcotest.fail "cold solve has no convergence summary"
+    | Some s ->
+      Alcotest.(check bool) "timeline non-empty" true (s.Svc.Audit.events > 0);
+      (match (s.Svc.Audit.last_incumbent, s.Svc.Audit.final_gap) with
+      | Some inc, Some gap ->
+        Alcotest.(check (float 1e-9)) "final incumbent is the answer"
+          (float_of_int r1.t_cost) inc;
+        Alcotest.(check (float 1e-9)) "optimality proved: zero gap" 0.0 gap
+      | _ -> Alcotest.fail "summary lacks incumbent or gap"));
+    Alcotest.(check bool) "hit records no timeline" true
+      (hit.Svc.Audit.convergence = None);
+    (* Records survive the wire codec. *)
+    (match
+       Pr.response_of_json (Pr.response_to_json (Pr.Audit_reply [ cold; hit ]))
+     with
+    | Ok (Pr.Audit_reply [ c'; h' ]) ->
+      Alcotest.(check string) "codec keeps trace id" cold.Svc.Audit.trace_id
+        c'.Svc.Audit.trace_id;
+      Alcotest.(check bool) "codec keeps the summary" true
+        (c'.Svc.Audit.convergence = cold.Svc.Audit.convergence);
+      Alcotest.(check bool) "codec keeps the absence" true
+        (h'.Svc.Audit.convergence = None)
+    | _ -> Alcotest.fail "audit reply does not survive the codec")
+  | _ -> Alcotest.fail "expected two audit records");
+  (* Failed solves are completed requests too: they land in the
+     journal with status "error". *)
+  (match E.handle e (solve_req ~id:9 ~source:(Pr.Ref "nope") 50) with
+  | [ Pr.Error _ ] -> ()
+  | _ -> Alcotest.fail "expected an error for the unknown ref");
+  match E.handle e (Pr.Audit { last = Some 1 }) with
+  | [ Pr.Audit_reply [ r ] ] ->
+    Alcotest.(check string) "error status recorded" "error" r.Svc.Audit.status;
+    Alcotest.(check string) "no rung on an error" "none" r.Svc.Audit.served
+  | _ -> Alcotest.fail "expected the error record"
+
+let test_audit_kill_switch () =
+  let e = engine_with base in
+  ignore (solve_traced e 110);
+  Alcotest.(check int) "one record while enabled" 1
+    (Svc.Audit.recorded (E.audit e));
+  Fun.protect
+    ~finally:(fun () -> Telemetry.set_enabled true)
+    (fun () ->
+      Telemetry.set_enabled false;
+      let r = solve_traced ~id:2 ~trace_id:"req-dark" e 120 in
+      (* The solve still answers — with its trace id — but the frozen
+         journal records nothing. *)
+      Alcotest.(check (option string)) "response still traced"
+        (Some "req-dark") r.t_trace_id;
+      Alcotest.(check int) "journal frozen" 1 (Svc.Audit.recorded (E.audit e)))
+
+let test_audit_ring_and_file () =
+  let ring = Svc.Audit.create ~capacity:2 () in
+  let path = Filename.temp_file "rentcost_audit" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () ->
+      Svc.Audit.close ring;
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Svc.Audit.open_file ring path;
+      let mk trace_id =
+        { Svc.Audit.seq = 0; at = 1.0; trace_id; id = None; tenant = "t";
+          fingerprint = "fp"; objective = "min-cost"; scalar = 10;
+          served = "cold"; engine = "ilp"; status = "optimal"; cost = 5;
+          throughput = 10; queue_wait = 0.0; wall = 0.1; evaluations = 1;
+          pivots = 2; nodes = 3; convergence = None }
+      in
+      List.iter (fun t -> Svc.Audit.record ring (mk t)) [ "a"; "b"; "c" ];
+      (* The ring holds the newest two, oldest first; the file keeps
+         all three. *)
+      Alcotest.(check (list string)) "ring keeps the newest"
+        [ "b"; "c" ]
+        (List.map
+           (fun (r : Svc.Audit.record) -> r.Svc.Audit.trace_id)
+           (Svc.Audit.recent ring));
+      Alcotest.(check int) "sequence numbers assigned" 3
+        (Svc.Audit.recorded ring);
+      let ic = open_in path in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> close_in ic);
+      Alcotest.(check (list string)) "file keeps every record"
+        [ "a"; "b"; "c" ]
+        (List.rev_map
+           (fun line ->
+             match Result.bind (J.of_string line) Svc.Audit.record_of_json with
+             | Ok r -> r.Svc.Audit.trace_id
+             | Error e -> Alcotest.fail ("audit line: " ^ e))
+           !lines))
+
 let suite =
   ( "service",
     [ Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
@@ -608,5 +784,13 @@ let suite =
       Alcotest.test_case "track unknown ref errors" `Quick
         test_track_unknown_ref_errors;
       Alcotest.test_case "metrics reply" `Quick test_metrics_reply;
+      Alcotest.test_case "trace id round trip" `Quick test_trace_id_roundtrip;
+      Alcotest.test_case "trace id stamps request spans" `Quick
+        test_trace_id_on_spans;
+      Alcotest.test_case "audit journal" `Quick test_audit_journal;
+      Alcotest.test_case "audit honours the kill switch" `Quick
+        test_audit_kill_switch;
+      Alcotest.test_case "audit ring and jsonl file" `Quick
+        test_audit_ring_and_file;
       Alcotest.test_case "daemon session over a pipe" `Quick
         test_daemon_over_pipe ] )

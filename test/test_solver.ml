@@ -212,6 +212,89 @@ let test_telemetry_isolated_per_solve () =
   Alcotest.(check int) "same pivots" t1.S.pivots t2.S.pivots;
   Alcotest.(check int) "same evaluations" t1.S.evaluations t2.S.evaluations
 
+(* --- convergence timelines --- *)
+
+module TP = Telemetry.Progress
+
+let check_timeline ?optimal name (events : TP.event list) =
+  Alcotest.(check bool) (name ^ ": timeline non-empty") true (events <> []);
+  let rec walk last_elapsed last_inc last_bound = function
+    | [] -> ()
+    | (e : TP.event) :: rest ->
+      Alcotest.(check bool) (name ^ ": elapsed non-decreasing") true
+        (e.TP.elapsed >= last_elapsed);
+      let last_inc =
+        match (last_inc, e.TP.incumbent) with
+        | Some prev, Some inc ->
+          Alcotest.(check bool) (name ^ ": incumbents non-increasing") true
+            (inc <= prev);
+          Some inc
+        | prev, inc -> if inc = None then prev else inc
+      in
+      let last_bound =
+        match (last_bound, e.TP.bound) with
+        | Some prev, Some b ->
+          Alcotest.(check bool) (name ^ ": bounds non-decreasing") true
+            (b >= prev);
+          Some b
+        | prev, b -> if b = None then prev else b
+      in
+      walk e.TP.elapsed last_inc last_bound rest
+  in
+  walk neg_infinity None None events;
+  let final opt = List.fold_left (fun acc e -> match opt e with Some v -> Some v | None -> acc) None events in
+  match optimal with
+  | None -> ()
+  | Some cost ->
+    Alcotest.(check (option (float 1e-9)))
+      (name ^ ": final incumbent is the optimum")
+      (Some (float_of_int cost))
+      (final (fun e -> e.TP.incumbent));
+    Alcotest.(check (option (float 1e-9)))
+      (name ^ ": bound closes the gap")
+      (Some (float_of_int cost))
+      (final (fun e -> e.TP.bound))
+
+(* The acceptance instance: a Fig. 7-scale MILP solve (the paper's
+   illustrating problem routes to the ILP) must leave a timeline with
+   non-increasing incumbents and non-decreasing bounds ending at the
+   proved optimal cost. *)
+let test_convergence_milp () =
+  let target = 70 in
+  let optimal = solve_cost ~spec:S.Exhaustive shared_problem ~target in
+  let o = solve ~spec:S.Exact_ilp shared_problem ~target in
+  Alcotest.(check bool) "optimality proved" true (o.S.status = S.Optimal);
+  check_timeline ~optimal "milp" o.S.convergence;
+  (* The warm start reports first, then branch and bound takes over:
+     the proof event carries the milp source. *)
+  let sources = List.map (fun (e : TP.event) -> e.TP.source) o.S.convergence in
+  Alcotest.(check bool) "proof event present" true
+    (List.mem "milp.proved" sources)
+
+let test_convergence_heuristic () =
+  let o =
+    solve ~rng:(Numeric.Prng.create 7) ~spec:(S.Heuristic Rentcost.Heuristics.H32_jump)
+      shared_problem ~target:70
+  in
+  check_timeline "h32jump" o.S.convergence;
+  (* Heuristics prove nothing: incumbent-only events, every one from
+     the heuristic itself. *)
+  List.iter
+    (fun (e : TP.event) ->
+      Alcotest.(check (option (float 1e-9))) "no bounds" None e.TP.bound;
+      Alcotest.(check string) "source" "h32jump" e.TP.source)
+    o.S.convergence
+
+let test_convergence_empty_when_disabled () =
+  Fun.protect
+    ~finally:(fun () -> Telemetry.set_enabled true)
+    (fun () ->
+      Telemetry.set_enabled false;
+      let o = solve ~spec:S.Exact_ilp shared_problem ~target:70 in
+      Alcotest.(check bool) "still optimal" true (o.S.status = S.Optimal);
+      Alcotest.(check bool) "no timeline when disabled" true
+        (o.S.convergence = []))
+
 (* --- spec parsing --- *)
 
 let test_spec_strings () =
@@ -278,4 +361,10 @@ let suite =
       Alcotest.test_case "telemetry dp" `Quick test_telemetry_dp;
       Alcotest.test_case "telemetry isolated per solve" `Quick
         test_telemetry_isolated_per_solve;
+      Alcotest.test_case "milp convergence timeline" `Quick
+        test_convergence_milp;
+      Alcotest.test_case "heuristic convergence timeline" `Quick
+        test_convergence_heuristic;
+      Alcotest.test_case "convergence empty when disabled" `Quick
+        test_convergence_empty_when_disabled;
       Alcotest.test_case "spec strings" `Quick test_spec_strings ] )

@@ -111,10 +111,17 @@ let test_disabled_zero_alloc =
       done;
       let c = T.counter "test.zero_alloc" in
       let h = T.histogram "test.zero_alloc_hist" ~bounds:[| 1.0 |] in
+      (* A labelled cell resolved up front is an ordinary counter, and
+         the engine-style guarded lookup skips the registry entirely —
+         both must be free when the switch is off. *)
+      let vec = T.counter_vec "test.zero_alloc_vec" ~labels:[ "tenant" ] in
+      let cell = T.counter_with vec [ "acme" ] in
       let before = Gc.minor_words () in
       for _ = 1 to 1000 do
         ignore (T.Span.with_span "off" f);
         T.bump c;
+        T.bump cell;
+        if T.enabled () then T.bump (T.counter_with vec [ "acme" ]);
         T.observe h 0.5
       done;
       let allocated = Gc.minor_words () -. before in
@@ -123,8 +130,197 @@ let test_disabled_zero_alloc =
            allocated)
         true (allocated = 0.0);
       Alcotest.(check int) "counter frozen" 0 (T.read c);
+      Alcotest.(check int) "labelled cell frozen" 0 (T.read cell);
       Alcotest.(check int) "histogram frozen" 0 (T.snapshot h).T.h_count;
       Alcotest.(check int) "no spans" 0 (T.Span.recorded ()))
+
+(* --- labelled families --- *)
+
+let test_labelled_counters () =
+  let vec = T.counter_vec "test.vec_basics" ~labels:[ "tenant"; "rung" ] in
+  let a = T.counter_with vec [ "acme"; "cold" ] in
+  T.bump a;
+  T.add a 2;
+  (* Equal label values find the same cell, so increments accumulate. *)
+  T.bump (T.counter_with vec [ "acme"; "cold" ]);
+  T.bump (T.counter_with vec [ "acme"; "exact" ]);
+  Alcotest.(check int) "same values, same cell" 4 (T.read a);
+  (match
+     List.find_opt
+       (fun (n, _, _) -> n = "test.vec_basics")
+       (T.counter_vecs ())
+   with
+  | None -> Alcotest.fail "family not in the snapshot"
+  | Some (_, labels, cells) ->
+    Alcotest.(check (list string)) "label names kept" [ "tenant"; "rung" ]
+      labels;
+    Alcotest.(check
+                (list (pair (list string) int)))
+      "cells sorted by label values"
+      [ ([ "acme"; "cold" ], 4); ([ "acme"; "exact" ], 1) ]
+      cells);
+  (* Re-registering the family with equal labels is the find half of
+     find-or-create; different labels are a programming error. *)
+  ignore (T.counter_vec "test.vec_basics" ~labels:[ "tenant"; "rung" ]);
+  Alcotest.(check bool) "label-name mismatch raises" true
+    (match T.counter_vec "test.vec_basics" ~labels:[ "rung" ] with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  Alcotest.(check bool) "arity mismatch raises" true
+    (match T.counter_with vec [ "acme" ] with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_labelled_histograms () =
+  let vec =
+    T.histogram_vec "test.vec_hist" ~labels:[ "engine" ] ~bounds:[| 1.0; 2.0 |]
+  in
+  let cell = T.histogram_with vec [ "ilp" ] in
+  List.iter (T.observe cell) [ 0.5; 1.5; 9.0 ];
+  T.observe (T.histogram_with vec [ "ilp" ]) 0.5;
+  (match
+     List.find_opt (fun (n, _, _) -> n = "test.vec_hist") (T.histogram_vecs ())
+   with
+  | None -> Alcotest.fail "family not in the snapshot"
+  | Some (_, labels, cells) ->
+    Alcotest.(check (list string)) "label names kept" [ "engine" ] labels;
+    (match cells with
+    | [ ([ "ilp" ], s) ] ->
+      Alcotest.(check (list int)) "cell buckets" [ 2; 1; 1 ]
+        (Array.to_list s.T.h_counts);
+      Alcotest.(check int) "cell count" 4 s.T.h_count
+    | _ -> Alcotest.fail "expected exactly the ilp cell"));
+  (* Labelled and plain series of one name share buckets, so a bounds
+     mismatch — either way round — is rejected. *)
+  Alcotest.(check bool) "bounds mismatch raises" true
+    (match
+       T.histogram_vec "test.vec_hist" ~labels:[ "engine" ] ~bounds:[| 7.0 |]
+     with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  Alcotest.(check bool) "plain histogram bounds mismatch raises" true
+    (match T.histogram "test.vec_hist" ~bounds:[| 7.0 |] with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* Four domains race find-or-create on the *same* (name, label-vector):
+   every increment must land on the one shared cell. *)
+let test_labelled_concurrent () =
+  let per_domain = 500 in
+  let domains =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to per_domain do
+              let vec =
+                T.counter_vec "test.vec_conc" ~labels:[ "tenant"; "rung" ]
+              in
+              T.bump (T.counter_with vec [ "shared"; "cold" ]);
+              (* A per-domain series interleaved with the shared one,
+                 so cell creation races cell lookup. *)
+              if i mod 7 = 0 then
+                T.bump
+                  (T.counter_with vec [ Printf.sprintf "d%d" d; "warm" ])
+            done))
+  in
+  List.iter Domain.join domains;
+  let vec = T.counter_vec "test.vec_conc" ~labels:[ "tenant"; "rung" ] in
+  Alcotest.(check int) "no lost increments on the shared cell"
+    (4 * per_domain)
+    (T.read (T.counter_with vec [ "shared"; "cold" ]));
+  List.iter
+    (fun d ->
+      Alcotest.(check int)
+        (Printf.sprintf "domain %d series intact" d)
+        (per_domain / 7)
+        (T.read (T.counter_with vec [ Printf.sprintf "d%d" d; "warm" ])))
+    [ 0; 1; 2; 3 ]
+
+(* --- gauges --- *)
+
+let test_gauges =
+  with_clean (fun () ->
+      let v = ref 1.5 in
+      T.gauge "test.gauge" (fun () -> !v);
+      Alcotest.(check (option (float 1e-9))) "read at scrape" (Some 1.5)
+        (List.assoc_opt "test.gauge" (T.gauges ()));
+      v := 4.0;
+      (* Gauges are callbacks, not recorded state: the kill switch does
+         not freeze them. *)
+      T.set_enabled false;
+      Alcotest.(check (option (float 1e-9))) "live while disabled" (Some 4.0)
+        (List.assoc_opt "test.gauge" (T.gauges ()));
+      T.set_enabled true;
+      (* Re-registering replaces the callback. *)
+      T.gauge "test.gauge" (fun () -> 9.0);
+      Alcotest.(check (option (float 1e-9))) "replaced" (Some 9.0)
+        (List.assoc_opt "test.gauge" (T.gauges ()));
+      let names = List.map fst (T.gauges ()) in
+      List.iter
+        (fun p ->
+          Alcotest.(check bool) (p ^ " registered") true (List.mem p names))
+        [
+          "process.uptime_seconds"; "process.heap_words";
+          "process.major_collections";
+        ])
+
+(* --- golden exposition block ---
+
+   The full exposition includes every instrument other tests have
+   registered, so the golden compare extracts just the families this
+   test owns (unique names) and pins their rendered lines exactly:
+   HELP escaping, TYPE lines, the _total suffix, plain-then-labelled
+   ordering, and label-value escaping. *)
+
+let test_exposition_golden () =
+  let c = T.counter ~help:"Requests served.\nBy anyone." "test.golden_req" in
+  T.add c 3;
+  let vec = T.counter_vec "test.golden_req" ~labels:[ "tenant"; "rung" ] in
+  T.add (T.counter_with vec [ "a\"cme\\x"; "cold\nstart" ]) 2;
+  T.bump (T.counter_with vec [ "zeta"; "warm" ]);
+  T.gauge ~help:"A level." "test.golden_level" (fun () -> 2.5);
+  let h =
+    T.histogram ~help:"Sizes." "test.golden_size" ~bounds:[| 1.0; 10.0 |]
+  in
+  List.iter (T.observe h) [ 0.5; 5.0; 50.0 ];
+  let lines = String.split_on_char '\n' (T.text_exposition ()) in
+  let block prefix =
+    List.filter
+      (fun line ->
+        let mentions sub =
+          let n = String.length sub and m = String.length line in
+          let rec go i = i + n <= m && (String.sub line i n = sub || go (i + 1)) in
+          go 0
+        in
+        mentions prefix)
+      lines
+  in
+  Alcotest.(check (list string)) "counter family block"
+    [
+      "# HELP test_golden_req_total Requests served.\\nBy anyone.";
+      "# TYPE test_golden_req_total counter";
+      "test_golden_req_total 3";
+      "test_golden_req_total{tenant=\"a\\\"cme\\\\x\",rung=\"cold\\nstart\"} 2";
+      "test_golden_req_total{tenant=\"zeta\",rung=\"warm\"} 1";
+    ]
+    (block "test_golden_req");
+  Alcotest.(check (list string)) "gauge block"
+    [
+      "# HELP test_golden_level A level.";
+      "# TYPE test_golden_level gauge";
+      "test_golden_level 2.5";
+    ]
+    (block "test_golden_level");
+  Alcotest.(check (list string)) "histogram block"
+    [
+      "# HELP test_golden_size Sizes.";
+      "# TYPE test_golden_size histogram";
+      "test_golden_size_bucket{le=\"1\"} 1";
+      "test_golden_size_bucket{le=\"10\"} 2";
+      "test_golden_size_bucket{le=\"+Inf\"} 3";
+      "test_golden_size_sum 55.5";
+      "test_golden_size_count 3";
+    ]
+    (block "test_golden_size")
 
 (* --- histograms --- *)
 
@@ -185,6 +381,91 @@ let bucket_prop (raw_bounds, values) =
   Array.for_all2 ( = ) added expect
   && after.T.h_count - before.T.h_count = List.length values
   && Array.fold_left ( + ) 0 added = List.length values
+
+(* --- trace ids --- *)
+
+let test_trace_id =
+  with_clean (fun () ->
+      T.Span.clear ();
+      Alcotest.(check (option string)) "no ambient id" None (T.Span.trace_id ());
+      T.Span.with_trace_id "req-outer" (fun () ->
+          Alcotest.(check (option string)) "id set" (Some "req-outer")
+            (T.Span.trace_id ());
+          T.Span.with_span "a" (fun () -> ());
+          T.Span.with_trace_id "req-inner" (fun () ->
+              T.Span.with_span "b" (fun () -> ()));
+          (* The outer id is restored after the nested scope... *)
+          T.Span.record ~name:"manual" ~start:1.0 ~duration:0.5 ());
+      (* ...and cleared entirely outside every scope. *)
+      T.Span.with_span "outside" (fun () -> ());
+      let attr_of name =
+        match
+          List.find_opt (fun s -> s.T.Span.name = name) (T.Span.recent ())
+        with
+        | None -> Alcotest.failf "span %s not recorded" name
+        | Some s -> List.assoc_opt "trace_id" s.T.Span.attrs
+      in
+      Alcotest.(check (option string)) "with_span stamped" (Some "req-outer")
+        (attr_of "a");
+      Alcotest.(check (option string)) "nested id wins" (Some "req-inner")
+        (attr_of "b");
+      Alcotest.(check (option string)) "record stamped, outer restored"
+        (Some "req-outer") (attr_of "manual");
+      Alcotest.(check (option string)) "no id outside" None
+        (attr_of "outside"))
+
+(* --- convergence progress --- *)
+
+let test_progress_collect =
+  with_clean (fun () ->
+      install_tick_clock ();
+      T.Span.clear ();
+      Alcotest.(check bool) "no collector at rest" false
+        (T.Progress.collecting ());
+      (* Emitting without a collector is a silent no-op. *)
+      T.Progress.emit ~incumbent:1.0 ~source:"nobody" ();
+      let (), outer =
+        T.Progress.collect (fun () ->
+            Alcotest.(check bool) "collector active" true
+              (T.Progress.collecting ());
+            T.Progress.emit ~incumbent:250.0 ~source:"h32jump" ();
+            let (), inner =
+              T.Progress.collect (fun () ->
+                  T.Progress.emit ~incumbent:210.0 ~bound:180.0 ~source:"milp"
+                    ())
+            in
+            (* Nested collectors both see the inner event, each with
+               its own elapsed origin. *)
+            Alcotest.(check int) "inner sees one event" 1 (List.length inner);
+            T.Progress.emit ~bound:199.0 ~source:"milp" ())
+      in
+      (match outer with
+      | [ e1; e2; e3 ] ->
+        Alcotest.(check string) "sources in emission order" "h32jump,milp,milp"
+          (String.concat "," [ e1.T.Progress.source; e2.T.Progress.source;
+                               e3.T.Progress.source ]);
+        Alcotest.(check (option (float 1e-9))) "incumbent kept" (Some 210.0)
+          e2.T.Progress.incumbent;
+        Alcotest.(check (option (float 1e-9))) "bound-only event" None
+          e3.T.Progress.incumbent;
+        Alcotest.(check (option (float 1e-9))) "bound kept" (Some 199.0)
+          e3.T.Progress.bound;
+        Alcotest.(check bool) "elapsed non-decreasing" true
+          (e1.T.Progress.elapsed <= e2.T.Progress.elapsed
+          && e2.T.Progress.elapsed <= e3.T.Progress.elapsed)
+      | l -> Alcotest.failf "expected 3 events, got %d" (List.length l));
+      Alcotest.(check int) "each emission recorded a progress span" 3
+        (List.length
+           (List.filter
+              (fun s -> s.T.Span.name = "solver.progress")
+              (T.Span.recent ())));
+      (* The kill switch silences emission even under a collector. *)
+      T.set_enabled false;
+      let (), dark =
+        T.Progress.collect (fun () ->
+            T.Progress.emit ~incumbent:1.0 ~source:"off" ())
+      in
+      Alcotest.(check int) "disabled emits nothing" 0 (List.length dark))
 
 (* --- the span JSONL codec --- *)
 
@@ -289,9 +570,21 @@ let suite =
       Alcotest.test_case "ring wraparound" `Quick test_ring_wraparound;
       Alcotest.test_case "disabled mode allocates nothing" `Quick
         test_disabled_zero_alloc;
+      Alcotest.test_case "labelled counter families" `Quick
+        test_labelled_counters;
+      Alcotest.test_case "labelled histogram families" `Quick
+        test_labelled_histograms;
+      Alcotest.test_case "labelled find-or-create is domain-safe" `Quick
+        test_labelled_concurrent;
+      Alcotest.test_case "gauges read at scrape" `Quick test_gauges;
+      Alcotest.test_case "golden exposition blocks" `Quick
+        test_exposition_golden;
       Alcotest.test_case "histogram le-bucket semantics" `Quick
         test_histogram_basics;
       prop "every observation lands in exactly one bucket" hist_gen bucket_prop;
+      Alcotest.test_case "trace ids stamp spans" `Quick test_trace_id;
+      Alcotest.test_case "progress collect and emit" `Quick
+        test_progress_collect;
       Alcotest.test_case "span json round-trip" `Quick test_span_json_roundtrip;
       Alcotest.test_case "jsonl trace sink round-trip" `Quick test_trace_sink;
       Alcotest.test_case "registration is domain-safe" `Quick
