@@ -27,7 +27,9 @@
    path and the exact-fallback rate on the paper and overflow-stress
    workloads. BENCH_autoscale.json records the elastic controller's
    total rental cost against the static-peak and clairvoyant-oracle
-   policies on a seeded diurnal trace.
+   policies on a seeded diurnal trace. BENCH_load.json records the
+   serving layer's sustained closed-loop throughput and latency
+   percentiles through a pipe daemon under seeded hit-ratio traffic.
 
    Randomness discipline: every workload and kernel seed derives from
    ONE root seed (RENTCOST_BENCH_SEED, default 2016) split in a fixed
@@ -63,16 +65,18 @@ let root_seed =
   | Some v -> (match int_of_string_opt v with Some n -> n | None -> 2016)
   | None -> 2016
 
-let workload_seed, kernel_seed, sweep_seed, autoscale_seed =
+let workload_seed, kernel_seed, sweep_seed, autoscale_seed, load_seed =
   let r = P.create root_seed in
   let sub () = Int64.to_int (P.bits64 r) land 0x3FFFFFFF in
   let workload = sub () in
   let kernel = sub () in
   let sweep = sub () in
   (* Drawn after the original three so adding the autoscale group did
-     not shift any pre-existing stream. *)
+     not shift any pre-existing stream; the load seed follows for the
+     same reason. *)
   let autoscale = sub () in
-  (workload, kernel, sweep, autoscale)
+  let load = sub () in
+  (workload, kernel, sweep, autoscale, load)
 
 let illustrating = Rentcost.Problem.illustrating
 
@@ -629,11 +633,49 @@ let autoscale_group =
                (Lazy.force resolve_controller)
                ~demand:(if !flip then 80 else 20))) ]
 
+(* --- load: the per-request costs the serving path stacks up ---
+
+   Three kernels, one per layer a request crosses under load: the
+   daemon's per-line protocol parse, the admission queue's offer/take
+   round trip, and the full queued path through the engine (submit
+   into the backlog, drain, answer from the warm cache). The
+   end-to-end pipe-daemon throughput number lives in BENCH_load.json
+   below — bechamel measures the per-layer costs that compose it. *)
+
+let load_solve_line =
+  Svc.Json.to_string
+    (Svc.Protocol.request_to_json
+       (service_solve ~reuse:Svc.Protocol.Monotone ~target:70))
+
+let load_admission_queue = lazy (Svc.Admission.create ~capacity:4 ())
+
+let load_group =
+  Test.make_grouped ~name:"load"
+    [ Test.make ~name:"protocol_parse_solve"
+        (Staged.stage (fun () ->
+             match Svc.Json.of_string load_solve_line with
+             | Ok j -> Svc.Protocol.request_of_json j
+             | Error e -> Error e));
+      Test.make ~name:"admission_offer_take"
+        (Staged.stage (fun () ->
+             let q = Lazy.force load_admission_queue in
+             ignore (Svc.Admission.offer q ~now:0.0 1);
+             Svc.Admission.take q ~now:0.0));
+      Test.make ~name:"queued_hit_round_trip"
+        (Staged.stage (fun () ->
+             let e = Lazy.force primed_engine in
+             match
+               Svc.Engine.submit e
+                 (service_solve ~reuse:Svc.Protocol.Monotone ~target:70)
+             with
+             | [] -> Svc.Engine.drain e
+             | rs -> rs)) ]
+
 let all_tests =
   Test.make_grouped ~name:"rentcost"
     [ table3; fig3; fig4; fig5; fig6; fig7; fig8; micro; ablation; solver_group;
       service_group; observability_group; parallel_group; scenarios_group;
-      numeric_group; autoscale_group ]
+      numeric_group; autoscale_group; load_group ]
 
 (* --- BENCH_solver.json: machine-readable per-engine record --- *)
 
@@ -1289,6 +1331,215 @@ let emit_autoscale_json () =
     c.As.Policy.oracle.As.Policy.total_cost;
   c
 
+(* --- BENCH_load.json: sustained throughput through the pipe daemon ---
+
+   A closed-loop load generator: [clients] domains each keep exactly
+   one request in flight against a daemon served over a pipe pair by
+   [workers] worker domains — so the offered concurrency is [clients],
+   never more, and the measured rate is a sustained number rather
+   than a burst into the queue. Traffic is seeded: each request
+   repeats a hot target with probability [hit_ratio] (warm cache hits
+   after first touch) and otherwise draws a fresh target (a cold
+   solve, possibly upgraded to a monotone hit by a higher entry).
+   Request ids encode (client, sequence) so one reader domain can
+   fan acks back to the right client; percentiles come from the
+   [service.latency_seconds] histogram's before/after bucket deltas,
+   which sees every request the daemon served. *)
+
+let load_stride = 1_000_000
+
+type load_stats = {
+  ld_requests : int;
+  ld_clients : int;
+  ld_workers : int;
+  ld_hit_ratio : float;
+  ld_hit_measured : float;
+  ld_wall : float;
+  ld_rps : float;
+  ld_p50_ms : float;
+  ld_p99_ms : float;
+  ld_cold : int;
+  ld_hits : int;
+  ld_coalesced : int;
+}
+
+let latency_histogram () =
+  match
+    List.find_opt
+      (fun h -> h.Telemetry.h_name = Telemetry.service_latency_seconds)
+      (Telemetry.histograms ())
+  with
+  | Some h -> h
+  | None -> failwith "load bench: service.latency_seconds not registered"
+
+(* Quantile [q] from per-bucket counts by linear interpolation inside
+   the bucket the rank lands in; the first bucket interpolates from 0
+   and the overflow bucket reports the last bound — a floor, not an
+   estimate, so a pathological tail can only look better than it is
+   in a file that also records the raw wall time. *)
+let bucket_quantile ~bounds ~counts q =
+  let total = Array.fold_left ( + ) 0 counts in
+  if total = 0 then 0.
+  else
+    let rank = q *. float_of_int total in
+    let n = Array.length bounds in
+    let rec go i acc =
+      if i >= Array.length counts then bounds.(n - 1)
+      else
+        let acc' = acc + counts.(i) in
+        if float_of_int acc' >= rank && counts.(i) > 0 then
+          if i >= n then bounds.(n - 1)
+          else
+            let lo = if i = 0 then 0. else bounds.(i - 1) in
+            bounds.(i)
+            -. ((bounds.(i) -. lo)
+               *. (float_of_int acc' -. rank)
+               /. float_of_int counts.(i))
+        else go (i + 1) acc'
+    in
+    go 0 0
+
+let run_load ~seed ~requests ~clients ~workers ~hit_ratio =
+  let per_client = max 1 (requests / clients) in
+  let requests = per_client * clients in
+  let req_read, req_write = Unix.pipe () in
+  let resp_read, resp_write = Unix.pipe () in
+  let daemon_ic = Unix.in_channel_of_descr req_read in
+  let daemon_oc = Unix.out_channel_of_descr resp_write in
+  let client_ic = Unix.in_channel_of_descr resp_read in
+  let client_oc = Unix.out_channel_of_descr req_write in
+  let dump = open_out Filename.null in
+  let config =
+    { Svc.Engine.default_config with
+      Svc.Engine.workers;
+      queue_capacity = max 64 (4 * clients) }
+  in
+  let daemon =
+    Domain.spawn (fun () ->
+        Svc.Daemon.serve_channels ~config ~dump ~workers daemon_ic daemon_oc)
+  in
+  let om = Mutex.create () in
+  let send request =
+    Mutex.lock om;
+    output_string client_oc
+      (Svc.Json.to_string (Svc.Protocol.request_to_json request));
+    output_char client_oc '\n';
+    flush client_oc;
+    Mutex.unlock om
+  in
+  (* Register synchronously before any traffic, so every solve
+     resolves its [Ref]. *)
+  send (Svc.Protocol.Register { name = "app"; problem = illustrating });
+  let (_ : string) = input_line client_ic in
+  let acks = Array.init clients (fun _ -> Atomic.make 0) in
+  (* The reader acks exactly [requests] id-bearing responses back to
+     their clients, then exits; Registered and Bye never carry ids
+     and are read by the driver itself. *)
+  let reader =
+    Domain.spawn (fun () ->
+        let remaining = ref requests in
+        while !remaining > 0 do
+          let line = input_line client_ic in
+          (match Svc.Json.of_string line with
+           | Ok (Svc.Json.Obj fields) -> (
+             match List.assoc_opt "id" fields with
+             | Some (Svc.Json.Int id) ->
+               Atomic.incr acks.(id / load_stride);
+               decr remaining
+             | _ -> ())
+           | _ -> ())
+        done)
+  in
+  let hot_targets = [| 60; 70; 80 |] in
+  let lat0 = latency_histogram () in
+  (* [service.cache_hits] already counts monotone hits (they bump both
+     the hit and the monotone counter), so it alone is "answered from
+     the cache". *)
+  let hits0 = Telemetry.value Telemetry.service_cache_hits in
+  let cold0 = Telemetry.value Telemetry.service_cache_misses in
+  let coalesced0 = Telemetry.value Telemetry.service_coalesced in
+  let t0 = Unix.gettimeofday () in
+  let client_domains =
+    List.init clients (fun c ->
+        Domain.spawn (fun () ->
+            let rng = P.create (seed + (7919 * (c + 1))) in
+            let draw bound = Int64.to_int (P.bits64 rng) land 0xFFFF mod bound in
+            for s = 1 to per_client do
+              let target =
+                if float_of_int (draw 10_000) < hit_ratio *. 10_000. then
+                  hot_targets.(draw (Array.length hot_targets))
+                else 10 + draw 400
+              in
+              send
+                (Svc.Protocol.Solve
+                   { id = Some ((c * load_stride) + s); trace_id = None;
+                     tenant = Some (Printf.sprintf "c%d" c);
+                     source = Svc.Protocol.Ref "app";
+                     objective = min_cost target; pricebook = None;
+                     spec = S.Auto; budget = None;
+                     reuse = Svc.Protocol.Monotone });
+              while Atomic.get acks.(c) < s do
+                Domain.cpu_relax ()
+              done
+            done))
+  in
+  List.iter Domain.join client_domains;
+  let wall = Unix.gettimeofday () -. t0 in
+  Domain.join reader;
+  let lat1 = latency_histogram () in
+  let hits = Telemetry.value Telemetry.service_cache_hits - hits0 in
+  let cold = Telemetry.value Telemetry.service_cache_misses - cold0 in
+  let coalesced = Telemetry.value Telemetry.service_coalesced - coalesced0 in
+  send Svc.Protocol.Shutdown;
+  let (_ : string) = input_line client_ic in
+  Domain.join daemon;
+  List.iter close_out [ client_oc; daemon_oc; dump ];
+  List.iter close_in [ client_ic; daemon_ic ];
+  let deltas =
+    Array.init
+      (Array.length lat1.Telemetry.h_counts)
+      (fun i -> lat1.Telemetry.h_counts.(i) - lat0.Telemetry.h_counts.(i))
+  in
+  let quantile q =
+    1e3 *. bucket_quantile ~bounds:lat1.Telemetry.h_bounds ~counts:deltas q
+  in
+  { ld_requests = requests; ld_clients = clients; ld_workers = workers;
+    ld_hit_ratio = hit_ratio;
+    ld_hit_measured = float_of_int hits /. Float.max (float_of_int requests) 1.;
+    ld_wall = wall;
+    ld_rps = float_of_int requests /. Float.max wall 1e-9;
+    ld_p50_ms = quantile 0.5; ld_p99_ms = quantile 0.99; ld_cold = cold;
+    ld_hits = hits; ld_coalesced = coalesced }
+
+let write_load_json ~path r =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"schema\": \"rentcost-bench-load/1\",\n";
+  Printf.fprintf oc "  \"seed\": %d,\n" root_seed;
+  Printf.fprintf oc
+    "  \"traffic\": {\"requests\": %d, \"clients\": %d, \"workers\": %d, \
+     \"hit_ratio_target\": %.2f, \"hit_ratio_measured\": %.3f},\n"
+    r.ld_requests r.ld_clients r.ld_workers r.ld_hit_ratio r.ld_hit_measured;
+  Printf.fprintf oc
+    "  \"throughput\": {\"wall_seconds\": %.6f, \"req_per_s\": %.1f},\n"
+    r.ld_wall r.ld_rps;
+  Printf.fprintf oc "  \"latency_ms\": {\"p50\": %.4f, \"p99\": %.4f},\n"
+    r.ld_p50_ms r.ld_p99_ms;
+  Printf.fprintf oc
+    "  \"served\": {\"cold\": %d, \"hits\": %d, \"coalesced\": %d}\n" r.ld_cold
+    r.ld_hits r.ld_coalesced;
+  Printf.fprintf oc "}\n";
+  close_out oc
+
+let emit_load_json ~requests ~clients ~workers ~hit_ratio =
+  let r = run_load ~seed:load_seed ~requests ~clients ~workers ~hit_ratio in
+  write_load_json ~path:"BENCH_load.json" r;
+  Printf.printf
+    "BENCH_load.json written (%d requests, %d clients on %d workers: %.0f \
+     req/s, p50 %.3f ms, p99 %.3f ms, hit ratio %.2f measured %.3f)\n"
+    r.ld_requests r.ld_clients r.ld_workers r.ld_rps r.ld_p50_ms r.ld_p99_ms
+    r.ld_hit_ratio r.ld_hit_measured;
+  r
+
 (* --- smoke mode: engine agreement + oracle consistency, no OLS --- *)
 
 let smoke () =
@@ -1528,6 +1779,99 @@ let smoke () =
   check "oracle re-plans once per hour block"
     (oracle.As.Policy.replans
     = (As.Trace.length (Lazy.force autoscale_trace) + 11) / 12);
+  (* High-throughput serving. First the single-flight invariant, in
+     its deterministic single-threaded form: a 32-duplicate herd
+     queued and then drained costs exactly one cold solve — the other
+     31 ride the leader's flight (batch mates plus the completion
+     sweep) and are answered as coalesced. *)
+  let herd_engine = service_engine_with_app () in
+  let herd_cold0 = Telemetry.value Telemetry.service_cache_misses in
+  let herd_coalesced0 = Telemetry.value Telemetry.service_coalesced in
+  let herd_queued =
+    List.concat_map
+      (fun i ->
+        Svc.Engine.submit herd_engine
+          (Svc.Protocol.Solve
+             { id = Some i; trace_id = None; tenant = None;
+               source = Svc.Protocol.Ref "app"; objective = min_cost 97;
+               pricebook = None; spec = S.Auto; budget = None;
+               reuse = Svc.Protocol.Monotone }))
+      (List.init 32 Fun.id)
+  in
+  let herd_answers = Svc.Engine.drain herd_engine in
+  let count_served s =
+    List.length
+      (List.filter
+         (function
+           | Svc.Protocol.Solved { served; _ } -> served = s | _ -> false)
+         herd_answers)
+  in
+  check "herd: all 32 duplicates admitted" (herd_queued = []);
+  check "herd: every duplicate answered" (List.length herd_answers = 32);
+  check "herd: exactly one cold solve"
+    (count_served Svc.Protocol.Cold = 1
+    && Telemetry.value Telemetry.service_cache_misses - herd_cold0 = 1);
+  check "herd: the other 31 coalesced"
+    (count_served Svc.Protocol.Coalesced = 31
+    && Telemetry.value Telemetry.service_coalesced - herd_coalesced0 = 31);
+  (* Shed conservation on a replayed overload: 24 distinct solves into
+     a capacity-4 drop-oldest queue with no worker draining. Every
+     request must be answered exactly once — evicted ones as
+     [Overloaded] at eviction time, survivors as [Solved] on drain —
+     and no id may vanish or double. *)
+  let shed_engine =
+    Svc.Engine.create
+      ~config:
+        { Svc.Engine.default_config with
+          Svc.Engine.queue_capacity = 4;
+          queue_policy = Svc.Admission.Drop_oldest }
+      ()
+  in
+  ignore (Svc.Engine.register shed_engine ~name:"app" illustrating);
+  let shed_immediate =
+    List.concat_map
+      (fun i ->
+        Svc.Engine.submit shed_engine
+          (Svc.Protocol.Solve
+             { id = Some i; trace_id = None; tenant = None;
+               source = Svc.Protocol.Ref "app";
+               objective = min_cost (10 + i); pricebook = None; spec = S.Auto;
+               budget = None; reuse = Svc.Protocol.Monotone }))
+      (List.init 24 Fun.id)
+  in
+  let shed_drained = Svc.Engine.drain shed_engine in
+  let answer_id = function
+    | Svc.Protocol.Solved { id = Some i; _ }
+    | Svc.Protocol.Overloaded { id = Some i; _ } -> [ i ]
+    | _ -> []
+  in
+  let shed_ids =
+    List.sort compare
+      (List.concat_map answer_id (shed_immediate @ shed_drained))
+  in
+  check "shed conservation: every offered id answered exactly once"
+    (shed_ids = List.init 24 Fun.id);
+  check "shed conservation: 20 evictions carry retry hints"
+    (List.for_all
+       (function
+         | Svc.Protocol.Overloaded { retry_after_ms = Some ms; _ } -> ms >= 1
+         | _ -> false)
+       shed_immediate
+    && List.length shed_immediate = 20);
+  check "shed conservation: the 4 survivors solved"
+    (List.length shed_drained = 4
+    && List.for_all
+         (function Svc.Protocol.Solved _ -> true | _ -> false)
+         shed_drained);
+  (* And the end-to-end generator: a small closed-loop run through a
+     real pipe daemon must sustain actual throughput and produce an
+     internally consistent BENCH_load.json. *)
+  let ld = emit_load_json ~requests:160 ~clients:4 ~workers:2 ~hit_ratio:0.9 in
+  check "load: sustained positive throughput" (ld.ld_rps > 0.);
+  check "load: p99 at least p50" (ld.ld_p99_ms >= ld.ld_p50_ms);
+  check "load: every request served exactly one way"
+    (ld.ld_cold + ld.ld_hits + ld.ld_coalesced = ld.ld_requests);
+  check "load: hot traffic actually hit the cache" (ld.ld_hits > 0);
   if !failures = 0 then print_endline "smoke OK"
   else begin
     Printf.printf "smoke: %d failure(s)\n" !failures;
@@ -1574,5 +1918,6 @@ let () =
     ignore (emit_parallel_json ~reps:5);
     ignore (emit_scenarios_json ());
     ignore (emit_numeric_json ~reps:9);
-    ignore (emit_autoscale_json ())
+    ignore (emit_autoscale_json ());
+    ignore (emit_load_json ~requests:800 ~clients:4 ~workers:4 ~hit_ratio:0.9)
   end

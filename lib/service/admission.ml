@@ -1,36 +1,184 @@
+type policy =
+  | Reject_new
+  | Drop_oldest
+  | Tenant_fair
+
+let policy_to_string = function
+  | Reject_new -> "reject-new"
+  | Drop_oldest -> "drop-oldest"
+  | Tenant_fair -> "tenant-fair"
+
+let policy_of_string s =
+  match String.lowercase_ascii s with
+  | "reject-new" -> Some Reject_new
+  | "drop-oldest" -> Some Drop_oldest
+  | "tenant-fair" -> Some Tenant_fair
+  | _ -> None
+
+type 'a entry = {
+  job : 'a;
+  expires_at : float option;
+  tenant : string;
+}
+
 type 'a t = {
   cap : int;
-  q : ('a * float option) Queue.t;
+  policy : policy;
+  mutable q : 'a entry list;  (* FIFO: head = oldest; cap is small *)
   mutable shed : int;
 }
 
-let create ~capacity =
+let create ?(policy = Reject_new) ~capacity () =
   if capacity <= 0 then
     invalid_arg "Admission.create: capacity must be positive";
-  { cap = capacity; q = Queue.create (); shed = 0 }
+  { cap = capacity; policy; q = []; shed = 0 }
 
 let capacity t = t.cap
 
-let length t = Queue.length t.q
+let policy t = t.policy
+
+let length t = List.length t.q
 
 let shed_count t = t.shed
 
-let offer t ?expires_at job =
-  if Queue.length t.q >= t.cap then begin
-    t.shed <- t.shed + 1;
-    false
+let expired now e =
+  match e.expires_at with Some deadline -> now > deadline | None -> false
+
+type 'a offer_outcome = {
+  admitted : bool;
+  evicted : 'a list;  (* previously admitted jobs shed to make room,
+                         oldest first; each still owes a reply *)
+}
+
+(* Tenant-fair eviction: the victim is the newest queued entry of the
+   tenant holding the most slots — the hog loses its most recent work,
+   never a tenant's only queued request (a single-entry tenant can
+   only be the maximum when every tenant holds one, and then nobody is
+   hogging so the new arrival is rejected instead). *)
+let tenant_fair_victim q =
+  let counts = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      Hashtbl.replace counts e.tenant
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts e.tenant)))
+    q;
+  let hog, slots =
+    Hashtbl.fold
+      (fun tenant n ((_, best) as acc) -> if n > best then (tenant, n) else acc)
+      counts ("", 0)
+  in
+  if slots < 2 then None
+  else
+    (* Newest entry of the hog = last matching entry in FIFO order. *)
+    let rec last_index i best = function
+      | [] -> best
+      | e :: rest ->
+        last_index (i + 1) (if e.tenant = hog then Some i else best) rest
+    in
+    last_index 0 None q
+
+let remove_index i q =
+  let rec go k acc = function
+    | [] -> assert false
+    | e :: rest ->
+      if k = i then (e, List.rev_append acc rest)
+      else go (k + 1) (e :: acc) rest
+  in
+  go 0 [] q
+
+let offer t ?expires_at ?(tenant = "default") ~now job =
+  (* Eager expiry: a request whose deadline lapsed while it queued is
+     dead weight — shedding it here keeps full-queue slots for live
+     work instead of bouncing the new arrival off a corpse. *)
+  let dead, live = List.partition (expired now) t.q in
+  t.q <- live;
+  t.shed <- t.shed + List.length dead;
+  let evicted_expired = List.map (fun e -> e.job) dead in
+  let entry = { job; expires_at; tenant } in
+  if List.length t.q < t.cap then begin
+    t.q <- t.q @ [ entry ];
+    { admitted = true; evicted = evicted_expired }
   end
-  else begin
-    Queue.add (job, expires_at) t.q;
-    true
-  end
+  else
+    match t.policy with
+    | Reject_new ->
+      t.shed <- t.shed + 1;
+      { admitted = false; evicted = evicted_expired }
+    | Drop_oldest -> (
+      match t.q with
+      | [] -> assert false (* cap > 0 and the queue is full *)
+      | oldest :: rest ->
+        t.q <- rest @ [ entry ];
+        t.shed <- t.shed + 1;
+        { admitted = true; evicted = evicted_expired @ [ oldest.job ] })
+    | Tenant_fair -> (
+      match tenant_fair_victim t.q with
+      | None ->
+        (* No tenant holds two slots: nothing fair to evict. *)
+        t.shed <- t.shed + 1;
+        { admitted = false; evicted = evicted_expired }
+      | Some i ->
+        let victim, rest = remove_index i t.q in
+        t.q <- rest @ [ entry ];
+        t.shed <- t.shed + 1;
+        { admitted = true; evicted = evicted_expired @ [ victim.job ] })
 
 let take t ~now =
-  match Queue.take_opt t.q with
-  | None -> `Empty
-  | Some (job, expires_at) -> (
-    match expires_at with
-    | Some deadline when now > deadline ->
+  match t.q with
+  | [] -> `Empty
+  | e :: rest ->
+    t.q <- rest;
+    if expired now e then begin
       t.shed <- t.shed + 1;
-      `Shed job
-    | _ -> `Job job)
+      `Shed e.job
+    end
+    else `Job e.job
+
+let remove_matching t ~f =
+  let matching, rest = List.partition (fun e -> f e.job) t.q in
+  t.q <- rest;
+  List.map (fun e -> e.job) matching
+
+type 'a batch = {
+  jobs : 'a list;  (* leader first, then compatible mates, FIFO *)
+  shed : 'a list;  (* expired in queue; each still owes a reply *)
+}
+
+(* Drain the head job plus up to [k - 1] queued jobs compatible with
+   it, preserving FIFO order among both the batch and the entries left
+   behind. Expired entries met during the scan are shed on the spot
+   (they would only be shed later anyway). *)
+let take_batch t ~now ~k ~compatible =
+  if k <= 0 then invalid_arg "Admission.take_batch: k must be positive";
+  let rec find_leader shed =
+    match t.q with
+    | [] -> (None, List.rev shed)
+    | e :: rest ->
+      t.q <- rest;
+      if expired now e then begin
+        t.shed <- t.shed + 1;
+        find_leader (e.job :: shed)
+      end
+      else (Some e.job, List.rev shed)
+  in
+  match find_leader [] with
+  | None, shed -> { jobs = []; shed }
+  | Some leader, shed0 ->
+    let batch = ref [ leader ]
+    and taken = ref 1
+    and shed = ref (List.rev shed0)
+    and kept = ref [] in
+    List.iter
+      (fun e ->
+        if expired now e then begin
+          t.shed <- t.shed + 1;
+          shed := e.job :: !shed
+        end
+        else if !taken < k && compatible leader e.job then begin
+          batch := e.job :: !batch;
+          incr taken
+        end
+        else kept := e :: !kept)
+      t.q;
+    t.q <- List.rev !kept;
+    { jobs = List.rev !batch; shed = List.rev !shed }

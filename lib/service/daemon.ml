@@ -69,12 +69,15 @@ let serve_connection_parallel engine ~workers ic oc =
             let rec loop () =
               if Engine.wait_for_work engine ~stop:(fun () -> Atomic.get stop)
               then begin
-                (match Engine.drain_one engine with
-                 | Some r -> (
-                   (* A vanished client must not kill the worker: keep
-                      draining so shutdown still converges. *)
-                   try respond_locked r with Sys_error _ | Unix.Unix_error _ -> ())
-                 | None -> ());
+                (* One wakeup drains a whole batch (plus any followers
+                   a completing flight adopted); a vanished client
+                   must not kill the worker — keep draining so
+                   shutdown still converges. *)
+                List.iter
+                  (fun r ->
+                    try respond_locked r
+                    with Sys_error _ | Unix.Unix_error _ -> ())
+                  (Engine.drain_next engine);
                 loop ()
               end
             in
@@ -94,13 +97,13 @@ let serve_connection_parallel engine ~workers ic oc =
     | Protocol.Shutdown ->
       (* Workers finish the backlog first, so Bye really is last. *)
       join_workers ();
-      List.iter respond_locked
-        (match Engine.submit engine request with Some r -> [ r ] | None -> []);
+      List.iter respond_locked (Engine.submit engine request);
       `Stop
     | _ ->
-      (match Engine.submit engine request with
-       | Some r -> respond_locked r
-       | None -> ());
+      (* [] = admitted or coalesced onto an open flight; a worker
+         answers it. Non-empty = immediate-op replies or the
+         [Overloaded] responses sheds and evictions now owe. *)
+      List.iter respond_locked (Engine.submit engine request);
       `Continue
   in
   let rec loop () =

@@ -14,6 +14,8 @@ let c_monotone = Telemetry.counter Telemetry.service_monotone_hits
 let c_warm = Telemetry.counter Telemetry.service_warm_starts
 let c_reuse = Telemetry.counter Telemetry.service_compile_reuse
 let c_shed = Telemetry.counter Telemetry.service_shed
+let c_coalesced = Telemetry.counter Telemetry.service_coalesced
+let c_batches = Telemetry.counter Telemetry.service_batches
 
 (* The labelled view of the request counter: same family name as
    [c_requests], broken out by tenant and reuse rung. Bumps are guarded
@@ -50,6 +52,8 @@ let op_name = function
 type config = {
   cache_capacity : int;
   queue_capacity : int;
+  queue_policy : Admission.policy;
+  batch : int;  (* max queued jobs a worker drains per wakeup *)
   default_budget : Budget.t;
   workers : int;
 }
@@ -58,6 +62,8 @@ let default_config =
   {
     cache_capacity = 128;
     queue_capacity = 64;
+    queue_policy = Admission.Reject_new;
+    batch = 8;
     default_budget = Budget.unlimited;
     workers = 1;
   }
@@ -90,6 +96,49 @@ let queue_wait_hist =
 
 let latency_labels = [| "lt_1ms"; "lt_10ms"; "lt_100ms"; "lt_1s"; "ge_1s" |]
 
+(* --- single-flight coalescing ---
+
+   One open [flight] per distinct solve key: the first worker (or
+   batch leader) to start a key becomes its leader; every identical
+   request that shows up while the flight is open — at the door, in
+   the queue, or on another worker — rides the leader's outcome
+   instead of solving again. The key is structural equality on the
+   solve inputs; all four record components are pure data (no
+   closures), so polymorphic equality is exact. *)
+
+type flight_result =
+  | Flight_solved of {
+      status : Solver.status;
+      cost : int;
+      rho : int array;
+          (* the leader's client numbering — identical sources imply
+             identical numbering, so followers reuse it verbatim *)
+      machines : int array;
+      engine : string;
+      fingerprint : string;
+      objective : string;
+      scalar : int;
+    }
+  | Flight_error of string
+
+type flight = {
+  f_leader : job;
+  mutable f_result : flight_result option;  (* guarded by [fm] *)
+  mutable f_pending : job list;
+      (* submit-time followers, newest first; guarded by [fm] *)
+}
+
+let same_solve a b =
+  a.source = b.source && a.objective = b.objective
+  && a.pricebook = b.pricebook && a.spec = b.spec
+
+(* Batch compatibility is looser than flight identity: the objective
+   scalar may differ (a non-identical mate re-runs the reuse ladder
+   inline, straight after the leader warmed the cache). *)
+let compatible_jobs a b =
+  a.source = b.source && a.pricebook = b.pricebook && a.spec = b.spec
+  && Objective.kind a.objective = Objective.kind b.objective
+
 module Striped = Rentcost_parallel.Striped
 
 type t = {
@@ -98,6 +147,11 @@ type t = {
   queue : job Admission.t;
   qm : Mutex.t;  (* guards every [queue] access *)
   qc : Condition.t;  (* signalled on admission; workers sleep here *)
+  flights : flight list ref;
+      (* open single-flight leaders, at most [workers] entries;
+         guarded by [fm] *)
+  fm : Mutex.t;
+  fc : Condition.t;  (* broadcast when any flight completes *)
   registry : (string, Instance.t * Fingerprint.t) Hashtbl.t Striped.t;
       (* striped by name *)
   instances : (string, Instance.t * Fingerprint.t) Hashtbl.t Striped.t;
@@ -121,15 +175,21 @@ let stripes_for config = max 1 (min config.workers 8)
 
 let create ?(config = default_config) () =
   if config.workers < 1 then invalid_arg "Engine.create: workers < 1";
+  if config.batch < 1 then invalid_arg "Engine.create: batch < 1";
   let stripes = stripes_for config in
   let started_at = Unix.gettimeofday () in
   {
     config;
     solutions =
       Shared_cache.create ~capacity:config.cache_capacity ~stripes;
-    queue = Admission.create ~capacity:config.queue_capacity;
+    queue =
+      Admission.create ~policy:config.queue_policy
+        ~capacity:config.queue_capacity ();
     qm = Mutex.create ();
     qc = Condition.create ();
+    flights = ref [];
+    fm = Mutex.create ();
+    fc = Condition.create ();
     registry = Striped.create ~stripes (fun _ -> Hashtbl.create 16);
     instances = Striped.create ~stripes (fun _ -> Hashtbl.create 16);
     trackers = Striped.create ~stripes (fun _ -> Hashtbl.create 16);
@@ -156,6 +216,34 @@ let locked_queue t f =
   Fun.protect ~finally:(fun () -> Mutex.unlock t.qm) (fun () -> f t.queue)
 
 let queue_length t = locked_queue t Admission.length
+
+let inflight t =
+  Mutex.lock t.fm;
+  let n = List.length !(t.flights) in
+  Mutex.unlock t.fm;
+  n
+
+(* Back-pressure hint for [Overloaded]: queue depth times observed mean
+   service latency — roughly how long the present backlog takes to
+   clear. Before any latency sample exists, assume 20ms per job. *)
+let retry_after_ms t =
+  let snap = Telemetry.snapshot latency_hist in
+  let mean =
+    if snap.Telemetry.h_count > 0 then
+      snap.Telemetry.h_sum /. float_of_int snap.Telemetry.h_count
+    else 0.02
+  in
+  let depth = max 1 (queue_length t) in
+  max 1 (int_of_float (Float.ceil (mean *. float_of_int depth *. 1000.)))
+
+let overloaded t job =
+  Telemetry.bump c_shed;
+  Protocol.Overloaded
+    {
+      id = job.id;
+      trace_id = Some job.trace_id;
+      retry_after_ms = Some (retry_after_ms t);
+    }
 
 (* --- canonical split translation ---
 
@@ -372,7 +460,7 @@ let solved ~job ~status ~(alloc : Allocation.t) ~served ~engine ~wall =
    solver.solve → engine internals. The queue wait (admission to
    drain) is recorded as a sibling span timed externally, since no
    code runs while the job sits in the queue. *)
-let run_solve_inner t ~now job =
+let run_solve_inner t ~now ~fill job =
   let started = Unix.gettimeofday () in
   Telemetry.bump c_requests;
   Telemetry.observe queue_wait_hist (now -. job.arrived);
@@ -382,6 +470,7 @@ let run_solve_inner t ~now job =
      it got, and how long it took — so journals account for every
      completed request, not just the happy path. *)
   let errored ~fingerprint message =
+    fill := Some (Flight_error message);
     Audit.record t.audit
       {
         Audit.seq = 0;
@@ -436,6 +525,19 @@ let run_solve_inner t ~now job =
     in
     let finish ?outcome ~status ~(alloc : Allocation.t) ~served ~engine () =
       let wall = Unix.gettimeofday () -. started in
+      fill :=
+        Some
+          (Flight_solved
+             {
+               status;
+               cost = alloc.Allocation.cost;
+               rho = Array.copy alloc.Allocation.rho;
+               machines = Array.copy alloc.Allocation.machines;
+               engine;
+               fingerprint = Fingerprint.short fp;
+               objective = Objective.kind_to_string kind;
+               scalar;
+             });
       Telemetry.observe latency_hist wall;
       let rung = Protocol.served_to_string served in
       if Telemetry.enabled () then
@@ -567,8 +669,8 @@ let run_solve_inner t ~now job =
               ~engine:(Solver.spec_to_string outcome.Solver.telemetry.Solver.engine)
               ())))
 
-let run_solve t ~now job =
-  if not (Telemetry.enabled ()) then run_solve_inner t ~now job
+let run_solve t ~now ~fill job =
+  if not (Telemetry.enabled ()) then run_solve_inner t ~now ~fill job
   else
     (* The ambient trace id stamps every span the request records —
        the request span here, the rung and solve spans below it, and
@@ -584,7 +686,195 @@ let run_solve t ~now job =
               ("reuse", Protocol.reuse_to_string job.reuse);
             ]
           "service.request"
-          (fun () -> run_solve_inner t ~now job))
+          (fun () -> run_solve_inner t ~now ~fill job))
+
+(* Answer a follower from its leader's outcome: the follower keeps its
+   own trace id, request span, audit record and latency observation,
+   but touches neither the cache nor an engine. The invariant clients
+   rely on: a follower never observes a different answer than its
+   leader — payloads are copied from the flight result verbatim. *)
+let serve_coalesced t ~now job result =
+  let serve () =
+    Telemetry.bump c_requests;
+    Telemetry.bump c_coalesced;
+    (* A door-attached follower may arrive after the leader's drain
+       clock; clamp so injected test clocks never observe negatives. *)
+    let waited = Float.max 0. (now -. job.arrived) in
+    Telemetry.observe queue_wait_hist waited;
+    let wall = waited in
+    match result with
+    | Flight_error message ->
+      Audit.record t.audit
+        {
+          Audit.seq = 0;
+          at = Unix.gettimeofday ();
+          trace_id = job.trace_id;
+          id = job.id;
+          tenant = job.tenant;
+          fingerprint = "";
+          objective = Objective.kind_to_string (Objective.kind job.objective);
+          scalar = Objective.scalar job.objective;
+          served = "coalesced";
+          engine = "";
+          status = "error";
+          cost = 0;
+          throughput = 0;
+          queue_wait = waited;
+          wall;
+          evaluations = 0;
+          pivots = 0;
+          nodes = 0;
+          convergence = None;
+        };
+      Protocol.Error { id = job.id; trace_id = Some job.trace_id; message }
+    | Flight_solved
+        { status; cost; rho; machines; engine; fingerprint; objective; scalar }
+      ->
+      Telemetry.observe latency_hist wall;
+      if Telemetry.enabled () then
+        Telemetry.bump
+          (Telemetry.counter_with requests_vec [ job.tenant; "coalesced" ]);
+      Audit.record t.audit
+        {
+          Audit.seq = 0;
+          at = Unix.gettimeofday ();
+          trace_id = job.trace_id;
+          id = job.id;
+          tenant = job.tenant;
+          fingerprint;
+          objective;
+          scalar;
+          served = "coalesced";
+          engine;
+          status = Solver.status_to_string status;
+          cost;
+          throughput = Array.fold_left ( + ) 0 rho;
+          queue_wait = waited;
+          wall;
+          evaluations = 0;
+          pivots = 0;
+          nodes = 0;
+          convergence = None;
+        };
+      Protocol.Solved
+        {
+          id = job.id;
+          trace_id = Some job.trace_id;
+          status;
+          cost;
+          rho = Array.copy rho;
+          machines = Array.copy machines;
+          served = Protocol.Coalesced;
+          engine;
+          wall_time = wall;
+        }
+  in
+  if not (Telemetry.enabled ()) then serve ()
+  else
+    Telemetry.Span.with_trace_id job.trace_id (fun () ->
+        Telemetry.Span.with_span
+          ~attrs:[ ("served", "coalesced") ]
+          "service.request" serve)
+
+(* Join-or-lead, non-blocking: find an open flight for [job]'s key or
+   open one. Callers hold [fm] already ([with_flights]); the dequeue
+   path additionally holds [qm] around the take AND this decision, so
+   a flight completing concurrently (which must sweep under [qm]
+   first) can never close between a worker's take and its join — a
+   dequeued duplicate always finds its leader's flight still open.
+   [No_reuse] jobs never join (the client asked for a cold solve) but
+   still lead — duplicates are welcome to ride the cold result. *)
+let join_or_lead t job =
+  match
+    if job.reuse = Protocol.No_reuse then None
+    else List.find_opt (fun f -> same_solve f.f_leader job) !(t.flights)
+  with
+  | Some f -> `Join f
+  | None ->
+    let f = { f_leader = job; f_result = None; f_pending = [] } in
+    t.flights := f :: !(t.flights);
+    `Lead f
+
+let with_flights t f =
+  Mutex.lock t.fm;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.fm) f
+
+(* Block until a joined flight lands. Never called with [qm] held —
+   the leader needs [qm] to publish. *)
+let await_flight t f =
+  Mutex.lock t.fm;
+  let rec await () =
+    match f.f_result with
+    | Some r -> r
+    | None ->
+      Condition.wait t.fc t.fm;
+      await ()
+  in
+  let r = await () in
+  Mutex.unlock t.fm;
+  r
+
+(* Publish a finished flight and collect every follower it owes an
+   answer: door-attached pending jobs plus identical jobs still
+   sitting in the queue (swept here so a herd never pays a second
+   solve, whatever the worker interleaving). The sweep, the result
+   publication and the flight removal all happen under [qm] (with
+   [fm] nested), mirroring the dequeue path's take-and-join section.
+   The leader's cache insert happened inside [run_solve], strictly
+   before this — so once the flight is gone, late duplicates hit the
+   cache instead. *)
+let complete_flight t f result =
+  locked_queue t (fun q ->
+      let swept =
+        Admission.remove_matching q ~f:(fun j ->
+            j.reuse <> Protocol.No_reuse && same_solve f.f_leader j)
+      in
+      let pending =
+        with_flights t (fun () ->
+            f.f_result <- Some result;
+            let pending = List.rev f.f_pending in
+            f.f_pending <- [];
+            t.flights := List.filter (fun g -> g != f) !(t.flights);
+            Condition.broadcast t.fc;
+            pending)
+      in
+      pending @ swept)
+
+(* Run one job in the flight role already picked for it. Returns the
+   responses this call now owes (the job's own answer first, then any
+   adopted followers') and the flight result batch-mates can ride. A
+   crashing solve must strand neither the followers nor the worker
+   domain: the failure is published as [Flight_error] and answered as
+   [Error]. *)
+let run_leader t ~now job role =
+  match role with
+  | `Join f ->
+    let r = await_flight t f in
+    ([ serve_coalesced t ~now job r ], r)
+  | `Lead f ->
+    let fill = ref None in
+    let response =
+      try run_solve t ~now ~fill job
+      with e ->
+        let message = "solve: " ^ Printexc.to_string e in
+        fill := Some (Flight_error message);
+        Protocol.Error { id = job.id; trace_id = Some job.trace_id; message }
+    in
+    let result =
+      match !fill with
+      | Some r -> r
+      | None -> Flight_error "solve: no outcome recorded"
+    in
+    let adopted = complete_flight t f result in
+    (response :: List.map (fun j -> serve_coalesced t ~now j result) adopted,
+     result)
+
+(* The blocking variant for jobs picked up outside the queue-lock
+   section (non-identical batch mates): the join decision is made
+   fresh, and a just-closed flight is not an error — the reuse ladder
+   answers from the cache the leader filled. *)
+let run_job t ~now job =
+  run_leader t ~now job (with_flights t (fun () -> join_or_lead t job))
 
 (* --- stats --- *)
 
@@ -621,7 +911,11 @@ let stats t =
         [
           ("depth", Json.Int (queue_length t));
           ("capacity", Json.Int (Admission.capacity t.queue));
+          ( "policy",
+            Json.String (Admission.policy_to_string (Admission.policy t.queue))
+          );
           ("shed", Json.Int (locked_queue t Admission.shed_count));
+          ("inflight", Json.Int (inflight t));
         ] );
     ("latency", Json.Obj latency);
     ( "audit",
@@ -650,21 +944,22 @@ let submit ?now t (request : Protocol.request) =
   match request with
   | Protocol.Register { name; problem } ->
     let fp = register t ~name problem in
-    Some (Protocol.Registered { name; fingerprint = Fingerprint.short fp })
-  | Protocol.Stats -> Some (Protocol.Stats_reply (stats t))
+    [ Protocol.Registered { name; fingerprint = Fingerprint.short fp } ]
+  | Protocol.Stats -> [ Protocol.Stats_reply (stats t) ]
   | Protocol.Metrics ->
-    Some
-      (Protocol.Metrics_reply
-         { metrics = Metrics.json ~stats:(stats t) (); text = Metrics.text () })
-  | Protocol.Shutdown -> Some Protocol.Bye
+    [
+      Protocol.Metrics_reply
+        { metrics = Metrics.json ~stats:(stats t) (); text = Metrics.text () };
+    ]
+  | Protocol.Shutdown -> [ Protocol.Bye ]
   | Protocol.Track { session; source; ticks_per_hour; deadband; headroom; spec }
     ->
-    Some (track t ~session ~source ~ticks_per_hour ~deadband ~headroom ~spec)
+    [ track t ~session ~source ~ticks_per_hour ~deadband ~headroom ~spec ]
   | Protocol.Tick { id; session; demand } ->
-    Some (track_tick t ~id ~session ~demand)
-  | Protocol.Untrack { session } -> Some (untrack t ~session)
+    [ track_tick t ~id ~session ~demand ]
+  | Protocol.Untrack { session } -> [ untrack t ~session ]
   | Protocol.Audit { last } ->
-    Some (Protocol.Audit_reply (Audit.recent ?last t.audit))
+    [ Protocol.Audit_reply (Audit.recent ?last t.audit) ]
   | Protocol.Solve
       { id; trace_id; tenant; source; objective; pricebook; spec; budget; reuse }
     ->
@@ -692,42 +987,94 @@ let submit ?now t (request : Protocol.request) =
     let expires_at =
       Option.map (fun d -> now +. d) budget.Budget.deadline
     in
-    let admitted =
-      locked_queue t (fun q ->
-          let ok = Admission.offer q ?expires_at job in
-          if ok then Condition.signal t.qc;
-          ok)
+    (* Single-flight at the door: a duplicate of a solve already in
+       flight attaches to that flight and skips admission entirely —
+       it holds no queue slot and cannot be shed. *)
+    let attached =
+      job.reuse <> Protocol.No_reuse
+      && begin
+           Mutex.lock t.fm;
+           let hit =
+             match
+               List.find_opt (fun f -> same_solve f.f_leader job) !(t.flights)
+             with
+             | Some f ->
+               f.f_pending <- job :: f.f_pending;
+               true
+             | None -> false
+           in
+           Mutex.unlock t.fm;
+           hit
+         end
     in
-    if admitted then None
+    if attached then []
     else begin
-      Telemetry.bump c_shed;
-      Some (Protocol.Overloaded { id; trace_id = Some trace_id })
+      let outcome =
+        locked_queue t (fun q ->
+            let o = Admission.offer q ?expires_at ~tenant ~now job in
+            if o.Admission.admitted then Condition.signal t.qc;
+            o)
+      in
+      let evicted = List.map (overloaded t) outcome.Admission.evicted in
+      if outcome.Admission.admitted then evicted
+      else evicted @ [ overloaded t job ]
     end
 
-(* Take one job under the queue lock; run it outside (solves are the
-   long part — holding qm across them would serialize the workers). *)
-let take_one ~now t = locked_queue t (fun q -> Admission.take q ~now)
+(* Take a batch and pick the leader's flight role in ONE queue-lock
+   section; run the batch outside (solves are the long part — holding
+   qm across them would serialize the workers). The atomic
+   take-and-join is what makes the herd invariant scheduling-proof:
+   a completing flight sweeps under [qm] before it closes, so a
+   duplicate this take just dequeued either was swept (not ours any
+   more) or joins a flight that is still open — never the limbo in
+   between. *)
+let take_batch ~now t =
+  locked_queue t (fun q ->
+      let b =
+        Admission.take_batch q ~now ~k:(max 1 t.config.batch)
+          ~compatible:compatible_jobs
+      in
+      let role =
+        match b.Admission.jobs with
+        | [] -> None
+        | leader :: _ ->
+          Some (with_flights t (fun () -> join_or_lead t leader))
+      in
+      (b, role))
 
-let drain_one ?now t =
+(* One worker wakeup: drain the oldest live job plus up to
+   [config.batch - 1] compatible queued mates. The leader runs under
+   single-flight discipline; mates identical to it ride its flight
+   result, the rest re-run the reuse ladder inline — straight after
+   the leader's cache fill, so they land monotone or exact hits
+   without a queue round-trip. Returns every response now owed:
+   dispatch-time sheds, the leader's answer, adopted followers',
+   then the mates'. Empty means the queue held nothing. *)
+let drain_next ?now t =
   let now = clock now in
-  match take_one ~now t with
-  | `Empty -> None
-  | `Shed job ->
-    Telemetry.bump c_shed;
-    Some (Protocol.Overloaded { id = job.id; trace_id = Some job.trace_id })
-  | `Job job -> Some (run_solve t ~now job)
+  let { Admission.jobs; shed }, role = take_batch ~now t in
+  let shed_rs = List.map (overloaded t) shed in
+  match (jobs, role) with
+  | [], _ | _, None -> shed_rs
+  | leader :: mates, Some role ->
+    if mates <> [] then Telemetry.bump c_batches;
+    let leader_rs, result = run_leader t ~now leader role in
+    let mate_rs =
+      List.concat_map
+        (fun m ->
+          if m.reuse <> Protocol.No_reuse && same_solve leader m then
+            [ serve_coalesced t ~now m result ]
+          else fst (run_job t ~now m))
+        mates
+    in
+    shed_rs @ leader_rs @ mate_rs
 
 let drain ?now t =
   let now = clock now in
   let rec go acc =
-    match take_one ~now t with
-    | `Empty -> List.rev acc
-    | `Shed job ->
-      Telemetry.bump c_shed;
-      go
-        (Protocol.Overloaded { id = job.id; trace_id = Some job.trace_id }
-        :: acc)
-    | `Job job -> go (run_solve t ~now job :: acc)
+    match drain_next ~now t with
+    | [] -> List.rev acc
+    | rs -> go (List.rev_append rs acc)
   in
   go []
 
@@ -758,11 +1105,8 @@ let handle ?now t request =
   match request with
   | Protocol.Solve _ -> (
     match submit ?now t request with
-    | Some shed -> drain ?now t @ [ shed ]
-    | None -> drain ?now t)
+    | [] -> drain ?now t
+    | rs -> drain ?now t @ rs)
   | _ ->
     let backlog = drain ?now t in
-    let immediate =
-      match submit ?now t request with Some r -> [ r ] | None -> []
-    in
-    backlog @ immediate
+    backlog @ submit ?now t request

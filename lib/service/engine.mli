@@ -99,11 +99,60 @@
     [Rentcost_parallel.Striped]) with stripe counts sized by
     [config.workers]. With [workers = 1] everything degrades to the
     single-lock sequential engine. Solves themselves run outside all
-    engine locks, so [N] workers really solve [N] jobs at once. *)
+    engine locks, so [N] workers really solve [N] jobs at once.
+
+    {2 Single-flight coalescing}
+
+    Identical solves — same source, objective, price book and spec —
+    never run twice concurrently. The first to start becomes the
+    {e leader} of an open flight; every duplicate arriving while the
+    flight is open attaches to it instead of solving: at the door
+    ({!submit} parks it on the flight, holding no queue slot), on
+    another worker ({!drain_next} blocks until the leader lands), as a
+    batch mate, or still queued at completion (the leader sweeps
+    identical queued jobs and answers them itself). Followers are
+    answered [served = "coalesced"], each under its own trace id and
+    audit record, and {e never observe a different answer than their
+    leader} — payloads are copied from the leader's outcome verbatim,
+    including errors. The leader inserts into the cache strictly
+    before closing its flight, so late duplicates hit the cache
+    instead of re-solving. Dequeue joins a flight in the same
+    queue-lock section as the take, and a completing flight sweeps
+    under that lock before it closes — so a herd of [n] identical
+    queued requests costs exactly one cold solve and [n - 1]
+    coalesced answers under {e any} worker interleaving, not just the
+    lucky ones. [reuse = "none"] requests never follow
+    (the client asked for a cold solve) but do lead. Coalesced
+    requests bump [service.coalesced] and the [(tenant, "coalesced")]
+    labelled series.
+
+    {2 Batching and back-pressure}
+
+    A worker wakeup drains up to [config.batch] queued jobs that are
+    {e compatible} with the oldest live one (same source, book and
+    spec; the objective scalar may differ) in one go; mates identical
+    to the batch leader ride its flight, the rest re-run the reuse
+    ladder immediately after the leader's cache fill. Multi-job
+    wakeups bump [service.batches].
+
+    When the queue is full, [config.queue_policy] picks who loses
+    (see {!Admission.policy}); entries whose deadline lapsed in queue
+    are shed eagerly at every offer so corpses never hold slots.
+    Every shed answers [Overloaded] carrying a [retry_after_ms] hint
+    (queue depth times observed mean service latency). Shed never
+    silently loses an accepted request: evictions hand the job back
+    and {!submit} returns their [Overloaded] responses alongside the
+    arrival's own outcome. *)
 
 type config = {
   cache_capacity : int;  (** LRU entries (default 128) *)
   queue_capacity : int;  (** admission backlog bound (default 64) *)
+  queue_policy : Admission.policy;
+      (** who loses when the queue is full (default
+          {!Admission.Reject_new}, the historical behaviour) *)
+  batch : int;
+      (** max queued jobs one worker wakeup drains together
+          (default 8); [1] disables batching *)
   default_budget : Rentcost.Budget.t;
       (** budget for solve requests that carry none (default
           {!Rentcost.Budget.unlimited}) *)
@@ -119,7 +168,8 @@ val default_config : config
 
 type t
 
-(** @raise Invalid_argument when [config.workers < 1]. *)
+(** @raise Invalid_argument when [config.workers < 1] or
+    [config.batch < 1]. *)
 val create : ?config:config -> unit -> t
 
 val config : t -> config
@@ -135,25 +185,29 @@ val audit : t -> Audit.t
 val register : t -> name:string -> Rentcost.Problem.t -> Fingerprint.t
 
 (** [submit t request] runs [Register]/[Track]/[Tick]/[Untrack]/
-    [Stats]/[Metrics]/[Audit]/[Shutdown] immediately
-    ([Some response]) and enqueues [Solve] requests — [None] when
-    admitted (answers come from {!drain}), [Some (Overloaded _)] when
-    shed at the door. [~now] is the admission clock (defaults to the
-    wall clock); deadlines of queued requests are measured against
-    it. *)
-val submit : ?now:float -> t -> Protocol.request -> Protocol.response option
+    [Stats]/[Metrics]/[Audit]/[Shutdown] immediately (their single
+    response) and enqueues [Solve] requests — [[]] when admitted or
+    attached to an open flight (answers come from {!drain} /
+    {!drain_next}), otherwise the [Overloaded] responses now owed: one
+    per expired-or-evicted previously admitted job, plus the
+    arrival's own when it was the one shed. [~now] is the admission
+    clock (defaults to the wall clock); deadlines of queued requests
+    are measured against it. *)
+val submit : ?now:float -> t -> Protocol.request -> Protocol.response list
 
 (** [drain t] runs every queued solve whose deadline has not expired
     in queue (expired ones answer [Overloaded]) and returns the
     responses in arrival order. *)
 val drain : ?now:float -> t -> Protocol.response list
 
-(** [drain_one t] takes and runs {e one} queued solve (or answers one
-    expired job with [Overloaded]); [None] when the queue is empty.
-    The building block of the parallel daemon's worker loop: each
-    worker repeatedly takes one job under the queue lock and solves it
-    outside, so concurrent workers interleave at job granularity. *)
-val drain_one : ?now:float -> t -> Protocol.response option
+(** [drain_next t] takes and runs {e one batch}: the oldest live
+    queued solve plus up to [config.batch - 1] compatible queued
+    mates, under single-flight discipline (see the module doc).
+    Returns every response that work now owes — dispatch-time sheds,
+    the batch's answers, and any followers adopted by a completing
+    flight — and [[]] only when the queue held nothing. The building
+    block of the parallel daemon's worker loop. *)
+val drain_next : ?now:float -> t -> Protocol.response list
 
 (** [wait_for_work t ~stop] blocks the calling domain until the queue
     is non-empty or [stop ()] is true, and returns whether the queue
@@ -173,8 +227,9 @@ val handle : ?now:float -> t -> Protocol.request -> Protocol.response list
 
 (** Snapshot for [Stats_reply] and the shutdown dump: uptime, every
     registered {!Telemetry} counter, per-op request counts, cache
-    occupancy/evictions, queue depth/shed count, the latency
-    histogram buckets, and the registered / tracked-session counts. *)
+    occupancy/evictions, queue depth/policy/shed/in-flight counts,
+    the latency histogram buckets, and the registered /
+    tracked-session counts. *)
 val stats : t -> (string * Json.t) list
 
 (** The engine's solution cache (tests observe occupancy and eviction

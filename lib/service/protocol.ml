@@ -64,18 +64,21 @@ type served =
   | Exact_hit
   | Monotone_hit
   | Warm_started
+  | Coalesced
 
 let served_to_string = function
   | Cold -> "cold"
   | Exact_hit -> "exact-hit"
   | Monotone_hit -> "monotone-hit"
   | Warm_started -> "warm-started"
+  | Coalesced -> "coalesced"
 
 let served_of_string = function
   | "cold" -> Some Cold
   | "exact-hit" -> Some Exact_hit
   | "monotone-hit" -> Some Monotone_hit
   | "warm-started" -> Some Warm_started
+  | "coalesced" -> Some Coalesced
   | _ -> None
 
 type response =
@@ -109,7 +112,11 @@ type response =
   | Stats_reply of (string * Json.t) list
   | Metrics_reply of { metrics : Json.t; text : string }
   | Audit_reply of Audit.record list
-  | Overloaded of { id : int option; trace_id : string option }
+  | Overloaded of {
+      id : int option;
+      trace_id : string option;
+      retry_after_ms : int option;
+    }
   | Error of { id : int option; trace_id : string option; message : string }
   | Bye
 
@@ -518,11 +525,12 @@ let response_to_json = function
         ("ok", Json.Bool true);
         ("audit", Json.List (List.map Audit.record_to_json records));
       ]
-  | Overloaded { id; trace_id } ->
+  | Overloaded { id; trace_id; retry_after_ms } ->
     Json.Obj
       (opt_field "id" (fun i -> Json.Int i) id
       @ opt_field "trace_id" (fun s -> Json.String s) trace_id
-      @ [ ("ok", Json.Bool false); ("status", Json.String "overloaded") ])
+      @ [ ("ok", Json.Bool false); ("status", Json.String "overloaded") ]
+      @ opt_field "retry_after_ms" (fun n -> Json.Int n) retry_after_ms)
   | Error { id; trace_id; message } ->
     Json.Obj
       (opt_field "id" (fun i -> Json.Int i) id
@@ -551,7 +559,10 @@ let rec response_of_json j =
   | Some message -> Ok (Error { id; trace_id; message })
   | None -> (
     match (Json.get_string "status" j, Json.member "cost" j) with
-    | Some "overloaded", _ -> Ok (Overloaded { id; trace_id })
+    | Some "overloaded", _ ->
+      Ok
+        (Overloaded
+           { id; trace_id; retry_after_ms = Json.get_int "retry_after_ms" j })
     | Some "bye", _ -> Ok Bye
     | Some status_s, Some _ ->
       let* status =

@@ -73,13 +73,14 @@
      "total_charged":120,"violation":true}
     {"ok":true,"untracked":"app-fleet","ticks":10,"replans":3,
      "holds":7,"violations":2,"total_charged":123}
-    {"id":7,"ok":false,"status":"overloaded"}
+    {"id":7,"ok":false,"status":"overloaded","retry_after_ms":40}
     {"ok":false,"error":"solve: unknown ref \"nope\""}
     {"ok":true,"status":"bye"}
     v}
 
     [served] is one of ["cold"], ["exact-hit"], ["monotone-hit"],
-    ["warm-started"]. [rho] and [machines] are in the {e submitted}
+    ["warm-started"], ["coalesced"]. [rho] and [machines] are in the
+    {e submitted}
     problem's numbering, whatever instance actually served the
     request. Both codecs run in both directions so in-process clients
     and the test suite can speak the protocol without the daemon. *)
@@ -140,14 +141,20 @@ type request =
           oldest first; see {!Audit} *)
   | Shutdown
 
-(** How a solve response was produced. *)
+(** How a solve response was produced. [Coalesced] is the
+    single-flight rung: the request was a duplicate of one already in
+    flight and received the leader's outcome without touching the
+    cache or an engine. *)
 type served =
   | Cold
   | Exact_hit
   | Monotone_hit
   | Warm_started
+  | Coalesced
 
 val served_to_string : served -> string
+
+val served_of_string : string -> served option
 
 type response =
   | Solved of {
@@ -187,7 +194,14 @@ type response =
   | Audit_reply of Audit.record list
       (** answers [Audit], oldest first, encoded as an ["audit"] list
           of {!Audit.record_to_json} objects *)
-  | Overloaded of { id : int option; trace_id : string option }
+  | Overloaded of {
+      id : int option;
+      trace_id : string option;
+      retry_after_ms : int option;
+          (** back-pressure hint: how long the shedding engine thinks
+              the client should wait before retrying, from queue depth
+              and observed service latency (["retry_after_ms"] key) *)
+    }
   | Error of { id : int option; trace_id : string option; message : string }
   | Bye
 

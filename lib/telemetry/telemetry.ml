@@ -740,6 +740,8 @@ let service_monotone_hits = "service.monotone_hits"
 let service_warm_starts = "service.warm_starts"
 let service_compile_reuse = "service.compile_reuse"
 let service_shed = "service.shed"
+let service_coalesced = "service.coalesced"
+let service_batches = "service.batches"
 
 let service_op op = "service.op." ^ op
 let autoscale_ticks = "autoscale.ticks"
@@ -779,6 +781,12 @@ let () =
       (service_cache_hits, "Requests answered from the solution cache.");
       (service_cache_misses, "Solve requests that went to an engine.");
       (service_shed, "Requests shed by admission control.");
+      ( service_coalesced,
+        "Duplicate in-flight solve requests served from another \
+         request's outcome (single-flight followers)." );
+      ( service_batches,
+        "Multi-request batches drained by service workers (single-job \
+         wakeups excluded)." );
       (autoscale_ticks, "Demand ticks fed to elastic controllers.");
       ( service_latency_seconds,
         "Request handling latency in the service engine, seconds." );

@@ -384,6 +384,16 @@ val service_compile_reuse : string
 (** Requests shed by admission control ([Overloaded] responses). *)
 val service_shed : string
 
+(** Duplicate in-flight solve requests served from another request's
+    outcome: single-flight followers, whatever path attached them (the
+    in-flight table, a worker's compatible batch, or the completing
+    leader's queue sweep). *)
+val service_coalesced : string
+
+(** Worker wakeups that drained more than one compatible request
+    (batch admission); single-job wakeups are not counted. *)
+val service_batches : string
+
 (** [service_op "solve"] etc. — per-op request counters bumped by the
     service engine for every protocol operation it is handed. *)
 val service_op : string -> string

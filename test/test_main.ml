@@ -27,6 +27,7 @@ let () =
       Test_analysis.suite;
       Test_format.suite;
       Test_service.suite;
+      Test_admission.suite;
       Test_autoscale.suite;
       Test_scenario.suite;
       Test_telemetry.suite;

@@ -210,25 +210,28 @@ let fresh_engine ?(workers = test_domains) ?(queue_capacity = 64) () =
   ignore (E.register e ~name:"app" illustrating);
   e
 
-let test_engine_drain_one_and_wait () =
+let test_engine_drain_next_and_wait () =
   let e = fresh_engine () in
   List.iter
-    (fun i -> assert (E.submit e (solve_req ~id:i 60) = None))
+    (fun i -> assert (E.submit e (solve_req ~id:i 60) = []))
     [ 1; 2; 3 ];
   Alcotest.(check bool) "non-empty queue reports work even when stopping"
     true
     (E.wait_for_work e ~stop:(fun () -> true));
   let drained = ref 0 in
   let rec go () =
-    match E.drain_one e with
-    | Some (Pr.Solved _) ->
-      incr drained;
+    match E.drain_next e with
+    | [] -> ()
+    | rs ->
+      List.iter
+        (function
+          | Pr.Solved _ -> incr drained
+          | _ -> Alcotest.fail "expected solved responses")
+        rs;
       go ()
-    | Some _ -> Alcotest.fail "expected solved responses"
-    | None -> ()
   in
   go ();
-  Alcotest.(check int) "drain_one answers each queued job once" 3 !drained;
+  Alcotest.(check int) "drain_next answers each queued job once" 3 !drained;
   Alcotest.(check int) "queue empty after draining" 0 (E.queue_length e);
   Alcotest.(check bool) "empty queue + stop returns no work" false
     (E.wait_for_work e ~stop:(fun () -> true))
@@ -246,9 +249,9 @@ let test_engine_submit_race () =
     (spawn_each writers (fun d ->
          for i = 1 to per_writer do
            match E.submit e (solve_req ~id:((d * 100) + i) 60) with
-           | None -> ()
-           | Some (Pr.Overloaded _) -> Atomic.incr shed
-           | Some _ -> Alcotest.fail "unexpected immediate response"
+           | [] -> ()
+           | [ Pr.Overloaded _ ] -> Atomic.incr shed
+           | _ -> Alcotest.fail "unexpected immediate response"
          done));
   let queued = E.queue_length e in
   Alcotest.(check int) "queued + shed = offered"
@@ -272,12 +275,12 @@ let test_engine_parallel_workers_drain () =
     spawn_each test_domains (fun _ ->
         let rec loop () =
           if E.wait_for_work e ~stop:(fun () -> Atomic.get stop) then begin
-            (match E.drain_one e with
-             | Some r ->
+            (match E.drain_next e with
+             | [] -> ()
+             | rs ->
                Mutex.lock rm;
-               responses := r :: !responses;
-               Mutex.unlock rm
-             | None -> ());
+               responses := rs @ !responses;
+               Mutex.unlock rm);
             loop ()
           end
         in
@@ -285,7 +288,7 @@ let test_engine_parallel_workers_drain () =
   in
   let jobs = 12 in
   for i = 1 to jobs do
-    assert (E.submit e (solve_req ~id:i ~reuse:Pr.No_reuse 60) = None)
+    assert (E.submit e (solve_req ~id:i ~reuse:Pr.No_reuse 60) = [])
   done;
   (* Busy-wait for the workers to drain, then release them. *)
   let rec settle budget =
@@ -620,8 +623,8 @@ let suite =
         test_striped_fold_and_placement;
       Alcotest.test_case "shared cache bounded and digest-correct under race"
         `Quick test_shared_cache_race;
-      Alcotest.test_case "engine drain_one and wait_for_work" `Quick
-        test_engine_drain_one_and_wait;
+      Alcotest.test_case "engine drain_next and wait_for_work" `Quick
+        test_engine_drain_next_and_wait;
       Alcotest.test_case "engine admission race stays exact" `Quick
         test_engine_submit_race;
       Alcotest.test_case "engine parallel workers drain the queue" `Quick

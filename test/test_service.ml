@@ -36,10 +36,10 @@ let permuted =
   P.create (PF.of_list [ (11, 30); (5, 10); (8, 20) ])
     (recipes [ [ 2; 0 ]; [ 1; 0 ]; [ 1; 2 ] ])
 
-let solve_req ?id ?(source = Pr.Ref "app") ?(spec = S.Auto) ?budget
-    ?(reuse = Pr.Monotone) ?pricebook target =
+let solve_req ?id ?trace_id ?tenant ?(source = Pr.Ref "app") ?(spec = S.Auto)
+    ?budget ?(reuse = Pr.Monotone) ?pricebook target =
   Pr.Solve
-    { id; trace_id = None; tenant = None; source;
+    { id; trace_id; tenant; source;
       objective = Rentcost.Objective.min_cost ~target; pricebook;
       spec; budget; reuse }
 
@@ -241,11 +241,12 @@ let test_admission_door_shed () =
     engine_with ~config:{ E.default_config with E.queue_capacity = 2 } base
   in
   Alcotest.(check bool) "first admitted" true
-    (E.submit ~now:0.0 e (solve_req ~id:1 50) = None);
+    (E.submit ~now:0.0 e (solve_req ~id:1 50) = []);
   Alcotest.(check bool) "second admitted" true
-    (E.submit ~now:0.0 e (solve_req ~id:2 60) = None);
+    (E.submit ~now:0.0 e (solve_req ~id:2 60) = []);
   (match E.submit ~now:0.0 e (solve_req ~id:3 70) with
-   | Some (Pr.Overloaded { id = Some 3; _ }) -> ()
+   | [ Pr.Overloaded { id = Some 3; retry_after_ms = Some ms; _ } ] ->
+     Alcotest.(check bool) "retry hint is positive" true (ms > 0)
    | _ -> Alcotest.fail "expected the third request shed at the door");
   Alcotest.(check int) "two queued" 2 (E.queue_length e);
   let responses = E.drain ~now:0.0 e in
@@ -260,7 +261,7 @@ let test_admission_deadline_shed () =
   Alcotest.(check bool) "admitted" true
     (E.submit ~now:0.0 e
        (solve_req ~id:9 ~budget:(B.deadline 0.5) 50)
-     = None);
+     = []);
   match E.drain ~now:10.0 e with
   | [ Pr.Overloaded { id = Some 9; _ } ] -> ()
   | _ -> Alcotest.fail "expected the expired request shed at dispatch"
@@ -274,7 +275,7 @@ let test_deadline_slack_degrades () =
   Alcotest.(check bool) "admitted" true
     (E.submit ~now:0.0 e
        (solve_req ~id:4 ~reuse:Pr.No_reuse ~budget:(B.deadline 10.0) 110)
-     = None);
+     = []);
   match E.drain ~now:9.999999 e with
   | [ Pr.Solved { id = Some 4; status; cost; rho; machines; _ } ] ->
     Alcotest.(check string) "budget exhausted, not missed" "budget-exhausted"
@@ -748,6 +749,420 @@ let test_audit_ring_and_file () =
              | Error e -> Alcotest.fail ("audit line: " ^ e))
            !lines))
 
+(* --- serving under concurrency: single-flight, batching, shed policies --- *)
+
+let test_domains =
+  match Sys.getenv_opt "RENTCOST_TEST_DOMAINS" with
+  | Some s -> (
+    match int_of_string_opt s with Some n when n > 0 -> n | _ -> 2)
+  | None -> 2
+
+let count_solve_spans () =
+  List.length
+    (List.filter
+       (fun s -> s.Telemetry.Span.name = "service.solve")
+       (Telemetry.Span.recent ()))
+
+let coalesced_total () =
+  Telemetry.read (Telemetry.counter Telemetry.service_coalesced)
+
+let response_trace_id = function
+  | Pr.Solved { trace_id; _ } | Pr.Error { trace_id; _ }
+  | Pr.Overloaded { trace_id; _ } ->
+    Option.value ~default:"" trace_id
+  | _ -> ""
+
+let distinct_trace_ids responses =
+  List.length
+    (List.sort_uniq compare (List.map response_trace_id responses))
+
+(* 32 identical solves queued, drained by one thread: the first is the
+   cold leader, the 7 batch mates ride its flight, and the completing
+   flight adopts the 24 still queued — 1 cold solve, 31 coalesced,
+   deterministically, whatever the batch size. *)
+let test_herd_single_thread () =
+  Telemetry.Span.clear ();
+  let e = engine_with base in
+  let before = coalesced_total () in
+  for i = 1 to 32 do
+    Alcotest.(check bool) "admitted" true
+      (E.submit ~now:0.0 e (solve_req ~id:i 110) = [])
+  done;
+  let responses = E.drain ~now:0.0 e in
+  Alcotest.(check int) "herd fully answered" 32 (List.length responses);
+  let cold, rest =
+    List.partition
+      (function Pr.Solved { served = Pr.Cold; _ } -> true | _ -> false)
+      responses
+  in
+  Alcotest.(check int) "exactly one cold solve" 1 (List.length cold);
+  List.iter
+    (function
+      | Pr.Solved { served = Pr.Coalesced; _ } -> ()
+      | _ -> Alcotest.fail "every follower served coalesced")
+    rest;
+  Alcotest.(check int) "coalesced counter accounts the followers" 31
+    (coalesced_total () - before);
+  Alcotest.(check int) "exactly one service.solve span" 1
+    (count_solve_spans ());
+  Alcotest.(check int) "every reply carries its own trace id" 32
+    (distinct_trace_ids responses);
+  (match cold with
+   | [ Pr.Solved { cost; rho; _ } ] ->
+     List.iter
+       (function
+         | Pr.Solved { cost = c; rho = r; _ } ->
+           Alcotest.(check int) "follower cost identical" cost c;
+           Alcotest.(check (array int)) "follower split identical" rho r
+         | _ -> ())
+       rest
+   | _ -> assert false);
+  (* The audit journal accounts all 32, one record each. *)
+  match E.handle ~now:0.0 e (Pr.Audit { last = None }) with
+  | [ Pr.Audit_reply records ] ->
+    Alcotest.(check int) "one audit record per request" 32
+      (List.length records);
+    Alcotest.(check int) "31 records tagged coalesced" 31
+      (List.length
+         (List.filter
+            (fun (r : Svc.Audit.record) -> r.Svc.Audit.served = "coalesced")
+            records))
+  | _ -> Alcotest.fail "expected an audit reply"
+
+(* The daemon worker loop, inlined over [test_domains] domains. Worker
+   interleavings can turn a late duplicate into an exact cache hit
+   (the flight already closed), but never into a second solve: the
+   deterministic invariants are one cold solve, one service.solve
+   span, bit-identical replies and per-request trace ids. *)
+let run_worker_herd ~engine ~jobs =
+  let stop = Atomic.make false in
+  let rm = Mutex.create () in
+  let responses = ref [] in
+  let workers =
+    List.init test_domains (fun _ ->
+        Domain.spawn (fun () ->
+            let rec loop () =
+              if
+                E.wait_for_work engine ~stop:(fun () -> Atomic.get stop)
+              then begin
+                (match E.drain_next engine with
+                 | [] -> ()
+                 | rs ->
+                   Mutex.lock rm;
+                   responses := rs @ !responses;
+                   Mutex.unlock rm);
+                loop ()
+              end
+            in
+            loop ()))
+  in
+  while
+    Mutex.lock rm;
+    let n = List.length !responses in
+    Mutex.unlock rm;
+    n < jobs
+  do
+    Domain.cpu_relax ()
+  done;
+  Atomic.set stop true;
+  E.wake_all engine;
+  List.iter Domain.join workers;
+  !responses
+
+let test_herd_across_workers () =
+  Telemetry.Span.clear ();
+  let e =
+    engine_with
+      ~config:{ E.default_config with E.workers = test_domains }
+      base
+  in
+  for i = 1 to 32 do
+    Alcotest.(check bool) "admitted" true
+      (E.submit e (solve_req ~id:i 110) = [])
+  done;
+  let responses = run_worker_herd ~engine:e ~jobs:32 in
+  Alcotest.(check int) "herd fully answered" 32 (List.length responses);
+  let cold, rest =
+    List.partition
+      (function Pr.Solved { served = Pr.Cold; _ } -> true | _ -> false)
+      responses
+  in
+  Alcotest.(check int) "exactly one cold solve" 1 (List.length cold);
+  Alcotest.(check int) "exactly one service.solve span" 1
+    (count_solve_spans ());
+  List.iter
+    (function
+      | Pr.Solved { served = Pr.Coalesced | Pr.Exact_hit; _ } -> ()
+      | _ -> Alcotest.fail "follower neither coalesced nor exact hit")
+    rest;
+  Alcotest.(check int) "every reply carries its own trace id" 32
+    (distinct_trace_ids responses);
+  match cold with
+  | [ Pr.Solved { cost; rho; _ } ] ->
+    List.iter
+      (function
+        | Pr.Solved { cost = c; rho = r; _ } ->
+          Alcotest.(check int) "follower cost identical" cost c;
+          Alcotest.(check (array int)) "follower split identical" rho r
+        | _ -> ())
+      rest
+  | _ -> assert false
+
+(* A leader that dies — dp-blackbox on a shared-types instance — must
+   answer every follower with its error, not strand them. *)
+let test_leader_failure_single_thread () =
+  let e = engine_with base in
+  for i = 1 to 8 do
+    Alcotest.(check bool) "admitted" true
+      (E.submit ~now:0.0 e (solve_req ~id:i ~spec:S.Dp_blackbox 110) = [])
+  done;
+  let responses = E.drain ~now:0.0 e in
+  Alcotest.(check int) "herd fully answered" 8 (List.length responses);
+  List.iter
+    (function
+      | Pr.Error { message; _ } ->
+        Alcotest.(check bool) "error carries a message" true
+          (String.length message > 0)
+      | _ -> Alcotest.fail "expected every herd member to get the error")
+    responses;
+  (* The flight is gone: the engine serves the next request normally. *)
+  let r = solved1 e (solve_req ~id:99 110) in
+  check_served "engine recovered after the failed flight" Pr.Cold r.s_served
+
+let test_leader_failure_across_workers () =
+  let e =
+    engine_with
+      ~config:{ E.default_config with E.workers = test_domains }
+      base
+  in
+  for i = 1 to 16 do
+    Alcotest.(check bool) "admitted" true
+      (E.submit e (solve_req ~id:i ~spec:S.Dp_blackbox 110) = [])
+  done;
+  (* Termination itself is the assertion: a stranded follower would
+     hang this join. *)
+  let responses = run_worker_herd ~engine:e ~jobs:16 in
+  Alcotest.(check int) "herd fully answered" 16 (List.length responses);
+  List.iter
+    (function
+      | Pr.Error _ -> ()
+      | _ -> Alcotest.fail "expected every herd member to get the error")
+    responses
+
+(* --- shed policies at the engine level --- *)
+
+let config_with ?(capacity = 2) policy =
+  { E.default_config with E.queue_capacity = capacity; queue_policy = policy }
+
+let test_drop_oldest_policy () =
+  let e = engine_with ~config:(config_with Svc.Admission.Drop_oldest) base in
+  Alcotest.(check bool) "first admitted" true
+    (E.submit ~now:0.0 e (solve_req ~id:1 50) = []);
+  Alcotest.(check bool) "second admitted" true
+    (E.submit ~now:0.0 e (solve_req ~id:2 60) = []);
+  (* The arrival is admitted; the oldest queued request is the one
+     answered Overloaded — with a retry hint. *)
+  (match E.submit ~now:0.0 e (solve_req ~id:3 70) with
+   | [ Pr.Overloaded { id = Some 1; retry_after_ms = Some ms; _ } ] ->
+     Alcotest.(check bool) "retry hint positive" true (ms > 0)
+   | _ -> Alcotest.fail "expected the oldest request evicted");
+  match E.drain ~now:0.0 e with
+  | [ Pr.Solved { id = Some 2; _ }; Pr.Solved { id = Some 3; _ } ] -> ()
+  | _ -> Alcotest.fail "expected the survivors drained in order"
+
+let test_tenant_fair_policy () =
+  let e =
+    engine_with ~config:(config_with ~capacity:3 Svc.Admission.Tenant_fair)
+      base
+  in
+  Alcotest.(check bool) "a/1 admitted" true
+    (E.submit ~now:0.0 e (solve_req ~id:1 ~tenant:"a" 50) = []);
+  Alcotest.(check bool) "a/2 admitted" true
+    (E.submit ~now:0.0 e (solve_req ~id:2 ~tenant:"a" 60) = []);
+  Alcotest.(check bool) "b/3 admitted" true
+    (E.submit ~now:0.0 e (solve_req ~id:3 ~tenant:"b" 70) = []);
+  (* Tenant a hogs two slots: its newest entry is the victim; b's only
+     request is untouchable. *)
+  (match E.submit ~now:0.0 e (solve_req ~id:4 ~tenant:"c" 80) with
+   | [ Pr.Overloaded { id = Some 2; _ } ] -> ()
+   | _ -> Alcotest.fail "expected the hog's newest entry evicted");
+  (* Now every tenant holds exactly one: nothing fair to evict, the
+     arrival is rejected instead. *)
+  (match E.submit ~now:0.0 e (solve_req ~id:5 ~tenant:"d" 90) with
+   | [ Pr.Overloaded { id = Some 5; _ } ] -> ()
+   | _ -> Alcotest.fail "expected the arrival rejected");
+  match E.drain ~now:0.0 e with
+  | [ Pr.Solved { id = Some 1; _ }; Pr.Solved { id = Some 3; _ };
+      Pr.Solved { id = Some 4; _ } ] -> ()
+  | _ -> Alcotest.fail "expected the three survivors drained in order"
+
+(* Regression: an entry whose deadline lapsed while queued must not
+   occupy a slot that bounces a live arrival off a full queue — the
+   corpse is shed eagerly at enqueue, the arrival admitted. *)
+let test_expired_entry_frees_slot () =
+  let e =
+    engine_with ~config:{ E.default_config with E.queue_capacity = 2 } base
+  in
+  Alcotest.(check bool) "doomed request admitted" true
+    (E.submit ~now:0.0 e (solve_req ~id:1 ~budget:(B.deadline 0.5) 50) = []);
+  Alcotest.(check bool) "live request admitted" true
+    (E.submit ~now:0.0 e (solve_req ~id:2 60) = []);
+  (match E.submit ~now:10.0 e (solve_req ~id:3 70) with
+   | [ Pr.Overloaded { id = Some 1; _ } ] -> ()
+   | _ ->
+     Alcotest.fail "expected the expired entry shed and the arrival admitted");
+  Alcotest.(check int) "arrival holds the freed slot" 2 (E.queue_length e);
+  match E.drain ~now:10.0 e with
+  | [ Pr.Solved { id = Some 2; _ }; Pr.Solved { id = Some 3; _ } ] -> ()
+  | _ -> Alcotest.fail "expected both live requests solved"
+
+(* --- protocol fuzz: near-valid lines over a pipe daemon --- *)
+
+let run_daemon_session lines =
+  let req_read, req_write = Unix.pipe () in
+  let resp_read, resp_write = Unix.pipe () in
+  write_all req_write (String.concat "" (List.map (fun l -> l ^ "\n") lines));
+  Unix.close req_write;
+  let dump = open_out Filename.null in
+  let oc = Unix.out_channel_of_descr resp_write in
+  Svc.Daemon.serve_channels ~dump (Unix.in_channel_of_descr req_read) oc;
+  close_out dump;
+  close_out oc;
+  let ic = Unix.in_channel_of_descr resp_read in
+  let rec read_lines acc =
+    match input_line ic with
+    | line -> read_lines (line :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  let out = read_lines [] in
+  close_in ic;
+  out
+
+let decode_response_line line =
+  match J.of_string line with
+  | Error e -> Alcotest.fail ("response line is not JSON: " ^ e)
+  | Ok j -> (
+    match Pr.response_of_json j with
+    | Error e -> Alcotest.fail ("response line is not a response: " ^ e)
+    | Ok r -> r)
+
+(* Hand-picked near-valid lines, each answered by a structured error on
+   the same line — pinning which malformations are strict. *)
+let strict_fuzz_cases =
+  [ {|{"op":"frobnicate"}|};  (* unknown op *)
+    {|{"op":""}|};
+    {|{"op":42,"id":1}|};  (* wrong-typed op reads as missing *)
+    {|{"noop":true}|};  (* no op at all *)
+    {|[1,2,3]|};  (* not an object *)
+    {|42|};
+    {|{"op":"solve","id":1}|};  (* no source *)
+    {|{"op":"solve","id":1,"ref":"app"}|};  (* min-cost without target *)
+    {|{"op":"solve","id":1,"ref":"app","target":"many"}|};
+        (* wrong-typed target reads as missing: strict *)
+    {|{"op":"solve","id":1,"ref":"app","target":-3}|};
+    {|{"op":"solve","id":1,"ref":"app","target":50,"reuse":"psychic"}|};
+    {|{"op":"solve","id":1,"ref":"app","target":50,"spec":"gpu"}|};
+    {|{"op":"solve","id":1,"ref":"app","problem":"types 1","target":5}|};
+        (* ref and problem together *)
+    {|{"op":"solve","version":2,"id":1,"ref":"app","target":50}|};
+    {|{"op":"tick","session":"s"}|};  (* missing demand *)
+    {|{"op":"audit","last":-1}|};
+    {|{"op":"solve","id":1,"ref":"app","target":50|};  (* truncated *)
+    {|{"op":"solve",}|};  (* trailing comma *)
+    {|{"op" "solve"}|};  (* missing colon *)
+  ]
+
+let test_protocol_fuzz_strict () =
+  (* Every bad line answers one structured error on its own line; the
+     session never desyncs — the valid solve after the barrage still
+     lands on its line, and Bye is last. *)
+  let lines =
+    [ J.to_string (Pr.request_to_json (Pr.Register { name = "app"; problem = base })) ]
+    @ strict_fuzz_cases
+    @ [ J.to_string (Pr.request_to_json (solve_req ~id:777 110));
+        J.to_string (Pr.request_to_json Pr.Shutdown) ]
+  in
+  let out = run_daemon_session lines in
+  Alcotest.(check int) "one response line per request line"
+    (List.length lines) (List.length out);
+  let responses = List.map decode_response_line out in
+  (match responses with
+   | Pr.Registered _ :: rest -> (
+     let n = List.length strict_fuzz_cases in
+     List.iteri
+       (fun i r ->
+         if i < n then
+           match r with
+           | Pr.Error { message; _ } ->
+             Alcotest.(check bool)
+               (Printf.sprintf "case %d answers a structured error" i)
+               true
+               (String.length message > 0)
+           | _ ->
+             Alcotest.failf "case %d (%s): expected an error"
+               i (List.nth strict_fuzz_cases i))
+       rest;
+     match (List.nth rest n, List.nth rest (n + 1)) with
+     | Pr.Solved { id = Some 777; _ }, Pr.Bye -> ()
+     | _ -> Alcotest.fail "daemon desynced: sentinel solve or Bye misplaced")
+   | _ -> Alcotest.fail "register reply missing")
+
+(* Pinned lenient behaviors: the codec drops wrong-typed optional
+   fields rather than rejecting the request, and duplicate keys read
+   as their first occurrence. *)
+let test_protocol_fuzz_lenient () =
+  let lines =
+    [ J.to_string (Pr.request_to_json (Pr.Register { name = "app"; problem = base }));
+      (* wrong-typed id: dropped, request still served (no id echoed) *)
+      {|{"op":"solve","id":"seven","ref":"app","target":110}|};
+      (* duplicate keys: first occurrence wins *)
+      {|{"op":"solve","id":5,"id":6,"ref":"app","target":110}|};
+      (* unknown extra fields are ignored *)
+      {|{"op":"solve","id":7,"ref":"app","target":110,"flavour":"blue"}|};
+      J.to_string (Pr.request_to_json Pr.Shutdown) ]
+  in
+  let out = run_daemon_session lines in
+  Alcotest.(check int) "one response line per request line"
+    (List.length lines) (List.length out);
+  match List.map decode_response_line out with
+  | [ Pr.Registered _;
+      Pr.Solved { id = None; _ };
+      Pr.Solved { id = Some 5; _ };
+      Pr.Solved { id = Some 7; _ };
+      Pr.Bye ] -> ()
+  | _ -> Alcotest.fail "lenient behaviors changed"
+
+(* Random truncations of a valid solve line: always one structured
+   error per line, never a crash or desync. *)
+let test_protocol_fuzz_truncations () =
+  let whole =
+    J.to_string (Pr.request_to_json (solve_req ~id:1 ~trace_id:"req-fz" 110))
+  in
+  let cuts =
+    (* every prefix of a JSON object line is invalid JSON *)
+    List.init 24 (fun i ->
+        String.sub whole 0 (1 + i * (String.length whole - 2) / 24))
+  in
+  let lines =
+    [ J.to_string (Pr.request_to_json (Pr.Register { name = "app"; problem = base })) ]
+    @ cuts
+    @ [ J.to_string (Pr.request_to_json (solve_req ~id:888 110));
+        J.to_string (Pr.request_to_json Pr.Shutdown) ]
+  in
+  let out = run_daemon_session lines in
+  Alcotest.(check int) "one response line per request line"
+    (List.length lines) (List.length out);
+  let responses = List.map decode_response_line out in
+  List.iteri
+    (fun i r ->
+      match r with
+      | Pr.Error _ when i >= 1 && i <= List.length cuts -> ()
+      | Pr.Registered _ when i = 0 -> ()
+      | Pr.Solved { id = Some 888; _ } when i = List.length cuts + 1 -> ()
+      | Pr.Bye when i = List.length cuts + 2 -> ()
+      | _ -> Alcotest.failf "line %d out of place" i)
+    responses
+
 let suite =
   ( "service",
     [ Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
@@ -793,4 +1208,24 @@ let suite =
       Alcotest.test_case "audit ring and jsonl file" `Quick
         test_audit_ring_and_file;
       Alcotest.test_case "daemon session over a pipe" `Quick
-        test_daemon_over_pipe ] )
+        test_daemon_over_pipe;
+      Alcotest.test_case "thundering herd coalesces (single thread)" `Quick
+        test_herd_single_thread;
+      Alcotest.test_case "thundering herd coalesces (worker domains)" `Quick
+        test_herd_across_workers;
+      Alcotest.test_case "leader failure fails followers (single thread)"
+        `Quick test_leader_failure_single_thread;
+      Alcotest.test_case "leader failure fails followers (worker domains)"
+        `Quick test_leader_failure_across_workers;
+      Alcotest.test_case "drop-oldest evicts the head" `Quick
+        test_drop_oldest_policy;
+      Alcotest.test_case "tenant-fair evicts the hog's newest" `Quick
+        test_tenant_fair_policy;
+      Alcotest.test_case "expired queue entry frees its slot" `Quick
+        test_expired_entry_frees_slot;
+      Alcotest.test_case "protocol fuzz: strict rejections" `Quick
+        test_protocol_fuzz_strict;
+      Alcotest.test_case "protocol fuzz: pinned leniencies" `Quick
+        test_protocol_fuzz_lenient;
+      Alcotest.test_case "protocol fuzz: truncated lines" `Quick
+        test_protocol_fuzz_truncations ] )
